@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Ablation A1: FTQ depth. The decoupled front-end tolerates predictor
+ * latency through the FTQ; sweeping its depth shows how much
+ * decoupling the design needs (the paper uses 4 entries per thread).
+ */
+
+#include "bench_common.hh"
+#include "sim/simulator.hh"
+
+using namespace smtbench;
+
+int
+main()
+{
+    std::printf("== Ablation: FTQ depth (stream engine, "
+                "ICOUNT.1.16) ==\n\n");
+
+    TextTable t({"FTQ entries", "2_MIX IPC", "4_ILP IPC"});
+    for (unsigned depth : {1u, 2u, 4u, 8u, 16u}) {
+        double ipc_mix = 0, ipc_ilp = 0;
+        for (const char *wl : {"2_MIX", "4_ILP"}) {
+            SimConfig cfg =
+                table3Config(wl, EngineKind::Stream, 1, 16);
+            cfg.core.ftqEntries = depth;
+            cfg.warmupCycles = 40'000;
+            cfg.measureCycles = 200'000;
+            Simulator sim(cfg);
+            sim.run();
+            (std::string(wl) == "2_MIX" ? ipc_mix : ipc_ilp) =
+                sim.stats().ipc();
+        }
+        t.addRow({std::to_string(depth), TextTable::num(ipc_mix),
+                  TextTable::num(ipc_ilp)});
+    }
+    t.print(std::cout);
+    return 0;
+}

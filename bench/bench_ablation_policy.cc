@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Ablation A3: fetch policy. ICOUNT vs round-robin across the key
+ * policy/workload points; the paper builds on ICOUNT because RR
+ * ignores pipeline occupancy and feeds clogged threads.
+ */
+
+#include "bench_common.hh"
+
+using namespace smtbench;
+
+int
+main()
+{
+    std::printf("== Ablation: ICOUNT vs Round-Robin (stream engine) "
+                "==\n\n");
+
+    ExperimentRunner runner = makeRunner();
+    TextTable t({"workload", "policy", "RR IPC", "ICOUNT IPC",
+                 "ICOUNT gain"});
+    for (const char *wl : {"2_ILP", "2_MIX", "4_MIX", "8_MIX"}) {
+        for (auto [n, x] :
+             {std::pair{1u, 8u}, {2u, 8u}, {1u, 16u}}) {
+            auto rr = runner.run(wl, EngineKind::Stream, n, x,
+                                 PolicyKind::RoundRobin);
+            auto ic = runner.run(wl, EngineKind::Stream, n, x,
+                                 PolicyKind::ICount);
+            t.addRow({wl, csprintf("%u.%u", n, x),
+                      TextTable::num(rr.ipc), TextTable::num(ic.ipc),
+                      TextTable::pct(ic.ipc / rr.ipc - 1)});
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation A2: predictor hardware budget. Sweeps the stream predictor
+ * and gshare table sizes around the paper's ~45KB budget point.
+ */
+
+#include "bench_common.hh"
+#include "sim/simulator.hh"
+
+using namespace smtbench;
+
+namespace
+{
+
+double
+runWith(EngineKind engine, unsigned scale_shift)
+{
+    SimConfig cfg = table3Config("4_MIX", engine, 1, 16);
+    auto &ep = cfg.core.engineParams;
+    ep.gshareEntries >>= scale_shift;
+    ep.gskewEntriesPerBank >>= scale_shift;
+    ep.btbEntries >>= scale_shift;
+    ep.ftbEntries >>= scale_shift;
+    ep.streamL1Entries >>= scale_shift;
+    ep.streamL2Entries >>= scale_shift;
+    cfg.warmupCycles = 40'000;
+    cfg.measureCycles = 200'000;
+    Simulator sim(cfg);
+    sim.run();
+    return sim.stats().ipc();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Ablation: predictor budget sweep (4_MIX, "
+                "ICOUNT.1.16) ==\n\n");
+
+    TextTable t({"budget", "gshare+BTB", "gskew+FTB", "stream"});
+    const char *labels[] = {"1x (Table 3)", "1/2x", "1/4x", "1/8x"};
+    for (unsigned shift = 0; shift < 4; ++shift) {
+        t.addRow({labels[shift],
+                  TextTable::num(runWith(EngineKind::GshareBtb, shift)),
+                  TextTable::num(runWith(EngineKind::GskewFtb, shift)),
+                  TextTable::num(runWith(EngineKind::Stream, shift))});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared scaffolding for the paper-reproduction bench binaries: grid
+ * runners and table renderers that print each figure's series next to
+ * the paper's qualitative expectations.
+ */
+
+#ifndef SMTFETCH_BENCH_COMMON_HH
+#define SMTFETCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "util/table.hh"
+
+namespace smtbench
+{
+
+using namespace smt;
+
+/** Default measurement windows for figure reproduction. */
+inline ExperimentRunner
+makeRunner()
+{
+    return ExperimentRunner(/*warmup=*/40'000, /*measure=*/250'000);
+}
+
+/** Run a (workload x policy x engine) grid and print both metrics. */
+inline std::vector<ExperimentResult>
+runGrid(const std::vector<std::string> &workloads,
+        const std::vector<std::pair<unsigned, unsigned>> &policies,
+        const std::string &title)
+{
+    ExperimentRunner runner = makeRunner();
+    std::vector<ExperimentRunner::GridPoint> pts;
+    for (const auto &w : workloads)
+        for (auto e : allEngines())
+            for (auto [n, x] : policies)
+                pts.push_back({w, e, n, x, PolicyKind::ICount});
+
+    auto results = runner.runAll(pts);
+
+    ExperimentRunner::printFigure(std::cout, title + " (a) Fetch throughput, IPFC",
+                                  results, /*fetch=*/true);
+    std::cout << '\n';
+    ExperimentRunner::printFigure(std::cout, title + " (b) Commit throughput, IPC",
+                                  results, /*fetch=*/false);
+    std::cout << '\n';
+    return results;
+}
+
+/** Find one grid point. */
+inline const ExperimentResult *
+find(const std::vector<ExperimentResult> &rs, const std::string &wl,
+     EngineKind e, unsigned n, unsigned x)
+{
+    for (const auto &r : rs)
+        if (r.workload == wl && r.engine == e && r.fetchThreads == n &&
+            r.fetchWidth == x)
+            return &r;
+    return nullptr;
+}
+
+/** Print a "paper expects X, we measured Y" check line. */
+inline void
+check(const std::string &what, bool holds)
+{
+    std::printf("  [%s] %s\n", holds ? "OK " : "...", what.c_str());
+}
+
+inline double
+pct(double a, double b)
+{
+    return b == 0 ? 0 : (a / b - 1.0) * 100.0;
+}
+
+} // namespace smtbench
+
+#endif // SMTFETCH_BENCH_COMMON_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 4: fetch throughput of gshare+BTB fetching from up to two
+ * threads (ICOUNT.2.8 / 2.16) vs one thread (1.8 / 1.16) on
+ * gzip+twolf.
+ *
+ * Paper reference: 2.8 gains ~28% over 1.8; 2.16 gains ~33% over
+ * 1.16; at 2.8, 8 instructions are provided 54% of cycles.
+ */
+
+#include "bench_common.hh"
+
+using namespace smtbench;
+
+int
+main()
+{
+    std::printf("== Figure 4: gshare+BTB fetching from two threads "
+                "(gzip+twolf) ==\n\n");
+
+    ExperimentRunner runner = makeRunner();
+    auto r18 = runner.run("2_MIX", EngineKind::GshareBtb, 1, 8);
+    auto r28 = runner.run("2_MIX", EngineKind::GshareBtb, 2, 8);
+    auto r116 = runner.run("2_MIX", EngineKind::GshareBtb, 1, 16);
+    auto r216 = runner.run("2_MIX", EngineKind::GshareBtb, 2, 16);
+
+    TextTable t({"policy", "IPFC", "gain over 1-thread"});
+    t.addRow({"ICOUNT.1.8", TextTable::num(r18.ipfc), "-"});
+    t.addRow({"ICOUNT.2.8", TextTable::num(r28.ipfc),
+              TextTable::pct(r28.ipfc / r18.ipfc - 1)});
+    t.addRow({"ICOUNT.1.16", TextTable::num(r116.ipfc), "-"});
+    t.addRow({"ICOUNT.2.16", TextTable::num(r216.ipfc),
+              TextTable::pct(r216.ipfc / r116.ipfc - 1)});
+    t.print(std::cout);
+
+    const auto &h28 = r28.stats.fetchWidthHist;
+    std::printf("\nFetch width distribution, ICOUNT.2.8 "
+                "(paper: =8 insts 54%%, >4 insts 80%%):\n");
+    std::printf("  P(=8) = %.1f%%   P(>4) = %.1f%%\n",
+                h28.fractionAt(8) * 100, h28.fractionAbove(4) * 100);
+
+    std::printf("\nShape checks:\n");
+    check("2.8 improves fetch throughput over 1.8 (paper: +28%)",
+          r28.ipfc > 1.10 * r18.ipfc);
+    check("2.16 improves fetch throughput over 2.8",
+          r216.ipfc > r28.ipfc);
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 5: fetch and commit throughput for ILP workloads under
+ * ICOUNT.1.8 vs ICOUNT.2.8, all three fetch engines.
+ *
+ * Paper reference shapes: 2.8 > 1.8 for every engine (fetch is the
+ * ILP bottleneck); stream > gskew+FTB > gshare+BTB; at 1.8 the stream
+ * fetch gains ~20% IPC over gshare+BTB.
+ */
+
+#include "bench_common.hh"
+
+using namespace smtbench;
+
+int
+main()
+{
+    std::printf("== Figure 5: ILP workloads, ICOUNT.1.8 vs "
+                "ICOUNT.2.8 ==\n\n");
+
+    std::vector<std::string> wls = {"2_ILP", "4_ILP", "6_ILP", "8_ILP"};
+    auto rs = runGrid(wls, {{1, 8}, {2, 8}}, "Fig. 5");
+
+    std::printf("Shape checks:\n");
+    int two_beats_one = 0, stream_leads = 0, n = 0;
+    for (const auto &w : wls) {
+        for (auto e : allEngines()) {
+            const auto *a = find(rs, w, e, 1, 8);
+            const auto *b = find(rs, w, e, 2, 8);
+            if (a && b && b->ipc > a->ipc)
+                ++two_beats_one;
+            ++n;
+        }
+        const auto *g = find(rs, w, EngineKind::GshareBtb, 1, 8);
+        const auto *s = find(rs, w, EngineKind::Stream, 1, 8);
+        if (g && s && s->ipfc >= g->ipfc)
+            ++stream_leads;
+    }
+    check(csprintf("2.8 beats 1.8 in IPC (%d of %d engine/workload "
+                   "points)", two_beats_one, n),
+          two_beats_one >= n - 2);
+    check(csprintf("stream fetch >= gshare+BTB IPFC at 1.8 (%d of 4 "
+                   "workloads)", stream_leads),
+          stream_leads >= 3);
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 6: ILP workloads with the wide single-thread policy:
+ * ICOUNT.2.8 vs ICOUNT.1.16 vs ICOUNT.2.16.
+ *
+ * Paper reference shapes: the stream fetch with 1.16 outperforms its
+ * own 2.8 (+9% commit) and the other engines' 2.8 (+19% over
+ * gshare+BTB, +13% over gskew+FTB); gshare+BTB and gskew+FTB lose
+ * IPC moving from 2.8 to 1.16 (single-basic-block prediction).
+ */
+
+#include "bench_common.hh"
+
+using namespace smtbench;
+
+int
+main()
+{
+    std::printf("== Figure 6: ILP workloads, ICOUNT.2.8 vs 1.16 vs "
+                "2.16 ==\n\n");
+
+    std::vector<std::string> wls = {"2_ILP", "4_ILP", "6_ILP", "8_ILP"};
+    auto rs = runGrid(wls, {{2, 8}, {1, 16}, {2, 16}}, "Fig. 6");
+
+    std::printf("Shape checks:\n");
+    int stream_116_wins = 0, gshare_116_loses = 0;
+    double gain_vs_gshare = 0;
+    for (const auto &w : wls) {
+        const auto *s116 = find(rs, w, EngineKind::Stream, 1, 16);
+        const auto *s28 = find(rs, w, EngineKind::Stream, 2, 8);
+        const auto *g28 = find(rs, w, EngineKind::GshareBtb, 2, 8);
+        const auto *g116 = find(rs, w, EngineKind::GshareBtb, 1, 16);
+        if (s116 && s28 && s116->ipc >= 0.97 * s28->ipc)
+            ++stream_116_wins;
+        if (g116 && g28 && g116->ipc <= 1.03 * g28->ipc)
+            ++gshare_116_loses;
+        if (s116 && g28)
+            gain_vs_gshare += pct(s116->ipc, g28->ipc);
+    }
+    check(csprintf("stream 1.16 matches/beats stream 2.8 IPC (%d of 4"
+                   ", paper: +9%%)", stream_116_wins),
+          stream_116_wins >= 3);
+    check(csprintf("gshare+BTB gains nothing from 1.16 vs 2.8 "
+                   "(%d of 4, paper: -9.7%%)", gshare_116_loses),
+          gshare_116_loses >= 2);
+    std::printf("  stream 1.16 vs gshare+BTB 2.8 average IPC delta: "
+                "%+.1f%% (paper: +19%%)\n", gain_vs_gshare / 4);
+    return 0;
+}

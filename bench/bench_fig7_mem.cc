@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 7: MIX and MEM workloads under ICOUNT.1.8 vs ICOUNT.2.8.
+ *
+ * Paper reference shapes: fetch throughput still rises from 1.8 to
+ * 2.8, but commit throughput FALLS — fetching from a second,
+ * low-quality thread lets a stalled thread monopolize shared
+ * resources (the Tullsen/Brown long-latency-load clog).
+ */
+
+#include "bench_common.hh"
+
+using namespace smtbench;
+
+int
+main()
+{
+    std::printf("== Figure 7: MIX/MEM workloads, ICOUNT.1.8 vs "
+                "ICOUNT.2.8 ==\n\n");
+
+    std::vector<std::string> wls = {"2_MIX", "2_MEM", "4_MIX", "4_MEM",
+                                    "6_MIX", "8_MIX"};
+    auto rs = runGrid(wls, {{1, 8}, {2, 8}}, "Fig. 7");
+
+    std::printf("Shape checks:\n");
+    int ipfc_up = 0, ipc_down = 0, n = 0;
+    for (const auto &w : wls) {
+        for (auto e : allEngines()) {
+            const auto *a = find(rs, w, e, 1, 8);
+            const auto *b = find(rs, w, e, 2, 8);
+            if (a && b) {
+                if (b->ipfc > a->ipfc)
+                    ++ipfc_up;
+                if (b->ipc < a->ipc)
+                    ++ipc_down;
+                ++n;
+            }
+        }
+    }
+    check(csprintf("2.8 raises fetch throughput (%d of %d)", ipfc_up,
+                   n),
+          ipfc_up >= n - 2);
+    check(csprintf("2.8 REDUCES commit throughput — the paper's "
+                   "inversion (%d of %d)", ipc_down, n),
+          ipc_down >= n - 4);
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 8: MIX and MEM workloads with ICOUNT.1.8 vs ICOUNT.1.16 vs
+ * ICOUNT.2.16.
+ *
+ * Paper reference shapes: ICOUNT.1.16 gives the best commit
+ * throughput (wide fetch + fine-grain thread selection); ICOUNT.2.16
+ * is worse than both 1.16 and 1.8 almost everywhere; gskew+FTB and
+ * stream at 1.16 average a 3-4% improvement over gshare+BTB at 1.8.
+ */
+
+#include "bench_common.hh"
+
+using namespace smtbench;
+
+int
+main()
+{
+    std::printf("== Figure 8: MIX/MEM workloads, ICOUNT.1.8 vs 1.16 "
+                "vs 2.16 ==\n\n");
+
+    std::vector<std::string> wls = {"2_MIX", "2_MEM", "4_MIX", "4_MEM",
+                                    "6_MIX", "8_MIX"};
+    auto rs = runGrid(wls, {{1, 8}, {1, 16}, {2, 16}}, "Fig. 8");
+
+    std::printf("Shape checks:\n");
+    int wide_single_ok = 0, dual_wide_worse = 0, n = 0;
+    for (const auto &w : wls) {
+        for (auto e : allEngines()) {
+            const auto *a = find(rs, w, e, 1, 8);
+            const auto *b = find(rs, w, e, 1, 16);
+            const auto *c = find(rs, w, e, 2, 16);
+            if (a && b && c) {
+                if (b->ipc >= 0.92 * a->ipc)
+                    ++wide_single_ok;
+                if (c->ipc <= b->ipc)
+                    ++dual_wide_worse;
+                ++n;
+            }
+        }
+    }
+    check(csprintf("1.16 holds or beats 1.8 commit throughput "
+                   "(%d of %d)", wide_single_ok, n),
+          wide_single_ok >= n - 5);
+    check(csprintf("2.16 is no better than 1.16 (%d of %d)",
+                   dual_wide_worse, n),
+          dual_wide_worse >= n - 4);
+    return 0;
+}

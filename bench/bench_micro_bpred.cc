@@ -1,0 +1,94 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the predictor structures: raw
+ * lookup/update throughput of gshare, gskew, BTB, FTB and the stream
+ * predictor (simulator hot paths).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpred/btb.hh"
+#include "bpred/ftb.hh"
+#include "bpred/gshare.hh"
+#include "bpred/gskew.hh"
+#include "bpred/history.hh"
+#include "bpred/stream_pred.hh"
+#include "util/random.hh"
+
+using namespace smt;
+
+static void
+BM_GsharePredictUpdate(benchmark::State &state)
+{
+    GsharePredictor pred(64 * 1024, 16);
+    Rng rng(1);
+    std::uint64_t hist = 0;
+    for (auto _ : state) {
+        Addr pc = 0x400000 + (rng.next() & 0xffff) * 4;
+        bool taken = pred.predict(pc, hist);
+        pred.update(pc, hist, rng.chance(0.6));
+        hist = (hist << 1) | taken;
+        benchmark::DoNotOptimize(taken);
+    }
+}
+BENCHMARK(BM_GsharePredictUpdate);
+
+static void
+BM_GskewPredictUpdate(benchmark::State &state)
+{
+    GskewPredictor pred(32 * 1024, 15);
+    Rng rng(2);
+    std::uint64_t hist = 0;
+    for (auto _ : state) {
+        Addr pc = 0x400000 + (rng.next() & 0xffff) * 4;
+        bool taken = pred.predict(pc, hist);
+        pred.update(pc, hist, rng.chance(0.6));
+        hist = (hist << 1) | taken;
+        benchmark::DoNotOptimize(taken);
+    }
+}
+BENCHMARK(BM_GskewPredictUpdate);
+
+static void
+BM_BtbLookupUpdate(benchmark::State &state)
+{
+    Btb btb(2048, 4);
+    Rng rng(3);
+    for (auto _ : state) {
+        Addr pc = 0x400000 + (rng.next() & 0x3fff) * 4;
+        benchmark::DoNotOptimize(btb.lookup(pc));
+        btb.update(pc, pc + 64, OpClass::CondBranch);
+    }
+}
+BENCHMARK(BM_BtbLookupUpdate);
+
+static void
+BM_FtbLookupUpdate(benchmark::State &state)
+{
+    Ftb ftb(2048, 4, 32);
+    Rng rng(4);
+    for (auto _ : state) {
+        Addr pc = 0x400000 + (rng.next() & 0x3fff) * 4;
+        benchmark::DoNotOptimize(ftb.lookup(pc));
+        ftb.update(pc, 8 + (pc & 7), pc + 256, OpClass::CondBranch);
+    }
+}
+BENCHMARK(BM_FtbLookupUpdate);
+
+static void
+BM_StreamPredict(benchmark::State &state)
+{
+    StreamPredictor sp(1024, 4, 4096, 4, 64);
+    PathHistory path(16, 2, 4, 10);
+    Rng rng(5);
+    for (auto _ : state) {
+        Addr pc = 0x400000 + (rng.next() & 0x3fff) * 4;
+        auto p = sp.predict(pc, path);
+        sp.update(pc, 12, pc + 48, OpClass::CondBranch, path);
+        path.push(pc);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_StreamPredict);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator substrates: cache
+ * access, trace generation and whole-core cycle throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/hierarchy.hh"
+#include "sim/simulator.hh"
+#include "util/random.hh"
+#include "workload/trace.hh"
+
+using namespace smt;
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    MemoryHierarchy mem{MemoryParams{}};
+    Rng rng(7);
+    Cycle now = 0;
+    for (auto _ : state) {
+        Addr a = 0x40000000 + (rng.next() & 0xfffff);
+        benchmark::DoNotOptimize(mem.dcacheAccess(0, a, false, now));
+        ++now;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+static void
+BM_TraceGeneration(benchmark::State &state)
+{
+    auto img = buildImage(profileFor("gzip"), 0x400000, 0x40000000);
+    TraceStream trace(img);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trace.next());
+}
+BENCHMARK(BM_TraceGeneration);
+
+static void
+BM_CoreCycle(benchmark::State &state)
+{
+    SimConfig cfg = table3Config("2_MIX", EngineKind::Stream, 1, 16);
+    Simulator sim(cfg);
+    sim.runExtra(10'000); // prime
+    auto &core = sim.core();
+    for (auto _ : state)
+        core.cycle();
+    state.counters["committed/cycle"] = benchmark::Counter(
+        static_cast<double>(core.stats().instsCommitted),
+        benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_CoreCycle);
+
+BENCHMARK_MAIN();

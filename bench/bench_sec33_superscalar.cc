@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Section 3.3 superscalar claims: on a single-thread (superscalar)
+ * processor, gskew+FTB gains ~5% IPC over gshare+BTB and the stream
+ * fetch ~11% over gshare+BTB (~5.5% over gskew+FTB), averaged over
+ * SPECint2000.
+ */
+
+#include "bench_common.hh"
+
+using namespace smtbench;
+
+int
+main()
+{
+    std::printf("== Section 3.3: single-thread (superscalar) fetch "
+                "engines ==\n\n");
+
+    const std::vector<std::string> benches = {
+        "gzip", "vpr", "gcc", "mcf", "crafty", "parser",
+        "eon", "perlbmk", "gap", "vortex", "bzip2", "twolf"};
+
+    ExperimentRunner runner = makeRunner();
+    std::vector<ExperimentRunner::GridPoint> pts;
+    for (const auto &b : benches)
+        for (auto e : allEngines())
+            pts.push_back({b, e, 1, 16, PolicyKind::ICount});
+    auto rs = runner.runAll(pts);
+
+    TextTable t({"benchmark", "gshare+BTB", "gskew+FTB", "stream",
+                 "stream vs gshare"});
+    double gm_ftb = 0, gm_stream = 0;
+    for (const auto &b : benches) {
+        const auto *g = find(rs, b, EngineKind::GshareBtb, 1, 16);
+        const auto *f = find(rs, b, EngineKind::GskewFtb, 1, 16);
+        const auto *s = find(rs, b, EngineKind::Stream, 1, 16);
+        t.addRow({b, TextTable::num(g->ipc), TextTable::num(f->ipc),
+                  TextTable::num(s->ipc),
+                  TextTable::pct(s->ipc / g->ipc - 1)});
+        gm_ftb += f->ipc / g->ipc;
+        gm_stream += s->ipc / g->ipc;
+    }
+    t.print(std::cout);
+
+    double avg_ftb = (gm_ftb / benches.size() - 1) * 100;
+    double avg_stream = (gm_stream / benches.size() - 1) * 100;
+    std::printf("\naverage gskew+FTB vs gshare+BTB: %+.1f%% "
+                "(paper: +5%%)\n", avg_ftb);
+    std::printf("average stream vs gshare+BTB:    %+.1f%% "
+                "(paper: +11%%)\n", avg_stream);
+
+    std::printf("\nShape checks:\n");
+    check("gskew+FTB >= gshare+BTB on average", avg_ftb > -1.0);
+    check("stream >= gskew+FTB on average", avg_stream >= avg_ftb - 1.0);
+    return 0;
+}

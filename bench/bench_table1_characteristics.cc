@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table 1 + Table 2: per-benchmark synthetic workload characteristics
+ * (dynamic average basic-block size vs the paper's Table 1) and the
+ * Table 2 multithreaded workload definitions.
+ */
+
+#include "bench_common.hh"
+#include "workload/trace.hh"
+#include "workload/workloads.hh"
+
+using namespace smtbench;
+
+int
+main()
+{
+    std::printf("== Table 1: SPECint2000 synthetic model "
+                "characteristics ==\n\n");
+
+    TextTable t({"benchmark", "class", "BB size (paper)",
+                 "BB size (model)", "stream len", "taken rate",
+                 "loads/insts"});
+    for (const auto &prof : allProfiles()) {
+        auto img = buildImage(prof, 0x400000, 0x40000000);
+        TraceStream ts(img);
+        for (int i = 0; i < 400'000; ++i)
+            ts.next();
+        const auto &s = ts.stats();
+        t.addRow({prof.name,
+                  prof.benchClass == BenchClass::ILP ? "ILP" : "MEM",
+                  TextTable::num(prof.avgBlockSize),
+                  TextTable::num(s.avgBlockSize()),
+                  TextTable::num(s.avgStreamLength()),
+                  TextTable::num(
+                      s.ctis ? double(s.takenCtis) / s.ctis : 0, 3),
+                  TextTable::num(double(s.loads) / s.insts, 3)});
+    }
+    t.print(std::cout);
+
+    std::printf("\n== Table 2: multithreaded workloads ==\n\n");
+    TextTable t2({"workload", "benchmarks"});
+    for (const auto &w : table2Workloads()) {
+        std::string list;
+        for (const auto &b : w.benchmarks)
+            list += (list.empty() ? "" : ", ") + b;
+        t2.addRow({w.name, list});
+    }
+    t2.print(std::cout);
+    return 0;
+}

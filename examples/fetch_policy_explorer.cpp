@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fetch policy explorer: run any Table 2 workload (or single
+ * benchmark) against any engine and N.X policy from the command line
+ * and print the full statistics breakdown.
+ *
+ * Usage:
+ *   fetch_policy_explorer [workload] [engine] [N] [X] [policy]
+ *   fetch_policy_explorer 4_MIX stream 1 16 icount
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "sim/simulator.hh"
+
+using namespace smt;
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = argc > 1 ? argv[1] : "2_MIX";
+    std::string engine_name = argc > 2 ? argv[2] : "stream";
+    unsigned n = argc > 3 ? std::atoi(argv[3]) : 1;
+    unsigned x = argc > 4 ? std::atoi(argv[4]) : 16;
+    std::string policy_name = argc > 5 ? argv[5] : "icount";
+
+    EngineKind engine = EngineKind::Stream;
+    if (engine_name == "gshare")
+        engine = EngineKind::GshareBtb;
+    else if (engine_name == "ftb" || engine_name == "gskew")
+        engine = EngineKind::GskewFtb;
+    else if (engine_name != "stream")
+        fatal("unknown engine '%s' (gshare|gskew|stream)",
+              engine_name.c_str());
+
+    PolicyKind policy = policy_name == "rr" ? PolicyKind::RoundRobin
+                                            : PolicyKind::ICount;
+
+    SimConfig cfg = table3Config(workload, engine, n, x, policy);
+    std::cout << describeTable3(cfg.core) << '\n';
+
+    Simulator sim(cfg);
+    sim.run();
+
+    const SimStats &s = sim.stats();
+    s.dump(std::cout);
+    std::cout << '\n';
+    for (unsigned t = 0; t < cfg.core.numThreads; ++t) {
+        std::cout << "thread " << t << " ("
+                  << cfg.workload.benchmarks[t]
+                  << "): IPC=" << s.threadIpc(t) << '\n';
+    }
+    std::cout << '\n';
+    sim.core().memory().dumpStats(std::cout);
+
+    const EngineStats &es = sim.core().engine().stats();
+    std::cout << "\nengine " << sim.core().engine().name()
+              << ": blockPredictions=" << es.blockPredictions
+              << " tableHitRate="
+              << (es.blockPredictions
+                      ? double(es.tableHits) / es.blockPredictions
+                      : 0)
+              << " recoveries=" << es.recoveries << '\n';
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Policy comparison: reproduce the paper's core argument on one
+ * workload in a few seconds — for a memory-bound mix, fetching from
+ * two threads (ICOUNT.2.8) raises fetch throughput but LOWERS commit
+ * throughput, while the paper's proposal (a high-performance fetch
+ * engine with ICOUNT.1.16) wins on both complexity and IPC.
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hh"
+#include "util/table.hh"
+
+using namespace smt;
+
+int
+main()
+{
+    const std::string workload = "4_MIX";
+    ExperimentRunner runner(40'000, 200'000);
+
+    struct Point
+    {
+        EngineKind engine;
+        unsigned n, x;
+        const char *note;
+    };
+    const Point points[] = {
+        {EngineKind::GshareBtb, 1, 8, "conventional, single thread"},
+        {EngineKind::GshareBtb, 2, 8, "conventional SMT answer"},
+        {EngineKind::Stream, 1, 16, "the paper's proposal"},
+        {EngineKind::Stream, 2, 16, "all-in-one (expensive)"},
+    };
+
+    TextTable t({"engine", "policy", "IPFC", "IPC", "note"});
+    for (const auto &p : points) {
+        auto r = runner.run(workload, p.engine, p.n, p.x);
+        t.addRow({engineName(p.engine), r.policyDotString(),
+                  TextTable::num(r.ipfc), TextTable::num(r.ipc),
+                  p.note});
+    }
+    t.print(std::cout,
+            "Fetch policies on " + workload +
+                " (memory-bound mix)");
+
+    std::cout << "\nThe stream engine at ICOUNT.1.16 needs one "
+                 "I-cache port, one predictor port\nand no merge "
+                 "network, yet matches or beats the dual-ported "
+                 "2.X designs.\n";
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Generic set-associative, true-LRU tagged table used by the BTB, FTB
+ * and stream predictor.
+ */
+
+#ifndef SMTFETCH_BPRED_ASSOC_TABLE_HH
+#define SMTFETCH_BPRED_ASSOC_TABLE_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace smt
+{
+
+/**
+ * Set-associative table of payload entries.
+ *
+ * @tparam Payload Per-entry payload (POD-ish, default constructible).
+ */
+template <typename Payload>
+class AssocTable
+{
+  public:
+    AssocTable(unsigned total_entries, unsigned ways)
+        : numWays(ways)
+    {
+        if (ways == 0 || total_entries % ways != 0)
+            fatal("assoc table: %u entries not divisible by %u ways",
+                  total_entries, ways);
+        numSets = total_entries / ways;
+        if ((numSets & (numSets - 1)) != 0)
+            fatal("assoc table: set count must be a power of two");
+        setBits = std::bit_width(numSets) - 1;
+        entries.assign(total_entries, Slot{});
+    }
+
+    unsigned sets() const { return numSets; }
+    unsigned ways() const { return numWays; }
+    unsigned indexBits() const { return setBits; }
+
+    /**
+     * Find an entry. @return payload pointer or nullptr.
+     * Touches LRU on hit.
+     */
+    Payload *
+    lookup(std::uint64_t index, std::uint64_t tag)
+    {
+        Slot *set = setBase(index);
+        for (unsigned w = 0; w < numWays; ++w) {
+            if (set[w].valid && set[w].tag == tag) {
+                touch(set, w);
+                return &set[w].payload;
+            }
+        }
+        return nullptr;
+    }
+
+    /** Lookup without LRU update (for probes/asserts). */
+    const Payload *
+    probe(std::uint64_t index, std::uint64_t tag) const
+    {
+        const Slot *set = setBase(index);
+        for (unsigned w = 0; w < numWays; ++w)
+            if (set[w].valid && set[w].tag == tag)
+                return &set[w].payload;
+        return nullptr;
+    }
+
+    /**
+     * Insert or overwrite the entry for (index, tag), evicting LRU on
+     * conflict. @return reference to the stored payload.
+     */
+    Payload &
+    insert(std::uint64_t index, std::uint64_t tag, const Payload &payload)
+    {
+        Slot *set = setBase(index);
+        unsigned victim = 0;
+        for (unsigned w = 0; w < numWays; ++w) {
+            if (set[w].valid && set[w].tag == tag) {
+                set[w].payload = payload;
+                touch(set, w);
+                return set[w].payload;
+            }
+            if (!set[w].valid)
+                victim = w;
+            else if (set[victim].valid && set[w].lru < set[victim].lru)
+                victim = w;
+        }
+        // Prefer an invalid slot if one exists.
+        for (unsigned w = 0; w < numWays; ++w)
+            if (!set[w].valid)
+                victim = w;
+        set[victim].valid = true;
+        set[victim].tag = tag;
+        set[victim].payload = payload;
+        touch(set, victim);
+        return set[victim].payload;
+    }
+
+    void
+    reset()
+    {
+        for (auto &s : entries)
+            s = Slot{};
+        lruClock = 0;
+    }
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;
+        Payload payload{};
+    };
+
+    Slot *setBase(std::uint64_t index)
+    {
+        return &entries[(index & mask(setBits)) * numWays];
+    }
+    const Slot *setBase(std::uint64_t index) const
+    {
+        return &entries[(index & mask(setBits)) * numWays];
+    }
+
+    void touch(Slot *set, unsigned way) { set[way].lru = ++lruClock; }
+
+    unsigned numSets = 0;
+    unsigned numWays = 0;
+    unsigned setBits = 0;
+    std::uint64_t lruClock = 0;
+    std::vector<Slot> entries;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_BPRED_ASSOC_TABLE_HH

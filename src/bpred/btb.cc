@@ -1,0 +1,35 @@
+#include "bpred/btb.hh"
+
+namespace smt
+{
+
+Btb::Btb(unsigned entries, unsigned ways)
+    : table(entries, ways)
+{
+}
+
+std::uint64_t
+Btb::indexFor(Addr pc) const
+{
+    return pc >> 2;
+}
+
+std::uint64_t
+Btb::tagFor(Addr pc) const
+{
+    return pc >> (2 + table.indexBits());
+}
+
+const BtbEntry *
+Btb::lookup(Addr pc)
+{
+    return table.lookup(indexFor(pc), tagFor(pc));
+}
+
+void
+Btb::update(Addr pc, Addr target, OpClass cti_type)
+{
+    table.insert(indexFor(pc), tagFor(pc), BtbEntry{target, cti_type});
+}
+
+} // namespace smt

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Branch target buffer: tagged set-associative cache of CTI targets
+ * and types (Lee & Smith). Shared among threads; indexed by PC.
+ */
+
+#ifndef SMTFETCH_BPRED_BTB_HH
+#define SMTFETCH_BPRED_BTB_HH
+
+#include <cstdint>
+
+#include "bpred/assoc_table.hh"
+#include "isa/opcode.hh"
+#include "util/types.hh"
+
+namespace smt
+{
+
+/** BTB payload: target and CTI type of the branch at the tagged PC. */
+struct BtbEntry
+{
+    Addr target = invalidAddr;
+    OpClass ctiType = OpClass::CondBranch;
+};
+
+/** Paper configuration: 2K entries, 4-way associative. */
+class Btb
+{
+  public:
+    Btb(unsigned entries, unsigned ways);
+
+    /** @return entry for the CTI at pc, or nullptr on miss. */
+    const BtbEntry *lookup(Addr pc);
+
+    /** Install/refresh the entry for the CTI at pc (commit time). */
+    void update(Addr pc, Addr target, OpClass cti_type);
+
+    void reset() { table.reset(); }
+
+  private:
+    std::uint64_t indexFor(Addr pc) const;
+    std::uint64_t tagFor(Addr pc) const;
+
+    AssocTable<BtbEntry> table;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_BPRED_BTB_HH

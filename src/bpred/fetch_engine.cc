@@ -1,0 +1,495 @@
+#include "bpred/fetch_engine.hh"
+
+#include "util/logging.hh"
+
+namespace smt
+{
+
+const char *
+engineName(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::GshareBtb: return "gshare+BTB";
+      case EngineKind::GskewFtb: return "gskew+FTB";
+      case EngineKind::Stream: return "stream";
+    }
+    return "?";
+}
+
+FetchEngine::FetchEngine(const EngineParams &p)
+    : params(p)
+{
+    for (unsigned t = 0; t < maxThreads; ++t) {
+        path[t] = PathHistory(p.dolcDepth, p.dolcOlderBits,
+                              p.dolcLastBits, p.dolcCurrentBits);
+        commitPath[t] = path[t];
+        ras[t] = ReturnAddressStack(p.rasEntries);
+    }
+}
+
+void
+FetchEngine::setThreadProgram(ThreadID tid, const StaticProgram *program)
+{
+    programs[tid] = program;
+    formation[tid] = FormationState{};
+    if (program != nullptr) {
+        formation[tid].blockStart = program->entry();
+        formation[tid].started = true;
+    }
+}
+
+EngineCheckpoint
+FetchEngine::makeCheckpoint(ThreadID tid, Addr start) const
+{
+    EngineCheckpoint c;
+    c.blockStart = start;
+    c.ghist = history[tid].snapshot();
+    c.ras = ras[tid].snapshot();
+    c.path = path[tid].snapshot();
+    return c;
+}
+
+BlockPrediction
+FetchEngine::sequentialBlock(ThreadID tid, Addr start, unsigned length)
+{
+    BlockPrediction b;
+    b.start = start;
+    b.lengthInsts = length;
+    b.endsWithCti = false;
+    b.predTaken = false;
+    b.nextFetchPc = start + static_cast<Addr>(length) * instBytes;
+    b.ckpt = makeCheckpoint(tid, start);
+    ++engineStats.seqMissBlocks;
+    return b;
+}
+
+void
+FetchEngine::recover(ThreadID tid, const EngineCheckpoint &ckpt,
+                     const StaticInst *offender, bool actual_taken,
+                     Addr actual_target)
+{
+    (void)actual_target;
+    ++engineStats.recoveries;
+    history[tid].restore(ckpt.ghist);
+    ras[tid].restore(ckpt.ras);
+    path[tid].restore(ckpt.path);
+
+    if (offender == nullptr || !offender->isControl())
+        return;
+
+    // Re-apply the offender's actual semantics on the repaired state.
+    if (offender->isConditional()) {
+        history[tid].shift(actual_taken);
+    } else if (offender->isCall() && actual_taken) {
+        ras[tid].push(offender->nextPc());
+    } else if (offender->isReturn() && actual_taken) {
+        ras[tid].pop();
+    }
+}
+
+void
+FetchEngine::reset()
+{
+    engineStats = EngineStats{};
+    for (unsigned t = 0; t < maxThreads; ++t) {
+        history[t].reset();
+        ras[t].reset();
+        path[t].reset();
+        commitPath[t].reset();
+        formation[t] = FormationState{};
+        if (programs[t] != nullptr) {
+            formation[t].blockStart = programs[t]->entry();
+            formation[t].started = true;
+        }
+    }
+}
+
+void
+FetchEngine::capFormationStart(Addr &start, Addr cti_pc, unsigned cap)
+{
+    // Commit-side block/stream formation: segments longer than the
+    // length field cannot be stored; skip whole cap-sized chunks so
+    // the tail segment ending at the CTI remains encodable.
+    const Addr cap_bytes = static_cast<Addr>(cap) * instBytes;
+    while (cti_pc + instBytes - start > cap_bytes)
+        start += cap_bytes;
+}
+
+// ---------------------------------------------------------------------
+// gshare + BTB
+// ---------------------------------------------------------------------
+
+BtbFetchEngine::BtbFetchEngine(const EngineParams &p)
+    : FetchEngine(p), gshare(p.gshareEntries, p.gshareHistoryBits),
+      btb(p.btbEntries, p.btbWays)
+{
+}
+
+BlockPrediction
+BtbFetchEngine::predictBlock(ThreadID tid, Addr pc)
+{
+    ++engineStats.blockPredictions;
+    const StaticProgram *prog = programs[tid];
+
+    // Predecode scan: find the first CTI after pc (the single
+    // direction/target prediction this cycle applies to it).
+    const StaticInst *cti = nullptr;
+    unsigned len = 0;
+    for (unsigned i = 0; i < params.btbScanCap; ++i) {
+        const StaticInst *si =
+            prog ? prog->lookup(pc + static_cast<Addr>(i) * instBytes)
+                 : nullptr;
+        if (si == nullptr) {
+            // Unmapped (deep wrong path): fetch sequentially.
+            if (i == 0)
+                return sequentialBlock(tid, pc, params.missBlockInsts);
+            return sequentialBlock(tid, pc, i);
+        }
+        ++len;
+        if (si->isControl()) {
+            cti = si;
+            break;
+        }
+    }
+
+    if (cti == nullptr)
+        return sequentialBlock(tid, pc, len);
+
+    BlockPrediction b;
+    b.start = pc;
+    b.lengthInsts = len;
+    b.endsWithCti = true;
+    b.endType = cti->op;
+    b.ckpt = makeCheckpoint(tid, pc);
+
+    const BtbEntry *entry = btb.lookup(cti->pc);
+    if (entry != nullptr)
+        ++engineStats.tableHits;
+
+    switch (cti->op) {
+      case OpClass::CondBranch: {
+        ++engineStats.condPredictions;
+        bool dir = gshare.predict(cti->pc, history[tid].value());
+        history[tid].shift(dir);
+        if (dir && entry != nullptr) {
+            b.predTaken = true;
+            b.predTarget = entry->target;
+        } else {
+            // Not-taken prediction, or taken with no target available.
+            b.predTaken = false;
+        }
+        break;
+      }
+      case OpClass::Return: {
+        b.predTaken = true;
+        b.predTarget = ras[tid].pop();
+        ++engineStats.rasPops;
+        break;
+      }
+      case OpClass::CallDirect: {
+        if (entry != nullptr) {
+            b.predTaken = true;
+            b.predTarget = entry->target;
+            ras[tid].push(cti->nextPc());
+            ++engineStats.rasPushes;
+        }
+        break;
+      }
+      default: { // Jump, JumpIndirect
+        if (entry != nullptr) {
+            b.predTaken = true;
+            b.predTarget = entry->target;
+        }
+        break;
+      }
+    }
+
+    if (b.predTaken && b.predTarget == invalidAddr) {
+        // Cold RAS/table: no usable target; predict fall-through.
+        b.predTaken = false;
+    }
+    b.nextFetchPc = b.predTaken ? b.predTarget : b.fallThrough();
+    return b;
+}
+
+void
+BtbFetchEngine::commitCti(ThreadID tid, const StaticInst &si, bool taken,
+                          Addr actual_target, bool was_block_end,
+                          bool was_mispredicted,
+                          std::uint64_t pred_ghist)
+{
+    (void)tid;
+    (void)was_mispredicted;
+    if (si.isConditional() && was_block_end)
+        gshare.update(si.pc, pred_ghist, taken);
+    // Classic allocation policy: install targets of taken CTIs.
+    // Returns are covered by the RAS.
+    if (taken && !si.isReturn())
+        btb.update(si.pc, actual_target, si.op);
+    if (taken)
+        ++engineStats.streamsFormed;
+}
+
+void
+BtbFetchEngine::reset()
+{
+    FetchEngine::reset();
+    gshare.reset();
+    btb.reset();
+}
+
+// ---------------------------------------------------------------------
+// gskew + FTB
+// ---------------------------------------------------------------------
+
+FtbFetchEngine::FtbFetchEngine(const EngineParams &p)
+    : FetchEngine(p),
+      gskew(p.gskewEntriesPerBank, p.gskewHistoryBits),
+      ftb(p.ftbEntries, p.ftbWays, p.ftbMaxBlock)
+{
+}
+
+BlockPrediction
+FtbFetchEngine::predictBlock(ThreadID tid, Addr pc)
+{
+    ++engineStats.blockPredictions;
+
+    const FtbEntry *entry = ftb.lookup(pc);
+    if (entry == nullptr)
+        return sequentialBlock(tid, pc, params.missBlockInsts);
+
+    ++engineStats.tableHits;
+    BlockPrediction b;
+    b.start = pc;
+    b.lengthInsts = entry->lengthInsts;
+    b.endsWithCti = true;
+    b.endType = entry->endType;
+    b.ckpt = makeCheckpoint(tid, pc);
+
+    switch (entry->endType) {
+      case OpClass::CondBranch: {
+        ++engineStats.condPredictions;
+        bool dir = gskew.predict(entry->endPc(pc), history[tid].value());
+        history[tid].shift(dir);
+        b.predTaken = dir;
+        b.predTarget = dir ? entry->target : invalidAddr;
+        break;
+      }
+      case OpClass::Return: {
+        b.predTaken = true;
+        b.predTarget = ras[tid].pop();
+        ++engineStats.rasPops;
+        break;
+      }
+      case OpClass::CallDirect: {
+        b.predTaken = true;
+        b.predTarget = entry->target;
+        ras[tid].push(b.fallThrough());
+        ++engineStats.rasPushes;
+        break;
+      }
+      default: {
+        b.predTaken = true;
+        b.predTarget = entry->target;
+        break;
+      }
+    }
+
+    if (b.predTaken && b.predTarget == invalidAddr) {
+        // Cold RAS/table: no usable target; predict fall-through.
+        b.predTaken = false;
+    }
+    b.nextFetchPc = b.predTaken ? b.predTarget : b.fallThrough();
+    return b;
+}
+
+void
+FtbFetchEngine::commitCti(ThreadID tid, const StaticInst &si, bool taken,
+                          Addr actual_target, bool was_block_end,
+                          bool was_mispredicted,
+                          std::uint64_t pred_ghist)
+{
+    (void)was_mispredicted;
+    if (si.isConditional() && was_block_end)
+        gskew.update(si.pc, pred_ghist, taken);
+
+    FormationState &f = formation[tid];
+    if (!f.started)
+        return;
+
+    if (taken) {
+        capFormationStart(f.blockStart, si.pc, ftb.maxBlock());
+        unsigned len = static_cast<unsigned>(
+            (si.pc + instBytes - f.blockStart) / instBytes);
+        ftb.update(f.blockStart, len, actual_target, si.op);
+        ++engineStats.streamsFormed;
+        f.blockStart = actual_target;
+    } else {
+        // Not taken. If the FTB's current block for this start ends
+        // exactly here, fetch falls through to a new block; formation
+        // follows. Otherwise the branch stays embedded and the block
+        // keeps growing toward the next taken branch.
+        capFormationStart(f.blockStart, si.pc, ftb.maxBlock());
+        const FtbEntry *cur = ftb.lookup(f.blockStart);
+        if (cur != nullptr && cur->endPc(f.blockStart) == si.pc)
+            f.blockStart = si.nextPc();
+    }
+}
+
+void
+FtbFetchEngine::reset()
+{
+    FetchEngine::reset();
+    gskew.reset();
+    ftb.reset();
+}
+
+// ---------------------------------------------------------------------
+// stream
+// ---------------------------------------------------------------------
+
+StreamFetchEngine::StreamFetchEngine(const EngineParams &p)
+    : FetchEngine(p),
+      streams(p.streamL1Entries, p.streamL1Ways, p.streamL2Entries,
+              p.streamL2Ways, p.streamMaxLength)
+{
+}
+
+BlockPrediction
+StreamFetchEngine::predictBlock(ThreadID tid, Addr pc)
+{
+    ++engineStats.blockPredictions;
+
+    StreamPrediction sp = streams.predict(pc, path[tid]);
+    if (!sp.hit)
+        return sequentialBlock(tid, pc, params.missBlockInsts);
+
+    ++engineStats.tableHits;
+    if (sp.fromSecondLevel)
+        ++engineStats.secondLevelHits;
+
+    BlockPrediction b;
+    b.start = pc;
+    b.lengthInsts = sp.entry.lengthInsts;
+    b.endsWithCti = true;
+    b.endType = sp.entry.endType;
+    b.ckpt = makeCheckpoint(tid, pc);
+
+    // A stream by definition ends in a taken CTI.
+    b.predTaken = true;
+    switch (sp.entry.endType) {
+      case OpClass::Return:
+        b.predTarget = ras[tid].pop();
+        ++engineStats.rasPops;
+        break;
+      case OpClass::CallDirect:
+        b.predTarget = sp.entry.target;
+        ras[tid].push(b.fallThrough());
+        ++engineStats.rasPushes;
+        break;
+      default:
+        b.predTarget = sp.entry.target;
+        break;
+    }
+    if (sp.entry.endType == OpClass::CondBranch)
+        ++engineStats.condPredictions;
+
+    // Path history records the current stream's start.
+    path[tid].push(pc);
+
+    if (b.predTarget == invalidAddr) {
+        // Cold RAS: no usable return target; fall through.
+        b.predTaken = false;
+        b.nextFetchPc = b.fallThrough();
+    } else {
+        b.nextFetchPc = b.predTarget;
+    }
+    return b;
+}
+
+void
+StreamFetchEngine::commitCti(ThreadID tid, const StaticInst &si,
+                             bool taken, Addr actual_target,
+                             bool was_block_end, bool was_mispredicted,
+                             std::uint64_t pred_ghist)
+{
+    (void)was_block_end;
+    (void)pred_ghist;
+    FormationState &f = formation[tid];
+    if (!f.started)
+        return;
+
+    if (!taken) {
+        // Not-taken branches live inside streams. If the fetch unit
+        // mispredicted this one as a stream end, it restarted at the
+        // fall-through address; remember that restart point so the
+        // suffix stream gets its own table entry at closure.
+        if (was_mispredicted && si.isConditional() &&
+            f.numExtras < f.extraStarts.size()) {
+            f.extraStarts[f.numExtras++] = si.nextPc();
+        }
+        return;
+    }
+
+    capFormationStart(f.blockStart, si.pc, streams.maxStream());
+    unsigned len = static_cast<unsigned>(
+        (si.pc + instBytes - f.blockStart) / instBytes);
+    streams.update(f.blockStart, len, actual_target, si.op,
+                   commitPath[tid]);
+
+    // Train the suffix streams for mid-stream restart points.
+    for (unsigned i = 0; i < f.numExtras; ++i) {
+        Addr extra = f.extraStarts[i];
+        if (extra > f.blockStart && extra <= si.pc) {
+            unsigned extra_len = static_cast<unsigned>(
+                (si.pc + instBytes - extra) / instBytes);
+            streams.update(extra, extra_len, actual_target, si.op,
+                           commitPath[tid]);
+        }
+    }
+    f.numExtras = 0;
+
+    commitPath[tid].push(f.blockStart);
+    ++engineStats.streamsFormed;
+    f.blockStart = actual_target;
+}
+
+void
+StreamFetchEngine::recover(ThreadID tid, const EngineCheckpoint &ckpt,
+                           const StaticInst *offender, bool actual_taken,
+                           Addr actual_target)
+{
+    FetchEngine::recover(tid, ckpt, offender, actual_taken,
+                         actual_target);
+    // The current stream (starting at the block's start address) is
+    // still the path's most recent element after repair.
+    if (offender != nullptr && offender->isControl() &&
+        ckpt.blockStart != invalidAddr) {
+        path[tid].push(ckpt.blockStart);
+    }
+}
+
+void
+StreamFetchEngine::reset()
+{
+    FetchEngine::reset();
+    streams.reset();
+}
+
+// ---------------------------------------------------------------------
+
+std::unique_ptr<FetchEngine>
+makeEngine(EngineKind kind, const EngineParams &params)
+{
+    switch (kind) {
+      case EngineKind::GshareBtb:
+        return std::make_unique<BtbFetchEngine>(params);
+      case EngineKind::GskewFtb:
+        return std::make_unique<FtbFetchEngine>(params);
+      case EngineKind::Stream:
+        return std::make_unique<StreamFetchEngine>(params);
+    }
+    panic("unknown engine kind");
+}
+
+} // namespace smt

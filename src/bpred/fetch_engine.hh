@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Fetch engines: the three SMT front-ends the paper compares.
+ *
+ *  - BtbFetchEngine    ("gshare+BTB"): the conventional SMT fetch unit.
+ *    One direction prediction per cycle, so a fetch block ends at the
+ *    first CTI found after the fetch PC (predecode locates CTIs).
+ *  - FtbFetchEngine    ("gskew+FTB"): fetch blocks come from the fetch
+ *    target buffer and may embed not-taken conditionals; gskew
+ *    predicts only the block-terminating branch.
+ *  - StreamFetchEngine ("stream"): the cascaded stream predictor names
+ *    whole instruction streams (taken-branch target to next taken
+ *    branch) in one prediction.
+ *
+ * All engines share their tables among threads while keeping
+ * speculative per-thread state (global history, RAS, path history)
+ * with checkpoint/repair on squash — exactly the structure the paper's
+ * decoupled SMT front-end requires.
+ */
+
+#ifndef SMTFETCH_BPRED_FETCH_ENGINE_HH
+#define SMTFETCH_BPRED_FETCH_ENGINE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "bpred/btb.hh"
+#include "bpred/ftb.hh"
+#include "bpred/gshare.hh"
+#include "bpred/gskew.hh"
+#include "bpred/history.hh"
+#include "bpred/ras.hh"
+#include "bpred/stream_pred.hh"
+#include "isa/program.hh"
+
+namespace smt
+{
+
+/** Which front-end to instantiate. */
+enum class EngineKind : unsigned char
+{
+    GshareBtb,
+    GskewFtb,
+    Stream,
+};
+
+const char *engineName(EngineKind kind);
+
+/** Hardware sizing (Table 3 defaults: ~45KB predictor budget each). */
+struct EngineParams
+{
+    // gshare: 64K entries x 2 bits = 16KB counters + BTB.
+    unsigned gshareEntries = 64 * 1024;
+    unsigned gshareHistoryBits = 16;
+
+    // gskew: 3 banks x 32K entries x 2 bits = 24KB counters + FTB.
+    unsigned gskewEntriesPerBank = 32 * 1024;
+    unsigned gskewHistoryBits = 15;
+
+    unsigned btbEntries = 2048;
+    unsigned btbWays = 4;
+
+    unsigned ftbEntries = 2048;
+    unsigned ftbWays = 4;
+    unsigned ftbMaxBlock = 32;
+
+    unsigned streamL1Entries = 1024;
+    unsigned streamL1Ways = 4;
+    unsigned streamL2Entries = 4096;
+    unsigned streamL2Ways = 4;
+    unsigned streamMaxLength = 64;
+
+    // DOLC 16-2-4-10 (depth, older, last, current bits).
+    unsigned dolcDepth = 16;
+    unsigned dolcOlderBits = 2;
+    unsigned dolcLastBits = 4;
+    unsigned dolcCurrentBits = 10;
+
+    unsigned rasEntries = 64;
+
+    /** Sequential block size used on a table miss. */
+    unsigned missBlockInsts = 16;
+
+    /** CTI scan cap for the BTB engine (one I-cache line). */
+    unsigned btbScanCap = 16;
+};
+
+/** Per-thread speculative state snapshot, taken per fetch block. */
+struct EngineCheckpoint
+{
+    Addr blockStart = invalidAddr;
+    std::uint64_t ghist = 0;
+    ReturnAddressStack::Snapshot ras;
+    PathHistory::Snapshot path;
+};
+
+/** One predicted fetch block (an FTQ entry). */
+struct BlockPrediction
+{
+    Addr start = invalidAddr;
+
+    /** Block length in instructions (terminator included). */
+    unsigned lengthInsts = 0;
+
+    /** Does the engine believe the last instruction is a CTI? */
+    bool endsWithCti = false;
+
+    /** Believed type of the terminating CTI (when endsWithCti). */
+    OpClass endType = OpClass::CondBranch;
+
+    /** Prediction for the terminating CTI. */
+    bool predTaken = false;
+
+    /** Predicted target (valid when predTaken). */
+    Addr predTarget = invalidAddr;
+
+    /** Where the prediction stage continues next cycle. */
+    Addr nextFetchPc = invalidAddr;
+
+    /** Thread state before this block's speculative effects. */
+    EngineCheckpoint ckpt;
+
+    Addr
+    endPc() const
+    {
+        return start + static_cast<Addr>(lengthInsts - 1) * instBytes;
+    }
+
+    Addr
+    fallThrough() const
+    {
+        return start + static_cast<Addr>(lengthInsts) * instBytes;
+    }
+};
+
+/** Aggregate engine statistics (read by benches and tests). */
+struct EngineStats
+{
+    std::uint64_t blockPredictions = 0;
+    std::uint64_t tableHits = 0;      //!< BTB/FTB/stream-L1+L2 hits
+    std::uint64_t secondLevelHits = 0; //!< stream L2 hits only
+    std::uint64_t seqMissBlocks = 0;  //!< sequential fallback blocks
+    std::uint64_t condPredictions = 0;
+    std::uint64_t rasPushes = 0;
+    std::uint64_t rasPops = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t streamsFormed = 0;  //!< commit-side blocks/streams
+};
+
+/**
+ * Abstract SMT fetch engine: block prediction, commit-side training,
+ * and squash recovery.
+ */
+class FetchEngine
+{
+  public:
+    explicit FetchEngine(const EngineParams &params);
+    virtual ~FetchEngine() = default;
+
+    /** Register the static program thread `tid` executes. */
+    virtual void setThreadProgram(ThreadID tid,
+                                  const StaticProgram *program);
+
+    /**
+     * Predict the fetch block starting at `pc` for thread `tid`,
+     * speculatively updating the thread's history/RAS/path state.
+     */
+    virtual BlockPrediction predictBlock(ThreadID tid, Addr pc) = 0;
+
+    /**
+     * Commit-side training, called in per-thread program order for
+     * every committed CTI.
+     *
+     * @param was_block_end The fetch unit treated this CTI as the
+     *        predicted terminator of its fetch block.
+     * @param was_mispredicted The fetch unit mispredicted this CTI
+     *        (the front-end restarted at its actual successor).
+     * @param pred_ghist Global history the prediction used (only
+     *        meaningful when was_block_end).
+     */
+    virtual void commitCti(ThreadID tid, const StaticInst &si,
+                           bool taken, Addr actual_target,
+                           bool was_block_end, bool was_mispredicted,
+                           std::uint64_t pred_ghist) = 0;
+
+    /**
+     * Repair thread state after a squash caused by `offender` (the
+     * mispredicted CTI, or the non-CTI end of a bogus block).
+     */
+    virtual void recover(ThreadID tid, const EngineCheckpoint &ckpt,
+                         const StaticInst *offender, bool actual_taken,
+                         Addr actual_target);
+
+    /** Reset all tables and thread state (between simulations). */
+    virtual void reset();
+
+    virtual EngineKind kind() const = 0;
+    const char *name() const { return engineName(kind()); }
+
+    const EngineStats &stats() const { return engineStats; }
+
+  protected:
+    /** Fill the common checkpoint fields for a block at `start`. */
+    EngineCheckpoint makeCheckpoint(ThreadID tid, Addr start) const;
+
+    /** Sequential fallback block used on any table miss. */
+    BlockPrediction sequentialBlock(ThreadID tid, Addr start,
+                                    unsigned length);
+
+    EngineParams params;
+    EngineStats engineStats;
+
+    std::array<const StaticProgram *, maxThreads> programs{};
+    std::array<GlobalHistory, maxThreads> history;
+    std::array<PathHistory, maxThreads>
+        path; // initialized in constructor
+    std::array<ReturnAddressStack, maxThreads> ras;
+
+    /** Commit-side formation state. */
+    struct FormationState
+    {
+        Addr blockStart = invalidAddr;
+        bool started = false;
+
+        /**
+         * Fall-through restart points inside the current stream
+         * (where fetch resumed after a not-taken-mispredicted stream
+         * end); they become additional stream starts at closure.
+         */
+        std::array<Addr, 2> extraStarts{};
+        unsigned numExtras = 0;
+    };
+    std::array<FormationState, maxThreads> formation;
+    std::array<PathHistory, maxThreads> commitPath;
+
+    /** Advance formation past length-cap overflow segments. */
+    static void capFormationStart(Addr &start, Addr cti_pc,
+                                  unsigned cap);
+};
+
+/** Conventional gshare + BTB front-end. */
+class BtbFetchEngine : public FetchEngine
+{
+  public:
+    explicit BtbFetchEngine(const EngineParams &params);
+
+    BlockPrediction predictBlock(ThreadID tid, Addr pc) override;
+    void commitCti(ThreadID tid, const StaticInst &si, bool taken,
+                   Addr actual_target, bool was_block_end,
+                   bool was_mispredicted,
+                   std::uint64_t pred_ghist) override;
+    EngineKind kind() const override { return EngineKind::GshareBtb; }
+    void reset() override;
+
+    GsharePredictor &directionPredictor() { return gshare; }
+    Btb &targetBuffer() { return btb; }
+
+  private:
+    GsharePredictor gshare;
+    Btb btb;
+};
+
+/** gskew + FTB front-end. */
+class FtbFetchEngine : public FetchEngine
+{
+  public:
+    explicit FtbFetchEngine(const EngineParams &params);
+
+    BlockPrediction predictBlock(ThreadID tid, Addr pc) override;
+    void commitCti(ThreadID tid, const StaticInst &si, bool taken,
+                   Addr actual_target, bool was_block_end,
+                   bool was_mispredicted,
+                   std::uint64_t pred_ghist) override;
+    EngineKind kind() const override { return EngineKind::GskewFtb; }
+    void reset() override;
+
+    GskewPredictor &directionPredictor() { return gskew; }
+    Ftb &targetBuffer() { return ftb; }
+
+  private:
+    GskewPredictor gskew;
+    Ftb ftb;
+};
+
+/** Stream front-end. */
+class StreamFetchEngine : public FetchEngine
+{
+  public:
+    explicit StreamFetchEngine(const EngineParams &params);
+
+    BlockPrediction predictBlock(ThreadID tid, Addr pc) override;
+    void commitCti(ThreadID tid, const StaticInst &si, bool taken,
+                   Addr actual_target, bool was_block_end,
+                   bool was_mispredicted,
+                   std::uint64_t pred_ghist) override;
+    void recover(ThreadID tid, const EngineCheckpoint &ckpt,
+                 const StaticInst *offender, bool actual_taken,
+                 Addr actual_target) override;
+    EngineKind kind() const override { return EngineKind::Stream; }
+    void reset() override;
+
+    StreamPredictor &predictor() { return streams; }
+
+  private:
+    StreamPredictor streams;
+};
+
+/** Factory. */
+std::unique_ptr<FetchEngine> makeEngine(EngineKind kind,
+                                        const EngineParams &params);
+
+} // namespace smt
+
+#endif // SMTFETCH_BPRED_FETCH_ENGINE_HH

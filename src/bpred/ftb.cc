@@ -1,0 +1,33 @@
+#include "bpred/ftb.hh"
+
+namespace smt
+{
+
+Ftb::Ftb(unsigned entries, unsigned ways, unsigned max_block)
+    : table(entries, ways), maxBlockInsts(max_block)
+{
+    if (max_block < 2)
+        fatal("FTB max block must be at least 2 instructions");
+}
+
+const FtbEntry *
+Ftb::lookup(Addr start_pc)
+{
+    return table.lookup(indexFor(start_pc), tagFor(start_pc));
+}
+
+bool
+Ftb::update(Addr start_pc, unsigned length_insts, Addr target,
+            OpClass end_type)
+{
+    if (length_insts == 0 || length_insts > maxBlockInsts)
+        return false;
+    FtbEntry e;
+    e.lengthInsts = static_cast<std::uint16_t>(length_insts);
+    e.target = target;
+    e.endType = end_type;
+    table.insert(indexFor(start_pc), tagFor(start_pc), e);
+    return true;
+}
+
+} // namespace smt

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fetch target buffer (Reinman, Calder & Austin).
+ *
+ * Unlike a BTB, which describes single branches, an FTB entry
+ * describes a whole *fetch block*: a run of instructions starting at
+ * the tagged address and ending at the block's terminating branch. A
+ * block may embed conditional branches that were not taken when the
+ * block formed ("ignored" branches), which is what lets the FTB
+ * deliver more than one basic block per prediction.
+ */
+
+#ifndef SMTFETCH_BPRED_FTB_HH
+#define SMTFETCH_BPRED_FTB_HH
+
+#include <cstdint>
+
+#include "bpred/assoc_table.hh"
+#include "isa/opcode.hh"
+#include "util/types.hh"
+
+namespace smt
+{
+
+/** Fetch-block descriptor. */
+struct FtbEntry
+{
+    /** Block length in instructions, terminator included. */
+    std::uint16_t lengthInsts = 0;
+
+    /** Target of the terminating branch when taken. */
+    Addr target = invalidAddr;
+
+    /** Type of the terminating branch. */
+    OpClass endType = OpClass::CondBranch;
+
+    /** PC of the terminating branch given the block start. */
+    Addr
+    endPc(Addr start) const
+    {
+        return start + static_cast<Addr>(lengthInsts - 1) * instBytes;
+    }
+
+    /** Sequential address after the block (fall-through). */
+    Addr
+    fallThrough(Addr start) const
+    {
+        return start + static_cast<Addr>(lengthInsts) * instBytes;
+    }
+};
+
+/** Paper configuration: 2K entries, 4-way associative. */
+class Ftb
+{
+  public:
+    /**
+     * @param entries Total entry count.
+     * @param ways Set associativity.
+     * @param max_block Maximum encodable block length in instructions
+     *        (the fall-through field width limit).
+     */
+    Ftb(unsigned entries, unsigned ways, unsigned max_block);
+
+    /** @return fetch block starting at pc, or nullptr on miss. */
+    const FtbEntry *lookup(Addr start_pc);
+
+    /**
+     * Install/refresh the block starting at start_pc (commit-side
+     * block formation). Lengths above maxBlock() are rejected.
+     * @return true if the entry was stored.
+     */
+    bool update(Addr start_pc, unsigned length_insts, Addr target,
+                OpClass end_type);
+
+    unsigned maxBlock() const { return maxBlockInsts; }
+
+    void reset() { table.reset(); }
+
+  private:
+    std::uint64_t indexFor(Addr pc) const { return pc >> 2; }
+    std::uint64_t
+    tagFor(Addr pc) const
+    {
+        return pc >> (2 + table.indexBits());
+    }
+
+    AssocTable<FtbEntry> table;
+    unsigned maxBlockInsts;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_BPRED_FTB_HH

@@ -1,0 +1,46 @@
+#include "bpred/gshare.hh"
+
+#include <bit>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace smt
+{
+
+GsharePredictor::GsharePredictor(unsigned entries, unsigned history_bits)
+    : histBits(history_bits)
+{
+    if (entries == 0 || (entries & (entries - 1)) != 0)
+        fatal("gshare entries must be a power of two");
+    indexBits = std::bit_width(entries) - 1;
+    table.assign(entries, SatCounter(2, 1)); // weakly not-taken
+}
+
+std::uint64_t
+GsharePredictor::indexFor(Addr pc, std::uint64_t history) const
+{
+    std::uint64_t h = history & mask(histBits);
+    return ((pc >> 2) ^ h) & mask(indexBits);
+}
+
+bool
+GsharePredictor::predict(Addr pc, std::uint64_t history) const
+{
+    return table[indexFor(pc, history)].predictTaken();
+}
+
+void
+GsharePredictor::update(Addr pc, std::uint64_t history, bool taken)
+{
+    table[indexFor(pc, history)].update(taken);
+}
+
+void
+GsharePredictor::reset()
+{
+    for (auto &c : table)
+        c = SatCounter(2, 1);
+}
+
+} // namespace smt

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * gshare conditional-branch direction predictor (McFarling): a single
+ * table of 2-bit counters indexed by PC XOR global history.
+ */
+
+#ifndef SMTFETCH_BPRED_GSHARE_HH
+#define SMTFETCH_BPRED_GSHARE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/sat_counter.hh"
+#include "util/types.hh"
+
+namespace smt
+{
+
+/** Classic gshare: 64K entries, 16 bits of history in the paper. */
+class GsharePredictor
+{
+  public:
+    GsharePredictor(unsigned entries, unsigned history_bits);
+
+    /** Predict the branch at pc under the given global history. */
+    bool predict(Addr pc, std::uint64_t history) const;
+
+    /** Train with the actual outcome (commit time). */
+    void update(Addr pc, std::uint64_t history, bool taken);
+
+    void reset();
+
+    unsigned historyBits() const { return histBits; }
+    unsigned entries() const
+    {
+        return static_cast<unsigned>(table.size());
+    }
+
+    /** Storage budget in bits (for Table 3 accounting). */
+    std::uint64_t storageBits() const { return table.size() * 2; }
+
+  private:
+    std::uint64_t indexFor(Addr pc, std::uint64_t history) const;
+
+    std::vector<SatCounter> table;
+    unsigned indexBits;
+    unsigned histBits;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_BPRED_GSHARE_HH

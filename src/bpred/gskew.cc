@@ -1,0 +1,73 @@
+#include "bpred/gskew.hh"
+
+#include <bit>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace smt
+{
+
+GskewPredictor::GskewPredictor(unsigned entries_per_bank,
+                               unsigned history_bits)
+    : histBits(history_bits)
+{
+    if (entries_per_bank == 0 ||
+        (entries_per_bank & (entries_per_bank - 1)) != 0)
+        fatal("gskew bank entries must be a power of two");
+    indexBits = std::bit_width(entries_per_bank) - 1;
+    for (auto &bank : banks)
+        bank.assign(entries_per_bank, SatCounter(2, 1));
+}
+
+std::uint64_t
+GskewPredictor::bankIndex(unsigned bank, Addr pc,
+                          std::uint64_t history) const
+{
+    // Skewing family: three distinct mixes of the same (pc, history)
+    // information so that two branches colliding in one bank almost
+    // never collide in the others.
+    static constexpr std::uint64_t salts[3] = {
+        0x9e3779b97f4a7c15ULL, 0xc2b2ae3d27d4eb4fULL,
+        0x165667b19e3779f9ULL};
+    std::uint64_t h = history & mask(histBits);
+    std::uint64_t key = (pc >> 2) ^ (h << 1);
+    return (mix64(key * salts[bank] + bank) >> 7) & mask(indexBits);
+}
+
+bool
+GskewPredictor::predict(Addr pc, std::uint64_t history) const
+{
+    int votes = 0;
+    for (unsigned b = 0; b < 3; ++b)
+        if (banks[b][bankIndex(b, pc, history)].predictTaken())
+            ++votes;
+    return votes >= 2;
+}
+
+void
+GskewPredictor::update(Addr pc, std::uint64_t history, bool taken)
+{
+    bool predicted = predict(pc, history);
+    bool correct = predicted == taken;
+    for (unsigned b = 0; b < 3; ++b) {
+        SatCounter &c = banks[b][bankIndex(b, pc, history)];
+        if (correct) {
+            // Strengthen only the banks that voted with the outcome.
+            if (c.predictTaken() == taken)
+                c.update(taken);
+        } else {
+            c.update(taken);
+        }
+    }
+}
+
+void
+GskewPredictor::reset()
+{
+    for (auto &bank : banks)
+        for (auto &c : bank)
+            c = SatCounter(2, 1);
+}
+
+} // namespace smt

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * gskew (enhanced skewed) conditional direction predictor
+ * (Michaud/Seznec/Uhlig): three counter banks indexed by three
+ * different hash functions of (pc, history); majority vote; partial
+ * update to preserve the de-aliasing property.
+ */
+
+#ifndef SMTFETCH_BPRED_GSKEW_HH
+#define SMTFETCH_BPRED_GSKEW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/sat_counter.hh"
+#include "util/types.hh"
+
+namespace smt
+{
+
+/** Paper configuration: 3 x 32K entries, 15 bits of history. */
+class GskewPredictor
+{
+  public:
+    GskewPredictor(unsigned entries_per_bank, unsigned history_bits);
+
+    /** Majority vote of the three banks. */
+    bool predict(Addr pc, std::uint64_t history) const;
+
+    /**
+     * Train (commit time). Partial update: on a correct prediction
+     * only the agreeing banks are strengthened; on a misprediction all
+     * banks are retrained.
+     */
+    void update(Addr pc, std::uint64_t history, bool taken);
+
+    void reset();
+
+    unsigned historyBits() const { return histBits; }
+
+    std::uint64_t storageBits() const { return 3 * banks[0].size() * 2; }
+
+  private:
+    std::uint64_t bankIndex(unsigned bank, Addr pc,
+                            std::uint64_t history) const;
+
+    std::vector<SatCounter> banks[3];
+    unsigned indexBits;
+    unsigned histBits;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_BPRED_GSKEW_HH

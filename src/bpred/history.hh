@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Speculative per-thread predictor history state: global (direction)
+ * history and DOLC path history. Both support cheap checkpointing so
+ * the front-end can repair them on squash.
+ */
+
+#ifndef SMTFETCH_BPRED_HISTORY_HH
+#define SMTFETCH_BPRED_HISTORY_HH
+
+#include <array>
+#include <cstdint>
+
+#include "util/bitfield.hh"
+#include "util/types.hh"
+
+namespace smt
+{
+
+/** Global branch-outcome shift register (per thread). */
+class GlobalHistory
+{
+  public:
+    void shift(bool taken) { hist = (hist << 1) | (taken ? 1 : 0); }
+
+    std::uint64_t value() const { return hist; }
+
+    std::uint64_t snapshot() const { return hist; }
+    void restore(std::uint64_t snap) { hist = snap; }
+    void reset() { hist = 0; }
+
+  private:
+    std::uint64_t hist = 0;
+};
+
+/**
+ * DOLC (Depth-OLder-Last-Current) path history: a ring of the last
+ * `depth` stream/block start addresses. The index function combines
+ * `currentBits` of the current address, `lastBits` of the most recent
+ * history entry, and `olderBits` of each older entry, per the stream
+ * predictor's DOLC 16-2-4-10 configuration.
+ */
+class PathHistory
+{
+  public:
+    static constexpr unsigned maxDepth = 16;
+
+    /** Full-state snapshot (small POD, copied per fetch block). */
+    struct Snapshot
+    {
+        std::array<Addr, maxDepth> ring{};
+        std::uint8_t pos = 0;
+    };
+
+    /** Default: the paper's DOLC 16-2-4-10 configuration. */
+    PathHistory() : PathHistory(16, 2, 4, 10) {}
+
+    PathHistory(unsigned depth, unsigned older_bits, unsigned last_bits,
+                unsigned current_bits);
+
+    /** Record a new block/stream start address. */
+    void push(Addr a);
+
+    /** Compute the path-correlated index for the given start. */
+    std::uint64_t index(Addr current, unsigned index_bits) const;
+
+    Snapshot snapshot() const { return state; }
+    void restore(const Snapshot &snap) { state = snap; }
+    void reset() { state = Snapshot{}; }
+
+  private:
+    unsigned depth;
+    unsigned olderBits;
+    unsigned lastBits;
+    unsigned currentBits;
+    Snapshot state;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_BPRED_HISTORY_HH

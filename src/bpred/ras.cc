@@ -1,0 +1,46 @@
+#include "bpred/ras.hh"
+
+#include "util/logging.hh"
+
+namespace smt
+{
+
+ReturnAddressStack::ReturnAddressStack(unsigned entries)
+    : stack(entries, invalidAddr)
+{
+    if (entries < 2)
+        panic("RAS needs at least 2 entries");
+}
+
+void
+ReturnAddressStack::push(Addr return_addr)
+{
+    tos = static_cast<std::uint16_t>((tos + 1) % stack.size());
+    stack[tos] = return_addr;
+}
+
+Addr
+ReturnAddressStack::pop()
+{
+    Addr v = stack[tos];
+    tos = static_cast<std::uint16_t>((tos + stack.size() - 1) %
+                                     stack.size());
+    return v;
+}
+
+void
+ReturnAddressStack::restore(const Snapshot &snap)
+{
+    tos = snap.tos;
+    stack[tos] = snap.topValue;
+}
+
+void
+ReturnAddressStack::reset()
+{
+    tos = 0;
+    for (auto &v : stack)
+        v = invalidAddr;
+}
+
+} // namespace smt

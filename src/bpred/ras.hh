@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Return address stack with top-of-stack checkpoint repair.
+ */
+
+#ifndef SMTFETCH_BPRED_RAS_HH
+#define SMTFETCH_BPRED_RAS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace smt
+{
+
+/**
+ * Circular return-address stack (one instance per thread). Speculative
+ * pushes/pops happen at prediction time; squashes restore the standard
+ * (tos, top-value) checkpoint, which repairs all single-divergence
+ * wrong paths exactly.
+ */
+class ReturnAddressStack
+{
+  public:
+    struct Snapshot
+    {
+        std::uint16_t tos = 0;
+        Addr topValue = invalidAddr;
+    };
+
+    explicit ReturnAddressStack(unsigned entries = 64);
+
+    /** Push a return address (call prediction). */
+    void push(Addr return_addr);
+
+    /** Pop the predicted return target (return prediction). */
+    Addr pop();
+
+    /** Value that pop() would return, without popping. */
+    Addr top() const { return stack[tos]; }
+
+    Snapshot snapshot() const { return {tos, stack[tos]}; }
+    void restore(const Snapshot &snap);
+    void reset();
+
+    unsigned capacity() const
+    {
+        return static_cast<unsigned>(stack.size());
+    }
+
+  private:
+    std::vector<Addr> stack;
+    std::uint16_t tos = 0;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_BPRED_RAS_HH

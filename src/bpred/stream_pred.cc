@@ -1,0 +1,100 @@
+#include "bpred/stream_pred.hh"
+
+namespace smt
+{
+
+StreamPredictor::StreamPredictor(unsigned l1_entries, unsigned l1_ways,
+                                 unsigned l2_entries, unsigned l2_ways,
+                                 unsigned max_stream)
+    : level1(l1_entries, l1_ways), level2(l2_entries, l2_ways),
+      maxStreamInsts(max_stream)
+{
+    if (max_stream < 2)
+        fatal("stream length cap must be at least 2");
+}
+
+StreamPrediction
+StreamPredictor::predict(Addr start_pc, const PathHistory &path)
+{
+    StreamPrediction pred;
+
+    std::uint64_t l2_index = path.index(start_pc, level2.indexBits());
+    if (StreamEntry *e = level2.lookup(l2_index, l2Tag(start_pc))) {
+        pred.hit = true;
+        pred.fromSecondLevel = true;
+        pred.entry = *e;
+        return pred;
+    }
+    if (StreamEntry *e = level1.lookup(l1Index(start_pc),
+                                       l1Tag(start_pc))) {
+        pred.hit = true;
+        pred.entry = *e;
+        return pred;
+    }
+    return pred;
+}
+
+void
+StreamPredictor::trainEntry(AssocTable<StreamEntry> &table,
+                            std::uint64_t index, std::uint64_t tag,
+                            unsigned length_insts, Addr target,
+                            OpClass end_type)
+{
+    if (StreamEntry *e = table.lookup(index, tag)) {
+        if (e->lengthInsts == length_insts && e->target == target) {
+            e->confidence.increment();
+        } else if (e->confidence.raw() == 0) {
+            e->lengthInsts = static_cast<std::uint16_t>(length_insts);
+            e->target = target;
+            e->endType = end_type;
+            e->confidence = SatCounter(2, 1);
+        } else {
+            e->confidence.decrement();
+        }
+        return;
+    }
+    StreamEntry fresh;
+    fresh.lengthInsts = static_cast<std::uint16_t>(length_insts);
+    fresh.target = target;
+    fresh.endType = end_type;
+    fresh.confidence = SatCounter(2, 1);
+    table.insert(index, tag, fresh);
+}
+
+bool
+StreamPredictor::update(Addr start_pc, unsigned length_insts,
+                        Addr target, OpClass end_type,
+                        const PathHistory &path)
+{
+    if (length_insts == 0 || length_insts > maxStreamInsts)
+        return false;
+
+    trainEntry(level1, l1Index(start_pc), l1Tag(start_pc), length_insts,
+               target, end_type);
+
+    // Second level is trained when the first level's current view
+    // disagrees with the architectural stream: path correlation then
+    // disambiguates the conflicting shapes.
+    const StreamEntry *l1_now =
+        level1.probe(l1Index(start_pc), l1Tag(start_pc));
+    bool l1_agrees = l1_now != nullptr &&
+                     l1_now->lengthInsts == length_insts &&
+                     l1_now->target == target;
+    std::uint64_t l2_index = path.index(start_pc, level2.indexBits());
+    bool l2_present =
+        level2.probe(l2_index, l2Tag(start_pc)) != nullptr;
+    if (!l1_agrees || l2_present) {
+        trainEntry(level2, l2_index, l2Tag(start_pc), length_insts,
+                   target, end_type);
+    }
+    return true;
+}
+
+void
+StreamPredictor::reset()
+{
+    level1.reset();
+    level2.reset();
+}
+
+} // namespace smt

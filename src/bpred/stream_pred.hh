@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Cascaded stream predictor (Ramirez, Santana, Larriba-Pey & Valero,
+ * "Fetching Instruction Streams").
+ *
+ * A *stream* is the dynamic run of sequential instructions from the
+ * target of a taken branch to the next taken branch — it may contain
+ * any number of not-taken branches. The predictor maps a stream start
+ * address (plus, in the second-level table, DOLC path history) to the
+ * stream's length and the target of its terminating taken branch, so a
+ * single prediction names a full multi-basic-block fetch region.
+ *
+ * Cascade: the first-level table is indexed by start address only; the
+ * second-level table adds path correlation and is trained when the
+ * first level proves insufficient. A path-indexed hit takes priority.
+ */
+
+#ifndef SMTFETCH_BPRED_STREAM_PRED_HH
+#define SMTFETCH_BPRED_STREAM_PRED_HH
+
+#include <cstdint>
+
+#include "bpred/assoc_table.hh"
+#include "bpred/history.hh"
+#include "isa/opcode.hh"
+#include "util/sat_counter.hh"
+#include "util/types.hh"
+
+namespace smt
+{
+
+/** Stream descriptor stored in both cascade levels. */
+struct StreamEntry
+{
+    /** Stream length in instructions, terminator included. */
+    std::uint16_t lengthInsts = 0;
+
+    /** Target of the terminating (taken) branch. */
+    Addr target = invalidAddr;
+
+    /** Type of the terminating branch. */
+    OpClass endType = OpClass::CondBranch;
+
+    /** Replacement hysteresis. */
+    SatCounter confidence{2, 1};
+};
+
+/** Result of a stream lookup. */
+struct StreamPrediction
+{
+    bool hit = false;
+    bool fromSecondLevel = false;
+    StreamEntry entry;
+};
+
+/**
+ * Paper configuration: 1K-entry 4-way first level plus 4K-entry 4-way
+ * second level, DOLC 16-2-4-10 path index.
+ */
+class StreamPredictor
+{
+  public:
+    StreamPredictor(unsigned l1_entries, unsigned l1_ways,
+                    unsigned l2_entries, unsigned l2_ways,
+                    unsigned max_stream);
+
+    /**
+     * Predict the stream starting at start_pc.
+     * @param path The requesting thread's speculative path history.
+     */
+    StreamPrediction predict(Addr start_pc, const PathHistory &path);
+
+    /**
+     * Train with a completed architectural stream (commit side).
+     *
+     * @param path The commit-side path history at the stream's start.
+     * @return true if the stream fit the length field and was stored.
+     */
+    bool update(Addr start_pc, unsigned length_insts, Addr target,
+                OpClass end_type, const PathHistory &path);
+
+    unsigned maxStream() const { return maxStreamInsts; }
+
+    void reset();
+
+  private:
+    std::uint64_t l1Index(Addr pc) const { return pc >> 2; }
+    std::uint64_t
+    l1Tag(Addr pc) const
+    {
+        return pc >> (2 + level1.indexBits());
+    }
+    /** L2 tag still uses the start address (path picks the set). */
+    std::uint64_t
+    l2Tag(Addr pc) const
+    {
+        return pc >> 2;
+    }
+
+    void trainEntry(AssocTable<StreamEntry> &table, std::uint64_t index,
+                    std::uint64_t tag, unsigned length_insts,
+                    Addr target, OpClass end_type);
+
+    AssocTable<StreamEntry> level1;
+    AssocTable<StreamEntry> level2;
+    unsigned maxStreamInsts;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_BPRED_STREAM_PRED_HH

@@ -1,0 +1,72 @@
+#include "core/exec.hh"
+
+#include "util/logging.hh"
+
+namespace smt
+{
+
+ExecUnit::ExecUnit(const CoreParams &params, MemoryHierarchy &memory)
+    : params(params), memory(memory), wheel(wheelSize)
+{
+}
+
+void
+ExecUnit::schedule(Cycle when, ThreadID tid, InstSeqNum seq)
+{
+    wheel[when % wheelSize].emplace_back(tid, seq);
+}
+
+Cycle
+ExecUnit::issue(DynInst &inst, Cycle now)
+{
+    Cycle latency;
+    switch (inst.op) {
+      case OpClass::IntMult:
+        latency = params.intMultLatency;
+        break;
+      case OpClass::FpAlu:
+        latency = params.fpLatency;
+        break;
+      case OpClass::Load:
+        latency = params.agenLatency +
+                  memory.dcacheAccess(inst.tid, inst.memAddr, false,
+                                      now + params.agenLatency);
+        break;
+      case OpClass::Store:
+        // Stores only generate their address here; the cache write
+        // happens at commit and never blocks dependents.
+        latency = params.agenLatency;
+        break;
+      default:
+        latency = params.intAluLatency;
+        break;
+    }
+
+    if (latency == 0)
+        latency = 1;
+    if (latency >= wheelSize)
+        panic("latency %llu exceeds event wheel",
+              (unsigned long long)latency);
+
+    inst.stage = InstStage::Issued;
+    schedule(now + latency, inst.tid, inst.seq);
+    return latency;
+}
+
+void
+ExecUnit::completionsAt(
+    Cycle now, std::vector<std::pair<ThreadID, InstSeqNum>> &out)
+{
+    auto &slot = wheel[now % wheelSize];
+    out.assign(slot.begin(), slot.end());
+    slot.clear();
+}
+
+void
+ExecUnit::reset()
+{
+    for (auto &slot : wheel)
+        slot.clear();
+}
+
+} // namespace smt

@@ -1,0 +1,57 @@
+#include "core/fetch_policy.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace smt
+{
+
+void
+IcountPolicy::order(Cycle now, const std::uint32_t *icounts,
+                    unsigned num_threads, std::vector<ThreadID> &out)
+{
+    out.clear();
+    for (unsigned t = 0; t < num_threads; ++t)
+        out.push_back(static_cast<ThreadID>(t));
+
+    unsigned rotate = static_cast<unsigned>(now % num_threads);
+    std::stable_sort(out.begin(), out.end(),
+                     [&](ThreadID a, ThreadID b) {
+                         if (icounts[a] != icounts[b])
+                             return icounts[a] < icounts[b];
+                         // Rotating tie-break.
+                         unsigned ra = (a + num_threads - rotate) %
+                                       num_threads;
+                         unsigned rb = (b + num_threads - rotate) %
+                                       num_threads;
+                         return ra < rb;
+                     });
+}
+
+void
+RoundRobinPolicy::order(Cycle now, const std::uint32_t *icounts,
+                        unsigned num_threads,
+                        std::vector<ThreadID> &out)
+{
+    (void)icounts;
+    out.clear();
+    unsigned start = static_cast<unsigned>(now % num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        out.push_back(
+            static_cast<ThreadID>((start + i) % num_threads));
+}
+
+std::unique_ptr<FetchPolicy>
+makePolicy(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::ICount:
+        return std::make_unique<IcountPolicy>();
+      case PolicyKind::RoundRobin:
+        return std::make_unique<RoundRobinPolicy>();
+    }
+    panic("unknown policy kind");
+}
+
+} // namespace smt

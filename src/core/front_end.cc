@@ -1,0 +1,290 @@
+#include "core/front_end.hh"
+
+#include <algorithm>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace smt
+{
+
+FrontEnd::FrontEnd(const CoreParams &params, FetchEngine &engine,
+                   MemoryHierarchy &memory, FetchPolicy &policy,
+                   Rob &rob, SimStats &stats)
+    : params(params), engine(engine), memory(memory), policy(policy),
+      rob(rob), stats(stats), threads(params.numThreads)
+{
+    for (auto &ts : threads)
+        ts.ftq = FetchTargetQueue(params.ftqEntries);
+}
+
+void
+FrontEnd::setThread(ThreadID tid, TraceStream *trace,
+                    const BenchmarkImage *image)
+{
+    ThreadState &ts = threads[tid];
+    ts.trace = trace;
+    ts.image = image;
+    ts.predPc = image->program.entry();
+    ts.correctPath = true;
+    ts.icacheBlockedUntil = 0;
+    ts.predictStallUntil = 0;
+    ts.active = true;
+    ts.ftq.clear();
+    engine.setThreadProgram(tid, &image->program);
+}
+
+void
+FrontEnd::predictionStage(Cycle now, const std::uint32_t *icounts)
+{
+    policy.order(now, icounts, params.numThreads, orderScratch);
+
+    unsigned ports_used = 0;
+    for (ThreadID tid : orderScratch) {
+        if (ports_used >= params.fetchThreads)
+            break;
+        ThreadState &ts = threads[tid];
+        if (!ts.active || ts.predictStallUntil > now ||
+            ts.memStallUntil > now || ts.ftq.full())
+            continue;
+        BlockPrediction block = engine.predictBlock(tid, ts.predPc);
+        ts.ftq.push(block);
+        ts.predPc = block.nextFetchPc;
+        ++stats.blockPredictions;
+        ++ports_used;
+    }
+}
+
+void
+FrontEnd::fetchStage(Cycle now, std::uint32_t *icounts,
+                     FetchBuffer &fetch_buffer)
+{
+    // Fetch is gated on room for a full fetch group ("if the fetch
+    // buffer fills up, fetch is stalled until room is available").
+    unsigned buffer_free = fetch_buffer.free();
+    if (buffer_free < params.fetchWidth) {
+        ++stats.fetchBufferFullCycles;
+        return;
+    }
+
+    unsigned remaining = params.fetchWidth;
+    policy.order(now, icounts, params.numThreads, orderScratch);
+
+    const unsigned line_bytes = memory.params().l1i.lineBytes;
+    const Cycle l1i_hit = memory.params().l1i.hitLatency;
+
+    unsigned threads_used = 0;
+    unsigned delivered = 0;
+    bool attempted = false;
+    Addr used_lines[maxThreads];
+    unsigned num_used_lines = 0;
+
+    for (ThreadID tid : orderScratch) {
+        if (threads_used >= params.fetchThreads || remaining == 0)
+            break;
+        ThreadState &ts = threads[tid];
+        if (!ts.active || ts.ftq.empty() ||
+            ts.icacheBlockedUntil > now || ts.memStallUntil > now)
+            continue;
+
+        Addr pc = ts.ftq.headFetchPc();
+        Addr line = pc & ~static_cast<Addr>(line_bytes - 1);
+
+        // Bank-conflict check against already-accessed lines.
+        bool conflict = false;
+        for (unsigned k = 0; k < num_used_lines; ++k) {
+            if (memory.l1i().bankOf(used_lines[k]) ==
+                memory.l1i().bankOf(line)) {
+                conflict = true;
+                break;
+            }
+        }
+        if (conflict) {
+            // The selected port is wasted this cycle.
+            ++stats.bankConflicts;
+            ++threads_used;
+            attempted = true;
+            continue;
+        }
+
+        attempted = true;
+        Cycle lat = memory.icacheAccess(tid, line, now);
+        if (lat > l1i_hit) {
+            // Miss: the fill has started; the thread blocks.
+            ts.icacheBlockedUntil = now + lat;
+            ++stats.icacheBlockEvents;
+            ++threads_used;
+            continue;
+        }
+        used_lines[num_used_lines++] = line;
+        ++threads_used;
+
+        unsigned max_in_line = static_cast<unsigned>(
+            (line + line_bytes - pc) / instBytes);
+        unsigned span = max_in_line;
+
+        // Wide single-thread fetch may continue into the next
+        // sequential line: a fetch block is contiguous, so the second
+        // access is just the adjacent bank — no merge network needed.
+        // This is exactly the low-complexity wide fetch the 1.16
+        // policy relies on. It requires a block-oriented front-end
+        // (FTB/stream FTQ entries name the whole span); the
+        // line-oriented gshare+BTB unit reads one line per cycle.
+        // With two threads the port pair is already spent.
+        const unsigned line_insts =
+            static_cast<unsigned>(line_bytes / instBytes);
+        if (params.fetchThreads == 1 &&
+            params.fetchWidth >= line_insts &&
+            engine.kind() != EngineKind::GshareBtb &&
+            span < remaining && ts.ftq.headRemaining() > span) {
+            Addr line2 = line + line_bytes;
+            Cycle lat2 = memory.icacheAccess(tid, line2, now);
+            if (lat2 <= l1i_hit) {
+                span += line_insts;
+            } else {
+                // Second line missing: deliver the first part now;
+                // the fill proceeds in the background.
+                ++stats.icacheBlockEvents;
+                ts.icacheBlockedUntil = now + lat2;
+            }
+        }
+
+        unsigned chunk =
+            std::min({remaining, ts.ftq.headRemaining(), span});
+
+        // Copy the head descriptor: consume() may pop it.
+        BlockPrediction block = ts.ftq.head();
+        unsigned offset = ts.ftq.headOffset();
+        for (unsigned k = 0; k < chunk; ++k) {
+            bool is_end = offset + k + 1 == block.lengthInsts;
+            DynInst &inst =
+                buildInst(ts, tid, pc + static_cast<Addr>(k) * instBytes,
+                          block, is_end, now);
+            inst.inIcount = true;
+            ++icounts[tid];
+            fetch_buffer.push(&inst);
+        }
+        ts.ftq.consume(chunk);
+        remaining -= chunk;
+        delivered += chunk;
+    }
+
+    if (attempted) {
+        ++stats.fetchCycles;
+        stats.instsFetched += delivered;
+        stats.fetchWidthHist.sample(delivered);
+    }
+}
+
+DynInst &
+FrontEnd::buildInst(ThreadState &ts, ThreadID tid, Addr pc,
+                    const BlockPrediction &block, bool is_end, Cycle now)
+{
+    DynInst &inst = rob.create(tid);
+    inst.pc = pc;
+    inst.fetchCycle = now;
+    inst.stage = InstStage::Fetched;
+
+    const StaticInst *si = ts.image->program.lookup(pc);
+    inst.si = si;
+    inst.op = si != nullptr ? si->op : OpClass::IntAlu;
+
+    if (is_end) {
+        inst.wasBlockEnd = true;
+        inst.predTaken = block.predTaken;
+        inst.predNext = block.nextFetchPc;
+        inst.ckpt = block.ckpt;
+        if (block.endsWithCti &&
+            (si == nullptr || !si->isControl())) {
+            inst.bogusBlockEnd = true;
+        }
+    } else {
+        inst.predTaken = false;
+        inst.predNext = pc + instBytes;
+        // Every instruction carries its block's checkpoint: CTIs need
+        // it for mispredict repair, and the long-latency-load FLUSH
+        // policy may squash from any instruction.
+        inst.ckpt = block.ckpt;
+    }
+
+    if (ts.correctPath) {
+        if (si == nullptr)
+            panic("correct-path fetch of unmapped pc 0x%llx",
+                  (unsigned long long)pc);
+        if (ts.trace->peekPc() != pc)
+            panic("trace misalignment: fetch 0x%llx vs trace 0x%llx",
+                  (unsigned long long)pc,
+                  (unsigned long long)ts.trace->peekPc());
+        inst.traceIndex = ts.trace->position();
+        TraceRecord rec = ts.trace->next();
+        inst.oracleTaken = rec.taken;
+        inst.oracleNext = rec.nextPc;
+        inst.memAddr = rec.memAddr;
+        if (inst.predNext != inst.oracleNext) {
+            // Divergence: everything fetched after this instruction
+            // is wrong path until the squash repairs the thread.
+            inst.mispredicted = true;
+            ts.correctPath = false;
+        }
+    } else {
+        inst.wrongPath = true;
+        ++stats.wrongPathFetched;
+        inst.oracleTaken = inst.predTaken;
+        inst.oracleNext = inst.predNext;
+        if (inst.isMemory())
+            inst.memAddr = wrongPathAddr(*ts.image, pc, inst.seq);
+    }
+
+    return inst;
+}
+
+Addr
+FrontEnd::wrongPathAddr(const BenchmarkImage &image, Addr pc,
+                        InstSeqNum seq)
+{
+    // Wrong paths run the same code regions as the correct path, so
+    // their loads overwhelmingly touch the same hot data (stack,
+    // current buffers). Keep them inside the hot subset: they warm
+    // rather than thrash the thread's own working set.
+    std::uint64_t h = mix64(pc ^ (seq * 0x9e3779b97f4a7c15ULL));
+    Addr hot = static_cast<Addr>(image.profile.hotKB) * 1024;
+    Addr span = (h & 0xff) < 230 ? 8192 : hot;
+    if (span < 64)
+        span = 64;
+    if (span > image.dataBytes - 8)
+        span = image.dataBytes - 8;
+    return (image.dataBase + ((h >> 8) % span)) & ~Addr(7);
+}
+
+void
+FrontEnd::redirect(ThreadID tid, Addr pc, Cycle now)
+{
+    ThreadState &ts = threads[tid];
+    ts.ftq.clear();
+    ts.predPc = pc;
+    ts.correctPath = true;
+    ts.icacheBlockedUntil = 0;
+    ts.memStallUntil = 0;
+    ts.predictStallUntil = now + 1;
+}
+
+void
+FrontEnd::stallThread(ThreadID tid, Cycle until)
+{
+    threads[tid].memStallUntil = until;
+}
+
+void
+FrontEnd::reset()
+{
+    for (auto &ts : threads) {
+        ts.ftq.clear();
+        ts.correctPath = true;
+        ts.icacheBlockedUntil = 0;
+        ts.predictStallUntil = 0;
+        if (ts.image != nullptr)
+            ts.predPc = ts.image->program.entry();
+    }
+}
+
+} // namespace smt

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The decoupled SMT front-end: a prediction stage that pushes fetch
+ * blocks into per-thread FTQs, and a fetch stage that drives I-cache
+ * accesses from FTQ heads and delivers instructions into the shared
+ * fetch buffer. Implements the paper's N.X fetch policies: up to X
+ * instructions total per cycle from up to N threads, one I-cache line
+ * access per selected thread, with bank-conflict modelling when N > 1.
+ */
+
+#ifndef SMTFETCH_CORE_FRONT_END_HH
+#define SMTFETCH_CORE_FRONT_END_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "bpred/fetch_engine.hh"
+#include "core/dyn_inst.hh"
+#include "core/fetch_policy.hh"
+#include "core/ftq.hh"
+#include "core/params.hh"
+#include "core/rob.hh"
+#include "core/sim_stats.hh"
+#include "mem/hierarchy.hh"
+#include "workload/trace.hh"
+
+namespace smt
+{
+
+/**
+ * Shared-capacity fetch buffer with per-thread FIFOs. Total occupancy
+ * is bounded (32 in Table 3) so a clogged thread squeezes everyone's
+ * fetch, but threads decode from their own queues — one stalled thread
+ * does not head-of-line block the others.
+ */
+struct FetchBuffer
+{
+    std::array<std::deque<DynInst *>, maxThreads> q;
+    unsigned total = 0;
+    unsigned capacity = 32;
+
+    unsigned free() const { return capacity - total; }
+
+    void
+    push(DynInst *inst)
+    {
+        q[inst->tid].push_back(inst);
+        ++total;
+    }
+
+    DynInst *
+    front(ThreadID tid)
+    {
+        return q[tid].empty() ? nullptr : q[tid].front();
+    }
+
+    void
+    popFront(ThreadID tid)
+    {
+        q[tid].pop_front();
+        --total;
+    }
+
+    void
+    removeYounger(ThreadID tid, InstSeqNum seq)
+    {
+        auto &dq = q[tid];
+        while (!dq.empty() && dq.back()->seq > seq) {
+            dq.pop_back();
+            --total;
+        }
+    }
+
+    void
+    clear()
+    {
+        for (auto &dq : q)
+            dq.clear();
+        total = 0;
+    }
+};
+
+/** Prediction stage + fetch stage + per-thread fetch state. */
+class FrontEnd
+{
+  public:
+    FrontEnd(const CoreParams &params, FetchEngine &engine,
+             MemoryHierarchy &memory, FetchPolicy &policy, Rob &rob,
+             SimStats &stats);
+
+    /** Bind a thread to its trace and benchmark image. */
+    void setThread(ThreadID tid, TraceStream *trace,
+                   const BenchmarkImage *image);
+
+    /** One cycle of the prediction stage (N predictor ports). */
+    void predictionStage(Cycle now, const std::uint32_t *icounts);
+
+    /**
+     * One cycle of the fetch stage. Delivered instructions are
+     * appended to `fetch_buffer` and counted into `icounts`.
+     */
+    void fetchStage(Cycle now, std::uint32_t *icounts,
+                    FetchBuffer &fetch_buffer);
+
+    /** Squash: clear the FTQ and restart fetch at `pc` next cycle. */
+    void redirect(ThreadID tid, Addr pc, Cycle now);
+
+    /**
+     * Long-latency-load policy support: stop predicting and fetching
+     * for the thread until the given cycle (cleared by any redirect).
+     */
+    void stallThread(ThreadID tid, Cycle until);
+
+    /**
+     * Rewind the thread's trace so fetch re-delivers from `index`
+     * (squashes that discard consumed correct-path instructions).
+     */
+    void
+    rewindTrace(ThreadID tid, std::uint64_t index)
+    {
+        threads[tid].trace->rewindTo(index);
+    }
+
+    bool
+    memStalled(ThreadID tid, Cycle now) const
+    {
+        return threads[tid].memStallUntil > now;
+    }
+
+    /** @name Introspection (tests, diagnostics). */
+    /// @{
+    Addr predPc(ThreadID tid) const { return threads[tid].predPc; }
+    bool onCorrectPath(ThreadID tid) const
+    {
+        return threads[tid].correctPath;
+    }
+    const FetchTargetQueue &ftq(ThreadID tid) const
+    {
+        return threads[tid].ftq;
+    }
+    bool
+    icacheBlocked(ThreadID tid, Cycle now) const
+    {
+        return threads[tid].icacheBlockedUntil > now;
+    }
+    /// @}
+
+    void reset();
+
+  private:
+    struct ThreadState
+    {
+        FetchTargetQueue ftq{4};
+        Addr predPc = invalidAddr;
+        bool correctPath = true;
+        Cycle icacheBlockedUntil = 0;
+        Cycle predictStallUntil = 0;
+        Cycle memStallUntil = 0;
+        TraceStream *trace = nullptr;
+        const BenchmarkImage *image = nullptr;
+        bool active = false;
+    };
+
+    /** Materialize one fetched instruction (oracle/wrong-path). */
+    DynInst &buildInst(ThreadState &ts, ThreadID tid, Addr pc,
+                       const BlockPrediction &block, bool is_end,
+                       Cycle now);
+
+    /** Pseudo data address for wrong-path memory instructions. */
+    static Addr wrongPathAddr(const BenchmarkImage &image, Addr pc,
+                              InstSeqNum seq);
+
+    const CoreParams &params;
+    FetchEngine &engine;
+    MemoryHierarchy &memory;
+    FetchPolicy &policy;
+    Rob &rob;
+    SimStats &stats;
+
+    std::vector<ThreadState> threads;
+    std::vector<ThreadID> orderScratch;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_CORE_FRONT_END_HH

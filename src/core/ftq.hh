@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fetch target queue: the decoupling queue between the prediction
+ * stage and the fetch stage (one per thread, 4 entries in Table 3).
+ * The fetch stage may consume a block across several cycles, so the
+ * head tracks a consumed-instruction offset.
+ */
+
+#ifndef SMTFETCH_CORE_FTQ_HH
+#define SMTFETCH_CORE_FTQ_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "bpred/fetch_engine.hh"
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace smt
+{
+
+/** Per-thread queue of predicted fetch blocks. */
+class FetchTargetQueue
+{
+  public:
+    explicit FetchTargetQueue(unsigned capacity = 4)
+        : cap(capacity)
+    {
+    }
+
+    bool empty() const { return blocks.empty(); }
+    bool full() const { return blocks.size() >= cap; }
+    std::size_t size() const { return blocks.size(); }
+    unsigned capacity() const { return cap; }
+
+    void
+    push(const BlockPrediction &block)
+    {
+        if (full())
+            panic("FTQ overflow");
+        blocks.push_back(block);
+    }
+
+    /** The block currently being fetched. */
+    const BlockPrediction &
+    head() const
+    {
+        if (empty())
+            panic("FTQ head on empty queue");
+        return blocks.front();
+    }
+
+    /** Next instruction address to fetch within the head block. */
+    Addr
+    headFetchPc() const
+    {
+        return head().start +
+               static_cast<Addr>(headConsumed) * instBytes;
+    }
+
+    /** Instructions left in the head block. */
+    unsigned
+    headRemaining() const
+    {
+        return head().lengthInsts - headConsumed;
+    }
+
+    /** Offset (in instructions) already consumed from the head. */
+    unsigned headOffset() const { return headConsumed; }
+
+    /** Consume n instructions from the head; pops when exhausted. */
+    void
+    consume(unsigned n)
+    {
+        if (n > headRemaining())
+            panic("FTQ over-consume: %u > %u", n, headRemaining());
+        headConsumed += n;
+        if (headConsumed == head().lengthInsts) {
+            blocks.pop_front();
+            headConsumed = 0;
+        }
+    }
+
+    /** Squash: drop everything (redirect). */
+    void
+    clear()
+    {
+        blocks.clear();
+        headConsumed = 0;
+    }
+
+  private:
+    std::deque<BlockPrediction> blocks;
+    unsigned headConsumed = 0;
+    unsigned cap;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_CORE_FTQ_HH

@@ -1,0 +1,135 @@
+#include "core/iq.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace smt
+{
+
+IssueQueues::IssueQueues(unsigned int_cap, unsigned ldst_cap,
+                         unsigned fp_cap)
+    : intCap(int_cap), ldstCap(ldst_cap), fpCap(fp_cap)
+{
+    intQ.reserve(int_cap);
+    ldstQ.reserve(ldst_cap);
+    fpQ.reserve(fp_cap);
+}
+
+std::vector<DynInst *> &
+IssueQueues::queueFor(IqClass c)
+{
+    switch (c) {
+      case IqClass::Int: return intQ;
+      case IqClass::LdSt: return ldstQ;
+      case IqClass::Fp: return fpQ;
+    }
+    panic("bad IQ class");
+}
+
+const std::vector<DynInst *> &
+IssueQueues::queueFor(IqClass c) const
+{
+    switch (c) {
+      case IqClass::Int: return intQ;
+      case IqClass::LdSt: return ldstQ;
+      case IqClass::Fp: return fpQ;
+    }
+    panic("bad IQ class");
+}
+
+bool
+IssueQueues::hasSpace(IqClass c) const
+{
+    switch (c) {
+      case IqClass::Int: return intQ.size() < intCap;
+      case IqClass::LdSt: return ldstQ.size() < ldstCap;
+      case IqClass::Fp: return fpQ.size() < fpCap;
+    }
+    panic("bad IQ class");
+}
+
+void
+IssueQueues::insert(DynInst *inst)
+{
+    IqClass c = iqClassFor(inst->op);
+    if (!hasSpace(c))
+        panic("IQ overflow");
+    queueFor(c).push_back(inst);
+}
+
+void
+IssueQueues::pickReady(const RenameUnit &rename, unsigned int_fus,
+                       unsigned ldst_fus, unsigned fp_fus,
+                       std::vector<DynInst *> &out)
+{
+    struct ClassPick
+    {
+        IqClass c;
+        unsigned limit;
+    };
+    const ClassPick picks[3] = {{IqClass::Int, int_fus},
+                                {IqClass::LdSt, ldst_fus},
+                                {IqClass::Fp, fp_fus}};
+
+    for (const auto &pick : picks) {
+        auto &q = queueFor(pick.c);
+        unsigned taken = 0;
+        // Queues are kept in dispatch (age) order; scan oldest first.
+        std::size_t w = 0;
+        for (std::size_t r = 0; r < q.size(); ++r) {
+            DynInst *inst = q[r];
+            if (taken < pick.limit && rename.sourcesReady(*inst)) {
+                out.push_back(inst);
+                ++taken;
+            } else {
+                q[w++] = inst;
+            }
+        }
+        q.resize(w);
+    }
+}
+
+void
+IssueQueues::squash(ThreadID tid, InstSeqNum seq)
+{
+    auto drop = [tid, seq](DynInst *inst) {
+        return inst->tid == tid && inst->seq > seq;
+    };
+    for (auto *q : {&intQ, &ldstQ, &fpQ})
+        q->erase(std::remove_if(q->begin(), q->end(), drop), q->end());
+}
+
+unsigned
+IssueQueues::occupancy(IqClass c) const
+{
+    return static_cast<unsigned>(queueFor(c).size());
+}
+
+unsigned
+IssueQueues::totalOccupancy() const
+{
+    return static_cast<unsigned>(intQ.size() + ldstQ.size() +
+                                 fpQ.size());
+}
+
+unsigned
+IssueQueues::threadOccupancy(ThreadID tid) const
+{
+    unsigned n = 0;
+    for (const auto *q : {&intQ, &ldstQ, &fpQ})
+        for (const DynInst *inst : *q)
+            if (inst->tid == tid)
+                ++n;
+    return n;
+}
+
+void
+IssueQueues::clear()
+{
+    intQ.clear();
+    ldstQ.clear();
+    fpQ.clear();
+}
+
+} // namespace smt

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The three shared issue queues of Table 3 (32-entry int, 32-entry
+ * ld/st, 32-entry fp) with age-ordered, FU-limited ready selection.
+ */
+
+#ifndef SMTFETCH_CORE_IQ_HH
+#define SMTFETCH_CORE_IQ_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dyn_inst.hh"
+#include "core/rename.hh"
+#include "util/types.hh"
+
+namespace smt
+{
+
+/** Which issue queue an instruction waits in. */
+enum class IqClass : unsigned char { Int, LdSt, Fp };
+
+/** Map an op class to its queue. */
+constexpr IqClass
+iqClassFor(OpClass op)
+{
+    if (isMemory(op))
+        return IqClass::LdSt;
+    if (op == OpClass::FpAlu)
+        return IqClass::Fp;
+    return IqClass::Int;
+}
+
+/** The three shared issue queues. */
+class IssueQueues
+{
+  public:
+    IssueQueues(unsigned int_cap, unsigned ldst_cap, unsigned fp_cap);
+
+    bool hasSpace(IqClass c) const;
+
+    /** Insert in dispatch order (age order is preserved). */
+    void insert(DynInst *inst);
+
+    /**
+     * Select ready instructions oldest-first, at most the given
+     * per-class FU counts, removing them from the queues.
+     */
+    void pickReady(const RenameUnit &rename, unsigned int_fus,
+                   unsigned ldst_fus, unsigned fp_fus,
+                   std::vector<DynInst *> &out);
+
+    /** Remove all instructions of `tid` younger than `seq`. */
+    void squash(ThreadID tid, InstSeqNum seq);
+
+    unsigned occupancy(IqClass c) const;
+    unsigned totalOccupancy() const;
+
+    /** Per-thread entries currently waiting (for diagnostics). */
+    unsigned threadOccupancy(ThreadID tid) const;
+
+    void clear();
+
+  private:
+    std::vector<DynInst *> &queueFor(IqClass c);
+    const std::vector<DynInst *> &queueFor(IqClass c) const;
+
+    std::vector<DynInst *> intQ;
+    std::vector<DynInst *> ldstQ;
+    std::vector<DynInst *> fpQ;
+    unsigned intCap;
+    unsigned ldstCap;
+    unsigned fpCap;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_CORE_IQ_HH

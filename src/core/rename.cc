@@ -1,0 +1,138 @@
+#include "core/rename.hh"
+
+#include "util/logging.hh"
+
+namespace smt
+{
+
+RenameUnit::RenameUnit(unsigned phys_int, unsigned phys_fp,
+                       unsigned num_threads)
+    : physIntCount(phys_int), physFpCount(phys_fp)
+{
+    reset(num_threads);
+}
+
+void
+RenameUnit::reset(unsigned num_threads)
+{
+    intMap.assign(num_threads,
+                  std::vector<RegIndex>(numArchIntRegs, invalidReg));
+    fpMap.assign(num_threads,
+                 std::vector<RegIndex>(numArchFpRegs, invalidReg));
+    freeInt.clear();
+    freeFp.clear();
+    readyInt.assign(physIntCount, false);
+    readyFp.assign(physFpCount, false);
+
+    // Architectural state owns the first num_threads * 32 registers of
+    // each class; those values exist and are ready.
+    unsigned next_int = 0;
+    unsigned next_fp = 0;
+    for (unsigned t = 0; t < num_threads; ++t) {
+        for (unsigned a = 0; a < numArchIntRegs; ++a) {
+            intMap[t][a] = static_cast<RegIndex>(next_int);
+            readyInt[next_int] = true;
+            ++next_int;
+        }
+        for (unsigned a = 0; a < numArchFpRegs; ++a) {
+            fpMap[t][a] = static_cast<RegIndex>(next_fp);
+            readyFp[next_fp] = true;
+            ++next_fp;
+        }
+    }
+    for (unsigned p = next_int; p < physIntCount; ++p)
+        freeInt.push_back(static_cast<RegIndex>(p));
+    for (unsigned p = next_fp; p < physFpCount; ++p)
+        freeFp.push_back(static_cast<RegIndex>(p));
+}
+
+bool
+RenameUnit::canAllocate(bool fp) const
+{
+    return fp ? !freeFp.empty() : !freeInt.empty();
+}
+
+void
+RenameUnit::rename(DynInst &inst)
+{
+    if (inst.si == nullptr)
+        return; // wrong-path filler has no operands
+
+    bool fp = usesFpRegs(inst.op);
+    auto &map = fp ? fpMap[inst.tid] : intMap[inst.tid];
+
+    if (inst.si->src1 != invalidReg)
+        inst.physSrc1 = map[inst.si->src1];
+    if (inst.si->src2 != invalidReg)
+        inst.physSrc2 = map[inst.si->src2];
+
+    if (inst.si->dst != invalidReg) {
+        auto &free = fp ? freeFp : freeInt;
+        if (free.empty())
+            panic("rename without a free register");
+        RegIndex phys = free.back();
+        free.pop_back();
+        inst.archDst = inst.si->dst;
+        inst.dstIsFp = fp;
+        inst.prevPhysDst = map[inst.archDst];
+        inst.physDst = phys;
+        map[inst.archDst] = phys;
+        if (fp)
+            readyFp[phys] = false;
+        else
+            readyInt[phys] = false;
+    }
+}
+
+void
+RenameUnit::commit(DynInst &inst)
+{
+    if (inst.physDst == invalidReg || inst.prevPhysDst == invalidReg)
+        return;
+    if (inst.dstIsFp)
+        freeFp.push_back(inst.prevPhysDst);
+    else
+        freeInt.push_back(inst.prevPhysDst);
+}
+
+void
+RenameUnit::rollback(DynInst &inst)
+{
+    if (inst.physDst == invalidReg)
+        return;
+    auto &map = inst.dstIsFp ? fpMap[inst.tid] : intMap[inst.tid];
+    map[inst.archDst] = inst.prevPhysDst;
+    if (inst.dstIsFp)
+        freeFp.push_back(inst.physDst);
+    else
+        freeInt.push_back(inst.physDst);
+    inst.physDst = invalidReg;
+}
+
+void
+RenameUnit::markReady(RegIndex phys, bool fp)
+{
+    if (phys == invalidReg)
+        return;
+    if (fp)
+        readyFp[phys] = true;
+    else
+        readyInt[phys] = true;
+}
+
+bool
+RenameUnit::isReady(RegIndex phys, bool fp) const
+{
+    if (phys == invalidReg)
+        return true;
+    return fp ? readyFp[phys] : readyInt[phys];
+}
+
+bool
+RenameUnit::sourcesReady(const DynInst &inst) const
+{
+    bool fp = usesFpRegs(inst.op);
+    return isReady(inst.physSrc1, fp) && isReady(inst.physSrc2, fp);
+}
+
+} // namespace smt

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Reorder buffer: per-thread in-order instruction lists over a shared
+ * capacity pool (SMTSIM-style active lists). The deques own every
+ * in-flight DynInst; commit pops the front, squash pops the back, so
+ * pointers to live instructions stay valid and (thread, seq) lookup is
+ * O(1).
+ */
+
+#ifndef SMTFETCH_CORE_ROB_HH
+#define SMTFETCH_CORE_ROB_HH
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "core/dyn_inst.hh"
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace smt
+{
+
+/** Per-thread in-flight instruction storage. */
+class Rob
+{
+  public:
+    Rob(unsigned num_threads)
+        : lists(num_threads), nextSeq(num_threads, 1)
+    {
+    }
+
+    /** Create the next dynamic instruction for a thread. */
+    DynInst &
+    create(ThreadID tid)
+    {
+        auto &list = lists[tid];
+        list.emplace_back();
+        DynInst &inst = list.back();
+        inst.tid = tid;
+        inst.seq = nextSeq[tid]++;
+        return inst;
+    }
+
+    bool empty(ThreadID tid) const { return lists[tid].empty(); }
+
+    std::size_t size(ThreadID tid) const { return lists[tid].size(); }
+
+    /** Oldest in-flight instruction of the thread. */
+    DynInst &
+    head(ThreadID tid)
+    {
+        if (lists[tid].empty())
+            panic("ROB head on empty thread %d", tid);
+        return lists[tid].front();
+    }
+
+    DynInst &
+    youngest(ThreadID tid)
+    {
+        if (lists[tid].empty())
+            panic("ROB youngest on empty thread %d", tid);
+        return lists[tid].back();
+    }
+
+    void popHead(ThreadID tid) { lists[tid].pop_front(); }
+    void popYoungest(ThreadID tid) { lists[tid].pop_back(); }
+
+    /**
+     * Lookup by sequence number; nullptr if the instruction has been
+     * committed or squashed. Sequence numbers are strictly increasing
+     * within the deque but may have holes after squashes, so this is
+     * a binary search.
+     */
+    DynInst *
+    find(ThreadID tid, InstSeqNum seq)
+    {
+        auto &list = lists[tid];
+        if (list.empty() || seq < list.front().seq ||
+            seq > list.back().seq)
+            return nullptr;
+        auto it = std::lower_bound(
+            list.begin(), list.end(), seq,
+            [](const DynInst &inst, InstSeqNum s) {
+                return inst.seq < s;
+            });
+        if (it == list.end() || it->seq != seq)
+            return nullptr;
+        return &*it;
+    }
+
+    /** Index-based access (0 = oldest), for diagnostics/walks. */
+    DynInst &at(ThreadID tid, std::size_t idx) { return lists[tid][idx]; }
+    const DynInst &
+    at(ThreadID tid, std::size_t idx) const
+    {
+        return lists[tid][idx];
+    }
+
+    void
+    reset()
+    {
+        for (auto &list : lists)
+            list.clear();
+        for (auto &seq : nextSeq)
+            seq = 1;
+    }
+
+  private:
+    std::vector<std::deque<DynInst>> lists;
+    std::vector<InstSeqNum> nextSeq;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_CORE_ROB_HH

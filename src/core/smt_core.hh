@@ -1,0 +1,147 @@
+/**
+ * @file
+ * SmtCore: the full 9-stage SMT pipeline (predict, fetch, decode,
+ * rename, dispatch, issue, regread/execute, writeback, commit) over
+ * shared back-end resources, per Table 3 of the paper.
+ */
+
+#ifndef SMTFETCH_CORE_SMT_CORE_HH
+#define SMTFETCH_CORE_SMT_CORE_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bpred/fetch_engine.hh"
+#include "core/exec.hh"
+#include "core/fetch_policy.hh"
+#include "core/front_end.hh"
+#include "core/iq.hh"
+#include "core/params.hh"
+#include "core/rename.hh"
+#include "core/rob.hh"
+#include "core/sim_stats.hh"
+#include "mem/hierarchy.hh"
+#include "workload/trace.hh"
+
+namespace smt
+{
+
+/** Cycle-level SMT processor model. */
+class SmtCore
+{
+  public:
+    explicit SmtCore(const CoreParams &params);
+
+    /** Bind a hardware thread to a trace and its benchmark image. */
+    void setThread(ThreadID tid, TraceStream *trace,
+                   const BenchmarkImage *image);
+
+    /** Advance the pipeline one clock. */
+    void cycle();
+
+    /** Run for the given number of cycles. */
+    void run(Cycle cycles);
+
+    /** Measurement counters (clearable mid-run for warmup). */
+    SimStats &stats() { return simStats; }
+    const SimStats &stats() const { return simStats; }
+    void resetStats();
+
+    /** Total dispatched-not-committed instructions (all threads). */
+    unsigned
+    robOccupancy() const
+    {
+        unsigned total = 0;
+        for (unsigned t = 0; t < coreParams.numThreads; ++t)
+            total += robCount[t];
+        return total;
+    }
+
+    const CoreParams &params() const { return coreParams; }
+    FetchEngine &engine() { return *fetchEngine; }
+    MemoryHierarchy &memory() { return memHierarchy; }
+    FrontEnd &frontEnd() { return *front; }
+
+    Cycle now() const { return currentCycle; }
+
+    /** @name Introspection for tests. */
+    /// @{
+    std::uint32_t icount(ThreadID tid) const { return icounts[tid]; }
+    unsigned freeIntRegs() const { return rename.freeIntRegs(); }
+    unsigned freeFpRegs() const { return rename.freeFpRegs(); }
+    unsigned iqOccupancy() const { return iqs.totalOccupancy(); }
+    std::size_t fetchBufferSize() const { return fetchBuffer.total; }
+    std::size_t inFlight(ThreadID tid) const { return rob.size(tid); }
+    unsigned robOccupancyOf(ThreadID tid) const
+    {
+        return robCount[tid];
+    }
+
+    /** Recompute icounts from structures; panic on mismatch. */
+    void checkIcountInvariant() const;
+
+    /**
+     * Observer invoked for every committed instruction (testing /
+     * tracing). Called after statistics are updated.
+     */
+    std::function<void(const DynInst &)> commitHook;
+
+    /** Dump every in-flight instruction (deadlock diagnostics). */
+    void dumpPipeline(std::ostream &os) const;
+    /// @}
+
+  private:
+    void processCompletions();
+    void commitStage();
+    void issueStage();
+    void dispatchStage();
+    void renameStage();
+    void decodeStage();
+
+    void commitInst(DynInst &inst);
+
+    /**
+     * Squash all instructions of offender's thread younger than the
+     * offender, repair engine state, and redirect fetch.
+     */
+    void squashAfter(DynInst &offender);
+
+    template <typename Container>
+    void removeYounger(Container &c, ThreadID tid, InstSeqNum seq);
+
+    CoreParams coreParams;
+    MemoryHierarchy memHierarchy;
+    std::unique_ptr<FetchEngine> fetchEngine;
+    std::unique_ptr<FetchPolicy> fetchPolicy;
+
+    Rob rob;
+    RenameUnit rename;
+    IssueQueues iqs;
+    ExecUnit exec;
+    std::unique_ptr<FrontEnd> front;
+
+    FetchBuffer fetchBuffer;
+    std::array<std::deque<DynInst *>, maxThreads> decodeQ;
+    std::array<std::deque<DynInst *>, maxThreads> renameQ;
+
+    std::array<std::uint32_t, maxThreads> icounts{};
+
+    /** Dispatched-not-committed instructions per thread (ROB use). */
+    std::array<unsigned, maxThreads> robCount{};
+    std::uint64_t stampCounter = 0;
+    unsigned commitRotate = 0;
+    unsigned frontRotate = 0;
+    Cycle currentCycle = 0;
+
+    SimStats simStats;
+
+    std::vector<std::pair<ThreadID, InstSeqNum>> completionScratch;
+    std::vector<DynInst *> issueScratch;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_CORE_SMT_CORE_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Static basic block metadata over the flat instruction array.
+ */
+
+#ifndef SMTFETCH_ISA_BASIC_BLOCK_HH
+#define SMTFETCH_ISA_BASIC_BLOCK_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace smt
+{
+
+/**
+ * A basic block: a maximal single-entry straight-line instruction
+ * sequence. The last instruction may be a CTI; fall-through blocks
+ * simply continue into the next block.
+ */
+struct BasicBlock
+{
+    /** Address of the first instruction. */
+    Addr startPC = invalidAddr;
+
+    /** Number of instructions (>= 1). */
+    std::uint32_t numInsts = 0;
+
+    /** Index of this block within the program. */
+    std::uint32_t index = 0;
+
+    /** Owning synthetic function. */
+    std::uint32_t functionId = 0;
+
+    /** Address one past the last instruction. */
+    Addr
+    endPC() const
+    {
+        return startPC + static_cast<Addr>(numInsts) * instBytes;
+    }
+
+    /** Address of the final (possibly CTI) instruction. */
+    Addr lastPC() const { return endPC() - instBytes; }
+
+    /** Does the block contain the given address? */
+    bool
+    contains(Addr pc) const
+    {
+        return pc >= startPC && pc < endPC();
+    }
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_ISA_BASIC_BLOCK_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Synthetic instruction operation classes.
+ *
+ * The fetch unit cares about instruction boundaries and control flow,
+ * not semantics, so instructions carry only an op class, register
+ * operands and (for CTIs) static target information. Instructions are
+ * fixed at 4 bytes like the Alpha ISA the paper traces.
+ */
+
+#ifndef SMTFETCH_ISA_OPCODE_HH
+#define SMTFETCH_ISA_OPCODE_HH
+
+#include <string_view>
+
+namespace smt
+{
+
+/** Operation classes, mapped to functional-unit pools at issue. */
+enum class OpClass : unsigned char
+{
+    IntAlu,     //!< 1-cycle integer op
+    IntMult,    //!< long-latency integer op
+    Load,       //!< memory read
+    Store,      //!< memory write
+    FpAlu,      //!< floating-point op
+    CondBranch, //!< conditional direct branch
+    Jump,       //!< unconditional direct jump
+    CallDirect, //!< direct call (pushes RAS)
+    Return,     //!< return (pops RAS)
+    JumpIndirect, //!< indirect jump (target from register)
+};
+
+/** Is this op class any control-transfer instruction? */
+constexpr bool
+isControl(OpClass op)
+{
+    switch (op) {
+      case OpClass::CondBranch:
+      case OpClass::Jump:
+      case OpClass::CallDirect:
+      case OpClass::Return:
+      case OpClass::JumpIndirect:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Is this op class conditionally taken? */
+constexpr bool
+isConditional(OpClass op)
+{
+    return op == OpClass::CondBranch;
+}
+
+/** Does this CTI always transfer control when executed? */
+constexpr bool
+isUnconditionalControl(OpClass op)
+{
+    return isControl(op) && op != OpClass::CondBranch;
+}
+
+/** Is this op class a memory access? */
+constexpr bool
+isMemory(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::Store;
+}
+
+/** Short mnemonic for debug output. */
+constexpr std::string_view
+opName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu: return "alu";
+      case OpClass::IntMult: return "mul";
+      case OpClass::Load: return "ld";
+      case OpClass::Store: return "st";
+      case OpClass::FpAlu: return "fp";
+      case OpClass::CondBranch: return "br";
+      case OpClass::Jump: return "jmp";
+      case OpClass::CallDirect: return "call";
+      case OpClass::Return: return "ret";
+      case OpClass::JumpIndirect: return "ijmp";
+    }
+    return "?";
+}
+
+} // namespace smt
+
+#endif // SMTFETCH_ISA_OPCODE_HH

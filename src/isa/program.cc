@@ -1,0 +1,73 @@
+#include "isa/program.hh"
+
+#include "util/logging.hh"
+
+namespace smt
+{
+
+StaticProgram::StaticProgram(std::string name, Addr base)
+    : benchName(std::move(name)), baseAddr(base)
+{
+    if (base % instBytes != 0)
+        fatal("program base 0x%llx not instruction-aligned",
+              (unsigned long long)base);
+}
+
+void
+StaticProgram::appendBlock(std::vector<StaticInst> block_insts,
+                           std::uint32_t function_id)
+{
+    if (finalized)
+        panic("appendBlock after finalize");
+    if (block_insts.empty())
+        panic("empty basic block");
+
+    BasicBlock bb;
+    bb.startPC = limit();
+    bb.numInsts = static_cast<std::uint32_t>(block_insts.size());
+    bb.index = static_cast<std::uint32_t>(blocks.size());
+    bb.functionId = function_id;
+
+    Addr pc = bb.startPC;
+    for (auto &si : block_insts) {
+        si.pc = pc;
+        si.blockIndex = bb.index;
+        insts.push_back(si);
+        pc += instBytes;
+    }
+
+    if (functions.size() <= function_id)
+        functions.resize(function_id + 1);
+    StaticFunction &fn = functions[function_id];
+    if (fn.numBlocks == 0) {
+        fn.firstBlock = bb.index;
+        fn.entryPC = bb.startPC;
+    }
+    ++fn.numBlocks;
+
+    blocks.push_back(bb);
+}
+
+void
+StaticProgram::finalize(Addr entry_pc)
+{
+    if (finalized)
+        panic("double finalize");
+    if (insts.empty())
+        panic("finalize of empty program");
+    if (!contains(entry_pc))
+        panic("entry pc outside program");
+    entryPC = entry_pc;
+    finalized = true;
+}
+
+double
+StaticProgram::avgBlockSize() const
+{
+    if (blocks.empty())
+        return 0.0;
+    return static_cast<double>(insts.size()) /
+           static_cast<double>(blocks.size());
+}
+
+} // namespace smt

@@ -1,0 +1,20 @@
+#include "isa/static_inst.hh"
+
+#include "util/logging.hh"
+
+namespace smt
+{
+
+std::string
+StaticInst::toString() const
+{
+    std::string s = csprintf("0x%llx: %s",
+                             static_cast<unsigned long long>(pc),
+                             std::string(opName(op)).c_str());
+    if (isControl() && target != invalidAddr)
+        s += csprintf(" -> 0x%llx",
+                      static_cast<unsigned long long>(target));
+    return s;
+}
+
+} // namespace smt

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Static instruction descriptor for the synthetic ISA.
+ *
+ * A StaticInst is one entry of the per-program "basic block dictionary"
+ * the trace-driven simulator consults: the front-end can fetch any PC,
+ * including wrong-path PCs, and always finds the static properties
+ * (op class, register operands, control-flow type, primary target).
+ */
+
+#ifndef SMTFETCH_ISA_STATIC_INST_HH
+#define SMTFETCH_ISA_STATIC_INST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hh"
+#include "util/types.hh"
+
+namespace smt
+{
+
+/** One static (per-PC) instruction. */
+struct StaticInst
+{
+    /** Program counter of this instruction. */
+    Addr pc = invalidAddr;
+
+    /** Operation class (FU pool, control/memory behaviour). */
+    OpClass op = OpClass::IntAlu;
+
+    /** Source register indices (invalidReg when unused). */
+    RegIndex src1 = invalidReg;
+    RegIndex src2 = invalidReg;
+
+    /** Destination register index (invalidReg when none). */
+    RegIndex dst = invalidReg;
+
+    /**
+     * Primary static target for direct CTIs (branch/jump/call). For
+     * returns and indirect jumps the dynamic target comes from the
+     * trace; this field then holds the most likely target (used only
+     * for debug output).
+     */
+    Addr target = invalidAddr;
+
+    /**
+     * Behaviour-model handle: index into the owning workload's branch
+     * model table (for CTIs) or memory model table (for loads/stores).
+     */
+    std::uint32_t modelId = 0;
+
+    /** Index of the containing basic block. */
+    std::uint32_t blockIndex = 0;
+
+    bool isControl() const { return smt::isControl(op); }
+    bool isConditional() const { return smt::isConditional(op); }
+    bool isMemory() const { return smt::isMemory(op); }
+    bool isLoad() const { return op == OpClass::Load; }
+    bool isStore() const { return op == OpClass::Store; }
+    bool isCall() const { return op == OpClass::CallDirect; }
+    bool isReturn() const { return op == OpClass::Return; }
+    bool isIndirect() const
+    {
+        return op == OpClass::JumpIndirect || op == OpClass::Return;
+    }
+
+    /** Sequential successor address. */
+    Addr nextPc() const { return pc + instBytes; }
+
+    /** Human-readable rendering for debug traces. */
+    std::string toString() const;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_ISA_STATIC_INST_HH

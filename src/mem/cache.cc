@@ -1,0 +1,165 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace smt
+{
+
+Cache::Cache(const CacheParams &params, Cache *next, Cycle memory_latency)
+    : params_(params), nextLevel(next), memoryLatency(memory_latency)
+{
+    if (params_.lineBytes == 0 ||
+        (params_.lineBytes & (params_.lineBytes - 1)) != 0)
+        fatal("%s: line size must be a power of two",
+              params_.name.c_str());
+    if (params_.sizeBytes % (params_.lineBytes * params_.ways) != 0)
+        fatal("%s: size not divisible by way*line", params_.name.c_str());
+    numSets = params_.sizeBytes / (params_.lineBytes * params_.ways);
+    if ((numSets & (numSets - 1)) != 0)
+        fatal("%s: set count must be a power of two",
+              params_.name.c_str());
+    setBits = std::bit_width(numSets) - 1;
+    lines.assign(static_cast<std::size_t>(numSets) * params_.ways,
+                 Line{});
+    missWindow.assign(std::max(4u, params_.mshrs * 2), MissSlot{});
+}
+
+std::uint64_t
+Cache::lineIndex(Addr addr) const
+{
+    return (addr / params_.lineBytes) & mask(setBits);
+}
+
+std::uint64_t
+Cache::tagOf(Addr addr) const
+{
+    return (addr / params_.lineBytes) >> setBits;
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    Line *set = &lines[lineIndex(addr) * params_.ways];
+    std::uint64_t tag = tagOf(addr);
+    for (unsigned w = 0; w < params_.ways; ++w)
+        if (set[w].valid && set[w].tag == tag)
+            return &set[w];
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    const Line *set = &lines[lineIndex(addr) * params_.ways];
+    std::uint64_t tag = tagOf(addr);
+    for (unsigned w = 0; w < params_.ways; ++w)
+        if (set[w].valid && set[w].tag == tag)
+            return &set[w];
+    return nullptr;
+}
+
+Cache::Line *
+Cache::victimFor(Addr addr)
+{
+    Line *set = &lines[lineIndex(addr) * params_.ways];
+    Line *victim = &set[0];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (!set[w].valid)
+            return &set[w];
+        if (set[w].lru < victim->lru)
+            victim = &set[w];
+    }
+    return victim;
+}
+
+unsigned
+Cache::outstandingFills(Cycle now, Cycle &earliest) const
+{
+    // MSHR occupancy approximated by the ring of recent miss
+    // completion times (scanning the full tag array per access would
+    // be prohibitive).
+    unsigned count = 0;
+    earliest = 0;
+    for (const auto &line : missWindow) {
+        if (line.readyAt > now) {
+            ++count;
+            if (earliest == 0 || line.readyAt < earliest)
+                earliest = line.readyAt;
+        }
+    }
+    return count;
+}
+
+Cycle
+Cache::access(Addr addr, bool is_write, Cycle now)
+{
+    ++cacheStats.accesses;
+    if (is_write)
+        ++cacheStats.writeAccesses;
+
+    if (Line *line = findLine(addr)) {
+        line->lru = ++lruClock;
+        if (line->readyAt > now) {
+            // Line still being filled: MSHR merge.
+            ++cacheStats.mshrMerges;
+            return (line->readyAt - now) + params_.hitLatency;
+        }
+        return params_.hitLatency;
+    }
+
+    // Miss.
+    ++cacheStats.misses;
+
+    Cycle queue_delay = 0;
+    Cycle earliest = 0;
+    if (outstandingFills(now, earliest) >= params_.mshrs &&
+        earliest > now) {
+        // All MSHRs busy: the new miss waits for the earliest fill.
+        ++cacheStats.mshrFullStalls;
+        queue_delay = earliest - now;
+    }
+
+    Cycle below = nextLevel != nullptr
+                      ? nextLevel->access(addr, is_write,
+                                          now + queue_delay +
+                                              params_.hitLatency)
+                      : memoryLatency;
+
+    Cycle total = queue_delay + params_.hitLatency + below;
+
+    Line *victim = victimFor(addr);
+    if (victim->valid)
+        ++cacheStats.evictions;
+    victim->valid = true;
+    victim->tag = tagOf(addr);
+    victim->lru = ++lruClock;
+    victim->readyAt = now + total;
+
+    missWindow[missWindowPos] = {victim->readyAt};
+    missWindowPos = (missWindowPos + 1) % missWindow.size();
+
+    return total;
+}
+
+bool
+Cache::wouldHit(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines)
+        line = Line{};
+    for (auto &m : missWindow)
+        m = MissSlot{};
+    lruClock = 0;
+    missWindowPos = 0;
+    cacheStats = CacheStats{};
+}
+
+} // namespace smt

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Banked, set-associative, non-blocking cache timing model.
+ *
+ * The model is tag-accurate (real sets, ways, LRU, evictions) and
+ * timing-approximate: a miss immediately recurses into the next level,
+ * installs the line with a readiness timestamp, and returns the total
+ * latency; accesses that arrive while the line is still in flight are
+ * merged MSHR-style and charged the remaining wait.
+ */
+
+#ifndef SMTFETCH_MEM_CACHE_HH
+#define SMTFETCH_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace smt
+{
+
+/** Cache geometry and timing. */
+struct CacheParams
+{
+    std::string name = "cache";
+    unsigned sizeBytes = 32 * 1024;
+    unsigned ways = 2;
+    unsigned lineBytes = 64;
+    unsigned banks = 8;
+    Cycle hitLatency = 1;
+    unsigned mshrs = 8;
+};
+
+/** Access statistics. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writeAccesses = 0;
+    std::uint64_t mshrMerges = 0;
+    std::uint64_t mshrFullStalls = 0;
+    std::uint64_t evictions = 0;
+
+    double
+    missRate() const
+    {
+        return accesses == 0 ? 0.0
+                             : static_cast<double>(misses) /
+                                   static_cast<double>(accesses);
+    }
+};
+
+/** One level of the hierarchy. */
+class Cache
+{
+  public:
+    /**
+     * @param params Geometry/timing.
+     * @param next Next level, or nullptr for the last cache level.
+     * @param memory_latency Latency charged when next == nullptr.
+     */
+    Cache(const CacheParams &params, Cache *next, Cycle memory_latency);
+
+    /**
+     * Access the line containing addr.
+     * @return total cycles until the data is available (>= hit
+     *         latency).
+     */
+    Cycle access(Addr addr, bool is_write, Cycle now);
+
+    /** Tag-only test: would this access hit right now? */
+    bool wouldHit(Addr addr) const;
+
+    /** Bank servicing the given address. */
+    unsigned
+    bankOf(Addr addr) const
+    {
+        return static_cast<unsigned>((addr / params_.lineBytes) %
+                                     params_.banks);
+    }
+
+    const CacheStats &stats() const { return cacheStats; }
+    const CacheParams &params() const { return params_; }
+
+    void reset();
+    void resetStats() { cacheStats = CacheStats{}; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;
+        Cycle readyAt = 0; //!< fill completion time (0 = long settled)
+    };
+
+    std::uint64_t lineIndex(Addr addr) const;
+    std::uint64_t tagOf(Addr addr) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+    Line *victimFor(Addr addr);
+
+    /** Count in-flight fills and find the earliest completion. */
+    unsigned outstandingFills(Cycle now, Cycle &earliest) const;
+
+    CacheParams params_;
+    Cache *nextLevel;
+    Cycle memoryLatency;
+
+    unsigned numSets;
+    unsigned setBits;
+    std::uint64_t lruClock = 0;
+    std::vector<Line> lines;
+
+    /**
+     * Ring of recent miss completion times used to approximate MSHR
+     * occupancy without scanning the whole tag array.
+     */
+    struct MissSlot
+    {
+        Cycle readyAt = 0;
+    };
+    std::vector<MissSlot> missWindow;
+    std::size_t missWindowPos = 0;
+
+    CacheStats cacheStats;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_MEM_CACHE_HH

@@ -1,0 +1,85 @@
+#include "mem/hierarchy.hh"
+
+#include "util/logging.hh"
+
+namespace smt
+{
+
+MemoryHierarchy::MemoryHierarchy(const MemoryParams &params)
+    : memParams(params)
+{
+    l2Cache = std::make_unique<Cache>(params.l2, nullptr,
+                                      params.memoryLatency);
+    l1iCache = std::make_unique<Cache>(params.l1i, l2Cache.get(), 0);
+    l1dCache = std::make_unique<Cache>(params.l1d, l2Cache.get(), 0);
+    iTlb = std::make_unique<Tlb>("ITLB", params.itlbEntries,
+                                 params.pageBytes,
+                                 params.tlbMissPenalty);
+    dTlb = std::make_unique<Tlb>("DTLB", params.dtlbEntries,
+                                 params.pageBytes,
+                                 params.tlbMissPenalty);
+}
+
+Cycle
+MemoryHierarchy::icacheAccess(ThreadID tid, Addr line_addr, Cycle now)
+{
+    Cycle tlb = iTlb->access(tid, line_addr);
+    return tlb + l1iCache->access(line_addr, false, now + tlb);
+}
+
+bool
+MemoryHierarchy::icacheReady(Addr line_addr) const
+{
+    return l1iCache->wouldHit(line_addr);
+}
+
+Cycle
+MemoryHierarchy::dcacheAccess(ThreadID tid, Addr addr, bool is_write,
+                              Cycle now)
+{
+    Cycle tlb = dTlb->access(tid, addr);
+    Cycle lat = l1dCache->access(addr, is_write, now + tlb);
+    if (!is_write && lat <= memParams.l1d.hitLatency)
+        lat += memParams.l1dLoadToUse;
+    return tlb + lat;
+}
+
+void
+MemoryHierarchy::reset()
+{
+    l1iCache->reset();
+    l1dCache->reset();
+    l2Cache->reset();
+    iTlb->reset();
+    dTlb->reset();
+}
+
+void
+MemoryHierarchy::resetStats()
+{
+    l1iCache->resetStats();
+    l1dCache->resetStats();
+    l2Cache->resetStats();
+    iTlb->resetStats();
+    dTlb->resetStats();
+}
+
+void
+MemoryHierarchy::dumpStats(std::ostream &os) const
+{
+    auto dump_cache = [&os](const Cache &c) {
+        const auto &s = c.stats();
+        os << c.params().name << ": accesses=" << s.accesses
+           << " misses=" << s.misses << " missRate=" << s.missRate()
+           << " merges=" << s.mshrMerges << '\n';
+    };
+    dump_cache(*l1iCache);
+    dump_cache(*l1dCache);
+    dump_cache(*l2Cache);
+    os << "ITLB: accesses=" << iTlb->stats().accesses
+       << " misses=" << iTlb->stats().misses << '\n';
+    os << "DTLB: accesses=" << dTlb->stats().accesses
+       << " misses=" << dTlb->stats().misses << '\n';
+}
+
+} // namespace smt

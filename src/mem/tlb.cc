@@ -1,0 +1,63 @@
+#include "mem/tlb.hh"
+
+#include "util/logging.hh"
+
+namespace smt
+{
+
+Tlb::Tlb(std::string name, unsigned num_entries, unsigned page_bytes,
+         Cycle miss_penalty)
+    : name(std::move(name)), pageBytes(page_bytes),
+      missPenalty(miss_penalty)
+{
+    if (num_entries == 0)
+        fatal("TLB must have at least one entry");
+    entries.assign(num_entries, Entry{});
+}
+
+Cycle
+Tlb::access(ThreadID tid, Addr vaddr)
+{
+    ++tlbStats.accesses;
+    std::uint64_t vpn = vpnOf(vaddr);
+
+    Entry *victim = &entries[0];
+    for (auto &e : entries) {
+        if (e.valid && e.tid == tid && e.vpn == vpn) {
+            e.lru = ++lruClock;
+            return 0;
+        }
+        if (!e.valid)
+            victim = &e;
+        else if (victim->valid && e.lru < victim->lru)
+            victim = &e;
+    }
+
+    ++tlbStats.misses;
+    victim->valid = true;
+    victim->tid = tid;
+    victim->vpn = vpn;
+    victim->lru = ++lruClock;
+    return missPenalty;
+}
+
+bool
+Tlb::wouldHit(ThreadID tid, Addr vaddr) const
+{
+    std::uint64_t vpn = vpnOf(vaddr);
+    for (const auto &e : entries)
+        if (e.valid && e.tid == tid && e.vpn == vpn)
+            return true;
+    return false;
+}
+
+void
+Tlb::reset()
+{
+    for (auto &e : entries)
+        e = Entry{};
+    lruClock = 0;
+    tlbStats = TlbStats{};
+}
+
+} // namespace smt

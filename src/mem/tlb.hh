@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Simple fully-associative-by-hash TLB timing model: a fixed-capacity
+ * LRU set of (thread, virtual page) entries with a constant page-walk
+ * penalty on miss.
+ */
+
+#ifndef SMTFETCH_MEM_TLB_HH
+#define SMTFETCH_MEM_TLB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace smt
+{
+
+/** TLB statistics. */
+struct TlbStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses == 0 ? 0.0
+                             : static_cast<double>(misses) /
+                                   static_cast<double>(accesses);
+    }
+};
+
+/** Paper configuration: 48-entry I-TLB, 128-entry D-TLB, 8KB pages. */
+class Tlb
+{
+  public:
+    Tlb(std::string name, unsigned entries, unsigned page_bytes,
+        Cycle miss_penalty);
+
+    /**
+     * Translate; @return extra cycles charged (0 on hit, the page-walk
+     * penalty on miss).
+     */
+    Cycle access(ThreadID tid, Addr vaddr);
+
+    bool wouldHit(ThreadID tid, Addr vaddr) const;
+
+    const TlbStats &stats() const { return tlbStats; }
+
+    void reset();
+    void resetStats() { tlbStats = TlbStats{}; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        ThreadID tid = invalidThread;
+        std::uint64_t vpn = 0;
+        std::uint64_t lru = 0;
+    };
+
+    std::uint64_t vpnOf(Addr vaddr) const { return vaddr / pageBytes; }
+
+    std::string name;
+    unsigned pageBytes;
+    Cycle missPenalty;
+    std::uint64_t lruClock = 0;
+    std::vector<Entry> entries;
+    TlbStats tlbStats;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_MEM_TLB_HH

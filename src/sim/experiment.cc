@@ -1,0 +1,141 @@
+#include "sim/experiment.hh"
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "sim/simulator.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace smt
+{
+
+std::string
+ExperimentResult::policyDotString() const
+{
+    return csprintf("%u.%u", fetchThreads, fetchWidth);
+}
+
+ExperimentRunner::ExperimentRunner(Cycle warmup, Cycle measure,
+                                   std::uint64_t seed)
+    : warmup(warmup), measure(measure), seed(seed)
+{
+}
+
+ExperimentResult
+ExperimentRunner::run(const std::string &workload_name,
+                      EngineKind engine, unsigned fetch_threads,
+                      unsigned fetch_width, PolicyKind policy) const
+{
+    SimConfig cfg = table3Config(workload_name, engine, fetch_threads,
+                                 fetch_width, policy);
+    cfg.warmupCycles = warmup;
+    cfg.measureCycles = measure;
+    cfg.seed = seed;
+
+    Simulator sim(cfg);
+    sim.run();
+
+    ExperimentResult r;
+    r.workload = workload_name;
+    r.engine = engine;
+    r.policy = policy;
+    r.fetchThreads = fetch_threads;
+    r.fetchWidth = fetch_width;
+    r.stats = sim.stats();
+    r.ipfc = r.stats.ipfc();
+    r.ipc = r.stats.ipc();
+    return r;
+}
+
+std::vector<ExperimentResult>
+ExperimentRunner::runAll(const std::vector<GridPoint> &points) const
+{
+    std::vector<ExperimentResult> results(points.size());
+
+    unsigned hw = std::thread::hardware_concurrency();
+    unsigned workers = std::min<unsigned>(
+        hw == 0 ? 4 : hw, static_cast<unsigned>(points.size()));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const auto &p = points[i];
+            results[i] = run(p.workload, p.engine, p.fetchThreads,
+                             p.fetchWidth, p.policy);
+        }
+        return results;
+    }
+
+    std::vector<std::thread> pool;
+    std::atomic<std::size_t> next{0};
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&]() {
+            while (true) {
+                std::size_t i = next.fetch_add(1);
+                if (i >= points.size())
+                    return;
+                const auto &p = points[i];
+                results[i] = run(p.workload, p.engine, p.fetchThreads,
+                                 p.fetchWidth, p.policy);
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+void
+ExperimentRunner::printFigure(std::ostream &os, const std::string &title,
+                              const std::vector<ExperimentResult> &results,
+                              bool fetch_throughput)
+{
+    // Group rows by (workload, policy string), columns by engine.
+    struct Key
+    {
+        std::string workload;
+        std::string policy;
+        bool
+        operator<(const Key &o) const
+        {
+            if (workload != o.workload)
+                return workload < o.workload;
+            return policy < o.policy;
+        }
+    };
+    std::map<Key, std::map<EngineKind, double>> cells;
+    std::vector<Key> row_order;
+    for (const auto &r : results) {
+        Key k{r.workload, r.policyDotString()};
+        if (cells.find(k) == cells.end())
+            row_order.push_back(k);
+        cells[k][r.engine] =
+            fetch_throughput ? r.ipfc : r.ipc;
+    }
+
+    TextTable table({"workload", "policy", "gshare+BTB", "gskew+FTB",
+                     "stream"});
+    for (const auto &k : row_order) {
+        auto &row = cells[k];
+        auto cell = [&row](EngineKind e) {
+            auto it = row.find(e);
+            return it == row.end() ? std::string("-")
+                                   : TextTable::num(it->second);
+        };
+        table.addRow({k.workload, k.policy,
+                      cell(EngineKind::GshareBtb),
+                      cell(EngineKind::GskewFtb),
+                      cell(EngineKind::Stream)});
+    }
+    table.print(os, title);
+}
+
+const std::vector<EngineKind> &
+allEngines()
+{
+    static const std::vector<EngineKind> engines = {
+        EngineKind::GshareBtb, EngineKind::GskewFtb, EngineKind::Stream};
+    return engines;
+}
+
+} // namespace smt

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Experiment runner: executes (workload x engine x policy) grids and
+ * renders paper-figure tables. Runs are parallelized across hardware
+ * threads since each simulation is independent and deterministic.
+ */
+
+#ifndef SMTFETCH_SIM_EXPERIMENT_HH
+#define SMTFETCH_SIM_EXPERIMENT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/sim_stats.hh"
+#include "sim/sim_config.hh"
+
+namespace smt
+{
+
+/** One grid point's results. */
+struct ExperimentResult
+{
+    std::string workload;
+    EngineKind engine = EngineKind::GshareBtb;
+    PolicyKind policy = PolicyKind::ICount;
+    unsigned fetchThreads = 1;
+    unsigned fetchWidth = 8;
+
+    double ipfc = 0.0;
+    double ipc = 0.0;
+    SimStats stats;
+
+    /** "1.8" / "2.16" policy suffix. */
+    std::string policyDotString() const;
+};
+
+/** Runs simulation grids with shared warmup/measure windows. */
+class ExperimentRunner
+{
+  public:
+    ExperimentRunner(Cycle warmup = 50'000, Cycle measure = 300'000,
+                     std::uint64_t seed = 0);
+
+    /** Run one configuration. */
+    ExperimentResult run(const std::string &workload_name,
+                         EngineKind engine, unsigned fetch_threads,
+                         unsigned fetch_width,
+                         PolicyKind policy = PolicyKind::ICount) const;
+
+    /** Grid point descriptor for runAll. */
+    struct GridPoint
+    {
+        std::string workload;
+        EngineKind engine;
+        unsigned fetchThreads;
+        unsigned fetchWidth;
+        PolicyKind policy = PolicyKind::ICount;
+    };
+
+    /** Run a whole grid, parallelized across host threads. */
+    std::vector<ExperimentResult>
+    runAll(const std::vector<GridPoint> &points) const;
+
+    /**
+     * Render a figure: one row per (workload, policy) group, one
+     * column per engine, values IPFC or IPC.
+     */
+    static void printFigure(std::ostream &os, const std::string &title,
+                            const std::vector<ExperimentResult> &results,
+                            bool fetch_throughput);
+
+    Cycle warmupCycles() const { return warmup; }
+    Cycle measureCycles() const { return measure; }
+
+  private:
+    Cycle warmup;
+    Cycle measure;
+    std::uint64_t seed;
+};
+
+/** All three engines in paper order. */
+const std::vector<EngineKind> &allEngines();
+
+} // namespace smt
+
+#endif // SMTFETCH_SIM_EXPERIMENT_HH

@@ -1,0 +1,70 @@
+#include "sim/sim_config.hh"
+
+#include "util/logging.hh"
+
+namespace smt
+{
+
+std::string
+SimConfig::describe() const
+{
+    return csprintf("%s | %s | %s", workload.name.c_str(),
+                    engineName(core.engine),
+                    core.policyString().c_str());
+}
+
+SimConfig
+table3Config(const WorkloadSpec &workload, EngineKind engine,
+             unsigned fetch_threads, unsigned fetch_width,
+             PolicyKind policy)
+{
+    SimConfig cfg;
+    cfg.workload = workload;
+    cfg.core.numThreads =
+        static_cast<unsigned>(workload.benchmarks.size());
+    cfg.core.engine = engine;
+    cfg.core.policy = policy;
+    cfg.core.fetchThreads = fetch_threads;
+    cfg.core.fetchWidth = fetch_width;
+    return cfg;
+}
+
+SimConfig
+table3Config(const std::string &workload_name, EngineKind engine,
+             unsigned fetch_threads, unsigned fetch_width,
+             PolicyKind policy)
+{
+    // Accept a Table 2 workload name or a bare benchmark name.
+    for (const auto &w : table2Workloads()) {
+        if (w.name == workload_name)
+            return table3Config(w, engine, fetch_threads, fetch_width,
+                                policy);
+    }
+    WorkloadSpec single{workload_name, {workload_name}};
+    return table3Config(single, engine, fetch_threads, fetch_width,
+                        policy);
+}
+
+std::string
+describeTable3(const CoreParams &p)
+{
+    std::string s;
+    s += csprintf("Fetch: %s, width %u, %u thread(s)/cycle, FTQ %u\n",
+                  p.policyString().c_str(), p.fetchWidth,
+                  p.fetchThreads, p.ftqEntries);
+    s += csprintf("Engine: %s\n", engineName(p.engine));
+    s += csprintf("Decode/Commit: %u/%u  FetchBuffer: %u  ROB: %u\n",
+                  p.decodeWidth, p.commitWidth, p.fetchBufferSize,
+                  p.robEntries);
+    s += csprintf("IQ: %u int / %u ld-st / %u fp  FUs: %u/%u/%u\n",
+                  p.intIqEntries, p.ldstIqEntries, p.fpIqEntries,
+                  p.intFUs, p.ldstFUs, p.fpFUs);
+    s += csprintf("Regs: %u int + %u fp\n", p.physIntRegs,
+                  p.physFpRegs);
+    s += csprintf(
+        "L1I/L1D 32KB 2-way 8-bank, L2 1MB 2-way 10cyc, mem %llu cyc\n",
+        (unsigned long long)p.memory.memoryLatency);
+    return s;
+}
+
+} // namespace smt

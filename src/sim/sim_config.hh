@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Top-level simulation configuration: Table 3 core parameters plus a
+ * workload, warmup and measurement windows.
+ */
+
+#ifndef SMTFETCH_SIM_SIM_CONFIG_HH
+#define SMTFETCH_SIM_SIM_CONFIG_HH
+
+#include <string>
+
+#include "core/params.hh"
+#include "workload/workloads.hh"
+
+namespace smt
+{
+
+/** Everything needed to run one simulation. */
+struct SimConfig
+{
+    CoreParams core{};
+    WorkloadSpec workload{};
+
+    /** Cycles simulated before statistics are cleared. */
+    Cycle warmupCycles = 50'000;
+
+    /** Cycles measured after warmup. */
+    Cycle measureCycles = 300'000;
+
+    /** Workload-construction seed. */
+    std::uint64_t seed = 0;
+
+    /** Human-readable one-line description. */
+    std::string describe() const;
+};
+
+/**
+ * The paper's baseline configuration (Table 3) for a given workload,
+ * fetch engine and N.X fetch policy.
+ */
+SimConfig table3Config(const WorkloadSpec &workload, EngineKind engine,
+                       unsigned fetch_threads, unsigned fetch_width,
+                       PolicyKind policy = PolicyKind::ICount);
+
+/** Same, looking the workload up by Table 2 name or benchmark name. */
+SimConfig table3Config(const std::string &workload_name,
+                       EngineKind engine, unsigned fetch_threads,
+                       unsigned fetch_width,
+                       PolicyKind policy = PolicyKind::ICount);
+
+/** Render the Table 3 parameter block (bench harness headers). */
+std::string describeTable3(const CoreParams &params);
+
+} // namespace smt
+
+#endif // SMTFETCH_SIM_SIM_CONFIG_HH

@@ -1,0 +1,38 @@
+#include "sim/simulator.hh"
+
+#include "util/logging.hh"
+
+namespace smt
+{
+
+Simulator::Simulator(const SimConfig &config)
+    : cfg(config), images(buildWorkload(config.workload, config.seed))
+{
+    if (cfg.core.numThreads != images.numThreads())
+        fatal("config numThreads %u != workload threads %u",
+              cfg.core.numThreads, images.numThreads());
+
+    core_ = std::make_unique<SmtCore>(cfg.core);
+    for (unsigned t = 0; t < images.numThreads(); ++t) {
+        traces.push_back(
+            std::make_unique<TraceStream>(*images.images[t]));
+        core_->setThread(static_cast<ThreadID>(t), traces.back().get(),
+                         images.images[t].get());
+    }
+}
+
+void
+Simulator::run()
+{
+    core_->run(cfg.warmupCycles);
+    core_->resetStats();
+    core_->run(cfg.measureCycles);
+}
+
+void
+Simulator::runExtra(Cycle cycles)
+{
+    core_->run(cycles);
+}
+
+} // namespace smt

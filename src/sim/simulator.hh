@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Simulator: owns the workload images, per-thread trace streams and
+ * the core; runs warmup + measurement.
+ */
+
+#ifndef SMTFETCH_SIM_SIMULATOR_HH
+#define SMTFETCH_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/smt_core.hh"
+#include "sim/sim_config.hh"
+#include "workload/trace.hh"
+#include "workload/workloads.hh"
+
+namespace smt
+{
+
+/** One self-contained simulation instance. */
+class Simulator
+{
+  public:
+    explicit Simulator(const SimConfig &config);
+
+    /** Warmup (stats cleared afterwards) then measurement. */
+    void run();
+
+    /** Run additional cycles beyond what run() executed. */
+    void runExtra(Cycle cycles);
+
+    const SimStats &stats() const { return core_->stats(); }
+    SmtCore &core() { return *core_; }
+    const SimConfig &config() const { return cfg; }
+    const WorkloadImages &workload() const { return images; }
+    TraceStream &trace(ThreadID tid) { return *traces[tid]; }
+
+  private:
+    SimConfig cfg;
+    WorkloadImages images;
+    std::vector<std::unique_ptr<TraceStream>> traces;
+    std::unique_ptr<SmtCore> core_;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_SIM_SIMULATOR_HH

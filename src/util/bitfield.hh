@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by predictor index functions.
+ */
+
+#ifndef SMTFETCH_UTIL_BITFIELD_HH
+#define SMTFETCH_UTIL_BITFIELD_HH
+
+#include <cstdint>
+
+namespace smt
+{
+
+/** Mask keeping the low n bits (n in [0, 64]). */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+}
+
+/** Extract bits [lo, lo+n) of x. */
+constexpr std::uint64_t
+bits(std::uint64_t x, unsigned lo, unsigned n)
+{
+    return (x >> lo) & mask(n);
+}
+
+/** XOR-fold x down to n bits. */
+constexpr std::uint64_t
+foldXor(std::uint64_t x, unsigned n)
+{
+    if (n == 0)
+        return 0;
+    std::uint64_t r = 0;
+    while (x != 0) {
+        r ^= x & mask(n);
+        x >>= n;
+    }
+    return r;
+}
+
+/** Cheap 64-bit mixing (used by skewed predictor hash family). */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace smt
+
+#endif // SMTFETCH_UTIL_BITFIELD_HH

@@ -1,0 +1,81 @@
+#include "util/histogram.hh"
+
+#include "util/logging.hh"
+
+namespace smt
+{
+
+Histogram::Histogram(unsigned max_value)
+    : bins(max_value + 1, 0)
+{
+}
+
+void
+Histogram::sample(unsigned value)
+{
+    unsigned idx = value;
+    if (idx >= bins.size())
+        idx = static_cast<unsigned>(bins.size()) - 1;
+    ++bins[idx];
+    ++total;
+    weighted += value;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : bins)
+        b = 0;
+    total = 0;
+    weighted = 0;
+}
+
+double
+Histogram::mean() const
+{
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(weighted) / static_cast<double>(total);
+}
+
+double
+Histogram::fractionAt(unsigned v) const
+{
+    if (total == 0 || v >= bins.size())
+        return 0.0;
+    return static_cast<double>(bins[v]) / static_cast<double>(total);
+}
+
+double
+Histogram::fractionAtLeast(unsigned v) const
+{
+    if (total == 0)
+        return 0.0;
+    std::uint64_t n = 0;
+    for (unsigned i = v; i < bins.size(); ++i)
+        n += bins[i];
+    return static_cast<double>(n) / static_cast<double>(total);
+}
+
+double
+Histogram::fractionAbove(unsigned v) const
+{
+    return fractionAtLeast(v + 1);
+}
+
+std::uint64_t
+Histogram::at(unsigned v) const
+{
+    if (v >= bins.size())
+        return 0;
+    return bins[v];
+}
+
+std::string
+Histogram::summary() const
+{
+    return csprintf("mean=%.2f n=%llu", mean(),
+                    static_cast<unsigned long long>(total));
+}
+
+} // namespace smt

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Simple integer-bucket histogram used for fetch-width distributions
+ * and similar per-cycle statistics.
+ */
+
+#ifndef SMTFETCH_UTIL_HISTOGRAM_HH
+#define SMTFETCH_UTIL_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smt
+{
+
+/**
+ * Histogram over small non-negative integer samples (e.g. instructions
+ * delivered per fetch cycle, 0..16). Values above the configured max
+ * are clamped into the top bucket.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(unsigned max_value = 16);
+
+    /** Record one sample. */
+    void sample(unsigned value);
+
+    /** Remove all samples. */
+    void reset();
+
+    /** Total number of samples recorded. */
+    std::uint64_t count() const { return total; }
+
+    /** Sum of all sample values. */
+    std::uint64_t sum() const { return weighted; }
+
+    /** Arithmetic mean (0 if empty). */
+    double mean() const;
+
+    /** Fraction of samples equal to v. */
+    double fractionAt(unsigned v) const;
+
+    /** Fraction of samples >= v. */
+    double fractionAtLeast(unsigned v) const;
+
+    /** Fraction of samples > v. */
+    double fractionAbove(unsigned v) const;
+
+    /** Number of buckets (maxValue + 1). */
+    unsigned buckets() const { return static_cast<unsigned>(bins.size()); }
+
+    /** Raw count in bucket v. */
+    std::uint64_t at(unsigned v) const;
+
+    /** One-line rendering "mean=.. p(>=8)=.." for logs. */
+    std::string summary() const;
+
+  private:
+    std::vector<std::uint64_t> bins;
+    std::uint64_t total = 0;
+    std::uint64_t weighted = 0;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_UTIL_HISTOGRAM_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic() for internal invariant
+ * violations (simulator bugs), fatal() for user configuration errors,
+ * warn()/inform() for non-fatal notices.
+ */
+
+#ifndef SMTFETCH_UTIL_LOGGING_HH
+#define SMTFETCH_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace smt
+{
+
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * Call when something happens that should never happen regardless of
+ * user input, i.e. a simulator bug. Calls std::abort().
+ */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/**
+ * Report an unrecoverable user error and exit(1).
+ *
+ * Call when the simulation cannot continue due to a condition that is
+ * the user's fault (bad configuration, invalid arguments).
+ */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/** Warn about suspicious but non-fatal conditions. */
+void warn(const char *fmt, ...);
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...);
+
+/** Format a printf-style message into a std::string. */
+std::string csprintf(const char *fmt, ...);
+
+} // namespace smt
+
+#endif // SMTFETCH_UTIL_LOGGING_HH

@@ -1,0 +1,125 @@
+#include "util/random.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace smt
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &word : s)
+        word = splitmix64(x);
+}
+
+Rng::Rng(std::string_view name, std::uint64_t salt)
+    : Rng(hashString(name) ^ (salt * 0x9e3779b97f4a7c15ULL))
+{
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::below called with bound 0");
+    // Debiased multiply-shift rejection.
+    while (true) {
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        std::uint64_t lo = static_cast<std::uint64_t>(m);
+        if (lo >= bound || lo >= (-bound) % bound)
+            return static_cast<std::uint64_t>(m >> 64);
+    }
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::range: lo %lld > hi %lld", (long long)lo,
+              (long long)hi);
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+double
+Rng::uniform()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+unsigned
+Rng::positiveGeometric(double mean, unsigned cap)
+{
+    if (mean < 1.0)
+        mean = 1.0;
+    // Geometric on {1,2,...} with mean m has success prob 1/m.
+    double p = 1.0 / mean;
+    double u = uniform();
+    // Inverse CDF; guard the log of values near 0.
+    double val = 1.0 + std::floor(std::log1p(-u) / std::log1p(-p));
+    if (val < 1.0)
+        val = 1.0;
+    unsigned v = static_cast<unsigned>(val);
+    return v > cap ? cap : v;
+}
+
+std::uint64_t
+Rng::hashString(std::string_view str)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : str) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace smt

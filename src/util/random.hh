@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for synthetic workload
+ * construction. All smtfetch randomness flows through Rng so that a
+ * given (benchmark, seed) pair always produces the identical trace.
+ */
+
+#ifndef SMTFETCH_UTIL_RANDOM_HH
+#define SMTFETCH_UTIL_RANDOM_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace smt
+{
+
+/**
+ * A small, fast, deterministic RNG (xoshiro256** core seeded via
+ * splitmix64). Not cryptographic; chosen for reproducibility and speed.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x5eedf00dULL);
+
+    /** Construct from a string (e.g. benchmark name) plus salt. */
+    Rng(std::string_view name, std::uint64_t salt);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Geometric-ish positive integer with the given mean (>= 1).
+     * Used for basic-block sizes; clamped to [1, cap].
+     */
+    unsigned positiveGeometric(double mean, unsigned cap);
+
+    /** Hash a string to a 64-bit value (FNV-1a). */
+    static std::uint64_t hashString(std::string_view s);
+
+  private:
+    std::uint64_t s[4];
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_UTIL_RANDOM_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Saturating up/down counter, the basic storage cell of direction
+ * predictors.
+ */
+
+#ifndef SMTFETCH_UTIL_SAT_COUNTER_HH
+#define SMTFETCH_UTIL_SAT_COUNTER_HH
+
+#include <cstdint>
+
+namespace smt
+{
+
+/**
+ * An n-bit saturating counter. The top half of the range predicts
+ * "taken" (or "strong" for confidence uses).
+ */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /**
+     * @param bits Counter width in bits (1..8).
+     * @param initial Initial counter value.
+     */
+    explicit SatCounter(unsigned bits, std::uint8_t initial = 0)
+        : maxVal(static_cast<std::uint8_t>((1u << bits) - 1)),
+          value(initial > maxVal ? maxVal : initial)
+    {
+    }
+
+    /** Increment, saturating at max. */
+    void
+    increment()
+    {
+        if (value < maxVal)
+            ++value;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value > 0)
+            --value;
+    }
+
+    /** Move toward taken (true) or not-taken (false). */
+    void
+    update(bool taken)
+    {
+        if (taken)
+            increment();
+        else
+            decrement();
+    }
+
+    /** Counter in the taken half of its range? */
+    bool predictTaken() const { return value > (maxVal >> 1); }
+
+    /** At either saturation endpoint? */
+    bool
+    isSaturated() const
+    {
+        return value == 0 || value == maxVal;
+    }
+
+    std::uint8_t raw() const { return value; }
+    std::uint8_t max() const { return maxVal; }
+
+  private:
+    std::uint8_t maxVal = 3;
+    std::uint8_t value = 0;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_UTIL_SAT_COUNTER_HH

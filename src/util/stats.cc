@@ -1,0 +1,49 @@
+#include "util/stats.hh"
+
+#include <iomanip>
+#include <memory>
+
+namespace smt
+{
+
+StatGroup::StatGroup(std::string name)
+    : groupName(std::move(name))
+{
+}
+
+Counter &
+StatGroup::addCounter(const std::string &name, const std::string &desc)
+{
+    counters.push_back({name, desc, std::make_unique<Counter>()});
+    return *counters.back().counter;
+}
+
+void
+StatGroup::addFormula(const std::string &name, const std::string &desc,
+                      std::function<double()> eval)
+{
+    formulas.push_back({name, desc, std::move(eval)});
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &c : counters)
+        c.counter->reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &c : counters) {
+        os << groupName << '.' << c.name << ' ' << c.counter->value()
+           << "  # " << c.desc << '\n';
+    }
+    for (const auto &f : formulas) {
+        os << groupName << '.' << f.name << ' ' << std::fixed
+           << std::setprecision(4) << f.eval() << "  # " << f.desc
+           << '\n';
+    }
+}
+
+} // namespace smt

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Lightweight named-statistics registry. Modules register scalar
+ * counters and formulas into a StatGroup; the simulator dumps them in a
+ * stable, human-diffable format.
+ */
+
+#ifndef SMTFETCH_UTIL_STATS_HH
+#define SMTFETCH_UTIL_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace smt
+{
+
+/** A single named 64-bit counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++val; }
+    void operator++(int) { ++val; }
+    void operator+=(std::uint64_t n) { val += n; }
+    void reset() { val = 0; }
+
+    std::uint64_t value() const { return val; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/**
+ * A collection of named counters and derived formulas, dumped together.
+ * Groups may nest via name prefixes ("fetch.", "commit.").
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name);
+
+    /** Register a counter under this group; returns a stable handle. */
+    Counter &addCounter(const std::string &name, const std::string &desc);
+
+    /** Register a derived value computed at dump time. */
+    void addFormula(const std::string &name, const std::string &desc,
+                    std::function<double()> eval);
+
+    /** Reset all registered counters (formulas recompute anyway). */
+    void resetAll();
+
+    /** Write "group.name value # desc" lines. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return groupName; }
+
+  private:
+    struct NamedCounter
+    {
+        std::string name;
+        std::string desc;
+        // Deque-like stable storage: counters allocated individually.
+        std::unique_ptr<Counter> counter;
+    };
+
+    struct NamedFormula
+    {
+        std::string name;
+        std::string desc;
+        std::function<double()> eval;
+    };
+
+    std::string groupName;
+    std::vector<NamedCounter> counters;
+    std::vector<NamedFormula> formulas;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_UTIL_STATS_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every smtfetch module.
+ */
+
+#ifndef SMTFETCH_UTIL_TYPES_HH
+#define SMTFETCH_UTIL_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace smt
+{
+
+/** Byte address in the synthetic address space. */
+using Addr = std::uint64_t;
+
+/** Simulation cycle count. */
+using Cycle = std::uint64_t;
+
+/** Hardware thread (context) identifier. */
+using ThreadID = std::int16_t;
+
+/** Global dynamic instruction sequence number (per thread). */
+using InstSeqNum = std::uint64_t;
+
+/** Architectural or physical register index. */
+using RegIndex = std::int16_t;
+
+/** Invalid/unassigned thread. */
+constexpr ThreadID invalidThread = -1;
+
+/** Invalid register (instruction has no such operand). */
+constexpr RegIndex invalidReg = -1;
+
+/** Sentinel address meaning "no address". */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Fixed synthetic instruction size in bytes (Alpha-like RISC). */
+constexpr unsigned instBytes = 4;
+
+/** Number of architectural integer registers per thread. */
+constexpr unsigned numArchIntRegs = 32;
+
+/** Number of architectural floating-point registers per thread. */
+constexpr unsigned numArchFpRegs = 32;
+
+/** Maximum number of hardware threads supported by the model. */
+constexpr unsigned maxThreads = 8;
+
+} // namespace smt
+
+#endif // SMTFETCH_UTIL_TYPES_HH

@@ -1,0 +1,167 @@
+#include "workload/branch_model.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace smt
+{
+
+namespace
+{
+
+/** Deterministic per-(seed, n) uniform 32-bit draw. */
+std::uint32_t
+draw32(std::uint64_t seed, std::uint64_t n)
+{
+    return static_cast<std::uint32_t>(mix64(seed ^ (n * 0x9e37ULL)) >> 32);
+}
+
+std::uint32_t
+probToThreshold(double p)
+{
+    if (p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return ~0u;
+    return static_cast<std::uint32_t>(p * 4294967296.0);
+}
+
+} // namespace
+
+BranchModel
+BranchModel::makeBiased(double p_taken, std::uint64_t seed)
+{
+    BranchModel m;
+    m.modelKind = Kind::Biased;
+    m.seed = seed;
+    m.takenThreshold = probToThreshold(p_taken);
+    return m;
+}
+
+BranchModel
+BranchModel::makeLoop(unsigned trip_count)
+{
+    if (trip_count < 2)
+        trip_count = 2;
+    BranchModel m;
+    m.modelKind = Kind::Loop;
+    m.tripCount = trip_count;
+    return m;
+}
+
+BranchModel
+BranchModel::makeCorrelated(unsigned history_bits, std::uint64_t seed)
+{
+    if (history_bits == 0 || history_bits > 16)
+        panic("correlated branch history bits %u out of range",
+              history_bits);
+    BranchModel m;
+    m.modelKind = Kind::Correlated;
+    m.historyBits = history_bits;
+    m.seed = seed;
+    return m;
+}
+
+BranchModel
+BranchModel::makeCorrelatedPath(unsigned depth, std::uint64_t seed)
+{
+    if (depth == 0 || depth > 3)
+        panic("path-correlated branch depth %u out of range", depth);
+    BranchModel m;
+    m.modelKind = Kind::CorrelatedPath;
+    m.historyBits = depth;
+    m.seed = seed;
+    return m;
+}
+
+BranchModel
+BranchModel::makeRandom(std::uint64_t seed)
+{
+    BranchModel m;
+    m.modelKind = Kind::Random;
+    m.seed = seed;
+    m.takenThreshold = probToThreshold(0.5);
+    return m;
+}
+
+bool
+BranchModel::next(std::uint64_t global_history, std::uint64_t path_sig)
+{
+    switch (modelKind) {
+      case Kind::Biased:
+      case Kind::Random: {
+        bool taken = draw32(seed, execCount) < takenThreshold;
+        ++execCount;
+        return taken;
+      }
+      case Kind::Loop: {
+        ++tripPos;
+        if (tripPos >= tripCount) {
+            tripPos = 0;
+            return false; // loop exit
+        }
+        return true; // loop back-edge taken
+      }
+      case Kind::Correlated: {
+        // Deterministic function of recent global outcomes: any
+        // history-indexed predictor with a conflict-free entry per
+        // (branch, history) pattern learns this perfectly. Outcomes
+        // lean taken 70/30 across patterns, as real correlated
+        // branches are also globally biased.
+        std::uint64_t h = global_history & mask(historyBits);
+        ++execCount;
+        return (mix64(seed ^ (h * 0x100000001b3ULL)) & 0xff) < 179;
+      }
+      case Kind::CorrelatedPath: {
+        // Deterministic function of the last 1..3 taken-branch
+        // targets: learnable by path-indexed predictors (the stream
+        // predictor's DOLC index) and partially by outcome-history
+        // predictors.
+        std::uint64_t h =
+            path_sig & mask(historyBits * pathSigBitsPerTarget);
+        ++execCount;
+        return (mix64(seed ^ (h * 0x9e3779b97f4a7c15ULL)) & 0xff) < 179;
+      }
+    }
+    panic("unreachable branch model kind");
+}
+
+double
+BranchModel::expectedTakenRate() const
+{
+    switch (modelKind) {
+      case Kind::Biased:
+      case Kind::Random:
+        return takenThreshold / 4294967296.0;
+      case Kind::Loop:
+        return 1.0 - 1.0 / tripCount;
+      case Kind::Correlated:
+      case Kind::CorrelatedPath:
+        return 0.5;
+    }
+    return 0.5;
+}
+
+IndirectModel::IndirectModel(std::vector<Addr> targets,
+                             double dominant_prob, std::uint64_t seed)
+    : targetSet(std::move(targets)),
+      dominantThreshold(probToThreshold(dominant_prob)), seed(seed)
+{
+    if (targetSet.empty())
+        panic("IndirectModel with no targets");
+}
+
+Addr
+IndirectModel::next()
+{
+    std::uint32_t d = draw32(seed, execCount);
+    ++execCount;
+    if (targetSet.size() == 1 || d < dominantThreshold)
+        return targetSet[0];
+    // Spread the remainder uniformly over the minor targets.
+    std::size_t idx =
+        1 + (mix64(seed ^ d) % (targetSet.size() - 1));
+    return targetSet[idx];
+}
+
+} // namespace smt

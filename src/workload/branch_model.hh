@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Per-static-branch outcome generators for synthetic benchmarks.
+ *
+ * Each static conditional branch in a synthetic program owns a
+ * BranchModel instance that deterministically produces its dynamic
+ * taken/not-taken sequence. The model kinds span the predictability
+ * spectrum real integer codes exhibit:
+ *
+ *  - Loop: taken (trip-1) times, then not-taken once (loop back-edge).
+ *  - Biased: independent draws with a fixed, strongly skewed P(taken).
+ *  - Correlated: outcome is a deterministic boolean function of the
+ *    thread's recent global branch history, so a history-based
+ *    predictor with enough table capacity can learn it perfectly —
+ *    this is what separates gshare from the less-aliasing gskew.
+ *  - Random: 50/50 independent draws (unpredictable floor).
+ *
+ * Indirect jumps use IndirectModel, which picks among a static target
+ * set with one dominant target.
+ */
+
+#ifndef SMTFETCH_WORKLOAD_BRANCH_MODEL_HH
+#define SMTFETCH_WORKLOAD_BRANCH_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace smt
+{
+
+/** Deterministic taken/not-taken generator for one static branch. */
+class BranchModel
+{
+  public:
+    enum class Kind : unsigned char
+    {
+        Biased,
+        Loop,
+        Correlated,     //!< function of recent conditional outcomes
+        CorrelatedPath, //!< function of recent taken-branch targets
+        Random,
+    };
+
+    BranchModel() = default;
+
+    static BranchModel makeBiased(double p_taken, std::uint64_t seed);
+    static BranchModel makeLoop(unsigned trip_count);
+    static BranchModel makeCorrelated(unsigned history_bits,
+                                      std::uint64_t seed);
+    static BranchModel makeCorrelatedPath(unsigned depth,
+                                          std::uint64_t seed);
+    static BranchModel makeRandom(std::uint64_t seed);
+
+    /**
+     * Produce the next dynamic outcome and advance internal state.
+     *
+     * @param global_history The thread's oracle global history (bit 0
+     *        = most recent correct-path conditional outcome).
+     * @param path_sig The thread's oracle path signature (packed
+     *        recent taken-branch targets, most recent in the low
+     *        bits).
+     */
+    bool next(std::uint64_t global_history, std::uint64_t path_sig);
+
+    Kind kind() const { return modelKind; }
+
+    /** Long-run expected taken rate (for workload statistics). */
+    double expectedTakenRate() const;
+
+  private:
+    Kind modelKind = Kind::Biased;
+    std::uint64_t seed = 0;
+    std::uint64_t execCount = 0;
+
+    // Biased/Random: P(taken) in 2^-32 units.
+    std::uint32_t takenThreshold = 0;
+
+    // Loop: iterations per loop instance, and position.
+    std::uint32_t tripCount = 2;
+    std::uint32_t tripPos = 0;
+
+    // Correlated: history bits consulted; CorrelatedPath: number of
+    // recent taken targets consulted (1..3).
+    unsigned historyBits = 6;
+};
+
+/** Bits of the path signature occupied by one taken target. */
+constexpr unsigned pathSigBitsPerTarget = 20;
+
+/** Deterministic target chooser for one static indirect jump. */
+class IndirectModel
+{
+  public:
+    IndirectModel() = default;
+
+    /**
+     * @param targets Candidate targets; the first is dominant.
+     * @param dominant_prob Probability of choosing targets[0].
+     */
+    IndirectModel(std::vector<Addr> targets, double dominant_prob,
+                  std::uint64_t seed);
+
+    /** Next dynamic target (advances state). */
+    Addr next();
+
+    const std::vector<Addr> &targets() const { return targetSet; }
+
+  private:
+    std::vector<Addr> targetSet;
+    std::uint32_t dominantThreshold = 0;
+    std::uint64_t seed = 0;
+    std::uint64_t execCount = 0;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_WORKLOAD_BRANCH_MODEL_HH

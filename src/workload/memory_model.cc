@@ -1,0 +1,103 @@
+#include "workload/memory_model.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace smt
+{
+
+namespace
+{
+
+std::uint32_t
+probToThreshold(double p)
+{
+    if (p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return ~0u;
+    return static_cast<std::uint32_t>(p * 4294967296.0);
+}
+
+} // namespace
+
+MemoryModel
+MemoryModel::makeStride(Addr region_base, Addr region_bytes,
+                        unsigned stride)
+{
+    if (region_bytes < 64)
+        panic("stride region too small");
+    MemoryModel m;
+    m.modelKind = Kind::Stride;
+    m.base = region_base;
+    m.bytes = region_bytes;
+    m.stride = stride == 0 ? 8 : stride;
+    return m;
+}
+
+MemoryModel
+MemoryModel::makeRandom(Addr region_base, Addr region_bytes,
+                        Addr hot_bytes, double hot_prob,
+                        std::uint64_t seed)
+{
+    if (region_bytes < 64)
+        panic("random region too small");
+    MemoryModel m;
+    m.modelKind = Kind::RandomWS;
+    m.base = region_base;
+    m.bytes = region_bytes;
+    m.hotBytes = hot_bytes < 64 ? 64 : hot_bytes;
+    if (m.hotBytes > region_bytes)
+        m.hotBytes = region_bytes;
+    m.hotThreshold = probToThreshold(hot_prob);
+    m.seed = seed;
+    return m;
+}
+
+MemoryModel
+MemoryModel::makeChase(Addr region_base, Addr region_bytes,
+                       Addr hot_bytes, double hot_prob,
+                       std::uint64_t seed)
+{
+    MemoryModel m = makeRandom(region_base, region_bytes, hot_bytes,
+                               hot_prob, seed);
+    m.modelKind = Kind::Chase;
+    return m;
+}
+
+Addr
+MemoryModel::next()
+{
+    switch (modelKind) {
+      case Kind::Stride: {
+        Addr a = base + offset;
+        offset += stride;
+        if (offset + 8 > bytes)
+            offset = 0;
+        return a & ~Addr(7);
+      }
+      case Kind::RandomWS:
+      case Kind::Chase: {
+        std::uint64_t r = mix64(seed ^ (execCount * 0x9e3779b9ULL));
+        ++execCount;
+        // Recursive locality: hot accesses split between a tiny
+        // cache-resident core (8KB) and the hot subset; the rest
+        // scatter over the whole working set.
+        Addr span;
+        auto u = static_cast<std::uint32_t>(r);
+        auto hot = static_cast<std::uint64_t>(hotThreshold);
+        if (u < (hot * 6) / 10) {
+            span = hotBytes < 8192 ? hotBytes : 8192;
+        } else if (u < hot) {
+            span = hotBytes;
+        } else {
+            span = bytes;
+        }
+        Addr a = base + ((r >> 32) % (span - 8 < 8 ? 8 : span - 8));
+        return a & ~Addr(7);
+      }
+    }
+    panic("unreachable memory model kind");
+}
+
+} // namespace smt

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-static-instruction data address generators.
+ *
+ * Each static load/store owns a MemoryModel that deterministically
+ * produces its dynamic address stream:
+ *
+ *  - Stride: sequential walk through a small region (cache friendly).
+ *  - RandomWS: uniform within the benchmark's working set; misses the
+ *    caches once the working set exceeds their capacity.
+ *  - Chase: like RandomWS, but the program builder also threads a true
+ *    register dependence through consecutive chase loads, yielding the
+ *    serialized pointer-chasing behaviour of mcf/twolf.
+ */
+
+#ifndef SMTFETCH_WORKLOAD_MEMORY_MODEL_HH
+#define SMTFETCH_WORKLOAD_MEMORY_MODEL_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace smt
+{
+
+/** Deterministic address generator for one static load or store. */
+class MemoryModel
+{
+  public:
+    enum class Kind : unsigned char { Stride, RandomWS, Chase };
+
+    MemoryModel() = default;
+
+    /**
+     * @param region_base First byte of the region this generator uses.
+     * @param region_bytes Region size (power of two not required).
+     * @param stride Byte stride for Kind::Stride.
+     */
+    static MemoryModel makeStride(Addr region_base, Addr region_bytes,
+                                  unsigned stride);
+
+    /**
+     * Random access with hot/cold locality: a `hot_prob` fraction of
+     * accesses fall in the first `hot_bytes` of the region (temporal
+     * locality), the rest anywhere in it.
+     */
+    static MemoryModel makeRandom(Addr region_base, Addr region_bytes,
+                                  Addr hot_bytes, double hot_prob,
+                                  std::uint64_t seed);
+    static MemoryModel makeChase(Addr region_base, Addr region_bytes,
+                                 Addr hot_bytes, double hot_prob,
+                                 std::uint64_t seed);
+
+    /** Next dynamic effective address (8-byte aligned). */
+    Addr next();
+
+    Kind kind() const { return modelKind; }
+
+  private:
+    Kind modelKind = Kind::Stride;
+    Addr base = 0;
+    Addr bytes = 64;
+    Addr hotBytes = 64;
+    std::uint32_t hotThreshold = 0;
+    unsigned stride = 8;
+    Addr offset = 0;
+    std::uint64_t seed = 0;
+    std::uint64_t execCount = 0;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_WORKLOAD_MEMORY_MODEL_HH

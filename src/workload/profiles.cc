@@ -1,0 +1,296 @@
+#include "workload/profiles.hh"
+
+#include "util/logging.hh"
+
+namespace smt
+{
+
+namespace
+{
+
+/**
+ * Build the profile table.
+ *
+ * avgBlockSize values are the Table 1 "Avg. BB size" column. The
+ * remaining knobs encode the qualitative characterization published
+ * for SPECint2000: mcf/twolf/vpr are memory bounded with long
+ * dependence chains and poor locality; gcc/crafty/vortex have large
+ * code footprints; gzip/bzip2/eon are compute bound, cache friendly
+ * and highly predictable.
+ */
+std::vector<BenchmarkProfile>
+makeProfiles()
+{
+    std::vector<BenchmarkProfile> v;
+
+    BenchmarkProfile p;
+
+    // 164.gzip — compression, high ILP, small code, modest WS.
+    p = BenchmarkProfile{};
+    p.name = "gzip";
+    p.seedSalt = 8;
+    p.benchClass = BenchClass::ILP;
+    p.avgBlockSize = 11.02;
+    p.codeKB = 24;
+    p.workingSetKB = 384;
+    p.corrFrac = 0.25;
+    p.randomFrac = 0.02;
+    p.loopTripMean = 40.0;
+    p.backwardFrac = 0.45;
+    p.stackFrac = 0.58;
+    p.strideFrac = 0.32;
+    p.chaseFrac = 0.02;
+    p.hotKB = 16;
+    p.hotProb = 0.97;
+    p.depWindow = 14;
+    v.push_back(p);
+
+    // 175.vpr — place&route, memory bounded-ish, irregular.
+    p = BenchmarkProfile{};
+    p.name = "vpr";
+    p.seedSalt = 4;
+    p.benchClass = BenchClass::MEM;
+    p.avgBlockSize = 9.68;
+    p.codeKB = 48;
+    p.workingSetKB = 3072;
+    p.corrFrac = 0.28;
+    p.randomFrac = 0.04;
+    p.loopTripMean = 22.0;
+    p.stackFrac = 0.3;
+    p.strideFrac = 0.30;
+    p.chaseFrac = 0.2;
+    p.hotKB = 64;
+    p.hotProb = 0.88;
+    p.depWindow = 9;
+    v.push_back(p);
+
+    // 176.gcc — compiler, many small blocks, large code footprint.
+    p = BenchmarkProfile{};
+    p.name = "gcc";
+    p.seedSalt = 13;
+    p.benchClass = BenchClass::ILP;
+    p.avgBlockSize = 5.76;
+    p.codeKB = 160;
+    p.workingSetKB = 768;
+    p.corrFrac = 0.32;
+    p.randomFrac = 0.02;
+    p.loopTripMean = 18.0;
+    p.indirectFrac = 0.05;
+    p.callFrac = 0.10;
+    p.retFrac = 0.08;
+    p.condFrac = 0.70;
+    p.stackFrac = 0.5;
+    p.strideFrac = 0.3;
+    p.chaseFrac = 0.05;
+    p.hotKB = 32;
+    p.hotProb = 0.95;
+    p.depWindow = 10;
+    v.push_back(p);
+
+    // 181.mcf — network simplex, extremely memory bounded.
+    p = BenchmarkProfile{};
+    p.name = "mcf";
+    p.seedSalt = 28;
+    p.benchClass = BenchClass::MEM;
+    p.avgBlockSize = 3.92;
+    p.codeKB = 16;
+    p.workingSetKB = 16384;
+    p.loadFrac = 0.32;
+    p.storeFrac = 0.09;
+    p.corrFrac = 0.15;
+    p.randomFrac = 0.03;
+    p.loopTripMean = 20.0;
+    p.stackFrac = 0.18;
+    p.strideFrac = 0.13;
+    p.chaseFrac = 0.45;
+    p.hotKB = 256;
+    p.hotProb = 0.82;
+    p.depWindow = 6;
+    v.push_back(p);
+
+    // 186.crafty — chess, compute bound, larger code.
+    p = BenchmarkProfile{};
+    p.name = "crafty";
+    p.seedSalt = 15;
+    p.benchClass = BenchClass::ILP;
+    p.avgBlockSize = 9.24;
+    p.codeKB = 64;
+    p.workingSetKB = 512;
+    p.corrFrac = 0.32;
+    p.randomFrac = 0.02;
+    p.loopTripMean = 24.0;
+    p.stackFrac = 0.55;
+    p.strideFrac = 0.33;
+    p.chaseFrac = 0.03;
+    p.hotKB = 32;
+    p.hotProb = 0.96;
+    p.depWindow = 13;
+    v.push_back(p);
+
+    // 197.parser — NLP, pointer structures, medium memory pressure.
+    p = BenchmarkProfile{};
+    p.name = "parser";
+    p.seedSalt = 26;
+    p.benchClass = BenchClass::ILP;
+    p.avgBlockSize = 6.37;
+    p.codeKB = 48;
+    p.workingSetKB = 1536;
+    p.corrFrac = 0.28;
+    p.randomFrac = 0.03;
+    p.loopTripMean = 20.0;
+    p.stackFrac = 0.48;
+    p.strideFrac = 0.34;
+    p.chaseFrac = 0.08;
+    p.hotKB = 48;
+    p.hotProb = 0.92;
+    p.depWindow = 8;
+    v.push_back(p);
+
+    // 252.eon — C++ ray tracer, high ILP, some fp.
+    p = BenchmarkProfile{};
+    p.name = "eon";
+    p.seedSalt = 3;
+    p.benchClass = BenchClass::ILP;
+    p.avgBlockSize = 8.73;
+    p.codeKB = 96;
+    p.workingSetKB = 256;
+    p.fpFrac = 0.10;
+    p.corrFrac = 0.20;
+    p.randomFrac = 0.01;
+    p.loopTripMean = 30.0;
+    p.callFrac = 0.10;
+    p.retFrac = 0.08;
+    p.condFrac = 0.72;
+    p.stackFrac = 0.58;
+    p.strideFrac = 0.34;
+    p.chaseFrac = 0.02;
+    p.hotKB = 16;
+    p.hotProb = 0.97;
+    p.depWindow = 15;
+    v.push_back(p);
+
+    // 253.perlbmk — interpreter, indirect heavy, medium WS.
+    p = BenchmarkProfile{};
+    p.name = "perlbmk";
+    p.seedSalt = 11;
+    p.benchClass = BenchClass::MEM;
+    p.avgBlockSize = 10.06;
+    p.codeKB = 96;
+    p.workingSetKB = 2048;
+    p.corrFrac = 0.28;
+    p.randomFrac = 0.03;
+    p.loopTripMean = 22.0;
+    p.indirectFrac = 0.06;
+    p.callFrac = 0.10;
+    p.retFrac = 0.08;
+    p.condFrac = 0.68;
+    p.stackFrac = 0.4;
+    p.strideFrac = 0.32;
+    p.chaseFrac = 0.08;
+    p.hotKB = 48;
+    p.hotProb = 0.92;
+    p.depWindow = 10;
+    v.push_back(p);
+
+    // 254.gap — group theory, compute bound.
+    p = BenchmarkProfile{};
+    p.name = "gap";
+    p.seedSalt = 7;
+    p.benchClass = BenchClass::ILP;
+    p.avgBlockSize = 9.16;
+    p.codeKB = 64;
+    p.workingSetKB = 768;
+    p.corrFrac = 0.25;
+    p.randomFrac = 0.02;
+    p.loopTripMean = 28.0;
+    p.stackFrac = 0.55;
+    p.strideFrac = 0.33;
+    p.chaseFrac = 0.04;
+    p.hotKB = 24;
+    p.hotProb = 0.96;
+    p.depWindow = 12;
+    v.push_back(p);
+
+    // 255.vortex — OO database, large code, call heavy.
+    p = BenchmarkProfile{};
+    p.name = "vortex";
+    p.seedSalt = 12;
+    p.benchClass = BenchClass::ILP;
+    p.avgBlockSize = 6.50;
+    p.codeKB = 96;
+    p.workingSetKB = 512;
+    p.corrFrac = 0.25;
+    p.randomFrac = 0.02;
+    p.loopTripMean = 20.0;
+    p.callFrac = 0.12;
+    p.retFrac = 0.10;
+    p.condFrac = 0.66;
+    p.stackFrac = 0.52;
+    p.strideFrac = 0.33;
+    p.chaseFrac = 0.05;
+    p.hotKB = 32;
+    p.hotProb = 0.95;
+    p.depWindow = 11;
+    v.push_back(p);
+
+    // 256.bzip2 — compression, high ILP, predictable.
+    p = BenchmarkProfile{};
+    p.name = "bzip2";
+    p.seedSalt = 15;
+    p.benchClass = BenchClass::ILP;
+    p.avgBlockSize = 10.02;
+    p.codeKB = 24;
+    p.workingSetKB = 512;
+    p.corrFrac = 0.25;
+    p.randomFrac = 0.02;
+    p.loopTripMean = 48.0;
+    p.backwardFrac = 0.45;
+    p.stackFrac = 0.58;
+    p.strideFrac = 0.32;
+    p.chaseFrac = 0.02;
+    p.hotKB = 16;
+    p.hotProb = 0.97;
+    p.depWindow = 14;
+    v.push_back(p);
+
+    // 300.twolf — place&route, memory bounded.
+    p = BenchmarkProfile{};
+    p.name = "twolf";
+    p.seedSalt = 17;
+    p.benchClass = BenchClass::MEM;
+    p.avgBlockSize = 8.00;
+    p.codeKB = 32;
+    p.workingSetKB = 4096;
+    p.corrFrac = 0.28;
+    p.randomFrac = 0.04;
+    p.loopTripMean = 20.0;
+    p.stackFrac = 0.3;
+    p.strideFrac = 0.25;
+    p.chaseFrac = 0.22;
+    p.hotKB = 64;
+    p.hotProb = 0.9;
+    p.depWindow = 9;
+    v.push_back(p);
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+allProfiles()
+{
+    static const std::vector<BenchmarkProfile> profiles = makeProfiles();
+    return profiles;
+}
+
+const BenchmarkProfile &
+profileFor(const std::string &name)
+{
+    for (const auto &p : allProfiles())
+        if (p.name == name)
+            return p;
+    fatal("unknown benchmark '%s'", name.c_str());
+}
+
+} // namespace smt

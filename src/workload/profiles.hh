@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Synthetic SPECint2000 benchmark profiles.
+ *
+ * The paper traces 300M-instruction SimPoint slices of SPECint2000 on
+ * Alpha. We do not have those traces, so each benchmark is replaced by
+ * a parameterized synthetic model calibrated to the workload
+ * statistics that drive the paper's results: dynamic basic-block size
+ * (Table 1), branch predictability, instruction mix, working-set size
+ * and dependence depth (ILP vs MEM class). See DESIGN.md §3.
+ */
+
+#ifndef SMTFETCH_WORKLOAD_PROFILES_HH
+#define SMTFETCH_WORKLOAD_PROFILES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smt
+{
+
+/** Memory-behaviour class used by the paper's workload taxonomy. */
+enum class BenchClass : unsigned char
+{
+    ILP, //!< high instruction-level parallelism, cache resident
+    MEM, //!< memory bounded (large working set, pointer chasing)
+};
+
+/** Tunable description of one synthetic benchmark. */
+struct BenchmarkProfile
+{
+    std::string name;
+
+    /** Paper classification (Table 2 usage). */
+    BenchClass benchClass = BenchClass::ILP;
+
+    /** Target dynamic average basic-block size (Table 1). */
+    double avgBlockSize = 8.0;
+
+    /** Static code footprint in KB (I-cache pressure). */
+    unsigned codeKB = 32;
+
+    /** Data working-set size in KB (D-cache/L2 pressure). */
+    unsigned workingSetKB = 512;
+
+    /** @name Non-CTI instruction mix (fractions of block body). */
+    /// @{
+    double loadFrac = 0.24;
+    double storeFrac = 0.11;
+    double intMultFrac = 0.02;
+    double fpFrac = 0.01;
+    /// @}
+
+    /** @name CTI terminator type mix. */
+    /// @{
+    double condFrac = 0.78;
+    double jumpFrac = 0.05;
+    double callFrac = 0.08;
+    double retFrac = 0.06;
+    double indirectFrac = 0.03;
+    /// @}
+
+    /** @name Conditional-branch behaviour mix.
+     * Backward branches always get Loop models; these fractions split
+     * the forward branches.
+     */
+    /// @{
+    double corrFrac = 0.45;    //!< history-correlated (learnable)
+    double randomFrac = 0.05;  //!< 50/50 unpredictable
+    // remainder: biased
+    /// @}
+
+    /** Fraction of conditional branches that are loop back-edges. */
+    double backwardFrac = 0.40;
+
+    /** Mean loop trip count for back-edges. */
+    double loopTripMean = 12.0;
+
+    /** History bits consulted by correlated branches (difficulty). */
+    unsigned corrHistoryBits = 6;
+
+    /** @name Memory access pattern mix (per static load). */
+    /// @{
+    double stackFrac = 0.30;  //!< tiny hot region (stack/locals)
+    double chaseFrac = 0.05;  //!< dependent pointer chasing in the WS
+    double strideFrac = 0.45; //!< sequential walk of a shared array
+    // remainder: random within the working set (hot/cold)
+    /// @}
+
+    /** Hot-subset size for random/chase accesses (temporal locality). */
+    unsigned hotKB = 16;
+
+    /** Fraction of random/chase accesses landing in the hot subset. */
+    double hotProb = 0.80;
+
+    /**
+     * Register-reuse window: sources are drawn from the last this-many
+     * destinations. Small values produce long dependence chains (low
+     * ILP); large values produce wide independence (high ILP).
+     */
+    unsigned depWindow = 12;
+
+    /** Mean basic blocks per synthetic function. */
+    double blocksPerFunction = 16.0;
+
+    /**
+     * Per-benchmark build-seed salt. Synthetic CFGs are random
+     * samples; the salt pins each benchmark to a sample whose hot
+     * phases exhibit representative (SPECint-like) misprediction and
+     * locality behaviour. See DESIGN.md §3.
+     */
+    std::uint64_t seedSalt = 0;
+};
+
+/** All twelve SPECint2000 profiles, Table 1 order. */
+const std::vector<BenchmarkProfile> &allProfiles();
+
+/** Lookup by short name ("gzip", "twolf", ...); fatal if unknown. */
+const BenchmarkProfile &profileFor(const std::string &name);
+
+} // namespace smt
+
+#endif // SMTFETCH_WORKLOAD_PROFILES_HH

@@ -1,0 +1,139 @@
+#include "workload/trace.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace smt
+{
+
+TraceStream::TraceStream(const BenchmarkImage &image)
+    : img(image), branchModels(image.branchModels),
+      indirectModels(image.indirectModels), memModels(image.memModels),
+      pc(image.program.entry())
+{
+    computeUpcoming();
+}
+
+const TraceRecord &
+TraceStream::peek() const
+{
+    if (nextIndex < generatedCount)
+        return ring[nextIndex % replayWindow];
+    return upcoming;
+}
+
+TraceRecord
+TraceStream::next()
+{
+    if (nextIndex < generatedCount) {
+        // Replaying after a rewind.
+        return ring[nextIndex++ % replayWindow];
+    }
+
+    TraceRecord rec = upcoming;
+
+    ++tstats.insts;
+    if (rec.si->isControl()) {
+        ++tstats.ctis;
+        if (rec.taken)
+            ++tstats.takenCtis;
+        if (rec.si->isConditional()) {
+            ++tstats.condBranches;
+            if (rec.taken)
+                ++tstats.takenCond;
+        }
+    }
+    if (rec.si->isLoad())
+        ++tstats.loads;
+    if (rec.si->isStore())
+        ++tstats.stores;
+
+    ring[generatedCount % replayWindow] = rec;
+    ++generatedCount;
+    ++nextIndex;
+
+    pc = rec.nextPc;
+    computeUpcoming();
+    return rec;
+}
+
+void
+TraceStream::rewindTo(std::uint64_t index)
+{
+    if (index > nextIndex)
+        panic("trace rewind forward: %llu > %llu",
+              (unsigned long long)index,
+              (unsigned long long)nextIndex);
+    if (generatedCount - index > replayWindow)
+        panic("trace rewind beyond replay window");
+    nextIndex = index;
+}
+
+void
+TraceStream::computeUpcoming()
+{
+    const StaticInst *si = img.program.lookup(pc);
+    if (si == nullptr)
+        panic("correct path left program code at 0x%llx (%s)",
+              (unsigned long long)pc, img.profile.name.c_str());
+
+    TraceRecord rec;
+    rec.si = si;
+    rec.taken = false;
+    rec.nextPc = si->nextPc();
+    rec.memAddr = invalidAddr;
+
+    switch (si->op) {
+      case OpClass::CondBranch: {
+        bool taken = branchModels[si->modelId].next(oracleHistory,
+                                                    oraclePathSig);
+        oracleHistory = (oracleHistory << 1) | (taken ? 1 : 0);
+        rec.taken = taken;
+        if (taken)
+            rec.nextPc = si->target;
+        break;
+      }
+      case OpClass::Jump:
+        rec.taken = true;
+        rec.nextPc = si->target;
+        break;
+      case OpClass::CallDirect:
+        rec.taken = true;
+        rec.nextPc = si->target;
+        if (callStack.size() < maxCallDepth)
+            callStack.push_back(si->nextPc());
+        break;
+      case OpClass::Return:
+        rec.taken = true;
+        if (!callStack.empty()) {
+            rec.nextPc = callStack.back();
+            callStack.pop_back();
+        } else {
+            // Defensive: a return with no frame restarts the driver.
+            rec.nextPc = img.program.entry();
+        }
+        break;
+      case OpClass::JumpIndirect:
+        rec.taken = true;
+        rec.nextPc = indirectModels[si->modelId].next();
+        break;
+      case OpClass::Load:
+      case OpClass::Store:
+        rec.memAddr = memModels[si->modelId].next();
+        break;
+      default:
+        break;
+    }
+
+    // Track the oracle path signature: packed targets of recent taken
+    // CTIs, most recent in the low bits.
+    if (rec.taken) {
+        oraclePathSig =
+            (oraclePathSig << pathSigBitsPerTarget) |
+            ((rec.nextPc >> 2) & mask(pathSigBitsPerTarget));
+    }
+
+    upcoming = rec;
+}
+
+} // namespace smt

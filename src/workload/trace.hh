@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Correct-path dynamic trace stream.
+ *
+ * A TraceStream walks a BenchmarkImage's CFG and produces the
+ * benchmark's architecturally-correct dynamic instruction sequence:
+ * this is what a trace file would contain. The SMT core consumes one
+ * TraceStream per hardware thread; wrong-path fetch does NOT come from
+ * here (it reads the static dictionary directly), so the stream
+ * position always identifies the next correct-path instruction.
+ */
+
+#ifndef SMTFETCH_WORKLOAD_TRACE_HH
+#define SMTFETCH_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/static_inst.hh"
+#include "workload/program_builder.hh"
+
+namespace smt
+{
+
+/** One correct-path dynamic instruction. */
+struct TraceRecord
+{
+    const StaticInst *si = nullptr;
+
+    /** For CTIs: did control transfer? (non-CTIs: false) */
+    bool taken = false;
+
+    /** Address of the next correct-path instruction. */
+    Addr nextPc = invalidAddr;
+
+    /** Effective address for loads/stores. */
+    Addr memAddr = invalidAddr;
+
+    Addr pc() const { return si->pc; }
+};
+
+/** Aggregate statistics accumulated while generating a trace. */
+struct TraceStats
+{
+    std::uint64_t insts = 0;
+    std::uint64_t ctis = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t takenCtis = 0;
+    std::uint64_t takenCond = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+
+    /** Dynamic average basic-block size (insts per CTI). */
+    double
+    avgBlockSize() const
+    {
+        return ctis == 0 ? 0.0
+                         : static_cast<double>(insts) /
+                               static_cast<double>(ctis);
+    }
+
+    /** Dynamic average stream length (insts per taken CTI). */
+    double
+    avgStreamLength() const
+    {
+        return takenCtis == 0 ? 0.0
+                              : static_cast<double>(insts) /
+                                    static_cast<double>(takenCtis);
+    }
+};
+
+/**
+ * Infinite correct-path instruction stream for one benchmark.
+ *
+ * The stream owns private copies of the behaviour models, so multiple
+ * streams over the same image are independent. A bounded replay ring
+ * supports rewinding to a recently-consumed position, which squash
+ * mechanisms that discard correct-path instructions (the long-
+ * latency-load FLUSH policy) need to refetch them.
+ */
+class TraceStream
+{
+  public:
+    /** Rewind window in records (must exceed max per-thread
+     *  in-flight instructions plus fetch run-ahead). */
+    static constexpr std::size_t replayWindow = 4096;
+
+    /** @param image Must outlive the stream. */
+    explicit TraceStream(const BenchmarkImage &image);
+
+    /** The next correct-path record, without consuming it. */
+    const TraceRecord &peek() const;
+
+    /** PC of the next correct-path instruction. */
+    Addr peekPc() const { return peek().si->pc; }
+
+    /** Consume and return the next correct-path record. */
+    TraceRecord next();
+
+    /** Index of the next record next() will return. */
+    std::uint64_t position() const { return nextIndex; }
+
+    /**
+     * Rewind so that next() re-delivers the record that was at
+     * `index`. The index must be within the replay window.
+     */
+    void rewindTo(std::uint64_t index);
+
+    /** Statistics over everything generated so far. */
+    const TraceStats &stats() const { return tstats; }
+
+    /** The benchmark image this stream walks. */
+    const BenchmarkImage &image() const { return img; }
+
+  private:
+    void computeUpcoming();
+    void generateNext();
+
+    const BenchmarkImage &img;
+    std::vector<BranchModel> branchModels;
+    std::vector<IndirectModel> indirectModels;
+    std::vector<MemoryModel> memModels;
+
+    Addr pc;
+    std::vector<Addr> callStack;
+    std::uint64_t oracleHistory = 0;
+    std::uint64_t oraclePathSig = 0;
+
+    TraceRecord upcoming;
+    TraceStats tstats;
+
+    /** Replay ring: records [generated - window, generated). */
+    std::vector<TraceRecord> ring{replayWindow};
+    std::uint64_t generatedCount = 0; //!< records ever generated
+    std::uint64_t nextIndex = 0;      //!< next record to deliver
+
+    static constexpr std::size_t maxCallDepth = 64;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_WORKLOAD_TRACE_HH

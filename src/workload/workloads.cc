@@ -1,0 +1,85 @@
+#include "workload/workloads.hh"
+
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "workload/profiles.hh"
+
+namespace smt
+{
+
+namespace
+{
+
+/** Per-thread address-space strides (code and data never overlap). */
+constexpr Addr codeStride = 0x0100'0000;   // 16 MB of code space/thread
+constexpr Addr codeBase0 = 0x0040'0000;
+constexpr Addr dataStride = 0x1000'0000;   // 256 MB of data space/thread
+constexpr Addr dataBase0 = 0x4000'0000;
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+table2Workloads()
+{
+    static const std::vector<WorkloadSpec> workloads = {
+        {"2_ILP", {"eon", "gcc"}},
+        {"2_MEM", {"mcf", "twolf"}},
+        {"2_MIX", {"gzip", "twolf"}},
+        {"4_ILP", {"eon", "gcc", "gzip", "bzip2"}},
+        {"4_MEM", {"mcf", "twolf", "vpr", "perlbmk"}},
+        {"4_MIX", {"gzip", "twolf", "bzip2", "mcf"}},
+        {"6_ILP", {"eon", "gcc", "gzip", "bzip2", "crafty", "vortex"}},
+        {"6_MIX", {"gzip", "twolf", "bzip2", "mcf", "vpr", "eon"}},
+        {"8_ILP", {"eon", "gcc", "gzip", "bzip2", "crafty", "vortex",
+                   "gap", "parser"}},
+        {"8_MIX", {"gzip", "twolf", "bzip2", "mcf", "vpr", "eon", "gap",
+                   "parser"}},
+    };
+    return workloads;
+}
+
+const WorkloadSpec &
+workloadFor(const std::string &name)
+{
+    for (const auto &w : table2Workloads())
+        if (w.name == name)
+            return w;
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+WorkloadImages
+buildWorkload(const WorkloadSpec &spec, std::uint64_t seed)
+{
+    if (spec.benchmarks.empty())
+        fatal("workload '%s' has no benchmarks", spec.name.c_str());
+    if (spec.benchmarks.size() > maxThreads)
+        fatal("workload '%s' exceeds %u threads", spec.name.c_str(),
+              maxThreads);
+
+    WorkloadImages out;
+    out.spec = spec;
+    for (std::size_t t = 0; t < spec.benchmarks.size(); ++t) {
+        const auto &prof = profileFor(spec.benchmarks[t]);
+        // Stagger bases by a non-power-of-two line count so threads do
+        // not collide on the same cache sets in lockstep (real
+        // programs are not identically aligned either).
+        Addr code = codeBase0 + static_cast<Addr>(t) * codeStride +
+                    static_cast<Addr>(t) * 17 * 64 +
+                    (Rng::hashString(prof.name) % 61) * 64;
+        Addr data = dataBase0 + static_cast<Addr>(t) * dataStride +
+                    static_cast<Addr>(t) * 31 * 64 +
+                    (Rng::hashString(prof.name) % 53) * 64 * 8;
+        out.images.push_back(std::make_unique<BenchmarkImage>(
+            buildImage(prof, code, data, seed)));
+    }
+    return out;
+}
+
+WorkloadImages
+buildSingle(const std::string &benchmark, std::uint64_t seed)
+{
+    WorkloadSpec spec{benchmark, {benchmark}};
+    return buildWorkload(spec, seed);
+}
+
+} // namespace smt

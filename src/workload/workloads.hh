@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The paper's multithreaded workloads (Table 2) and helpers to
+ * instantiate the per-thread benchmark images for a workload.
+ */
+
+#ifndef SMTFETCH_WORKLOAD_WORKLOADS_HH
+#define SMTFETCH_WORKLOAD_WORKLOADS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/program_builder.hh"
+
+namespace smt
+{
+
+/** A named multithreaded workload: an ordered list of benchmarks. */
+struct WorkloadSpec
+{
+    std::string name;                    //!< e.g. "4_MIX"
+    std::vector<std::string> benchmarks; //!< thread i runs benchmarks[i]
+};
+
+/** All ten Table 2 workloads, in paper order. */
+const std::vector<WorkloadSpec> &table2Workloads();
+
+/** Lookup by name ("2_ILP", "8_MIX", ...); fatal if unknown. */
+const WorkloadSpec &workloadFor(const std::string &name);
+
+/** A fully-instantiated workload: one image per hardware thread. */
+struct WorkloadImages
+{
+    WorkloadSpec spec;
+    std::vector<std::unique_ptr<BenchmarkImage>> images;
+
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(images.size());
+    }
+};
+
+/**
+ * Build all per-thread images for a workload. Each thread gets a
+ * disjoint code and data address range so shared caches and predictor
+ * tables see realistic cross-thread interference.
+ */
+WorkloadImages buildWorkload(const WorkloadSpec &spec,
+                             std::uint64_t seed = 0);
+
+/** Convenience: build a single-benchmark (superscalar) workload. */
+WorkloadImages buildSingle(const std::string &benchmark,
+                           std::uint64_t seed = 0);
+
+} // namespace smt
+
+#endif // SMTFETCH_WORKLOAD_WORKLOADS_HH

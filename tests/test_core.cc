@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the SMT core components: FTQ, fetch policies, rename unit,
+ * issue queues and core parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fetch_policy.hh"
+#include "core/ftq.hh"
+#include "core/iq.hh"
+#include "core/params.hh"
+#include "core/rename.hh"
+
+namespace smt
+{
+namespace
+{
+
+BlockPrediction
+makeBlock(Addr start, unsigned len)
+{
+    BlockPrediction b;
+    b.start = start;
+    b.lengthInsts = len;
+    b.nextFetchPc = start + len * instBytes;
+    return b;
+}
+
+TEST(FtqTest, PushConsumePop)
+{
+    FetchTargetQueue ftq(2);
+    EXPECT_TRUE(ftq.empty());
+    ftq.push(makeBlock(0x1000, 6));
+    ftq.push(makeBlock(0x2000, 4));
+    EXPECT_TRUE(ftq.full());
+    EXPECT_EQ(ftq.headFetchPc(), 0x1000u);
+    EXPECT_EQ(ftq.headRemaining(), 6u);
+    ftq.consume(4); // partial
+    EXPECT_EQ(ftq.headFetchPc(), 0x1010u);
+    EXPECT_EQ(ftq.headRemaining(), 2u);
+    ftq.consume(2); // pops
+    EXPECT_EQ(ftq.headFetchPc(), 0x2000u);
+    EXPECT_FALSE(ftq.full());
+}
+
+TEST(FtqTest, ClearEmpties)
+{
+    FetchTargetQueue ftq(4);
+    ftq.push(makeBlock(0x1000, 8));
+    ftq.consume(3);
+    ftq.clear();
+    EXPECT_TRUE(ftq.empty());
+    ftq.push(makeBlock(0x3000, 2));
+    EXPECT_EQ(ftq.headFetchPc(), 0x3000u); // offset reset
+}
+
+TEST(PolicyTest, IcountOrdersAscending)
+{
+    IcountPolicy policy;
+    std::uint32_t icounts[4] = {30, 5, 17, 5};
+    std::vector<ThreadID> order;
+    policy.order(0, icounts, 4, order);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order.back(), 0); // most loaded last
+    EXPECT_EQ(icounts[order[0]], 5u);
+    EXPECT_EQ(icounts[order[1]], 5u);
+}
+
+TEST(PolicyTest, IcountTieBreakRotates)
+{
+    IcountPolicy policy;
+    std::uint32_t icounts[2] = {7, 7};
+    std::vector<ThreadID> o0, o1;
+    policy.order(0, icounts, 2, o0);
+    policy.order(1, icounts, 2, o1);
+    EXPECT_NE(o0[0], o1[0]); // fair under ties
+}
+
+TEST(PolicyTest, RoundRobinRotates)
+{
+    RoundRobinPolicy policy;
+    std::uint32_t icounts[3] = {100, 0, 50}; // ignored
+    std::vector<ThreadID> order;
+    policy.order(7, icounts, 3, order);
+    EXPECT_EQ(order[0], 7 % 3);
+    EXPECT_EQ(order[1], (7 + 1) % 3);
+}
+
+TEST(PolicyTest, Factory)
+{
+    EXPECT_EQ(makePolicy(PolicyKind::ICount)->kind(),
+              PolicyKind::ICount);
+    EXPECT_EQ(makePolicy(PolicyKind::RoundRobin)->kind(),
+              PolicyKind::RoundRobin);
+}
+
+TEST(ParamsTest, PolicyString)
+{
+    CoreParams p;
+    p.policy = PolicyKind::ICount;
+    p.fetchThreads = 2;
+    p.fetchWidth = 16;
+    EXPECT_EQ(p.policyString(), "ICOUNT.2.16");
+}
+
+TEST(ParamsTest, ValidateAcceptsTable3)
+{
+    CoreParams p;
+    p.numThreads = 8;
+    p.validate(); // must not fatal
+    SUCCEED();
+}
+
+// --- Rename unit -----------------------------------------------------
+
+StaticInst aluInst;
+
+DynInst
+makeAlu(ThreadID tid, RegIndex src, RegIndex dst)
+{
+    aluInst.src1 = src;
+    aluInst.src2 = invalidReg;
+    aluInst.dst = dst;
+    aluInst.op = OpClass::IntAlu;
+    DynInst d;
+    d.tid = tid;
+    d.si = &aluInst;
+    d.op = OpClass::IntAlu;
+    return d;
+}
+
+TEST(RenameTest, InitialStateAccounting)
+{
+    RenameUnit ru(384, 384, 2);
+    // 2 threads x 32 arch regs mapped and ready.
+    EXPECT_EQ(ru.freeIntRegs(), 384u - 64u);
+    EXPECT_EQ(ru.freeFpRegs(), 384u - 64u);
+}
+
+TEST(RenameTest, RenameAllocatesAndTracksReadiness)
+{
+    RenameUnit ru(96, 96, 1);
+    DynInst d = makeAlu(0, 3, 5);
+    ru.rename(d);
+    EXPECT_NE(d.physDst, invalidReg);
+    EXPECT_NE(d.prevPhysDst, invalidReg);
+    EXPECT_TRUE(ru.isReady(d.physSrc1, false)); // arch value ready
+    EXPECT_FALSE(ru.isReady(d.physDst, false)); // not produced yet
+    ru.markReady(d.physDst, false);
+    EXPECT_TRUE(ru.isReady(d.physDst, false));
+}
+
+TEST(RenameTest, DependencyThroughRenamedReg)
+{
+    RenameUnit ru(96, 96, 1);
+    DynInst producer = makeAlu(0, 1, 7);
+    ru.rename(producer);
+    DynInst consumer = makeAlu(0, 7, 8);
+    ru.rename(consumer);
+    EXPECT_EQ(consumer.physSrc1, producer.physDst);
+    EXPECT_FALSE(ru.sourcesReady(consumer));
+    ru.markReady(producer.physDst, false);
+    EXPECT_TRUE(ru.sourcesReady(consumer));
+}
+
+TEST(RenameTest, CommitFreesPreviousMapping)
+{
+    RenameUnit ru(96, 96, 1);
+    unsigned before = ru.freeIntRegs();
+    DynInst d = makeAlu(0, 1, 7);
+    ru.rename(d);
+    EXPECT_EQ(ru.freeIntRegs(), before - 1);
+    ru.commit(d);
+    EXPECT_EQ(ru.freeIntRegs(), before); // prev phys returned
+}
+
+TEST(RenameTest, RollbackRestoresMapAndFreeList)
+{
+    RenameUnit ru(96, 96, 1);
+    unsigned before = ru.freeIntRegs();
+    DynInst a = makeAlu(0, 1, 7);
+    ru.rename(a);
+    DynInst b = makeAlu(0, 1, 7); // same arch dest
+    ru.rename(b);
+    // Roll back youngest first.
+    ru.rollback(b);
+    ru.rollback(a);
+    EXPECT_EQ(ru.freeIntRegs(), before);
+    // The arch mapping is back to the original: a new consumer reads
+    // a ready (architectural) register.
+    DynInst c = makeAlu(0, 7, 8);
+    ru.rename(c);
+    EXPECT_TRUE(ru.isReady(c.physSrc1, false));
+}
+
+TEST(RenameTest, ExhaustionReported)
+{
+    RenameUnit ru(34, 34, 1); // 32 arch + 2 spare
+    EXPECT_TRUE(ru.canAllocate(false));
+    DynInst a = makeAlu(0, 1, 2);
+    ru.rename(a);
+    DynInst b = makeAlu(0, 1, 3);
+    ru.rename(b);
+    EXPECT_FALSE(ru.canAllocate(false));
+}
+
+// --- Issue queues -----------------------------------------------------
+
+TEST(IqTest, ClassMapping)
+{
+    EXPECT_EQ(iqClassFor(OpClass::Load), IqClass::LdSt);
+    EXPECT_EQ(iqClassFor(OpClass::Store), IqClass::LdSt);
+    EXPECT_EQ(iqClassFor(OpClass::FpAlu), IqClass::Fp);
+    EXPECT_EQ(iqClassFor(OpClass::CondBranch), IqClass::Int);
+    EXPECT_EQ(iqClassFor(OpClass::IntAlu), IqClass::Int);
+}
+
+TEST(IqTest, CapacityPerClass)
+{
+    IssueQueues iqs(2, 2, 2);
+    RenameUnit ru(96, 96, 1);
+    std::vector<DynInst> insts(3, makeAlu(0, invalidReg, invalidReg));
+    for (auto &d : insts)
+        d.si = nullptr; // no operands: always ready
+    iqs.insert(&insts[0]);
+    iqs.insert(&insts[1]);
+    EXPECT_FALSE(iqs.hasSpace(IqClass::Int));
+    EXPECT_TRUE(iqs.hasSpace(IqClass::LdSt));
+}
+
+TEST(IqTest, PickReadyRespectsFuLimits)
+{
+    IssueQueues iqs(8, 8, 8);
+    RenameUnit ru(96, 96, 1);
+    std::vector<DynInst> insts(5);
+    for (auto &d : insts) {
+        d.tid = 0;
+        d.op = OpClass::IntAlu; // no si: sources trivially ready
+        iqs.insert(&d);
+    }
+    std::vector<DynInst *> picked;
+    iqs.pickReady(ru, /*int_fus=*/3, 4, 3, picked);
+    EXPECT_EQ(picked.size(), 3u);
+    EXPECT_EQ(iqs.occupancy(IqClass::Int), 2u);
+}
+
+TEST(IqTest, SquashRemovesYounger)
+{
+    IssueQueues iqs(8, 8, 8);
+    std::vector<DynInst> insts(4);
+    for (unsigned i = 0; i < 4; ++i) {
+        insts[i].tid = i < 2 ? 0 : 1;
+        insts[i].seq = 10 + i;
+        insts[i].op = OpClass::IntAlu;
+        iqs.insert(&insts[i]);
+    }
+    iqs.squash(0, 10); // removes thread 0 seq 11 only
+    EXPECT_EQ(iqs.occupancy(IqClass::Int), 3u);
+    EXPECT_EQ(iqs.threadOccupancy(0), 1u);
+    EXPECT_EQ(iqs.threadOccupancy(1), 2u);
+}
+
+TEST(IqTest, AgeOrderPreserved)
+{
+    IssueQueues iqs(8, 8, 8);
+    RenameUnit ru(96, 96, 1);
+    std::vector<DynInst> insts(3);
+    for (unsigned i = 0; i < 3; ++i) {
+        insts[i].tid = 0;
+        insts[i].seq = i;
+        insts[i].dispatchStamp = i;
+        insts[i].op = OpClass::IntAlu;
+        iqs.insert(&insts[i]);
+    }
+    std::vector<DynInst *> picked;
+    iqs.pickReady(ru, 2, 4, 3, picked);
+    ASSERT_EQ(picked.size(), 2u);
+    EXPECT_EQ(picked[0]->seq, 0u);
+    EXPECT_EQ(picked[1]->seq, 1u);
+}
+
+} // namespace
+} // namespace smt

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the memory hierarchy: cache geometry, LRU, banking, MSHR
+ * merging, multi-level latencies and TLBs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+#include "mem/tlb.hh"
+
+namespace smt
+{
+namespace
+{
+
+CacheParams
+smallCache(const char *name, unsigned size, unsigned ways,
+           Cycle hit_lat)
+{
+    CacheParams p;
+    p.name = name;
+    p.sizeBytes = size;
+    p.ways = ways;
+    p.lineBytes = 64;
+    p.banks = 8;
+    p.hitLatency = hit_lat;
+    p.mshrs = 8;
+    return p;
+}
+
+TEST(CacheTest, HitAfterMissSettles)
+{
+    Cache c(smallCache("L", 4096, 2, 1), nullptr, 100);
+    Cycle lat = c.access(0x1000, false, 0);
+    EXPECT_EQ(lat, 101u); // 1 (hit path) + 100 memory
+    // After the fill completes, it hits.
+    EXPECT_EQ(c.access(0x1000, false, 200), 1u);
+    EXPECT_EQ(c.stats().accesses, 2u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(CacheTest, MshrMergeWhileInFlight)
+{
+    Cache c(smallCache("L", 4096, 2, 1), nullptr, 100);
+    c.access(0x1000, false, 0); // ready at 101
+    Cycle lat = c.access(0x1008, false, 50); // same line, in flight
+    EXPECT_EQ(lat, 51u + 1u); // remaining 51 + hit latency
+    EXPECT_EQ(c.stats().mshrMerges, 1u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(CacheTest, LruWithinSet)
+{
+    // 2 ways, 32 sets: addresses 32 lines apart share a set.
+    Cache c(smallCache("L", 4096, 2, 1), nullptr, 100);
+    Addr set_stride = 32 * 64;
+    c.access(0x0000, false, 0);
+    c.access(set_stride, false, 200);
+    c.access(0x0000, false, 400);          // touch: set_stride is LRU
+    c.access(2 * set_stride, false, 600);  // evicts set_stride
+    EXPECT_EQ(c.access(0x0000, false, 800), 1u);
+    EXPECT_GT(c.access(set_stride, false, 1000), 1u); // miss again
+}
+
+TEST(CacheTest, BankMapping)
+{
+    Cache c(smallCache("L", 32 * 1024, 2, 1), nullptr, 100);
+    EXPECT_EQ(c.bankOf(0x0000), 0u);
+    EXPECT_EQ(c.bankOf(0x0040), 1u);
+    EXPECT_EQ(c.bankOf(0x01c0), 7u);
+    EXPECT_EQ(c.bankOf(0x0200), 0u); // wraps at 8 banks
+}
+
+TEST(CacheTest, WritesCountedAndAllocate)
+{
+    Cache c(smallCache("L", 4096, 2, 1), nullptr, 100);
+    c.access(0x2000, true, 0);
+    EXPECT_EQ(c.stats().writeAccesses, 1u);
+    EXPECT_EQ(c.access(0x2000, false, 200), 1u); // write-allocated
+}
+
+TEST(CacheTest, ResetClearsState)
+{
+    Cache c(smallCache("L", 4096, 2, 1), nullptr, 100);
+    c.access(0x1000, false, 0);
+    c.reset();
+    EXPECT_EQ(c.stats().accesses, 0u);
+    EXPECT_GT(c.access(0x1000, false, 0), 1u); // cold again
+}
+
+TEST(HierarchyTest, LatenciesCompose)
+{
+    MemoryHierarchy mem{MemoryParams{}};
+    // Cold data access: DTLB walk + L1 miss + L2 miss + memory.
+    Cycle first = mem.dcacheAccess(0, 0x40000000, false, 0);
+    EXPECT_GT(first, 100u);
+    // Warm hit: L1 latency + load-to-use.
+    Cycle warm = mem.dcacheAccess(0, 0x40000000, false, 10'000);
+    EXPECT_LE(warm, 4u);
+}
+
+TEST(HierarchyTest, L2SharedBetweenIAndD)
+{
+    MemoryHierarchy mem{MemoryParams{}};
+    mem.icacheAccess(0, 0x40000000, 0); // fills L2 line
+    std::uint64_t l2_misses = mem.l2().stats().misses;
+    // Same line via the D side after L1I warmed L2: L2 should hit.
+    mem.dcacheAccess(0, 0x40000000, false, 10'000);
+    EXPECT_EQ(mem.l2().stats().misses, l2_misses);
+}
+
+TEST(HierarchyTest, IcacheReadyProbe)
+{
+    MemoryHierarchy mem{MemoryParams{}};
+    EXPECT_FALSE(mem.icacheReady(0x400000));
+    mem.icacheAccess(0, 0x400000, 0);
+    EXPECT_TRUE(mem.icacheReady(0x400000));
+}
+
+TEST(TlbTest, HitAfterWalk)
+{
+    Tlb tlb("T", 4, 8192, 30);
+    EXPECT_EQ(tlb.access(0, 0x10000), 30u);
+    EXPECT_EQ(tlb.access(0, 0x10100), 0u); // same page
+    EXPECT_EQ(tlb.access(0, 0x12000), 30u); // next page
+}
+
+TEST(TlbTest, PerThreadTagging)
+{
+    Tlb tlb("T", 8, 8192, 30);
+    tlb.access(0, 0x10000);
+    EXPECT_FALSE(tlb.wouldHit(1, 0x10000));
+    EXPECT_TRUE(tlb.wouldHit(0, 0x10000));
+    EXPECT_EQ(tlb.access(1, 0x10000), 30u);
+}
+
+TEST(TlbTest, LruReplacement)
+{
+    Tlb tlb("T", 2, 8192, 30);
+    tlb.access(0, 0x00000);
+    tlb.access(0, 0x02000);
+    tlb.access(0, 0x00000); // touch; page 0x02000 is LRU
+    tlb.access(0, 0x04000); // evicts 0x02000
+    EXPECT_TRUE(tlb.wouldHit(0, 0x00000));
+    EXPECT_FALSE(tlb.wouldHit(0, 0x02000));
+}
+
+TEST(TlbTest, StatsTrackMissRate)
+{
+    Tlb tlb("T", 16, 8192, 30);
+    for (int i = 0; i < 8; ++i)
+        tlb.access(0, static_cast<Addr>(i) * 8192);
+    for (int i = 0; i < 8; ++i)
+        tlb.access(0, static_cast<Addr>(i) * 8192);
+    EXPECT_EQ(tlb.stats().accesses, 16u);
+    EXPECT_EQ(tlb.stats().misses, 8u);
+    EXPECT_DOUBLE_EQ(tlb.stats().missRate(), 0.5);
+}
+
+} // namespace
+} // namespace smt

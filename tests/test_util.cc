@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unit tests for the utility substrate: RNG determinism, saturating
+ * counters, histograms, stat groups, bit helpers and the table
+ * printer.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/bitfield.hh"
+#include "util/histogram.hh"
+#include "util/random.hh"
+#include "util/sat_counter.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace smt
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, StringSeedDeterministic)
+{
+    Rng a("gzip", 7), b("gzip", 7), c("twolf", 7);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(4);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 20000; ++i) {
+        auto v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng r(6);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+}
+
+TEST(Rng, PositiveGeometricMeanRoughlyMatches)
+{
+    Rng r(7);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += r.positiveGeometric(8.0, 1000);
+    EXPECT_NEAR(sum / n, 8.0, 0.5);
+}
+
+TEST(Rng, PositiveGeometricRespectsCap)
+{
+    Rng r(8);
+    for (int i = 0; i < 10000; ++i) {
+        unsigned v = r.positiveGeometric(20.0, 32);
+        EXPECT_GE(v, 1u);
+        EXPECT_LE(v, 32u);
+    }
+}
+
+TEST(SatCounter, SaturatesAtBounds)
+{
+    SatCounter c(2, 0);
+    EXPECT_FALSE(c.predictTaken());
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.raw(), 3);
+    EXPECT_TRUE(c.predictTaken());
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.raw(), 0);
+}
+
+TEST(SatCounter, MidpointPredictsNotTaken)
+{
+    SatCounter c(2, 1);
+    EXPECT_FALSE(c.predictTaken()); // 1 of 3: weakly not-taken
+    c.increment();
+    EXPECT_TRUE(c.predictTaken()); // 2 of 3: weakly taken
+}
+
+TEST(SatCounter, UpdateDirection)
+{
+    SatCounter c(3, 3);
+    c.update(true);
+    EXPECT_EQ(c.raw(), 4);
+    c.update(false);
+    c.update(false);
+    EXPECT_EQ(c.raw(), 2);
+}
+
+TEST(SatCounter, IsSaturated)
+{
+    SatCounter c(1, 0);
+    EXPECT_TRUE(c.isSaturated());
+    c.increment();
+    EXPECT_TRUE(c.isSaturated());
+    SatCounter d(2, 1);
+    EXPECT_FALSE(d.isSaturated());
+}
+
+TEST(Histogram, MeanAndFractions)
+{
+    Histogram h(16);
+    h.sample(4);
+    h.sample(8);
+    h.sample(8);
+    h.sample(0);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(h.fractionAt(8), 0.5);
+    EXPECT_DOUBLE_EQ(h.fractionAtLeast(4), 0.75);
+    EXPECT_DOUBLE_EQ(h.fractionAbove(4), 0.5);
+}
+
+TEST(Histogram, ClampsOverflowToTopBucket)
+{
+    Histogram h(8);
+    h.sample(100);
+    EXPECT_EQ(h.at(8), 1u);
+    EXPECT_EQ(h.sum(), 100u); // mean uses true values
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(4);
+    h.sample(2);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(StatGroup, CountersAndFormulasDump)
+{
+    StatGroup g("fetch");
+    Counter &c = g.addCounter("insts", "fetched instructions");
+    c += 10;
+    ++c;
+    g.addFormula("double", "twice the insts",
+                 [&c]() { return 2.0 * c.value(); });
+    std::ostringstream os;
+    g.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("fetch.insts 11"), std::string::npos);
+    EXPECT_NE(out.find("fetch.double 22"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllZeroesCounters)
+{
+    StatGroup g("x");
+    Counter &c = g.addCounter("a", "d");
+    c += 5;
+    g.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Bitfield, MaskAndBits)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(4), 0xfu);
+    EXPECT_EQ(mask(64), ~0ULL);
+    EXPECT_EQ(bits(0xabcd, 4, 8), 0xbcu);
+}
+
+TEST(Bitfield, FoldXor)
+{
+    EXPECT_EQ(foldXor(0xff00ff, 8), 0xffu ^ 0x00u ^ 0xffu);
+    EXPECT_EQ(foldXor(0x12345678, 16), (0x1234u ^ 0x5678u));
+    EXPECT_EQ(foldXor(12345, 0), 0u);
+}
+
+TEST(Bitfield, Mix64Distinct)
+{
+    EXPECT_NE(mix64(1), mix64(2));
+    EXPECT_EQ(mix64(77), mix64(77));
+}
+
+TEST(TextTable, RendersAlignedRows)
+{
+    TextTable t({"a", "bb"});
+    t.addRow({"1", "2"});
+    t.addRow({"333", "4"});
+    std::ostringstream os;
+    t.print(os, "title");
+    std::string out = os.str();
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("333"), std::string::npos);
+}
+
+TEST(TextTable, NumAndPctFormat)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::pct(0.123, 1), "+12.3%");
+    EXPECT_EQ(TextTable::pct(-0.05, 1), "-5.0%");
+}
+
+} // namespace
+} // namespace smt
