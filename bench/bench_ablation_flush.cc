@@ -35,19 +35,24 @@ main()
     std::printf("== Ablation: long-latency-load policies (stream "
                 "engine) ==\n\n");
 
+    BenchReport report("ablation_flush");
     TextTable t({"workload", "policy", "baseline", "STALL", "FLUSH"});
     for (const char *wl : {"2_MIX", "2_MEM", "4_MIX"}) {
         for (auto [n, x] : {std::pair{2u, 8u}, {1u, 16u}}) {
+            double base = runWith(wl, n, x, LongLoadPolicy::None);
+            double stall = runWith(wl, n, x, LongLoadPolicy::Stall);
+            double flush = runWith(wl, n, x, LongLoadPolicy::Flush);
+            std::string key = csprintf("%s.%u.%u", wl, n, x);
+            report.metric(key + ".baseline.ipc", base);
+            report.metric(key + ".stall.ipc", stall);
+            report.metric(key + ".flush.ipc", flush);
             t.addRow({wl, csprintf("%u.%u", n, x),
-                      TextTable::num(
-                          runWith(wl, n, x, LongLoadPolicy::None)),
-                      TextTable::num(
-                          runWith(wl, n, x, LongLoadPolicy::Stall)),
-                      TextTable::num(
-                          runWith(wl, n, x, LongLoadPolicy::Flush))});
+                      TextTable::num(base), TextTable::num(stall),
+                      TextTable::num(flush)});
         }
     }
     t.print(std::cout);
+    report.write();
     std::printf("\nSTALL/FLUSH recover part of the 2.X clog loss "
                 "(Tullsen & Brown), while the\npaper's ICOUNT.1.16 "
                 "needs no load-awareness at all.\n");

@@ -16,6 +16,7 @@ main()
     std::printf("== Ablation: FTQ depth (stream engine, "
                 "ICOUNT.1.16) ==\n\n");
 
+    BenchReport report("ablation_ftq");
     TextTable t({"FTQ entries", "2_MIX IPC", "4_ILP IPC"});
     for (unsigned depth : {1u, 2u, 4u, 8u, 16u}) {
         double ipc_mix = 0, ipc_ilp = 0;
@@ -30,9 +31,12 @@ main()
             (std::string(wl) == "2_MIX" ? ipc_mix : ipc_ilp) =
                 sim.stats().ipc();
         }
+        report.metric(csprintf("ftq%u.2_MIX.ipc", depth), ipc_mix);
+        report.metric(csprintf("ftq%u.4_ILP.ipc", depth), ipc_ilp);
         t.addRow({std::to_string(depth), TextTable::num(ipc_mix),
                   TextTable::num(ipc_ilp)});
     }
     t.print(std::cout);
+    report.write();
     return 0;
 }

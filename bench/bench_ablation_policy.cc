@@ -16,6 +16,7 @@ main()
                 "==\n\n");
 
     ExperimentRunner runner = makeRunner();
+    BenchReport report("ablation_policy");
     TextTable t({"workload", "policy", "RR IPC", "ICOUNT IPC",
                  "ICOUNT gain"});
     for (const char *wl : {"2_ILP", "2_MIX", "4_MIX", "8_MIX"}) {
@@ -25,11 +26,14 @@ main()
                                  PolicyKind::RoundRobin);
             auto ic = runner.run(wl, EngineKind::Stream, n, x,
                                  PolicyKind::ICount);
+            report.add(rr);
+            report.add(ic);
             t.addRow({wl, csprintf("%u.%u", n, x),
                       TextTable::num(rr.ipc), TextTable::num(ic.ipc),
                       TextTable::pct(ic.ipc / rr.ipc - 1)});
         }
     }
     t.print(std::cout);
+    report.write();
     return 0;
 }

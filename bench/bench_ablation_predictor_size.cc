@@ -38,14 +38,20 @@ main()
     std::printf("== Ablation: predictor budget sweep (4_MIX, "
                 "ICOUNT.1.16) ==\n\n");
 
+    BenchReport report("ablation_predictor_size");
     TextTable t({"budget", "gshare+BTB", "gskew+FTB", "stream"});
     const char *labels[] = {"1x (Table 3)", "1/2x", "1/4x", "1/8x"};
     for (unsigned shift = 0; shift < 4; ++shift) {
-        t.addRow({labels[shift],
-                  TextTable::num(runWith(EngineKind::GshareBtb, shift)),
-                  TextTable::num(runWith(EngineKind::GskewFtb, shift)),
-                  TextTable::num(runWith(EngineKind::Stream, shift))});
+        double g = runWith(EngineKind::GshareBtb, shift);
+        double k = runWith(EngineKind::GskewFtb, shift);
+        double s = runWith(EngineKind::Stream, shift);
+        report.metric(csprintf("shift%u.gshareBtb.ipc", shift), g);
+        report.metric(csprintf("shift%u.gskewFtb.ipc", shift), k);
+        report.metric(csprintf("shift%u.stream.ipc", shift), s);
+        t.addRow({labels[shift], TextTable::num(g), TextTable::num(k),
+                  TextTable::num(s)});
     }
     t.print(std::cout);
+    report.write();
     return 0;
 }

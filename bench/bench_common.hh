@@ -9,6 +9,8 @@
 #define SMTFETCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -51,6 +53,68 @@ runGrid(const std::vector<std::string> &workloads,
     std::cout << '\n';
     return results;
 }
+
+/**
+ * Write the machine-readable record for a bench run: a
+ * BENCH_<bench>.json document next to the printed table. The output
+ * directory defaults to the working directory and can be overridden
+ * with SMTFETCH_JSON_DIR; set SMTFETCH_NO_JSON=1 to skip emission.
+ */
+inline void
+writeBenchJson(const std::string &bench,
+               const std::vector<ExperimentResult> &results,
+               const std::vector<std::pair<std::string, double>>
+                   &metrics = {})
+{
+    const char *off = std::getenv("SMTFETCH_NO_JSON");
+    if (off != nullptr && off[0] != '\0' && off[0] != '0')
+        return;
+    const char *dir = std::getenv("SMTFETCH_JSON_DIR");
+    std::string path = std::string(dir != nullptr ? dir : ".") +
+                       "/BENCH_" + bench + ".json";
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    ExperimentRunner::writeJson(os, bench, results, metrics);
+    std::printf("wrote %s\n", path.c_str());
+}
+
+/**
+ * Incremental collector for a bench's machine-readable record: grid
+ * results and/or ad-hoc named metrics, written as BENCH_<name>.json.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string bench)
+        : bench(std::move(bench))
+    {
+    }
+
+    void add(const ExperimentResult &r) { results.push_back(r); }
+
+    void
+    add(const std::vector<ExperimentResult> &rs)
+    {
+        results.insert(results.end(), rs.begin(), rs.end());
+    }
+
+    void
+    metric(const std::string &name, double v)
+    {
+        metrics.emplace_back(name, v);
+    }
+
+    void write() const { writeBenchJson(bench, results, metrics); }
+
+  private:
+    std::string bench;
+    std::vector<ExperimentResult> results;
+    std::vector<std::pair<std::string, double>> metrics;
+};
 
 /** Find one grid point. */
 inline const ExperimentResult *

@@ -45,5 +45,7 @@ main()
     check("1.16 gains less than +40% over 1.8 (one basic block "
           "per prediction)",
           r116.ipfc < 1.4 * r18.ipfc);
+
+    writeBenchJson("fig2_single_thread", {r18, r116});
     return 0;
 }

@@ -44,5 +44,7 @@ main()
           r28.ipfc > 1.10 * r18.ipfc);
     check("2.16 improves fetch throughput over 2.8",
           r216.ipfc > r28.ipfc);
+
+    writeBenchJson("fig4_two_threads", {r18, r28, r116, r216});
     return 0;
 }

@@ -42,5 +42,7 @@ main()
     check(csprintf("stream fetch >= gshare+BTB IPFC at 1.8 (%d of 4 "
                    "workloads)", stream_leads),
           stream_leads >= 3);
+
+    writeBenchJson("fig5_ilp", rs);
     return 0;
 }

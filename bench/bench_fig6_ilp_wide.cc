@@ -45,5 +45,7 @@ main()
           gshare_116_loses >= 2);
     std::printf("  stream 1.16 vs gshare+BTB 2.8 average IPC delta: "
                 "%+.1f%% (paper: +19%%)\n", gain_vs_gshare / 4);
+
+    writeBenchJson("fig6_ilp_wide", rs);
     return 0;
 }

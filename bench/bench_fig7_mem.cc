@@ -43,5 +43,7 @@ main()
     check(csprintf("2.8 REDUCES commit throughput — the paper's "
                    "inversion (%d of %d)", ipc_down, n),
           ipc_down >= n - 4);
+
+    writeBenchJson("fig7_mem", rs);
     return 0;
 }

@@ -45,5 +45,7 @@ main()
     check(csprintf("2.16 is no better than 1.16 (%d of %d)",
                    dual_wide_worse, n),
           dual_wide_worse >= n - 4);
+
+    writeBenchJson("fig8_mem_wide", rs);
     return 0;
 }

@@ -52,5 +52,7 @@ main()
     std::printf("\nShape checks:\n");
     check("gskew+FTB >= gshare+BTB on average", avg_ftb > -1.0);
     check("stream >= gskew+FTB on average", avg_stream >= avg_ftb - 1.0);
+
+    writeBenchJson("sec33_superscalar", rs);
     return 0;
 }

@@ -17,6 +17,7 @@ main()
     std::printf("== Table 1: SPECint2000 synthetic model "
                 "characteristics ==\n\n");
 
+    BenchReport report("table1_characteristics");
     TextTable t({"benchmark", "class", "BB size (paper)",
                  "BB size (model)", "stream len", "taken rate",
                  "loads/insts"});
@@ -26,6 +27,12 @@ main()
         for (int i = 0; i < 400'000; ++i)
             ts.next();
         const auto &s = ts.stats();
+        report.metric(prof.name + ".bbSize", s.avgBlockSize());
+        report.metric(prof.name + ".streamLen", s.avgStreamLength());
+        report.metric(prof.name + ".takenRate",
+                      s.ctis ? double(s.takenCtis) / s.ctis : 0);
+        report.metric(prof.name + ".loadFrac",
+                      double(s.loads) / s.insts);
         t.addRow({prof.name,
                   prof.benchClass == BenchClass::ILP ? "ILP" : "MEM",
                   TextTable::num(prof.avgBlockSize),
@@ -46,5 +53,6 @@ main()
         t2.addRow({w.name, list});
     }
     t2.print(std::cout);
+    report.write();
     return 0;
 }

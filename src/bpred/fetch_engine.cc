@@ -1,6 +1,7 @@
 #include "bpred/fetch_engine.hh"
 
 #include "util/logging.hh"
+#include "util/stats_registry.hh"
 
 namespace smt
 {
@@ -102,6 +103,32 @@ FetchEngine::reset()
             formation[t].started = true;
         }
     }
+}
+
+void
+FetchEngine::registerStats(StatsRegistry &reg) const
+{
+    reg.addCounter("engine.blockPredictions", "fetch blocks predicted",
+                   &engineStats.blockPredictions);
+    reg.addCounter("engine.tableHits", "BTB/FTB/stream table hits",
+                   &engineStats.tableHits);
+    reg.addCounter("engine.secondLevelHits", "stream L2 hits",
+                   &engineStats.secondLevelHits);
+    reg.addCounter("engine.seqMissBlocks",
+                   "sequential fallback blocks on table miss",
+                   &engineStats.seqMissBlocks);
+    reg.addCounter("engine.condPredictions",
+                   "conditional direction predictions",
+                   &engineStats.condPredictions);
+    reg.addCounter("engine.rasPushes", "return-address-stack pushes",
+                   &engineStats.rasPushes);
+    reg.addCounter("engine.rasPops", "return-address-stack pops",
+                   &engineStats.rasPops);
+    reg.addCounter("engine.recoveries", "squash recoveries",
+                   &engineStats.recoveries);
+    reg.addCounter("engine.streamsFormed",
+                   "commit-side blocks/streams formed",
+                   &engineStats.streamsFormed);
 }
 
 void

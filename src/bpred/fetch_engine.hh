@@ -37,6 +37,8 @@
 namespace smt
 {
 
+class StatsRegistry;
+
 /** Which front-end to instantiate. */
 enum class EngineKind : unsigned char
 {
@@ -199,6 +201,12 @@ class FetchEngine
     const char *name() const { return engineName(kind()); }
 
     const EngineStats &stats() const { return engineStats; }
+
+    /** Clear counters only (warmup boundary); tables are kept. */
+    void resetStats() { engineStats = EngineStats{}; }
+
+    /** Register engine counters under "engine.*". */
+    virtual void registerStats(StatsRegistry &reg) const;
 
   protected:
     /** Fill the common checkpoint fields for a block at `start`. */

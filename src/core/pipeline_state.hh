@@ -1,0 +1,112 @@
+/**
+ * @file
+ * PipelineState: the explicit shared state that pipeline stages
+ * communicate through — inter-stage latches (fetch buffer, decode and
+ * rename queues), per-thread ICOUNT counters and ROB occupancy, the
+ * rotation/priority counters, and handles to the shared back-end
+ * resources (ROB, rename unit, issue queues, execution unit,
+ * front-end, fetch engine, memory hierarchy).
+ *
+ * Stages own no shared state themselves; everything a stage variant
+ * could need lives here, which is what makes stages drop-in
+ * replaceable.
+ */
+
+#ifndef SMTFETCH_CORE_PIPELINE_STATE_HH
+#define SMTFETCH_CORE_PIPELINE_STATE_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/dyn_inst.hh"
+#include "core/front_end.hh"
+#include "core/params.hh"
+#include "core/sim_stats.hh"
+
+namespace smt
+{
+
+class ExecUnit;
+class FetchEngine;
+class IssueQueues;
+class MemoryHierarchy;
+class RenameUnit;
+class Rob;
+
+/** Shared pipeline state, threaded through every stage's tick(). */
+struct PipelineState
+{
+    PipelineState(const CoreParams &params, MemoryHierarchy &memory,
+                  FetchEngine &engine, Rob &rob, RenameUnit &rename,
+                  IssueQueues &iqs, ExecUnit &exec, FrontEnd &front,
+                  SimStats &stats);
+
+    /** @name Shared resources. */
+    /// @{
+    const CoreParams &params;
+    MemoryHierarchy &memory;
+    FetchEngine &engine;
+    Rob &rob;
+    RenameUnit &rename;
+    IssueQueues &iqs;
+    ExecUnit &exec;
+    FrontEnd &front;
+    SimStats &stats;
+    /// @}
+
+    /** @name Inter-stage latches. */
+    /// @{
+    FetchBuffer fetchBuffer;
+    std::array<std::deque<DynInst *>, maxThreads> decodeQ;
+    std::array<std::deque<DynInst *>, maxThreads> renameQ;
+    /// @}
+
+    /** @name Per-thread occupancy tracking. */
+    /// @{
+    /** ICOUNT front-section instruction counts. */
+    std::array<std::uint32_t, maxThreads> icounts{};
+
+    /** Dispatched-not-committed instructions per thread (ROB use). */
+    std::array<unsigned, maxThreads> robCount{};
+    /// @}
+
+    /** @name Stage rotation / ordering counters. */
+    /// @{
+    std::uint64_t stampCounter = 0;
+    unsigned commitRotate = 0;
+    unsigned frontRotate = 0;
+    /// @}
+
+    Cycle currentCycle = 0;
+
+    /** Observer for committed instructions (owned by SmtCore). */
+    const std::function<void(const DynInst &)> *commitHook = nullptr;
+
+    /** @name Per-cycle scratch shared between producer/consumer stages. */
+    /// @{
+    /** Execute's completions this cycle, consumed by writeback. */
+    std::vector<std::pair<ThreadID, InstSeqNum>> completionScratch;
+
+    /** Issue's selected instructions this cycle. */
+    std::vector<DynInst *> issueScratch;
+    /// @}
+
+    /**
+     * Squash all instructions of offender's thread younger than the
+     * offender, repair engine state, and redirect fetch. Used by the
+     * decode (bogus block end), issue (FLUSH policy) and writeback
+     * (mispredict) stages.
+     */
+    void squashAfter(DynInst &offender);
+
+  private:
+    template <typename Container>
+    static void removeYounger(Container &c, ThreadID tid,
+                              InstSeqNum seq);
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_CORE_PIPELINE_STATE_HH

@@ -1,8 +1,16 @@
 #include "core/smt_core.hh"
 
 #include <algorithm>
-#include <tuple>
 
+#include "core/stages/commit_stage.hh"
+#include "core/stages/decode_stage.hh"
+#include "core/stages/dispatch_stage.hh"
+#include "core/stages/execute_stage.hh"
+#include "core/stages/fetch_stage.hh"
+#include "core/stages/issue_stage.hh"
+#include "core/stages/predict_stage.hh"
+#include "core/stages/rename_stage.hh"
+#include "core/stages/writeback_stage.hh"
 #include "util/logging.hh"
 
 namespace smt
@@ -15,13 +23,65 @@ SmtCore::SmtCore(const CoreParams &params)
       rename(params.physIntRegs, params.physFpRegs, params.numThreads),
       iqs(params.intIqEntries, params.ldstIqEntries,
           params.fpIqEntries),
-      exec(coreParams, memHierarchy)
+      exec(coreParams, memHierarchy),
+      front(std::make_unique<FrontEnd>(coreParams, *fetchEngine,
+                                       memHierarchy, *fetchPolicy, rob,
+                                       simStats)),
+      state(coreParams, memHierarchy, *fetchEngine, rob, rename, iqs,
+            exec, *front, simStats)
 {
     coreParams.validate();
-    fetchBuffer.capacity = coreParams.fetchBufferSize;
-    front = std::make_unique<FrontEnd>(coreParams, *fetchEngine,
-                                       memHierarchy, *fetchPolicy, rob,
-                                       simStats);
+    state.commitHook = &commitHook;
+    buildStages();
+    registerStats();
+}
+
+void
+SmtCore::buildStages()
+{
+    // Back-of-pipe first: each stage consumes what its upstream
+    // neighbour produced on an earlier cycle, so no latch
+    // double-buffering is needed.
+    graph.add(std::make_unique<ExecuteStage>(state));
+    graph.add(std::make_unique<WritebackStage>(state));
+    graph.add(std::make_unique<CommitStage>(state));
+    graph.add(std::make_unique<IssueStage>(state));
+    graph.add(std::make_unique<DispatchStage>(state));
+    graph.add(std::make_unique<RenameStage>(state));
+    graph.add(std::make_unique<DecodeStage>(state));
+    graph.add(std::make_unique<FetchStage>(state));
+    graph.add(std::make_unique<PredictStage>(state));
+}
+
+void
+SmtCore::registerStats()
+{
+    statsRegistry.addCounter("sim.cycles", "simulated cycles",
+                             &simStats.cycles);
+    statsRegistry.addCounter("sim.instsSquashed",
+                             "instructions squashed",
+                             &simStats.instsSquashed);
+    statsRegistry.addFormula("sim.ipc",
+                             "commit throughput (insts per cycle)",
+                             [this]() { return simStats.ipc(); });
+    statsRegistry.addFormula(
+        "sim.ipfc", "fetch throughput (insts per fetch cycle)",
+        [this]() { return simStats.ipfc(); });
+    statsRegistry.addFormula(
+        "sim.branchMispredictRate",
+        "mispredicts per committed CTI",
+        [this]() { return simStats.branchMispredictRate(); });
+    for (unsigned t = 0; t < coreParams.numThreads; ++t) {
+        ThreadID tid = static_cast<ThreadID>(t);
+        statsRegistry.addFormula(
+            csprintf("sim.thread%u.ipc", t),
+            csprintf("thread %u commit throughput", t),
+            [this, tid]() { return simStats.threadIpc(tid); });
+    }
+
+    graph.registerStats(statsRegistry);
+    fetchEngine->registerStats(statsRegistry);
+    memHierarchy.registerStats(statsRegistry);
 }
 
 void
@@ -36,15 +96,8 @@ SmtCore::setThread(ThreadID tid, TraceStream *trace,
 void
 SmtCore::cycle()
 {
-    processCompletions();
-    commitStage();
-    issueStage();
-    dispatchStage();
-    renameStage();
-    decodeStage();
-    front->fetchStage(currentCycle, icounts.data(), fetchBuffer);
-    front->predictionStage(currentCycle, icounts.data());
-    ++currentCycle;
+    graph.tick();
+    ++state.currentCycle;
     ++simStats.cycles;
 }
 
@@ -60,261 +113,8 @@ SmtCore::resetStats()
 {
     simStats.reset();
     memHierarchy.resetStats();
-}
-
-void
-SmtCore::processCompletions()
-{
-    exec.completionsAt(currentCycle, completionScratch);
-    for (const auto &[tid, seq] : completionScratch) {
-        DynInst *inst = rob.find(tid, seq);
-        if (inst == nullptr || inst->stage != InstStage::Issued)
-            continue; // squashed since issue
-        inst->stage = InstStage::Done;
-        if (inst->physDst != invalidReg)
-            rename.markReady(inst->physDst, inst->dstIsFp);
-        if (inst->resolvesAtExecute()) {
-            ++simStats.mispredictsResolved;
-            switch (inst->op) {
-              case OpClass::CondBranch: ++simStats.mispredCond; break;
-              case OpClass::Jump: ++simStats.mispredJump; break;
-              case OpClass::CallDirect: ++simStats.mispredCall; break;
-              case OpClass::Return: ++simStats.mispredReturn; break;
-              case OpClass::JumpIndirect:
-                ++simStats.mispredIndirect;
-                break;
-              default: break;
-            }
-            squashAfter(*inst);
-        }
-    }
-}
-
-void
-SmtCore::commitStage()
-{
-    unsigned budget = coreParams.commitWidth;
-    unsigned n = coreParams.numThreads;
-    for (unsigned i = 0; i < n && budget > 0; ++i) {
-        ThreadID tid = static_cast<ThreadID>((commitRotate + i) % n);
-        while (budget > 0 && !rob.empty(tid)) {
-            DynInst &head = rob.head(tid);
-            if (head.stage != InstStage::Done)
-                break;
-            commitInst(head);
-            rob.popHead(tid);
-            --budget;
-        }
-    }
-    commitRotate = (commitRotate + 1) % n;
-}
-
-void
-SmtCore::commitInst(DynInst &inst)
-{
-    if (inst.wrongPath)
-        panic("wrong-path instruction reached commit (tid %d seq %llu)",
-              inst.tid, (unsigned long long)inst.seq);
-
-    if (inst.si != nullptr && inst.si->isControl()) {
-        ++simStats.committedCtis;
-        if (inst.si->isConditional())
-            ++simStats.committedCond;
-        if (inst.oracleTaken)
-            ++simStats.committedTaken;
-        fetchEngine->commitCti(inst.tid, *inst.si, inst.oracleTaken,
-                               inst.oracleNext, inst.wasBlockEnd,
-                               inst.mispredicted, inst.ckpt.ghist);
-    }
-    if (inst.isLoad())
-        ++simStats.committedLoads;
-    if (inst.isStore()) {
-        ++simStats.committedStores;
-        // Store data is written back at commit; the write never
-        // blocks retirement (post-commit store buffer).
-        memHierarchy.dcacheAccess(inst.tid, inst.memAddr, true,
-                                  currentCycle);
-    }
-
-    rename.commit(inst);
-    --robCount[inst.tid];
-    ++simStats.instsCommitted;
-    ++simStats.threadCommitted[inst.tid];
-
-    if (commitHook)
-        commitHook(inst);
-}
-
-void
-SmtCore::issueStage()
-{
-    issueScratch.clear();
-    iqs.pickReady(rename, coreParams.intFUs, coreParams.ldstFUs,
-                  coreParams.fpFUs, issueScratch);
-
-    // Long-latency loads found this cycle: (tid, seq, data-ready).
-    std::array<std::tuple<ThreadID, InstSeqNum, Cycle>, 8> long_loads;
-    unsigned num_long = 0;
-
-    for (DynInst *inst : issueScratch) {
-        if (inst->inIcount) {
-            --icounts[inst->tid];
-            inst->inIcount = false;
-        }
-        Cycle latency = exec.issue(*inst, currentCycle);
-        ++simStats.issued;
-
-        if (coreParams.longLoadPolicy != LongLoadPolicy::None &&
-            inst->isLoad() && !inst->wrongPath &&
-            latency > coreParams.longLoadThreshold &&
-            num_long < long_loads.size()) {
-            long_loads[num_long++] = {inst->tid, inst->seq,
-                                      currentCycle + latency};
-        }
-    }
-
-    // Apply the policy after the issue loop: a FLUSH squash deletes
-    // younger instructions that may still sit in issueScratch.
-    for (unsigned i = 0; i < num_long; ++i) {
-        auto [tid, seq, ready_at] = long_loads[i];
-        DynInst *load = rob.find(tid, seq);
-        if (load == nullptr)
-            continue; // flushed by an earlier long load
-        ++simStats.longLoadEvents;
-        if (coreParams.longLoadPolicy == LongLoadPolicy::Flush)
-            squashAfter(*load);
-        front->stallThread(tid, ready_at);
-    }
-}
-
-void
-SmtCore::dispatchStage()
-{
-    // Per-thread in-order dispatch sharing the stage width: a thread
-    // whose head instruction hits a structural hazard stalls only
-    // itself. The shared hazards (IQ, ROB, registers) are what let one
-    // clogged thread strangle the machine, per Tullsen & Brown.
-    unsigned budget = coreParams.decodeWidth;
-    unsigned n = coreParams.numThreads;
-    for (unsigned i = 0; i < n && budget > 0; ++i) {
-        ThreadID tid = static_cast<ThreadID>((frontRotate + i) % n);
-        auto &q = renameQ[tid];
-        while (budget > 0 && !q.empty()) {
-            DynInst *inst = q.front();
-            bool needs_reg =
-                inst->si != nullptr && inst->si->dst != invalidReg;
-            if (robCount[tid] >= coreParams.robEntries ||
-                !iqs.hasSpace(iqClassFor(inst->op)) ||
-                (needs_reg &&
-                 !rename.canAllocate(usesFpRegs(inst->op)))) {
-                break; // this thread stalls; others continue
-            }
-            rename.rename(*inst);
-            inst->stage = InstStage::Dispatched;
-            inst->dispatchStamp = ++stampCounter;
-            iqs.insert(inst);
-            ++robCount[tid];
-            ++simStats.dispatched;
-            q.pop_front();
-            --budget;
-        }
-    }
-}
-
-void
-SmtCore::renameStage()
-{
-    unsigned budget = coreParams.decodeWidth;
-    unsigned n = coreParams.numThreads;
-    for (unsigned i = 0; i < n && budget > 0; ++i) {
-        ThreadID tid = static_cast<ThreadID>((frontRotate + i) % n);
-        auto &src = decodeQ[tid];
-        auto &dst = renameQ[tid];
-        while (budget > 0 && !src.empty() &&
-               dst.size() < coreParams.decodeWidth) {
-            DynInst *inst = src.front();
-            src.pop_front();
-            inst->stage = InstStage::Renamed;
-            dst.push_back(inst);
-            --budget;
-        }
-    }
-}
-
-void
-SmtCore::decodeStage()
-{
-    unsigned budget = coreParams.decodeWidth;
-    unsigned n = coreParams.numThreads;
-    for (unsigned i = 0; i < n && budget > 0; ++i) {
-        ThreadID tid = static_cast<ThreadID>((frontRotate + i) % n);
-        auto &dst = decodeQ[tid];
-        while (budget > 0 && fetchBuffer.front(tid) != nullptr &&
-               dst.size() < coreParams.decodeWidth) {
-            DynInst *inst = fetchBuffer.front(tid);
-            fetchBuffer.popFront(tid);
-            inst->stage = InstStage::Decoded;
-            dst.push_back(inst);
-            --budget;
-            if (inst->bogusBlockEnd && !inst->wrongPath) {
-                // The predictor claimed this instruction ends a block
-                // with a taken CTI, but decode sees a non-CTI: repair
-                // here instead of waiting for execute.
-                ++simStats.bogusRedirects;
-                squashAfter(*inst);
-                break; // this thread's younger insts just vanished
-            }
-        }
-    }
-    frontRotate = (frontRotate + 1) % n;
-}
-
-template <typename Container>
-void
-SmtCore::removeYounger(Container &c, ThreadID tid, InstSeqNum seq)
-{
-    auto drop = [tid, seq](DynInst *inst) {
-        return inst->tid == tid && inst->seq > seq;
-    };
-    c.erase(std::remove_if(c.begin(), c.end(), drop), c.end());
-}
-
-void
-SmtCore::squashAfter(DynInst &offender)
-{
-    ThreadID tid = offender.tid;
-    InstSeqNum seq = offender.seq;
-
-    fetchEngine->recover(tid, offender.ckpt, offender.si,
-                         offender.oracleTaken,
-                         offender.oracleTaken ? offender.oracleNext
-                                              : invalidAddr);
-
-    fetchBuffer.removeYounger(tid, seq);
-    removeYounger(decodeQ[tid], tid, seq);
-    removeYounger(renameQ[tid], tid, seq);
-    iqs.squash(tid, seq);
-
-    while (!rob.empty(tid) && rob.youngest(tid).seq > seq) {
-        DynInst &young = rob.youngest(tid);
-        if (young.inIcount)
-            --icounts[tid];
-        if (young.stage == InstStage::Dispatched ||
-            young.stage == InstStage::Issued ||
-            young.stage == InstStage::Done) {
-            rename.rollback(young);
-            --robCount[tid];
-        }
-        ++simStats.instsSquashed;
-        rob.popYoungest(tid);
-    }
-
-    // Squashed correct-path instructions already consumed the trace;
-    // rewind so fetch re-delivers from just after the offender. For
-    // mispredict/bogus squashes everything younger was wrong path and
-    // this is a no-op.
-    front->rewindTrace(tid, offender.traceIndex + 1);
-    front->redirect(tid, offender.oracleNext, currentCycle);
+    fetchEngine->resetStats();
+    statsRegistry.resetOwned();
 }
 
 void
@@ -360,10 +160,10 @@ SmtCore::checkIcountInvariant() const
         for (std::size_t i = 0; i < mrob.size(tid); ++i)
             if (mrob.at(tid, i).inIcount)
                 ++n;
-        if (n != icounts[t])
+        if (n != state.icounts[t])
             panic("icount invariant broken: thread %u has %u counted "
                   "vs tracked %u",
-                  t, n, icounts[t]);
+                  t, n, state.icounts[t]);
     }
 }
 

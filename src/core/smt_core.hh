@@ -1,18 +1,21 @@
 /**
  * @file
  * SmtCore: the full 9-stage SMT pipeline (predict, fetch, decode,
- * rename, dispatch, issue, regread/execute, writeback, commit) over
- * shared back-end resources, per Table 3 of the paper.
+ * rename, dispatch, issue, execute, writeback, commit) over shared
+ * back-end resources, per Table 3 of the paper.
+ *
+ * The pipeline is a graph of Stage objects sharing an explicit
+ * PipelineState, ticked back-of-pipe first by a StageGraph driver;
+ * SmtCore wires the stages up, owns the resources, and exposes the
+ * unified StatsRegistry every stage and component registers into.
  */
 
 #ifndef SMTFETCH_CORE_SMT_CORE_HH
 #define SMTFETCH_CORE_SMT_CORE_HH
 
 #include <array>
-#include <deque>
 #include <functional>
 #include <memory>
-#include <vector>
 
 #include "bpred/fetch_engine.hh"
 #include "core/exec.hh"
@@ -20,10 +23,13 @@
 #include "core/front_end.hh"
 #include "core/iq.hh"
 #include "core/params.hh"
+#include "core/pipeline_state.hh"
 #include "core/rename.hh"
 #include "core/rob.hh"
 #include "core/sim_stats.hh"
+#include "core/stage_graph.hh"
 #include "mem/hierarchy.hh"
+#include "util/stats_registry.hh"
 #include "workload/trace.hh"
 
 namespace smt
@@ -50,13 +56,17 @@ class SmtCore
     const SimStats &stats() const { return simStats; }
     void resetStats();
 
+    /** Unified named-statistics registry (stages + components). */
+    StatsRegistry &registry() { return statsRegistry; }
+    const StatsRegistry &registry() const { return statsRegistry; }
+
     /** Total dispatched-not-committed instructions (all threads). */
     unsigned
     robOccupancy() const
     {
         unsigned total = 0;
         for (unsigned t = 0; t < coreParams.numThreads; ++t)
-            total += robCount[t];
+            total += state.robCount[t];
         return total;
     }
 
@@ -65,19 +75,28 @@ class SmtCore
     MemoryHierarchy &memory() { return memHierarchy; }
     FrontEnd &frontEnd() { return *front; }
 
-    Cycle now() const { return currentCycle; }
+    /** The stage driver (tests, stage-variant introspection). */
+    const StageGraph &stages() const { return graph; }
+
+    Cycle now() const { return state.currentCycle; }
 
     /** @name Introspection for tests. */
     /// @{
-    std::uint32_t icount(ThreadID tid) const { return icounts[tid]; }
+    std::uint32_t icount(ThreadID tid) const
+    {
+        return state.icounts[tid];
+    }
     unsigned freeIntRegs() const { return rename.freeIntRegs(); }
     unsigned freeFpRegs() const { return rename.freeFpRegs(); }
     unsigned iqOccupancy() const { return iqs.totalOccupancy(); }
-    std::size_t fetchBufferSize() const { return fetchBuffer.total; }
+    std::size_t fetchBufferSize() const
+    {
+        return state.fetchBuffer.total;
+    }
     std::size_t inFlight(ThreadID tid) const { return rob.size(tid); }
     unsigned robOccupancyOf(ThreadID tid) const
     {
-        return robCount[tid];
+        return state.robCount[tid];
     }
 
     /** Recompute icounts from structures; panic on mismatch. */
@@ -94,23 +113,11 @@ class SmtCore
     /// @}
 
   private:
-    void processCompletions();
-    void commitStage();
-    void issueStage();
-    void dispatchStage();
-    void renameStage();
-    void decodeStage();
+    /** Instantiate the nine stages in tick (reverse-pipeline) order. */
+    void buildStages();
 
-    void commitInst(DynInst &inst);
-
-    /**
-     * Squash all instructions of offender's thread younger than the
-     * offender, repair engine state, and redirect fetch.
-     */
-    void squashAfter(DynInst &offender);
-
-    template <typename Container>
-    void removeYounger(Container &c, ThreadID tid, InstSeqNum seq);
+    /** Register core-level stats and formulas (IPC, IPFC). */
+    void registerStats();
 
     CoreParams coreParams;
     MemoryHierarchy memHierarchy;
@@ -123,23 +130,11 @@ class SmtCore
     ExecUnit exec;
     std::unique_ptr<FrontEnd> front;
 
-    FetchBuffer fetchBuffer;
-    std::array<std::deque<DynInst *>, maxThreads> decodeQ;
-    std::array<std::deque<DynInst *>, maxThreads> renameQ;
-
-    std::array<std::uint32_t, maxThreads> icounts{};
-
-    /** Dispatched-not-committed instructions per thread (ROB use). */
-    std::array<unsigned, maxThreads> robCount{};
-    std::uint64_t stampCounter = 0;
-    unsigned commitRotate = 0;
-    unsigned frontRotate = 0;
-    Cycle currentCycle = 0;
-
     SimStats simStats;
 
-    std::vector<std::pair<ThreadID, InstSeqNum>> completionScratch;
-    std::vector<DynInst *> issueScratch;
+    PipelineState state;
+    StageGraph graph;
+    StatsRegistry statsRegistry;
 };
 
 } // namespace smt

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Stage: the abstract pipeline-stage interface. A stage is a named
+ * unit of per-cycle work over the shared PipelineState; it registers
+ * its own statistics and is ticked by the StageGraph driver. Stage
+ * variants (a variable-rate fetch stage, a deeper decode) replace a
+ * stage by implementing the same interface.
+ */
+
+#ifndef SMTFETCH_CORE_STAGE_HH
+#define SMTFETCH_CORE_STAGE_HH
+
+#include <string>
+
+#include "core/pipeline_state.hh"
+
+namespace smt
+{
+
+class StatsRegistry;
+
+/** One pipeline stage, ticked once per cycle. */
+class Stage
+{
+  public:
+    Stage(std::string name, PipelineState &state)
+        : st(state), stageName(std::move(name))
+    {
+    }
+
+    virtual ~Stage() = default;
+
+    /** Perform this stage's work for the current cycle. */
+    virtual void tick() = 0;
+
+    /**
+     * Register this stage's statistics (gem5 style). Called once
+     * after the whole graph is constructed.
+     */
+    virtual void registerStats(StatsRegistry &reg) { (void)reg; }
+
+    const std::string &name() const { return stageName; }
+
+  protected:
+    PipelineState &st;
+
+  private:
+    std::string stageName;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_CORE_STAGE_HH

@@ -1,0 +1,37 @@
+#include "core/stage_graph.hh"
+
+namespace smt
+{
+
+Stage &
+StageGraph::add(std::unique_ptr<Stage> stage)
+{
+    stages.push_back(std::move(stage));
+    return *stages.back();
+}
+
+void
+StageGraph::tick()
+{
+    for (auto &stage : stages)
+        stage->tick();
+}
+
+void
+StageGraph::registerStats(StatsRegistry &reg)
+{
+    for (auto &stage : stages)
+        stage->registerStats(reg);
+}
+
+std::vector<std::string>
+StageGraph::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(stages.size());
+    for (const auto &stage : stages)
+        out.push_back(stage->name());
+    return out;
+}
+
+} // namespace smt

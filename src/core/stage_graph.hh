@@ -1,0 +1,51 @@
+/**
+ * @file
+ * StageGraph: the pipeline driver. Stages are added back-of-pipe
+ * first (commit side before fetch side) and ticked in that order each
+ * cycle — the classic reverse-order traversal that lets stage N
+ * consume what stage N-1 produced *last* cycle, modelling the
+ * pipeline latch between them without double-buffering.
+ */
+
+#ifndef SMTFETCH_CORE_STAGE_GRAPH_HH
+#define SMTFETCH_CORE_STAGE_GRAPH_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stage.hh"
+
+namespace smt
+{
+
+class StatsRegistry;
+
+/** Ordered collection of stages, ticked once per cycle. */
+class StageGraph
+{
+  public:
+    StageGraph() = default;
+
+    /** Append a stage (ticked after all previously added stages). */
+    Stage &add(std::unique_ptr<Stage> stage);
+
+    /** Tick every stage in insertion order. */
+    void tick();
+
+    /** Let every stage register its stats. */
+    void registerStats(StatsRegistry &reg);
+
+    std::size_t size() const { return stages.size(); }
+    const Stage &at(std::size_t i) const { return *stages[i]; }
+
+    /** Stage names in tick order (tests, diagnostics). */
+    std::vector<std::string> names() const;
+
+  private:
+    std::vector<std::unique_ptr<Stage>> stages;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_CORE_STAGE_GRAPH_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * CommitStage: in-order retirement from the per-thread ROB heads,
+ * sharing the commit width round-robin across threads. Commit-side
+ * predictor training and store writeback happen here.
+ */
+
+#ifndef SMTFETCH_CORE_STAGES_COMMIT_STAGE_HH
+#define SMTFETCH_CORE_STAGES_COMMIT_STAGE_HH
+
+#include "core/stage.hh"
+
+namespace smt
+{
+
+/** Retire done instructions from the ROB heads. */
+class CommitStage : public Stage
+{
+  public:
+    explicit CommitStage(PipelineState &state)
+        : Stage("commit", state)
+    {
+    }
+
+    void tick() override;
+    void registerStats(StatsRegistry &reg) override;
+
+  private:
+    void commitInst(DynInst &inst);
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_CORE_STAGES_COMMIT_STAGE_HH

@@ -1,0 +1,44 @@
+#include "core/stages/decode_stage.hh"
+
+#include "util/stats_registry.hh"
+
+namespace smt
+{
+
+void
+DecodeStage::tick()
+{
+    unsigned budget = st.params.decodeWidth;
+    unsigned n = st.params.numThreads;
+    for (unsigned i = 0; i < n && budget > 0; ++i) {
+        ThreadID tid = static_cast<ThreadID>((st.frontRotate + i) % n);
+        auto &dst = st.decodeQ[tid];
+        while (budget > 0 && st.fetchBuffer.front(tid) != nullptr &&
+               dst.size() < st.params.decodeWidth) {
+            DynInst *inst = st.fetchBuffer.front(tid);
+            st.fetchBuffer.popFront(tid);
+            inst->stage = InstStage::Decoded;
+            dst.push_back(inst);
+            --budget;
+            if (inst->bogusBlockEnd && !inst->wrongPath) {
+                // The predictor claimed this instruction ends a block
+                // with a taken CTI, but decode sees a non-CTI: repair
+                // here instead of waiting for execute.
+                ++st.stats.bogusRedirects;
+                st.squashAfter(*inst);
+                break; // this thread's younger insts just vanished
+            }
+        }
+    }
+    st.frontRotate = (st.frontRotate + 1) % n;
+}
+
+void
+DecodeStage::registerStats(StatsRegistry &reg)
+{
+    reg.addCounter("decode.bogusRedirects",
+                   "bogus block ends repaired at decode",
+                   &st.stats.bogusRedirects);
+}
+
+} // namespace smt

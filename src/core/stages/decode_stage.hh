@@ -1,0 +1,31 @@
+/**
+ * @file
+ * DecodeStage: drains the shared fetch buffer into the per-thread
+ * decode queues and repairs bogus block ends (predicted CTI turns out
+ * to be a plain instruction) without waiting for execute.
+ */
+
+#ifndef SMTFETCH_CORE_STAGES_DECODE_STAGE_HH
+#define SMTFETCH_CORE_STAGES_DECODE_STAGE_HH
+
+#include "core/stage.hh"
+
+namespace smt
+{
+
+/** Decode fetched instructions; early-repair bogus predictions. */
+class DecodeStage : public Stage
+{
+  public:
+    explicit DecodeStage(PipelineState &state)
+        : Stage("decode", state)
+    {
+    }
+
+    void tick() override;
+    void registerStats(StatsRegistry &reg) override;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_CORE_STAGES_DECODE_STAGE_HH

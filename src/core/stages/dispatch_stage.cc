@@ -1,0 +1,51 @@
+#include "core/stages/dispatch_stage.hh"
+
+#include "core/iq.hh"
+#include "core/rename.hh"
+#include "util/stats_registry.hh"
+
+namespace smt
+{
+
+void
+DispatchStage::tick()
+{
+    // Per-thread in-order dispatch sharing the stage width: a thread
+    // whose head instruction hits a structural hazard stalls only
+    // itself. The shared hazards (IQ, ROB, registers) are what let one
+    // clogged thread strangle the machine, per Tullsen & Brown.
+    unsigned budget = st.params.decodeWidth;
+    unsigned n = st.params.numThreads;
+    for (unsigned i = 0; i < n && budget > 0; ++i) {
+        ThreadID tid = static_cast<ThreadID>((st.frontRotate + i) % n);
+        auto &q = st.renameQ[tid];
+        while (budget > 0 && !q.empty()) {
+            DynInst *inst = q.front();
+            bool needs_reg =
+                inst->si != nullptr && inst->si->dst != invalidReg;
+            if (st.robCount[tid] >= st.params.robEntries ||
+                !st.iqs.hasSpace(iqClassFor(inst->op)) ||
+                (needs_reg &&
+                 !st.rename.canAllocate(usesFpRegs(inst->op)))) {
+                break; // this thread stalls; others continue
+            }
+            st.rename.rename(*inst);
+            inst->stage = InstStage::Dispatched;
+            inst->dispatchStamp = ++st.stampCounter;
+            st.iqs.insert(inst);
+            ++st.robCount[tid];
+            ++st.stats.dispatched;
+            q.pop_front();
+            --budget;
+        }
+    }
+}
+
+void
+DispatchStage::registerStats(StatsRegistry &reg)
+{
+    reg.addCounter("dispatch.insts", "instructions dispatched",
+                   &st.stats.dispatched);
+}
+
+} // namespace smt

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * DispatchStage: per-thread in-order rename+insert into the shared
+ * issue queues and ROB accounting. Structural hazards (IQ, ROB,
+ * physical registers) stall only the offending thread.
+ */
+
+#ifndef SMTFETCH_CORE_STAGES_DISPATCH_STAGE_HH
+#define SMTFETCH_CORE_STAGES_DISPATCH_STAGE_HH
+
+#include "core/stage.hh"
+
+namespace smt
+{
+
+/** Move renamed instructions into the issue queues. */
+class DispatchStage : public Stage
+{
+  public:
+    explicit DispatchStage(PipelineState &state)
+        : Stage("dispatch", state)
+    {
+    }
+
+    void tick() override;
+    void registerStats(StatsRegistry &reg) override;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_CORE_STAGES_DISPATCH_STAGE_HH

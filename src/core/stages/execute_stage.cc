@@ -1,0 +1,14 @@
+#include "core/stages/execute_stage.hh"
+
+#include "core/exec.hh"
+
+namespace smt
+{
+
+void
+ExecuteStage::tick()
+{
+    st.exec.completionsAt(st.currentCycle, st.completionScratch);
+}
+
+} // namespace smt

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * ExecuteStage: drains the execution unit's completion events for the
+ * current cycle into the shared completion scratch, where the
+ * writeback stage consumes them.
+ */
+
+#ifndef SMTFETCH_CORE_STAGES_EXECUTE_STAGE_HH
+#define SMTFETCH_CORE_STAGES_EXECUTE_STAGE_HH
+
+#include "core/stage.hh"
+
+namespace smt
+{
+
+/** Collect this cycle's functional-unit completions. */
+class ExecuteStage : public Stage
+{
+  public:
+    explicit ExecuteStage(PipelineState &state)
+        : Stage("execute", state)
+    {
+    }
+
+    void tick() override;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_CORE_STAGES_EXECUTE_STAGE_HH

@@ -1,0 +1,40 @@
+#include "core/stages/fetch_stage.hh"
+
+#include "util/stats_registry.hh"
+
+namespace smt
+{
+
+void
+FetchStage::tick()
+{
+    st.front.fetchStage(st.currentCycle, st.icounts.data(),
+                        st.fetchBuffer);
+}
+
+void
+FetchStage::registerStats(StatsRegistry &reg)
+{
+    reg.addCounter("fetch.cycles", "cycles with >= 1 fetch request",
+                   &st.stats.fetchCycles);
+    reg.addCounter("fetch.insts",
+                   "instructions delivered (wrong path included)",
+                   &st.stats.instsFetched);
+    reg.addCounter("fetch.wrongPathInsts",
+                   "wrong-path instructions delivered",
+                   &st.stats.wrongPathFetched);
+    reg.addCounter("fetch.bankConflicts",
+                   "I-cache bank conflicts (wasted ports)",
+                   &st.stats.bankConflicts);
+    reg.addCounter("fetch.icacheBlockEvents",
+                   "I-cache misses that blocked a thread",
+                   &st.stats.icacheBlockEvents);
+    reg.addCounter("fetch.bufferFullCycles",
+                   "cycles fetch stalled on a full fetch buffer",
+                   &st.stats.fetchBufferFullCycles);
+    reg.addHistogram("fetch.widthHist",
+                     "instructions delivered per fetch cycle",
+                     &st.stats.fetchWidthHist);
+}
+
+} // namespace smt

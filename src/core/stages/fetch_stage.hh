@@ -1,0 +1,31 @@
+/**
+ * @file
+ * FetchStage: wraps the decoupled front-end's fetch side — I-cache
+ * accesses driven from the FTQ heads, delivering instructions into
+ * the shared fetch buffer under the N.X policy.
+ */
+
+#ifndef SMTFETCH_CORE_STAGES_FETCH_STAGE_HH
+#define SMTFETCH_CORE_STAGES_FETCH_STAGE_HH
+
+#include "core/stage.hh"
+
+namespace smt
+{
+
+/** Tick the front-end's fetch stage. */
+class FetchStage : public Stage
+{
+  public:
+    explicit FetchStage(PipelineState &state)
+        : Stage("fetch", state)
+    {
+    }
+
+    void tick() override;
+    void registerStats(StatsRegistry &reg) override;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_CORE_STAGES_FETCH_STAGE_HH

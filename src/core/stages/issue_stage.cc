@@ -1,0 +1,66 @@
+#include "core/stages/issue_stage.hh"
+
+#include <array>
+#include <tuple>
+
+#include "core/exec.hh"
+#include "core/iq.hh"
+#include "core/rob.hh"
+#include "util/stats_registry.hh"
+
+namespace smt
+{
+
+void
+IssueStage::tick()
+{
+    st.issueScratch.clear();
+    st.iqs.pickReady(st.rename, st.params.intFUs, st.params.ldstFUs,
+                     st.params.fpFUs, st.issueScratch);
+
+    // Long-latency loads found this cycle: (tid, seq, data-ready).
+    std::array<std::tuple<ThreadID, InstSeqNum, Cycle>, 8> long_loads;
+    unsigned num_long = 0;
+
+    for (DynInst *inst : st.issueScratch) {
+        if (inst->inIcount) {
+            --st.icounts[inst->tid];
+            inst->inIcount = false;
+        }
+        Cycle latency = st.exec.issue(*inst, st.currentCycle);
+        ++st.stats.issued;
+
+        if (st.params.longLoadPolicy != LongLoadPolicy::None &&
+            inst->isLoad() && !inst->wrongPath &&
+            latency > st.params.longLoadThreshold &&
+            num_long < long_loads.size()) {
+            long_loads[num_long++] = {inst->tid, inst->seq,
+                                      st.currentCycle + latency};
+        }
+    }
+
+    // Apply the policy after the issue loop: a FLUSH squash deletes
+    // younger instructions that may still sit in issueScratch.
+    for (unsigned i = 0; i < num_long; ++i) {
+        auto [tid, seq, ready_at] = long_loads[i];
+        DynInst *load = st.rob.find(tid, seq);
+        if (load == nullptr)
+            continue; // flushed by an earlier long load
+        ++st.stats.longLoadEvents;
+        if (st.params.longLoadPolicy == LongLoadPolicy::Flush)
+            st.squashAfter(*load);
+        st.front.stallThread(tid, ready_at);
+    }
+}
+
+void
+IssueStage::registerStats(StatsRegistry &reg)
+{
+    reg.addCounter("issue.insts", "instructions issued",
+                   &st.stats.issued);
+    reg.addCounter("issue.longLoadEvents",
+                   "long-latency-load policy activations",
+                   &st.stats.longLoadEvents);
+}
+
+} // namespace smt

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * IssueStage: out-of-order select over the shared issue queues,
+ * bounded by functional-unit counts, plus the long-latency-load
+ * STALL/FLUSH policy hook (Tullsen & Brown).
+ */
+
+#ifndef SMTFETCH_CORE_STAGES_ISSUE_STAGE_HH
+#define SMTFETCH_CORE_STAGES_ISSUE_STAGE_HH
+
+#include "core/stage.hh"
+
+namespace smt
+{
+
+/** Pick ready instructions and start them on functional units. */
+class IssueStage : public Stage
+{
+  public:
+    explicit IssueStage(PipelineState &state)
+        : Stage("issue", state)
+    {
+    }
+
+    void tick() override;
+    void registerStats(StatsRegistry &reg) override;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_CORE_STAGES_ISSUE_STAGE_HH

@@ -1,0 +1,22 @@
+#include "core/stages/predict_stage.hh"
+
+#include "util/stats_registry.hh"
+
+namespace smt
+{
+
+void
+PredictStage::tick()
+{
+    st.front.predictionStage(st.currentCycle, st.icounts.data());
+}
+
+void
+PredictStage::registerStats(StatsRegistry &reg)
+{
+    reg.addCounter("predict.blockPredictions",
+                   "fetch-block predictions pushed into FTQs",
+                   &st.stats.blockPredictions);
+}
+
+} // namespace smt

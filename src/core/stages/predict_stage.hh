@@ -1,0 +1,30 @@
+/**
+ * @file
+ * PredictStage: wraps the decoupled front-end's prediction side — up
+ * to N block predictions per cycle pushed into per-thread FTQs.
+ */
+
+#ifndef SMTFETCH_CORE_STAGES_PREDICT_STAGE_HH
+#define SMTFETCH_CORE_STAGES_PREDICT_STAGE_HH
+
+#include "core/stage.hh"
+
+namespace smt
+{
+
+/** Tick the front-end's prediction stage. */
+class PredictStage : public Stage
+{
+  public:
+    explicit PredictStage(PipelineState &state)
+        : Stage("predict", state)
+    {
+    }
+
+    void tick() override;
+    void registerStats(StatsRegistry &reg) override;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_CORE_STAGES_PREDICT_STAGE_HH

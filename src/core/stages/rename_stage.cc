@@ -1,0 +1,26 @@
+#include "core/stages/rename_stage.hh"
+
+namespace smt
+{
+
+void
+RenameStage::tick()
+{
+    unsigned budget = st.params.decodeWidth;
+    unsigned n = st.params.numThreads;
+    for (unsigned i = 0; i < n && budget > 0; ++i) {
+        ThreadID tid = static_cast<ThreadID>((st.frontRotate + i) % n);
+        auto &src = st.decodeQ[tid];
+        auto &dst = st.renameQ[tid];
+        while (budget > 0 && !src.empty() &&
+               dst.size() < st.params.decodeWidth) {
+            DynInst *inst = src.front();
+            src.pop_front();
+            inst->stage = InstStage::Renamed;
+            dst.push_back(inst);
+            --budget;
+        }
+    }
+}
+
+} // namespace smt

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * RenameStage: moves decoded instructions into the per-thread rename
+ * queues, modelling the decode→rename pipeline latch.
+ */
+
+#ifndef SMTFETCH_CORE_STAGES_RENAME_STAGE_HH
+#define SMTFETCH_CORE_STAGES_RENAME_STAGE_HH
+
+#include "core/stage.hh"
+
+namespace smt
+{
+
+/** Advance instructions from the decode queues to the rename queues. */
+class RenameStage : public Stage
+{
+  public:
+    explicit RenameStage(PipelineState &state)
+        : Stage("rename", state)
+    {
+    }
+
+    void tick() override;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_CORE_STAGES_RENAME_STAGE_HH

@@ -1,0 +1,57 @@
+#include "core/stages/writeback_stage.hh"
+
+#include "core/rename.hh"
+#include "core/rob.hh"
+#include "util/stats_registry.hh"
+
+namespace smt
+{
+
+void
+WritebackStage::tick()
+{
+    for (const auto &[tid, seq] : st.completionScratch) {
+        DynInst *inst = st.rob.find(tid, seq);
+        if (inst == nullptr || inst->stage != InstStage::Issued)
+            continue; // squashed since issue
+        inst->stage = InstStage::Done;
+        if (inst->physDst != invalidReg)
+            st.rename.markReady(inst->physDst, inst->dstIsFp);
+        if (inst->resolvesAtExecute()) {
+            ++st.stats.mispredictsResolved;
+            switch (inst->op) {
+              case OpClass::CondBranch: ++st.stats.mispredCond; break;
+              case OpClass::Jump: ++st.stats.mispredJump; break;
+              case OpClass::CallDirect: ++st.stats.mispredCall; break;
+              case OpClass::Return: ++st.stats.mispredReturn; break;
+              case OpClass::JumpIndirect:
+                ++st.stats.mispredIndirect;
+                break;
+              default: break;
+            }
+            st.squashAfter(*inst);
+        }
+    }
+}
+
+void
+WritebackStage::registerStats(StatsRegistry &reg)
+{
+    reg.addCounter("writeback.mispredictsResolved",
+                   "mispredictions resolved at execute",
+                   &st.stats.mispredictsResolved);
+    reg.addCounter("writeback.mispredCond",
+                   "mispredicted conditional branches",
+                   &st.stats.mispredCond);
+    reg.addCounter("writeback.mispredJump", "mispredicted direct jumps",
+                   &st.stats.mispredJump);
+    reg.addCounter("writeback.mispredCall", "mispredicted direct calls",
+                   &st.stats.mispredCall);
+    reg.addCounter("writeback.mispredReturn", "mispredicted returns",
+                   &st.stats.mispredReturn);
+    reg.addCounter("writeback.mispredIndirect",
+                   "mispredicted indirect jumps",
+                   &st.stats.mispredIndirect);
+}
+
+} // namespace smt

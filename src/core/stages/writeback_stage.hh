@@ -1,0 +1,31 @@
+/**
+ * @file
+ * WritebackStage: applies the cycle's completions — marks
+ * instructions done, wakes dependents through the rename scoreboard,
+ * and resolves execute-time mispredictions with a squash.
+ */
+
+#ifndef SMTFETCH_CORE_STAGES_WRITEBACK_STAGE_HH
+#define SMTFETCH_CORE_STAGES_WRITEBACK_STAGE_HH
+
+#include "core/stage.hh"
+
+namespace smt
+{
+
+/** Apply completions collected by the execute stage. */
+class WritebackStage : public Stage
+{
+  public:
+    explicit WritebackStage(PipelineState &state)
+        : Stage("writeback", state)
+    {
+    }
+
+    void tick() override;
+    void registerStats(StatsRegistry &reg) override;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_CORE_STAGES_WRITEBACK_STAGE_HH

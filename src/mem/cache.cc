@@ -4,6 +4,7 @@
 
 #include "util/bitfield.hh"
 #include "util/logging.hh"
+#include "util/stats_registry.hh"
 
 namespace smt
 {
@@ -148,6 +149,26 @@ bool
 Cache::wouldHit(Addr addr) const
 {
     return findLine(addr) != nullptr;
+}
+
+void
+Cache::registerStats(StatsRegistry &reg, const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".accesses", "total accesses",
+                   &cacheStats.accesses);
+    reg.addCounter(prefix + ".misses", "misses", &cacheStats.misses);
+    reg.addCounter(prefix + ".writeAccesses", "write accesses",
+                   &cacheStats.writeAccesses);
+    reg.addCounter(prefix + ".mshrMerges",
+                   "misses merged into an in-flight MSHR",
+                   &cacheStats.mshrMerges);
+    reg.addCounter(prefix + ".mshrFullStalls",
+                   "accesses stalled on full MSHRs",
+                   &cacheStats.mshrFullStalls);
+    reg.addCounter(prefix + ".evictions", "line evictions",
+                   &cacheStats.evictions);
+    reg.addFormula(prefix + ".missRate", "misses per access",
+                   [this]() { return cacheStats.missRate(); });
 }
 
 void

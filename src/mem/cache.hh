@@ -21,6 +21,8 @@
 namespace smt
 {
 
+class StatsRegistry;
+
 /** Cache geometry and timing. */
 struct CacheParams
 {
@@ -83,6 +85,10 @@ class Cache
 
     const CacheStats &stats() const { return cacheStats; }
     const CacheParams &params() const { return params_; }
+
+    /** Register this level's counters under "<prefix>.*". */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
 
     void reset();
     void resetStats() { cacheStats = CacheStats{}; }

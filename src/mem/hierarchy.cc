@@ -1,6 +1,7 @@
 #include "mem/hierarchy.hh"
 
 #include "util/logging.hh"
+#include "util/stats_registry.hh"
 
 namespace smt
 {
@@ -52,6 +53,16 @@ MemoryHierarchy::reset()
     l2Cache->reset();
     iTlb->reset();
     dTlb->reset();
+}
+
+void
+MemoryHierarchy::registerStats(StatsRegistry &reg) const
+{
+    l1iCache->registerStats(reg, "mem.l1i");
+    l1dCache->registerStats(reg, "mem.l1d");
+    l2Cache->registerStats(reg, "mem.l2");
+    iTlb->registerStats(reg, "mem.itlb");
+    dTlb->registerStats(reg, "mem.dtlb");
 }
 
 void

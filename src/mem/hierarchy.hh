@@ -16,6 +16,8 @@
 namespace smt
 {
 
+class StatsRegistry;
+
 /** Table 3 memory-system parameters. */
 struct MemoryParams
 {
@@ -64,6 +66,9 @@ class MemoryHierarchy
     void reset();
     void resetStats();
     void dumpStats(std::ostream &os) const;
+
+    /** Register all cache/TLB counters under "mem.*". */
+    void registerStats(StatsRegistry &reg) const;
 
   private:
     MemoryParams memParams;

@@ -1,6 +1,7 @@
 #include "mem/tlb.hh"
 
 #include "util/logging.hh"
+#include "util/stats_registry.hh"
 
 namespace smt
 {
@@ -49,6 +50,17 @@ Tlb::wouldHit(ThreadID tid, Addr vaddr) const
         if (e.valid && e.tid == tid && e.vpn == vpn)
             return true;
     return false;
+}
+
+void
+Tlb::registerStats(StatsRegistry &reg, const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".accesses", "translations requested",
+                   &tlbStats.accesses);
+    reg.addCounter(prefix + ".misses", "page-walk misses",
+                   &tlbStats.misses);
+    reg.addFormula(prefix + ".missRate", "misses per access",
+                   [this]() { return tlbStats.missRate(); });
 }
 
 void

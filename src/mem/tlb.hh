@@ -17,6 +17,8 @@
 namespace smt
 {
 
+class StatsRegistry;
+
 /** TLB statistics. */
 struct TlbStats
 {
@@ -48,6 +50,10 @@ class Tlb
     bool wouldHit(ThreadID tid, Addr vaddr) const;
 
     const TlbStats &stats() const { return tlbStats; }
+
+    /** Register this TLB's counters under "<prefix>.*". */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
 
     void reset();
     void resetStats() { tlbStats = TlbStats{}; }

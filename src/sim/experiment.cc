@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "sim/simulator.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -43,9 +44,12 @@ ExperimentRunner::run(const std::string &workload_name,
     r.policy = policy;
     r.fetchThreads = fetch_threads;
     r.fetchWidth = fetch_width;
+    r.warmupCycles = warmup;
+    r.measureCycles = measure;
     r.stats = sim.stats();
     r.ipfc = r.stats.ipfc();
     r.ipc = r.stats.ipc();
+    r.statsJson = sim.core().registry().jsonString();
     return r;
 }
 
@@ -128,6 +132,51 @@ ExperimentRunner::printFigure(std::ostream &os, const std::string &title,
                       cell(EngineKind::Stream)});
     }
     table.print(os, title);
+}
+
+void
+ExperimentRunner::writeJson(
+    std::ostream &os, const std::string &bench,
+    const std::vector<ExperimentResult> &results,
+    const std::vector<std::pair<std::string, double>> &metrics)
+{
+    JsonWriter jw(os, /*indent_step=*/2);
+    jw.beginObject();
+    jw.field("schema", "smtfetch-bench-v1");
+    jw.field("bench", bench);
+    if (!metrics.empty()) {
+        jw.key("metrics");
+        jw.beginObject();
+        for (const auto &[name, v] : metrics)
+            jw.field(name, v);
+        jw.endObject();
+    }
+    jw.key("results");
+    jw.beginArray();
+    for (const auto &r : results) {
+        jw.beginObject();
+        jw.field("workload", r.workload);
+        jw.field("engine", engineName(r.engine));
+        jw.field("policy", policyName(r.policy));
+        jw.field("fetchThreads", r.fetchThreads);
+        jw.field("fetchWidth", r.fetchWidth);
+        jw.field("policyString",
+                 std::string(policyName(r.policy)) + "." +
+                     r.policyDotString());
+        jw.field("warmupCycles", r.warmupCycles);
+        jw.field("measureCycles", r.measureCycles);
+        jw.field("ipfc", r.ipfc);
+        jw.field("ipc", r.ipc);
+        jw.key("stats");
+        if (r.statsJson.empty())
+            jw.raw("{}");
+        else
+            jw.raw(r.statsJson);
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+    os << '\n';
 }
 
 const std::vector<EngineKind> &

@@ -27,9 +27,18 @@ struct ExperimentResult
     unsigned fetchThreads = 1;
     unsigned fetchWidth = 8;
 
+    Cycle warmupCycles = 0;
+    Cycle measureCycles = 0;
+
     double ipfc = 0.0;
     double ipc = 0.0;
     SimStats stats;
+
+    /**
+     * Compact JSON object with every registered stat (the core's
+     * StatsRegistry dump at the end of the run).
+     */
+    std::string statsJson;
 
     /** "1.8" / "2.16" policy suffix. */
     std::string policyDotString() const;
@@ -69,6 +78,18 @@ class ExperimentRunner
     static void printFigure(std::ostream &os, const std::string &title,
                             const std::vector<ExperimentResult> &results,
                             bool fetch_throughput);
+
+    /**
+     * Write a machine-readable record for a bench run: one JSON
+     * document with bench metadata, every grid point's metrics and
+     * full stats, and optional ad-hoc named metrics (the BENCH_*.json
+     * format).
+     */
+    static void
+    writeJson(std::ostream &os, const std::string &bench,
+              const std::vector<ExperimentResult> &results,
+              const std::vector<std::pair<std::string, double>>
+                  &metrics = {});
 
     Cycle warmupCycles() const { return warmup; }
     Cycle measureCycles() const { return measure; }

@@ -31,6 +31,10 @@ class Simulator
     void runExtra(Cycle cycles);
 
     const SimStats &stats() const { return core_->stats(); }
+
+    /** Unified named-statistics registry of the underlying core. */
+    const StatsRegistry &registry() const { return core_->registry(); }
+
     SmtCore &core() { return *core_; }
     const SimConfig &config() const { return cfg; }
     const WorkloadImages &workload() const { return images; }

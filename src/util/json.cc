@@ -1,0 +1,175 @@
+#include "util/json.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace smt
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter(std::ostream &os, int indent_step)
+    : os(os), indentStep(indent_step)
+{
+}
+
+void
+JsonWriter::newline()
+{
+    if (indentStep <= 0)
+        return;
+    os << '\n';
+    for (std::size_t i = 0; i < stack.size(); ++i)
+        for (int j = 0; j < indentStep; ++j)
+            os << ' ';
+}
+
+void
+JsonWriter::preValue()
+{
+    if (pendingKey) {
+        pendingKey = false;
+        return; // key() already handled the comma/indent
+    }
+    if (!stack.empty()) {
+        if (stack.back().items > 0)
+            os << ',';
+        newline();
+        ++stack.back().items;
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    preValue();
+    os << '{';
+    stack.push_back({false, 0});
+}
+
+void
+JsonWriter::endObject()
+{
+    if (stack.empty() || stack.back().isArray)
+        panic("JsonWriter::endObject outside an object");
+    bool had_items = stack.back().items > 0;
+    stack.pop_back();
+    if (had_items)
+        newline();
+    os << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    preValue();
+    os << '[';
+    stack.push_back({true, 0});
+}
+
+void
+JsonWriter::endArray()
+{
+    if (stack.empty() || !stack.back().isArray)
+        panic("JsonWriter::endArray outside an array");
+    bool had_items = stack.back().items > 0;
+    stack.pop_back();
+    if (had_items)
+        newline();
+    os << ']';
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    if (stack.empty() || stack.back().isArray)
+        panic("JsonWriter::key outside an object");
+    if (stack.back().items > 0)
+        os << ',';
+    newline();
+    ++stack.back().items;
+    os << '"' << jsonEscape(k) << '"' << ':';
+    if (indentStep > 0)
+        os << ' ';
+    pendingKey = true;
+    return *this;
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    preValue();
+    os << '"' << jsonEscape(v) << '"';
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::value(double v)
+{
+    preValue();
+    // %.17g round-trips any double exactly; determinism tests rely on
+    // the rendering being reproducible bit for bit.
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    preValue();
+    os << v;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    preValue();
+    os << v;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    preValue();
+    os << (v ? "true" : "false");
+}
+
+void
+JsonWriter::raw(const std::string &json_text)
+{
+    preValue();
+    os << json_text;
+}
+
+} // namespace smt

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal streaming JSON writer: nesting-aware comma/indent handling
+ * and string escaping, enough for machine-readable stat and result
+ * records. No external dependencies.
+ */
+
+#ifndef SMTFETCH_UTIL_JSON_HH
+#define SMTFETCH_UTIL_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace smt
+{
+
+/** Escape a string for inclusion in a JSON document (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Streaming JSON writer. Values are emitted in call order; the writer
+ * tracks object/array nesting and inserts commas, newlines and
+ * indentation. Pass indent_step 0 for compact single-line output
+ * (stable across runs, suitable for diffing and embedding).
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, int indent_step = 2);
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit the key of the next object member. */
+    JsonWriter &key(const std::string &k);
+
+    void value(const std::string &v);
+    void value(const char *v);
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(bool v);
+
+    /** key + value in one call. */
+    template <typename T>
+    void
+    field(const std::string &k, const T &v)
+    {
+        key(k).value(v);
+    }
+
+    /**
+     * Emit a pre-rendered JSON fragment verbatim as the next value
+     * (embedding a nested document produced elsewhere).
+     */
+    void raw(const std::string &json_text);
+
+  private:
+    struct Scope
+    {
+        bool isArray = false;
+        unsigned items = 0;
+    };
+
+    /** Comma/indent bookkeeping before a value or key. */
+    void preValue();
+    void newline();
+
+    std::ostream &os;
+    int indentStep;
+    bool pendingKey = false;
+    std::vector<Scope> stack;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_UTIL_JSON_HH

@@ -1,0 +1,165 @@
+#include "util/stats_registry.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace smt
+{
+
+StatsRegistry::Entry &
+StatsRegistry::addEntry(const std::string &name, const std::string &desc,
+                        Kind kind)
+{
+    if (name.empty())
+        fatal("stat registered with empty name");
+    if (index.count(name) != 0)
+        fatal("duplicate stat name '%s'", name.c_str());
+    index[name] = entries.size();
+    entries.push_back({name, desc, kind, nullptr, nullptr, nullptr, {}});
+    return entries.back();
+}
+
+void
+StatsRegistry::addCounter(const std::string &name, const std::string &desc,
+                          const std::uint64_t *v)
+{
+    addEntry(name, desc, Kind::CounterPtr).counter = v;
+}
+
+void
+StatsRegistry::addScalar(const std::string &name, const std::string &desc,
+                         const double *v)
+{
+    addEntry(name, desc, Kind::ScalarPtr).scalar = v;
+}
+
+std::uint64_t &
+StatsRegistry::addOwnedCounter(const std::string &name,
+                               const std::string &desc)
+{
+    ownedCounters.push_back(std::make_unique<std::uint64_t>(0));
+    std::uint64_t *slot = ownedCounters.back().get();
+    addEntry(name, desc, Kind::CounterPtr).counter = slot;
+    return *slot;
+}
+
+void
+StatsRegistry::addHistogram(const std::string &name,
+                            const std::string &desc, const Histogram *h)
+{
+    addEntry(name, desc, Kind::HistogramPtr).hist = h;
+}
+
+void
+StatsRegistry::addFormula(const std::string &name, const std::string &desc,
+                          std::function<double()> eval)
+{
+    addEntry(name, desc, Kind::Formula).eval = std::move(eval);
+}
+
+bool
+StatsRegistry::has(const std::string &name) const
+{
+    return index.count(name) != 0;
+}
+
+double
+StatsRegistry::value(const std::string &name) const
+{
+    auto it = index.find(name);
+    if (it == index.end())
+        fatal("unknown stat '%s'", name.c_str());
+    const Entry &e = entries[it->second];
+    switch (e.kind) {
+      case Kind::CounterPtr:
+        return static_cast<double>(*e.counter);
+      case Kind::ScalarPtr:
+        return *e.scalar;
+      case Kind::Formula:
+        return e.eval();
+      case Kind::HistogramPtr:
+        fatal("stat '%s' is a histogram, not a scalar", name.c_str());
+    }
+    return 0.0; // unreachable
+}
+
+void
+StatsRegistry::resetOwned()
+{
+    for (auto &slot : ownedCounters)
+        *slot = 0;
+}
+
+void
+StatsRegistry::dump(std::ostream &os) const
+{
+    for (const Entry &e : entries) {
+        os << e.name << ' ';
+        switch (e.kind) {
+          case Kind::CounterPtr: os << *e.counter; break;
+          case Kind::ScalarPtr:
+            os << std::fixed << std::setprecision(6) << *e.scalar
+               << std::defaultfloat;
+            break;
+          case Kind::Formula:
+            os << std::fixed << std::setprecision(6) << e.eval()
+               << std::defaultfloat;
+            break;
+          case Kind::HistogramPtr:
+            os << e.hist->summary();
+            break;
+        }
+        os << "  # " << e.desc << '\n';
+    }
+}
+
+void
+StatsRegistry::dumpJson(JsonWriter &jw) const
+{
+    jw.beginObject();
+    for (const Entry &e : entries) {
+        jw.key(e.name);
+        switch (e.kind) {
+          case Kind::CounterPtr: jw.value(*e.counter); break;
+          case Kind::ScalarPtr: jw.value(*e.scalar); break;
+          case Kind::Formula: jw.value(e.eval()); break;
+          case Kind::HistogramPtr: {
+            const Histogram &h = *e.hist;
+            jw.beginObject();
+            jw.field("count", h.count());
+            jw.field("sum", h.sum());
+            jw.field("mean", h.mean());
+            jw.key("bins");
+            jw.beginArray();
+            for (unsigned b = 0; b < h.buckets(); ++b)
+                jw.value(h.at(b));
+            jw.endArray();
+            jw.endObject();
+            break;
+          }
+        }
+    }
+    jw.endObject();
+}
+
+std::string
+StatsRegistry::textString() const
+{
+    std::ostringstream oss;
+    dump(oss);
+    return oss.str();
+}
+
+std::string
+StatsRegistry::jsonString() const
+{
+    std::ostringstream oss;
+    JsonWriter jw(oss, /*indent_step=*/0);
+    dumpJson(jw);
+    return oss.str();
+}
+
+} // namespace smt

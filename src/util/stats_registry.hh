@@ -1,0 +1,131 @@
+/**
+ * @file
+ * StatsRegistry: the unified named-statistics registry. Components
+ * (pipeline stages, fetch engines, caches) register their counters,
+ * scalars, histograms and derived formulas under dotted names in the
+ * gem5 style ("commit.insts", "engine.tableHits"); the registry then
+ * renders them as stable text or machine-readable JSON.
+ *
+ * Hot-path storage stays with the owning component (a registered
+ * counter is a pointer to the component's own field, so incrementing
+ * it costs exactly what a struct member costs); the registry is the
+ * authoritative naming and emission layer over that storage.
+ */
+
+#ifndef SMTFETCH_UTIL_STATS_REGISTRY_HH
+#define SMTFETCH_UTIL_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/histogram.hh"
+
+namespace smt
+{
+
+class JsonWriter;
+
+/** Named stat index over component-owned (or registry-owned) storage. */
+class StatsRegistry
+{
+  public:
+    StatsRegistry() = default;
+
+    // Non-copyable: entries hold pointers into component storage and
+    // registry-owned slots.
+    StatsRegistry(const StatsRegistry &) = delete;
+    StatsRegistry &operator=(const StatsRegistry &) = delete;
+
+    /** Register a component-owned 64-bit counter. */
+    void addCounter(const std::string &name, const std::string &desc,
+                    const std::uint64_t *v);
+
+    /** Register a component-owned double scalar. */
+    void addScalar(const std::string &name, const std::string &desc,
+                   const double *v);
+
+    /**
+     * Register a registry-owned counter (components without stable
+     * storage of their own). The reference stays valid for the life of
+     * the registry.
+     */
+    std::uint64_t &addOwnedCounter(const std::string &name,
+                                   const std::string &desc);
+
+    /** Register a component-owned histogram. */
+    void addHistogram(const std::string &name, const std::string &desc,
+                      const Histogram *h);
+
+    /** Register a derived value, evaluated at dump/query time. */
+    void addFormula(const std::string &name, const std::string &desc,
+                    std::function<double()> eval);
+
+    /** Is a stat with this name registered? */
+    bool has(const std::string &name) const;
+
+    /**
+     * Numeric value of a counter, scalar or formula by name;
+     * fatal() on unknown names and on histograms.
+     */
+    double value(const std::string &name) const;
+
+    /** Number of registered stats. */
+    std::size_t size() const { return entries.size(); }
+
+    /** Reset registry-owned counters (component storage is reset by
+     *  its owners). */
+    void resetOwned();
+
+    /** Stable, human-diffable "name value  # desc" lines. */
+    void dump(std::ostream &os) const;
+
+    /**
+     * Emit one JSON object mapping each stat name to its value;
+     * histograms become {"count","sum","mean","bins"} sub-objects.
+     */
+    void dumpJson(JsonWriter &jw) const;
+
+    /** Full text rendering (determinism comparisons). */
+    std::string textString() const;
+
+    /** Compact single-line JSON rendering (embedding, diffing). */
+    std::string jsonString() const;
+
+  private:
+    enum class Kind : unsigned char
+    {
+        CounterPtr,
+        ScalarPtr,
+        HistogramPtr,
+        Formula,
+    };
+
+    struct Entry
+    {
+        std::string name;
+        std::string desc;
+        Kind kind;
+        const std::uint64_t *counter = nullptr;
+        const double *scalar = nullptr;
+        const Histogram *hist = nullptr;
+        std::function<double()> eval;
+    };
+
+    Entry &addEntry(const std::string &name, const std::string &desc,
+                    Kind kind);
+
+    std::vector<Entry> entries; //!< registration order (dump order)
+    std::unordered_map<std::string, std::size_t> index;
+
+    /** Registry-owned counter slots (stable addresses). */
+    std::vector<std::unique_ptr<std::uint64_t>> ownedCounters;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_UTIL_STATS_REGISTRY_HH

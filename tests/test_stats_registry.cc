@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the unified StatsRegistry: counter/scalar/formula/
+ * histogram registration, stable text dumps, and JSON emission whose
+ * values round-trip back to the registered storage.
+ */
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.hh"
+#include "util/json.hh"
+#include "util/stats_registry.hh"
+
+namespace smt
+{
+namespace
+{
+
+/**
+ * Minimal flat extractor for the registry's compact JSON: returns a
+ * map from top-level key to its raw value text. Nested objects/arrays
+ * are captured verbatim (brace/bracket matched). Quotes inside string
+ * values are handled by jsonEscape's guarantees (no raw quotes).
+ */
+std::map<std::string, std::string>
+flatParse(const std::string &json)
+{
+    std::map<std::string, std::string> out;
+    EXPECT_GE(json.size(), 2u);
+    EXPECT_EQ(json.front(), '{');
+    std::size_t i = 1;
+    while (i < json.size() && json[i] != '}') {
+        EXPECT_EQ(json[i], '"') << "at offset " << i;
+        std::size_t kend = json.find('"', i + 1);
+        EXPECT_NE(kend, std::string::npos);
+        if (kend == std::string::npos)
+            break;
+        std::string key = json.substr(i + 1, kend - i - 1);
+        EXPECT_EQ(json[kend + 1], ':');
+        if (json[kend + 1] != ':')
+            break;
+        std::size_t vstart = kend + 2;
+        std::size_t j = vstart;
+        int depth = 0;
+        bool in_str = false;
+        for (; j < json.size(); ++j) {
+            char c = json[j];
+            if (in_str) {
+                if (c == '\\')
+                    ++j;
+                else if (c == '"')
+                    in_str = false;
+                continue;
+            }
+            if (c == '"')
+                in_str = true;
+            else if (c == '{' || c == '[')
+                ++depth;
+            else if (c == '}' || c == ']') {
+                if (depth == 0)
+                    break;
+                --depth;
+            } else if (c == ',' && depth == 0)
+                break;
+        }
+        out[key] = json.substr(vstart, j - vstart);
+        i = j;
+        if (i < json.size() && json[i] == ',')
+            ++i;
+    }
+    return out;
+}
+
+TEST(StatsRegistry, CounterRegistrationAndDump)
+{
+    StatsRegistry reg;
+    std::uint64_t fetched = 0;
+    reg.addCounter("fetch.insts", "instructions fetched", &fetched);
+    std::uint64_t &owned = reg.addOwnedCounter("core.events", "events");
+
+    fetched = 41;
+    owned = 7;
+
+    EXPECT_TRUE(reg.has("fetch.insts"));
+    EXPECT_FALSE(reg.has("fetch.nonsense"));
+    EXPECT_DOUBLE_EQ(reg.value("fetch.insts"), 41.0);
+    EXPECT_DOUBLE_EQ(reg.value("core.events"), 7.0);
+    EXPECT_EQ(reg.size(), 2u);
+
+    std::ostringstream oss;
+    reg.dump(oss);
+    EXPECT_NE(oss.str().find("fetch.insts 41  # instructions fetched"),
+              std::string::npos);
+
+    reg.resetOwned();
+    EXPECT_DOUBLE_EQ(reg.value("core.events"), 0.0);
+    // External storage is untouched by resetOwned.
+    EXPECT_DOUBLE_EQ(reg.value("fetch.insts"), 41.0);
+}
+
+TEST(StatsRegistry, FormulaEvaluatesAtReadTime)
+{
+    StatsRegistry reg;
+    std::uint64_t insts = 0;
+    std::uint64_t cycles = 0;
+    reg.addCounter("insts", "instructions", &insts);
+    reg.addCounter("cycles", "cycles", &cycles);
+    reg.addFormula("ipc", "insts per cycle", [&]() {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(insts) /
+                                 static_cast<double>(cycles);
+    });
+
+    EXPECT_DOUBLE_EQ(reg.value("ipc"), 0.0);
+    insts = 30;
+    cycles = 10;
+    EXPECT_DOUBLE_EQ(reg.value("ipc"), 3.0);
+}
+
+TEST(StatsRegistry, DuplicateNameIsFatal)
+{
+    StatsRegistry reg;
+    std::uint64_t a = 0, b = 0;
+    reg.addCounter("x", "first", &a);
+    EXPECT_DEATH(reg.addCounter("x", "second", &b), "duplicate");
+}
+
+TEST(StatsRegistry, JsonRoundTrip)
+{
+    StatsRegistry reg;
+    std::uint64_t fetched = 123456789;
+    double rate = 0.8125;
+    Histogram hist(4);
+    hist.sample(1);
+    hist.sample(3);
+    hist.sample(3);
+
+    reg.addCounter("fetch.insts", "instructions fetched", &fetched);
+    reg.addScalar("fetch.rate", "delivery rate", &rate);
+    reg.addHistogram("fetch.width", "insts per cycle", &hist);
+    reg.addFormula("fetch.half", "half the insts",
+                   [&]() { return fetched / 2.0; });
+
+    auto flat = flatParse(reg.jsonString());
+    ASSERT_EQ(flat.size(), 4u);
+    EXPECT_EQ(std::stoull(flat["fetch.insts"]), fetched);
+    EXPECT_DOUBLE_EQ(std::stod(flat["fetch.rate"]), rate);
+    EXPECT_DOUBLE_EQ(std::stod(flat["fetch.half"]), fetched / 2.0);
+
+    // The histogram sub-object round-trips count/sum/bins.
+    auto histFlat = flatParse(flat["fetch.width"]);
+    EXPECT_EQ(std::stoull(histFlat["count"]), hist.count());
+    EXPECT_EQ(std::stoull(histFlat["sum"]), hist.sum());
+    EXPECT_EQ(histFlat["bins"], "[0,1,0,2,0]");
+}
+
+TEST(StatsRegistry, JsonIsStableAcrossDumps)
+{
+    StatsRegistry reg;
+    std::uint64_t n = 99;
+    reg.addCounter("n", "a counter", &n);
+    reg.addFormula("nsq", "n squared",
+                   [&]() { return static_cast<double>(n) * n; });
+    EXPECT_EQ(reg.jsonString(), reg.jsonString());
+    EXPECT_EQ(reg.textString(), reg.textString());
+}
+
+TEST(JsonWriter, EscapesAndNests)
+{
+    std::ostringstream oss;
+    JsonWriter jw(oss, 0);
+    jw.beginObject();
+    jw.field("s", std::string("a\"b\\c\nd"));
+    jw.key("arr");
+    jw.beginArray();
+    jw.value(std::uint64_t{1});
+    jw.value(true);
+    jw.value("two");
+    jw.endArray();
+    jw.endObject();
+    EXPECT_EQ(oss.str(),
+              "{\"s\":\"a\\\"b\\\\c\\nd\",\"arr\":[1,true,\"two\"]}");
+}
+
+} // namespace
+} // namespace smt
