@@ -4,11 +4,11 @@
  * policies (STALL / FLUSH) on top of each fetch configuration. The
  * paper argues ICOUNT.1.X avoids the clog by construction; this
  * ablation shows how much of the 2.X loss a load-aware policy
- * recovers, and how much it still trails the paper's proposal.
+ * recovers, and how much it still trails the paper's proposal. Thin
+ * wrapper over configs/ablation_flush.json (see smtsim).
  */
 
 #include "bench_common.hh"
-#include "sim/simulator.hh"
 
 using namespace smtbench;
 
@@ -16,15 +16,17 @@ namespace
 {
 
 double
-runWith(const char *wl, unsigned n, unsigned x, LongLoadPolicy pol)
+ipcWith(const std::vector<ExperimentResult> &rs, const char *wl,
+        unsigned n, unsigned x, LongLoadPolicy pol)
 {
-    SimConfig cfg = table3Config(wl, EngineKind::Stream, n, x);
-    cfg.core.longLoadPolicy = pol;
-    cfg.warmupCycles = 40'000;
-    cfg.measureCycles = 200'000;
-    Simulator sim(cfg);
-    sim.run();
-    return sim.stats().ipc();
+    RunOverrides ov;
+    ov.longLoadPolicy = pol;
+    const auto *r = find(rs, wl, EngineKind::Stream, n, x,
+                         PolicyKind::ICount, ov);
+    if (r == nullptr)
+        fatal("long-load point %s/%u.%u/%s missing from the spec",
+              wl, n, x, longLoadPolicyName(pol));
+    return r->ipc;
 }
 
 } // namespace
@@ -35,13 +37,19 @@ main()
     std::printf("== Ablation: long-latency-load policies (stream "
                 "engine) ==\n\n");
 
-    BenchReport report("ablation_flush");
+    SpecRun sr = runSpecByName("ablation_flush");
+    BenchReport report(sr.spec.benchName());
+    report.add(sr.results);
+
     TextTable t({"workload", "policy", "baseline", "STALL", "FLUSH"});
     for (const char *wl : {"2_MIX", "2_MEM", "4_MIX"}) {
         for (auto [n, x] : {std::pair{2u, 8u}, {1u, 16u}}) {
-            double base = runWith(wl, n, x, LongLoadPolicy::None);
-            double stall = runWith(wl, n, x, LongLoadPolicy::Stall);
-            double flush = runWith(wl, n, x, LongLoadPolicy::Flush);
+            double base = ipcWith(sr.results, wl, n, x,
+                                  LongLoadPolicy::None);
+            double stall = ipcWith(sr.results, wl, n, x,
+                                   LongLoadPolicy::Stall);
+            double flush = ipcWith(sr.results, wl, n, x,
+                                   LongLoadPolicy::Flush);
             std::string key = csprintf("%s.%u.%u", wl, n, x);
             report.metric(key + ".baseline.ipc", base);
             report.metric(key + ".stall.ipc", stall);

@@ -2,7 +2,8 @@
  * @file
  * Ablation A3: fetch policy. ICOUNT vs round-robin across the key
  * policy/workload points; the paper builds on ICOUNT because RR
- * ignores pipeline occupancy and feeds clogged threads.
+ * ignores pipeline occupancy and feeds clogged threads. Thin wrapper
+ * over configs/ablation_policy.json (see smtsim).
  */
 
 #include "bench_common.hh"
@@ -15,22 +16,25 @@ main()
     std::printf("== Ablation: ICOUNT vs Round-Robin (stream engine) "
                 "==\n\n");
 
-    ExperimentRunner runner = makeRunner();
-    BenchReport report("ablation_policy");
+    SpecRun sr = runSpecByName("ablation_policy");
+    BenchReport report(sr.spec.benchName());
+    report.add(sr.results);
+
     TextTable t({"workload", "policy", "RR IPC", "ICOUNT IPC",
                  "ICOUNT gain"});
     for (const char *wl : {"2_ILP", "2_MIX", "4_MIX", "8_MIX"}) {
         for (auto [n, x] :
              {std::pair{1u, 8u}, {2u, 8u}, {1u, 16u}}) {
-            auto rr = runner.run(wl, EngineKind::Stream, n, x,
-                                 PolicyKind::RoundRobin);
-            auto ic = runner.run(wl, EngineKind::Stream, n, x,
-                                 PolicyKind::ICount);
-            report.add(rr);
-            report.add(ic);
+            const auto *rr = find(sr.results, wl, EngineKind::Stream,
+                                  n, x, PolicyKind::RoundRobin);
+            const auto *ic = find(sr.results, wl, EngineKind::Stream,
+                                  n, x, PolicyKind::ICount);
+            if (rr == nullptr || ic == nullptr)
+                fatal("policy point %s/%u.%u missing from the spec",
+                      wl, n, x);
             t.addRow({wl, csprintf("%u.%u", n, x),
-                      TextTable::num(rr.ipc), TextTable::num(ic.ipc),
-                      TextTable::pct(ic.ipc / rr.ipc - 1)});
+                      TextTable::num(rr->ipc), TextTable::num(ic->ipc),
+                      TextTable::pct(ic->ipc / rr->ipc - 1)});
         }
     }
     t.print(std::cout);

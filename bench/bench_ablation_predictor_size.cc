@@ -1,11 +1,11 @@
 /**
  * @file
  * Ablation A2: predictor hardware budget. Sweeps the stream predictor
- * and gshare table sizes around the paper's ~45KB budget point.
+ * and gshare table sizes around the paper's ~45KB budget point. Thin
+ * wrapper over configs/ablation_predictor_size.json (see smtsim).
  */
 
 #include "bench_common.hh"
-#include "sim/simulator.hh"
 
 using namespace smtbench;
 
@@ -13,21 +13,17 @@ namespace
 {
 
 double
-runWith(EngineKind engine, unsigned scale_shift)
+ipcAtShift(const std::vector<ExperimentResult> &rs, EngineKind engine,
+           unsigned shift)
 {
-    SimConfig cfg = table3Config("4_MIX", engine, 1, 16);
-    auto &ep = cfg.core.engineParams;
-    ep.gshareEntries >>= scale_shift;
-    ep.gskewEntriesPerBank >>= scale_shift;
-    ep.btbEntries >>= scale_shift;
-    ep.ftbEntries >>= scale_shift;
-    ep.streamL1Entries >>= scale_shift;
-    ep.streamL2Entries >>= scale_shift;
-    cfg.warmupCycles = 40'000;
-    cfg.measureCycles = 200'000;
-    Simulator sim(cfg);
-    sim.run();
-    return sim.stats().ipc();
+    RunOverrides ov;
+    ov.predictorShift = shift;
+    const auto *r = find(rs, "4_MIX", engine, 1, 16,
+                         PolicyKind::ICount, ov);
+    if (r == nullptr)
+        fatal("predictor shift %u missing for %s", shift,
+              engineName(engine));
+    return r->ipc;
 }
 
 } // namespace
@@ -38,13 +34,18 @@ main()
     std::printf("== Ablation: predictor budget sweep (4_MIX, "
                 "ICOUNT.1.16) ==\n\n");
 
-    BenchReport report("ablation_predictor_size");
+    SpecRun sr = runSpecByName("ablation_predictor_size");
+    BenchReport report(sr.spec.benchName());
+    report.add(sr.results);
+
     TextTable t({"budget", "gshare+BTB", "gskew+FTB", "stream"});
     const char *labels[] = {"1x (Table 3)", "1/2x", "1/4x", "1/8x"};
     for (unsigned shift = 0; shift < 4; ++shift) {
-        double g = runWith(EngineKind::GshareBtb, shift);
-        double k = runWith(EngineKind::GskewFtb, shift);
-        double s = runWith(EngineKind::Stream, shift);
+        double g = ipcAtShift(sr.results, EngineKind::GshareBtb,
+                              shift);
+        double k = ipcAtShift(sr.results, EngineKind::GskewFtb,
+                              shift);
+        double s = ipcAtShift(sr.results, EngineKind::Stream, shift);
         report.metric(csprintf("shift%u.gshareBtb.ipc", shift), g);
         report.metric(csprintf("shift%u.gskewFtb.ipc", shift), k);
         report.metric(csprintf("shift%u.stream.ipc", shift), s);

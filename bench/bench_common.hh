@@ -1,8 +1,9 @@
 /**
  * @file
- * Shared scaffolding for the paper-reproduction bench binaries: grid
- * runners and table renderers that print each figure's series next to
- * the paper's qualitative expectations.
+ * Shared scaffolding for the paper-reproduction bench binaries. Each
+ * binary is a thin wrapper over the experiment spec of the same name
+ * under configs/ (the grids the smtsim CLI runs); the wrapper adds
+ * the figure tables and "paper expects X" shape checks.
  */
 
 #ifndef SMTFETCH_BENCH_COMMON_HH
@@ -10,12 +11,12 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/sweep_spec.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 namespace smtbench
@@ -23,35 +24,47 @@ namespace smtbench
 
 using namespace smt;
 
-/** Default measurement windows for figure reproduction. */
-inline ExperimentRunner
-makeRunner()
+/** Load configs/<name>.json; fatal() on any spec problem. */
+inline SweepSpec
+loadSpec(const std::string &name)
 {
-    return ExperimentRunner(/*warmup=*/40'000, /*measure=*/250'000);
+    try {
+        return SweepSpec::fromFile(defaultConfigDir() + "/" + name +
+                                   ".json");
+    } catch (const SpecError &e) {
+        fatal("%s", e.what());
+    }
 }
 
-/** Run a (workload x policy x engine) grid and print both metrics. */
-inline std::vector<ExperimentResult>
-runGrid(const std::vector<std::string> &workloads,
-        const std::vector<std::pair<unsigned, unsigned>> &policies,
-        const std::string &title)
+/** A spec together with its grid results. */
+struct SpecRun
 {
-    ExperimentRunner runner = makeRunner();
-    std::vector<ExperimentRunner::GridPoint> pts;
-    for (const auto &w : workloads)
-        for (auto e : allEngines())
-            for (auto [n, x] : policies)
-                pts.push_back({w, e, n, x, PolicyKind::ICount});
+    SweepSpec spec;
+    std::vector<ExperimentResult> results;
+};
 
-    auto results = runner.runAll(pts);
+/** Load configs/<name>.json and run its grid. */
+inline SpecRun
+runSpecByName(const std::string &name)
+{
+    SpecRun sr{loadSpec(name), {}};
+    sr.results = runSpec(sr.spec);
+    return sr;
+}
 
-    ExperimentRunner::printFigure(std::cout, title + " (a) Fetch throughput, IPFC",
-                                  results, /*fetch=*/true);
+/** Print a figure's (a) IPFC and (b) IPC tables. */
+inline void
+printBothFigures(const std::vector<ExperimentResult> &results,
+                 const std::string &title)
+{
+    ExperimentRunner::printFigure(
+        std::cout, title + " (a) Fetch throughput, IPFC", results,
+        /*fetch=*/true);
     std::cout << '\n';
-    ExperimentRunner::printFigure(std::cout, title + " (b) Commit throughput, IPC",
-                                  results, /*fetch=*/false);
+    ExperimentRunner::printFigure(
+        std::cout, title + " (b) Commit throughput, IPC", results,
+        /*fetch=*/false);
     std::cout << '\n';
-    return results;
 }
 
 /**
@@ -66,20 +79,7 @@ writeBenchJson(const std::string &bench,
                const std::vector<std::pair<std::string, double>>
                    &metrics = {})
 {
-    const char *off = std::getenv("SMTFETCH_NO_JSON");
-    if (off != nullptr && off[0] != '\0' && off[0] != '0')
-        return;
-    const char *dir = std::getenv("SMTFETCH_JSON_DIR");
-    std::string path = std::string(dir != nullptr ? dir : ".") +
-                       "/BENCH_" + bench + ".json";
-    std::ofstream os(path);
-    if (!os) {
-        std::fprintf(stderr, "warning: cannot write %s\n",
-                     path.c_str());
-        return;
-    }
-    ExperimentRunner::writeJson(os, bench, results, metrics);
-    std::printf("wrote %s\n", path.c_str());
+    writeBenchRecord(bench, results, metrics);
 }
 
 /**
@@ -116,16 +116,42 @@ class BenchReport
     std::vector<std::pair<std::string, double>> metrics;
 };
 
-/** Find one grid point. */
+/** Find one grid point (any selection policy, no overrides). */
 inline const ExperimentResult *
 find(const std::vector<ExperimentResult> &rs, const std::string &wl,
      EngineKind e, unsigned n, unsigned x)
 {
     for (const auto &r : rs)
         if (r.workload == wl && r.engine == e && r.fetchThreads == n &&
-            r.fetchWidth == x)
+            r.fetchWidth == x && !r.overrides.any())
             return &r;
     return nullptr;
+}
+
+/** Find one grid point by selection policy and overrides too. */
+inline const ExperimentResult *
+find(const std::vector<ExperimentResult> &rs, const std::string &wl,
+     EngineKind e, unsigned n, unsigned x, PolicyKind selection,
+     const RunOverrides &ov = RunOverrides{})
+{
+    for (const auto &r : rs)
+        if (r.workload == wl && r.engine == e && r.fetchThreads == n &&
+            r.fetchWidth == x && r.policy == selection &&
+            r.overrides == ov)
+            return &r;
+    return nullptr;
+}
+
+/** Like find(), but fatal() when the point is missing. */
+inline const ExperimentResult &
+need(const std::vector<ExperimentResult> &rs, const std::string &wl,
+     EngineKind e, unsigned n, unsigned x)
+{
+    const ExperimentResult *r = find(rs, wl, e, n, x);
+    if (r == nullptr)
+        fatal("grid point %s/%s/%u.%u missing from the spec",
+              wl.c_str(), engineName(e), n, x);
+    return *r;
 }
 
 /** Print a "paper expects X, we measured Y" check line. */

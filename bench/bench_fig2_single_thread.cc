@@ -2,7 +2,8 @@
  * @file
  * Figure 2: fetch throughput (IPFC) of the conventional gshare+BTB
  * fetch unit with ICOUNT.1.8 vs ICOUNT.1.16 on the gzip+twolf (2_MIX)
- * workload, plus the §3.1 fetch-width distribution claims.
+ * workload, plus the §3.1 fetch-width distribution claims. Thin
+ * wrapper over configs/fig2_single_thread.json (see smtsim).
  *
  * Paper reference: 1.8 ~= 4.7 IPFC; 1.16 gains little because the
  * predictor delivers one basic block per cycle. gshare+BTB provides
@@ -19,9 +20,11 @@ main()
     std::printf("== Figure 2: gshare+BTB fetching from one thread "
                 "(gzip+twolf) ==\n\n");
 
-    ExperimentRunner runner = makeRunner();
-    auto r18 = runner.run("2_MIX", EngineKind::GshareBtb, 1, 8);
-    auto r116 = runner.run("2_MIX", EngineKind::GshareBtb, 1, 16);
+    SpecRun sr = runSpecByName("fig2_single_thread");
+    const auto &r18 = need(sr.results, "2_MIX", EngineKind::GshareBtb,
+                           1, 8);
+    const auto &r116 = need(sr.results, "2_MIX",
+                            EngineKind::GshareBtb, 1, 16);
 
     TextTable t({"policy", "IPFC (paper ~)", "IPFC (measured)"});
     t.addRow({"ICOUNT.1.8", "4.7", TextTable::num(r18.ipfc)});
@@ -46,6 +49,6 @@ main()
           "per prediction)",
           r116.ipfc < 1.4 * r18.ipfc);
 
-    writeBenchJson("fig2_single_thread", {r18, r116});
+    writeBenchJson(sr.spec.benchName(), sr.results);
     return 0;
 }

@@ -2,7 +2,8 @@
  * @file
  * Figure 4: fetch throughput of gshare+BTB fetching from up to two
  * threads (ICOUNT.2.8 / 2.16) vs one thread (1.8 / 1.16) on
- * gzip+twolf.
+ * gzip+twolf. Thin wrapper over configs/fig4_two_threads.json (see
+ * smtsim).
  *
  * Paper reference: 2.8 gains ~28% over 1.8; 2.16 gains ~33% over
  * 1.16; at 2.8, 8 instructions are provided 54% of cycles.
@@ -18,11 +19,15 @@ main()
     std::printf("== Figure 4: gshare+BTB fetching from two threads "
                 "(gzip+twolf) ==\n\n");
 
-    ExperimentRunner runner = makeRunner();
-    auto r18 = runner.run("2_MIX", EngineKind::GshareBtb, 1, 8);
-    auto r28 = runner.run("2_MIX", EngineKind::GshareBtb, 2, 8);
-    auto r116 = runner.run("2_MIX", EngineKind::GshareBtb, 1, 16);
-    auto r216 = runner.run("2_MIX", EngineKind::GshareBtb, 2, 16);
+    SpecRun sr = runSpecByName("fig4_two_threads");
+    const auto &r18 = need(sr.results, "2_MIX", EngineKind::GshareBtb,
+                           1, 8);
+    const auto &r28 = need(sr.results, "2_MIX", EngineKind::GshareBtb,
+                           2, 8);
+    const auto &r116 = need(sr.results, "2_MIX",
+                            EngineKind::GshareBtb, 1, 16);
+    const auto &r216 = need(sr.results, "2_MIX",
+                            EngineKind::GshareBtb, 2, 16);
 
     TextTable t({"policy", "IPFC", "gain over 1-thread"});
     t.addRow({"ICOUNT.1.8", TextTable::num(r18.ipfc), "-"});
@@ -45,6 +50,6 @@ main()
     check("2.16 improves fetch throughput over 2.8",
           r216.ipfc > r28.ipfc);
 
-    writeBenchJson("fig4_two_threads", {r18, r28, r116, r216});
+    writeBenchJson(sr.spec.benchName(), sr.results);
     return 0;
 }

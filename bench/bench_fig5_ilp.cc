@@ -1,7 +1,8 @@
 /**
  * @file
  * Figure 5: fetch and commit throughput for ILP workloads under
- * ICOUNT.1.8 vs ICOUNT.2.8, all three fetch engines.
+ * ICOUNT.1.8 vs ICOUNT.2.8, all three fetch engines. Thin wrapper
+ * over configs/fig5_ilp.json (see smtsim).
  *
  * Paper reference shapes: 2.8 > 1.8 for every engine (fetch is the
  * ILP bottleneck); stream > gskew+FTB > gshare+BTB; at 1.8 the stream
@@ -18,9 +19,11 @@ main()
     std::printf("== Figure 5: ILP workloads, ICOUNT.1.8 vs "
                 "ICOUNT.2.8 ==\n\n");
 
-    std::vector<std::string> wls = {"2_ILP", "4_ILP", "6_ILP", "8_ILP"};
-    auto rs = runGrid(wls, {{1, 8}, {2, 8}}, "Fig. 5");
+    SpecRun sr = runSpecByName("fig5_ilp");
+    const auto &rs = sr.results;
+    printBothFigures(rs, "Fig. 5");
 
+    std::vector<std::string> wls = {"2_ILP", "4_ILP", "6_ILP", "8_ILP"};
     std::printf("Shape checks:\n");
     int two_beats_one = 0, stream_leads = 0, n = 0;
     for (const auto &w : wls) {
@@ -43,6 +46,6 @@ main()
                    "workloads)", stream_leads),
           stream_leads >= 3);
 
-    writeBenchJson("fig5_ilp", rs);
+    writeBenchJson(sr.spec.benchName(), rs);
     return 0;
 }

@@ -1,7 +1,8 @@
 /**
  * @file
  * Figure 6: ILP workloads with the wide single-thread policy:
- * ICOUNT.2.8 vs ICOUNT.1.16 vs ICOUNT.2.16.
+ * ICOUNT.2.8 vs ICOUNT.1.16 vs ICOUNT.2.16. Thin wrapper over
+ * configs/fig6_ilp_wide.json (see smtsim).
  *
  * Paper reference shapes: the stream fetch with 1.16 outperforms its
  * own 2.8 (+9% commit) and the other engines' 2.8 (+19% over
@@ -19,9 +20,11 @@ main()
     std::printf("== Figure 6: ILP workloads, ICOUNT.2.8 vs 1.16 vs "
                 "2.16 ==\n\n");
 
-    std::vector<std::string> wls = {"2_ILP", "4_ILP", "6_ILP", "8_ILP"};
-    auto rs = runGrid(wls, {{2, 8}, {1, 16}, {2, 16}}, "Fig. 6");
+    SpecRun sr = runSpecByName("fig6_ilp_wide");
+    const auto &rs = sr.results;
+    printBothFigures(rs, "Fig. 6");
 
+    std::vector<std::string> wls = {"2_ILP", "4_ILP", "6_ILP", "8_ILP"};
     std::printf("Shape checks:\n");
     int stream_116_wins = 0, gshare_116_loses = 0;
     double gain_vs_gshare = 0;
@@ -46,6 +49,6 @@ main()
     std::printf("  stream 1.16 vs gshare+BTB 2.8 average IPC delta: "
                 "%+.1f%% (paper: +19%%)\n", gain_vs_gshare / 4);
 
-    writeBenchJson("fig6_ilp_wide", rs);
+    writeBenchJson(sr.spec.benchName(), rs);
     return 0;
 }

@@ -1,6 +1,7 @@
 /**
  * @file
  * Figure 7: MIX and MEM workloads under ICOUNT.1.8 vs ICOUNT.2.8.
+ * Thin wrapper over configs/fig7_mem.json (see smtsim).
  *
  * Paper reference shapes: fetch throughput still rises from 1.8 to
  * 2.8, but commit throughput FALLS — fetching from a second,
@@ -18,10 +19,12 @@ main()
     std::printf("== Figure 7: MIX/MEM workloads, ICOUNT.1.8 vs "
                 "ICOUNT.2.8 ==\n\n");
 
+    SpecRun sr = runSpecByName("fig7_mem");
+    const auto &rs = sr.results;
+    printBothFigures(rs, "Fig. 7");
+
     std::vector<std::string> wls = {"2_MIX", "2_MEM", "4_MIX", "4_MEM",
                                     "6_MIX", "8_MIX"};
-    auto rs = runGrid(wls, {{1, 8}, {2, 8}}, "Fig. 7");
-
     std::printf("Shape checks:\n");
     int ipfc_up = 0, ipc_down = 0, n = 0;
     for (const auto &w : wls) {
@@ -44,6 +47,6 @@ main()
                    "inversion (%d of %d)", ipc_down, n),
           ipc_down >= n - 4);
 
-    writeBenchJson("fig7_mem", rs);
+    writeBenchJson(sr.spec.benchName(), rs);
     return 0;
 }

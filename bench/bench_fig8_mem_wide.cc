@@ -1,7 +1,8 @@
 /**
  * @file
  * Figure 8: MIX and MEM workloads with ICOUNT.1.8 vs ICOUNT.1.16 vs
- * ICOUNT.2.16.
+ * ICOUNT.2.16. Thin wrapper over configs/fig8_mem_wide.json (see
+ * smtsim).
  *
  * Paper reference shapes: ICOUNT.1.16 gives the best commit
  * throughput (wide fetch + fine-grain thread selection); ICOUNT.2.16
@@ -19,10 +20,12 @@ main()
     std::printf("== Figure 8: MIX/MEM workloads, ICOUNT.1.8 vs 1.16 "
                 "vs 2.16 ==\n\n");
 
+    SpecRun sr = runSpecByName("fig8_mem_wide");
+    const auto &rs = sr.results;
+    printBothFigures(rs, "Fig. 8");
+
     std::vector<std::string> wls = {"2_MIX", "2_MEM", "4_MIX", "4_MEM",
                                     "6_MIX", "8_MIX"};
-    auto rs = runGrid(wls, {{1, 8}, {1, 16}, {2, 16}}, "Fig. 8");
-
     std::printf("Shape checks:\n");
     int wide_single_ok = 0, dual_wide_worse = 0, n = 0;
     for (const auto &w : wls) {
@@ -46,6 +49,6 @@ main()
                    dual_wide_worse, n),
           dual_wide_worse >= n - 4);
 
-    writeBenchJson("fig8_mem_wide", rs);
+    writeBenchJson(sr.spec.benchName(), rs);
     return 0;
 }

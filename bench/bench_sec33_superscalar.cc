@@ -3,7 +3,8 @@
  * Section 3.3 superscalar claims: on a single-thread (superscalar)
  * processor, gskew+FTB gains ~5% IPC over gshare+BTB and the stream
  * fetch ~11% over gshare+BTB (~5.5% over gskew+FTB), averaged over
- * SPECint2000.
+ * SPECint2000. Thin wrapper over configs/sec33_superscalar.json (see
+ * smtsim).
  */
 
 #include "bench_common.hh"
@@ -16,29 +17,22 @@ main()
     std::printf("== Section 3.3: single-thread (superscalar) fetch "
                 "engines ==\n\n");
 
-    const std::vector<std::string> benches = {
-        "gzip", "vpr", "gcc", "mcf", "crafty", "parser",
-        "eon", "perlbmk", "gap", "vortex", "bzip2", "twolf"};
-
-    ExperimentRunner runner = makeRunner();
-    std::vector<ExperimentRunner::GridPoint> pts;
-    for (const auto &b : benches)
-        for (auto e : allEngines())
-            pts.push_back({b, e, 1, 16, PolicyKind::ICount});
-    auto rs = runner.runAll(pts);
+    SpecRun sr = runSpecByName("sec33_superscalar");
+    const auto &rs = sr.results;
+    const auto &benches = sr.spec.sweeps.at(0).workloads;
 
     TextTable t({"benchmark", "gshare+BTB", "gskew+FTB", "stream",
                  "stream vs gshare"});
     double gm_ftb = 0, gm_stream = 0;
     for (const auto &b : benches) {
-        const auto *g = find(rs, b, EngineKind::GshareBtb, 1, 16);
-        const auto *f = find(rs, b, EngineKind::GskewFtb, 1, 16);
-        const auto *s = find(rs, b, EngineKind::Stream, 1, 16);
-        t.addRow({b, TextTable::num(g->ipc), TextTable::num(f->ipc),
-                  TextTable::num(s->ipc),
-                  TextTable::pct(s->ipc / g->ipc - 1)});
-        gm_ftb += f->ipc / g->ipc;
-        gm_stream += s->ipc / g->ipc;
+        const auto &g = need(rs, b, EngineKind::GshareBtb, 1, 16);
+        const auto &f = need(rs, b, EngineKind::GskewFtb, 1, 16);
+        const auto &s = need(rs, b, EngineKind::Stream, 1, 16);
+        t.addRow({b, TextTable::num(g.ipc), TextTable::num(f.ipc),
+                  TextTable::num(s.ipc),
+                  TextTable::pct(s.ipc / g.ipc - 1)});
+        gm_ftb += f.ipc / g.ipc;
+        gm_stream += s.ipc / g.ipc;
     }
     t.print(std::cout);
 
@@ -53,6 +47,6 @@ main()
     check("gskew+FTB >= gshare+BTB on average", avg_ftb > -1.0);
     check("stream >= gskew+FTB on average", avg_stream >= avg_ftb - 1.0);
 
-    writeBenchJson("sec33_superscalar", rs);
+    writeBenchJson(sr.spec.benchName(), rs);
     return 0;
 }

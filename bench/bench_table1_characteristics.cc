@@ -2,11 +2,11 @@
  * @file
  * Table 1 + Table 2: per-benchmark synthetic workload characteristics
  * (dynamic average basic-block size vs the paper's Table 1) and the
- * Table 2 multithreaded workload definitions.
+ * Table 2 multithreaded workload definitions. Thin wrapper over
+ * configs/table1_characteristics.json (see smtsim).
  */
 
 #include "bench_common.hh"
-#include "workload/trace.hh"
 #include "workload/workloads.hh"
 
 using namespace smtbench;
@@ -17,30 +17,19 @@ main()
     std::printf("== Table 1: SPECint2000 synthetic model "
                 "characteristics ==\n\n");
 
-    BenchReport report("table1_characteristics");
+    SweepSpec spec = loadSpec("table1_characteristics");
+    auto rows = runCharacteristics(spec.instructions);
+
     TextTable t({"benchmark", "class", "BB size (paper)",
                  "BB size (model)", "stream len", "taken rate",
                  "loads/insts"});
-    for (const auto &prof : allProfiles()) {
-        auto img = buildImage(prof, 0x400000, 0x40000000);
-        TraceStream ts(img);
-        for (int i = 0; i < 400'000; ++i)
-            ts.next();
-        const auto &s = ts.stats();
-        report.metric(prof.name + ".bbSize", s.avgBlockSize());
-        report.metric(prof.name + ".streamLen", s.avgStreamLength());
-        report.metric(prof.name + ".takenRate",
-                      s.ctis ? double(s.takenCtis) / s.ctis : 0);
-        report.metric(prof.name + ".loadFrac",
-                      double(s.loads) / s.insts);
-        t.addRow({prof.name,
-                  prof.benchClass == BenchClass::ILP ? "ILP" : "MEM",
-                  TextTable::num(prof.avgBlockSize),
-                  TextTable::num(s.avgBlockSize()),
-                  TextTable::num(s.avgStreamLength()),
-                  TextTable::num(
-                      s.ctis ? double(s.takenCtis) / s.ctis : 0, 3),
-                  TextTable::num(double(s.loads) / s.insts, 3)});
+    for (const auto &r : rows) {
+        t.addRow({r.benchmark, r.ilp ? "ILP" : "MEM",
+                  TextTable::num(r.paperBlockSize),
+                  TextTable::num(r.blockSize),
+                  TextTable::num(r.streamLength),
+                  TextTable::num(r.takenRate, 3),
+                  TextTable::num(r.loadFraction, 3)});
     }
     t.print(std::cout);
 
@@ -53,6 +42,8 @@ main()
         t2.addRow({w.name, list});
     }
     t2.print(std::cout);
-    report.write();
+
+    writeBenchJson(spec.benchName(), {},
+                   characteristicsMetrics(rows));
     return 0;
 }

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * smtsim: run JSON experiment specs through the simulator. Each spec
+ * names workloads, fetch engines, N.X policies, parameter overrides
+ * and measurement windows; smtsim expands the grid, runs it across
+ * host threads and writes the BENCH_<name>.json record the bench
+ * binaries emit for the same spec.
+ *
+ * Usage: smtsim [options] <spec.json | spec-name> ...
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/sweep_spec.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace smt;
+
+namespace
+{
+
+struct Options
+{
+    bool list = false;
+    bool validate = false;
+    bool quiet = false;
+    bool writeJson = true;
+    std::string outDir;
+    std::optional<Cycle> warmup;
+    std::optional<Cycle> measure;
+    std::optional<std::uint64_t> seed;
+    std::vector<std::string> specs;
+};
+
+void
+usage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: smtsim [options] <spec.json | spec-name> ...\n"
+        "\n"
+        "Runs JSON experiment specs (see configs/) through the\n"
+        "simulator and writes BENCH_<name>.json records.\n"
+        "\n"
+        "A bare spec name (no '/' and no '.json') is resolved\n"
+        "against $SMTFETCH_CONFIG_DIR or the build-time configs/\n"
+        "directory.\n"
+        "\n"
+        "options:\n"
+        "  --list         print the expanded grid, do not run\n"
+        "  --validate     parse and expand specs, then exit\n"
+        "  --out-dir DIR  directory for BENCH_*.json records\n"
+        "                 (default: $SMTFETCH_JSON_DIR or .)\n"
+        "  --no-json      skip BENCH_*.json emission\n"
+        "  --quiet        suppress result tables\n"
+        "  --warmup N     override the spec's warmup cycles\n"
+        "  --measure N    override the spec's measured cycles\n"
+        "  --seed N       override the spec's seed\n"
+        "  -h, --help     show this help\n");
+}
+
+/** Resolve a CLI spec argument to a readable file path. */
+std::string
+resolveSpecPath(const std::string &arg)
+{
+    bool bare = arg.find('/') == std::string::npos &&
+                arg.find(".json") == std::string::npos;
+    if (!bare)
+        return arg;
+    if (std::ifstream(arg).good())
+        return arg;
+    return defaultConfigDir() + "/" + arg + ".json";
+}
+
+std::uint64_t
+parseCount(const char *flag, const char *text)
+{
+    // Strict digits-only parse: strtoull would silently skip
+    // whitespace and wrap negative input.
+    bool ok = text[0] != '\0';
+    for (const char *p = text; *p != '\0'; ++p)
+        if (*p < '0' || *p > '9')
+            ok = false;
+    char *end = nullptr;
+    unsigned long long v = ok ? std::strtoull(text, &end, 10) : 0;
+    if (!ok || end == text || *end != '\0') {
+        std::fprintf(stderr, "smtsim: %s expects a non-negative "
+                             "integer, got \"%s\"\n",
+                     flag, text);
+        std::exit(1);
+    }
+    return v;
+}
+
+void
+printGrid(const SweepSpec &spec,
+          const std::vector<ExperimentRunner::GridPoint> &points)
+{
+    TextTable t({"#", "workload", "engine", "policy", "selection",
+                 "overrides"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &p = points[i];
+        std::string variant = p.overrides.describe();
+        t.addRow({std::to_string(i), p.workload,
+                  engineName(p.engine),
+                  csprintf("%u.%u", p.fetchThreads, p.fetchWidth),
+                  policyName(p.policy),
+                  variant.empty() ? "-" : variant});
+    }
+    t.print(std::cout,
+            csprintf("%s: %zu grid points, warmup %llu, measure "
+                     "%llu, seed %llu",
+                     spec.name.c_str(), points.size(),
+                     (unsigned long long)spec.warmupCycles,
+                     (unsigned long long)spec.measureCycles,
+                     (unsigned long long)spec.seed));
+}
+
+int
+runOne(const Options &opt, const std::string &arg)
+{
+    std::string path = resolveSpecPath(arg);
+    SweepSpec spec = SweepSpec::fromFile(path);
+    if (opt.warmup)
+        spec.warmupCycles = *opt.warmup;
+    if (opt.measure)
+        spec.measureCycles = *opt.measure;
+    if (opt.seed)
+        spec.seed = *opt.seed;
+    if (spec.measureCycles == 0) {
+        std::fprintf(stderr,
+                     "smtsim: --measure must be positive\n");
+        return 1;
+    }
+
+    if (spec.type == SpecType::Characteristics) {
+        if (opt.list || opt.validate) {
+            std::printf("%s: characteristics spec (%llu insts per "
+                        "benchmark)\n",
+                        spec.name.c_str(),
+                        (unsigned long long)spec.instructions);
+            return 0;
+        }
+        auto rows = runCharacteristics(spec.instructions);
+        if (!opt.quiet) {
+            TextTable t({"benchmark", "class", "BB size",
+                         "stream len", "taken rate", "loads/insts"});
+            for (const auto &r : rows)
+                t.addRow({r.benchmark, r.ilp ? "ILP" : "MEM",
+                          TextTable::num(r.blockSize),
+                          TextTable::num(r.streamLength),
+                          TextTable::num(r.takenRate, 3),
+                          TextTable::num(r.loadFraction, 3)});
+            t.print(std::cout, spec.name);
+        }
+        if (opt.writeJson &&
+            !writeBenchRecord(spec.benchName(), {},
+                              characteristicsMetrics(rows),
+                              opt.outDir))
+            return 3;
+        return 0;
+    }
+
+    auto points = spec.expand();
+    if (opt.list || opt.validate) {
+        if (opt.list)
+            printGrid(spec, points);
+        else
+            std::printf("%s: OK (%zu grid points)\n",
+                        spec.name.c_str(), points.size());
+        return 0;
+    }
+
+    auto results = spec.makeRunner().runAll(points);
+    if (!opt.quiet) {
+        ExperimentRunner::printFigure(
+            std::cout, spec.name + " — fetch throughput, IPFC",
+            results, /*fetch=*/true);
+        std::cout << '\n';
+        ExperimentRunner::printFigure(
+            std::cout, spec.name + " — commit throughput, IPC",
+            results, /*fetch=*/false);
+    }
+    if (opt.writeJson &&
+        !writeBenchRecord(spec.benchName(), results, {}, opt.outDir))
+        return 3;
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "smtsim: %s expects an argument\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "-h" || arg == "--help") {
+            usage(stdout);
+            return 0;
+        } else if (arg == "--list") {
+            opt.list = true;
+        } else if (arg == "--validate") {
+            opt.validate = true;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (arg == "--no-json") {
+            opt.writeJson = false;
+        } else if (arg == "--out-dir") {
+            opt.outDir = next();
+        } else if (arg == "--warmup") {
+            opt.warmup = parseCount("--warmup", next());
+        } else if (arg == "--measure") {
+            opt.measure = parseCount("--measure", next());
+        } else if (arg == "--seed") {
+            opt.seed = parseCount("--seed", next());
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "smtsim: unknown option %s\n",
+                         arg.c_str());
+            usage(stderr);
+            return 1;
+        } else {
+            opt.specs.push_back(arg);
+        }
+    }
+
+    if (opt.specs.empty()) {
+        usage(stderr);
+        return 1;
+    }
+
+    for (const auto &specArg : opt.specs) {
+        try {
+            int rc = runOne(opt, specArg);
+            if (rc != 0)
+                return rc;
+        } catch (const SpecError &e) {
+            std::fprintf(stderr, "smtsim: %s\n", e.what());
+            return 2;
+        }
+    }
+    return 0;
+}

@@ -18,6 +18,78 @@ ExperimentResult::policyDotString() const
     return csprintf("%u.%u", fetchThreads, fetchWidth);
 }
 
+bool
+RunOverrides::any() const
+{
+    return ftqEntries || fetchBufferSize || robEntries ||
+           longLoadPolicy || longLoadThreshold || predictorShift > 0;
+}
+
+void
+RunOverrides::apply(CoreParams &core) const
+{
+    if (ftqEntries)
+        core.ftqEntries = *ftqEntries;
+    if (fetchBufferSize)
+        core.fetchBufferSize = *fetchBufferSize;
+    if (robEntries)
+        core.robEntries = *robEntries;
+    if (longLoadPolicy)
+        core.longLoadPolicy = *longLoadPolicy;
+    if (longLoadThreshold)
+        core.longLoadThreshold = *longLoadThreshold;
+    if (predictorShift > 0) {
+        auto &ep = core.engineParams;
+        ep.gshareEntries >>= predictorShift;
+        ep.gskewEntriesPerBank >>= predictorShift;
+        ep.btbEntries >>= predictorShift;
+        ep.ftbEntries >>= predictorShift;
+        ep.streamL1Entries >>= predictorShift;
+        ep.streamL2Entries >>= predictorShift;
+    }
+}
+
+std::string
+RunOverrides::describe() const
+{
+    std::string s;
+    auto add = [&s](const std::string &part) {
+        s += (s.empty() ? "" : " ") + part;
+    };
+    if (ftqEntries)
+        add(csprintf("ftq=%u", *ftqEntries));
+    if (fetchBufferSize)
+        add(csprintf("fbuf=%u", *fetchBufferSize));
+    if (robEntries)
+        add(csprintf("rob=%u", *robEntries));
+    if (longLoadPolicy)
+        add(csprintf("llp=%s", longLoadPolicyName(*longLoadPolicy)));
+    if (longLoadThreshold)
+        add(csprintf("llthresh=%llu",
+                     (unsigned long long)*longLoadThreshold));
+    if (predictorShift > 0)
+        add(csprintf("predshift=%u", predictorShift));
+    return s;
+}
+
+void
+RunOverrides::writeJson(JsonWriter &jw) const
+{
+    if (ftqEntries)
+        jw.field("ftqEntries", *ftqEntries);
+    if (fetchBufferSize)
+        jw.field("fetchBufferSize", *fetchBufferSize);
+    if (robEntries)
+        jw.field("robEntries", *robEntries);
+    if (longLoadPolicy)
+        jw.field("longLoadPolicy",
+                 longLoadPolicyName(*longLoadPolicy));
+    if (longLoadThreshold)
+        jw.field("longLoadThreshold", *longLoadThreshold);
+    if (predictorShift > 0)
+        jw.field("predictorShift", predictorShift);
+}
+
 ExperimentRunner::ExperimentRunner(Cycle warmup, Cycle measure,
                                    std::uint64_t seed)
     : warmup(warmup), measure(measure), seed(seed)
@@ -29,8 +101,17 @@ ExperimentRunner::run(const std::string &workload_name,
                       EngineKind engine, unsigned fetch_threads,
                       unsigned fetch_width, PolicyKind policy) const
 {
-    SimConfig cfg = table3Config(workload_name, engine, fetch_threads,
-                                 fetch_width, policy);
+    return run(GridPoint{workload_name, engine, fetch_threads,
+                         fetch_width, policy});
+}
+
+ExperimentResult
+ExperimentRunner::run(const GridPoint &point) const
+{
+    SimConfig cfg =
+        table3Config(point.workload, point.engine, point.fetchThreads,
+                     point.fetchWidth, point.policy);
+    point.overrides.apply(cfg.core);
     cfg.warmupCycles = warmup;
     cfg.measureCycles = measure;
     cfg.seed = seed;
@@ -39,11 +120,12 @@ ExperimentRunner::run(const std::string &workload_name,
     sim.run();
 
     ExperimentResult r;
-    r.workload = workload_name;
-    r.engine = engine;
-    r.policy = policy;
-    r.fetchThreads = fetch_threads;
-    r.fetchWidth = fetch_width;
+    r.workload = point.workload;
+    r.engine = point.engine;
+    r.policy = point.policy;
+    r.fetchThreads = point.fetchThreads;
+    r.fetchWidth = point.fetchWidth;
+    r.overrides = point.overrides;
     r.warmupCycles = warmup;
     r.measureCycles = measure;
     r.stats = sim.stats();
@@ -62,11 +144,8 @@ ExperimentRunner::runAll(const std::vector<GridPoint> &points) const
     unsigned workers = std::min<unsigned>(
         hw == 0 ? 4 : hw, static_cast<unsigned>(points.size()));
     if (workers <= 1) {
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            const auto &p = points[i];
-            results[i] = run(p.workload, p.engine, p.fetchThreads,
-                             p.fetchWidth, p.policy);
-        }
+        for (std::size_t i = 0; i < points.size(); ++i)
+            results[i] = run(points[i]);
         return results;
     }
 
@@ -78,9 +157,7 @@ ExperimentRunner::runAll(const std::vector<GridPoint> &points) const
                 std::size_t i = next.fetch_add(1);
                 if (i >= points.size())
                     return;
-                const auto &p = points[i];
-                results[i] = run(p.workload, p.engine, p.fetchThreads,
-                                 p.fetchWidth, p.policy);
+                results[i] = run(points[i]);
             }
         });
     }
@@ -110,7 +187,16 @@ ExperimentRunner::printFigure(std::ostream &os, const std::string &title,
     std::map<Key, std::map<EngineKind, double>> cells;
     std::vector<Key> row_order;
     for (const auto &r : results) {
-        Key k{r.workload, r.policyDotString()};
+        // Non-default selection policies are spelled out so a grid
+        // mixing ICOUNT and RR keeps distinct rows (ICOUNT stays
+        // bare for the paper figures).
+        std::string policy = r.policyDotString();
+        if (r.policy != PolicyKind::ICount)
+            policy = std::string(policyName(r.policy)) + "." + policy;
+        std::string variant = r.overrides.describe();
+        if (!variant.empty())
+            policy += " " + variant;
+        Key k{r.workload, policy};
         if (cells.find(k) == cells.end())
             row_order.push_back(k);
         cells[k][r.engine] =
@@ -163,6 +249,13 @@ ExperimentRunner::writeJson(
         jw.field("policyString",
                  std::string(policyName(r.policy)) + "." +
                      r.policyDotString());
+        if (r.overrides.any()) {
+            jw.field("variant", r.overrides.describe());
+            jw.key("overrides");
+            jw.beginObject();
+            r.overrides.writeJson(jw);
+            jw.endObject();
+        }
         jw.field("warmupCycles", r.warmupCycles);
         jw.field("measureCycles", r.measureCycles);
         jw.field("ipfc", r.ipfc);

@@ -8,6 +8,7 @@
 #ifndef SMTFETCH_SIM_EXPERIMENT_HH
 #define SMTFETCH_SIM_EXPERIMENT_HH
 
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -18,6 +19,42 @@
 namespace smt
 {
 
+class JsonWriter;
+
+/**
+ * Optional per-run deviations from the Table 3 baseline, used by the
+ * ablation sweeps (FTQ depth, predictor budget, long-latency-load
+ * policy) and by spec-driven grids.
+ */
+struct RunOverrides
+{
+    std::optional<unsigned> ftqEntries;
+    std::optional<unsigned> fetchBufferSize;
+    std::optional<unsigned> robEntries;
+    std::optional<LongLoadPolicy> longLoadPolicy;
+    std::optional<Cycle> longLoadThreshold;
+
+    /**
+     * Right-shift applied to every predictor table size (the Table 3
+     * ~45KB budget halves per step; the A2 ablation sweep).
+     */
+    unsigned predictorShift = 0;
+
+    bool operator==(const RunOverrides &o) const = default;
+
+    /** True when any field deviates from the baseline. */
+    bool any() const;
+
+    /** Apply the overrides to a core configuration. */
+    void apply(CoreParams &core) const;
+
+    /** Compact "ftq=4 llp=stall" rendering; empty when default. */
+    std::string describe() const;
+
+    /** Emit the non-default fields as JSON object members. */
+    void writeJson(JsonWriter &jw) const;
+};
+
 /** One grid point's results. */
 struct ExperimentResult
 {
@@ -26,6 +63,7 @@ struct ExperimentResult
     PolicyKind policy = PolicyKind::ICount;
     unsigned fetchThreads = 1;
     unsigned fetchWidth = 8;
+    RunOverrides overrides{};
 
     Cycle warmupCycles = 0;
     Cycle measureCycles = 0;
@@ -65,7 +103,11 @@ class ExperimentRunner
         unsigned fetchThreads;
         unsigned fetchWidth;
         PolicyKind policy = PolicyKind::ICount;
+        RunOverrides overrides{};
     };
+
+    /** Run one grid point, applying its parameter overrides. */
+    ExperimentResult run(const GridPoint &point) const;
 
     /** Run a whole grid, parallelized across host threads. */
     std::vector<ExperimentResult>

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Declarative experiment specs: a JSON document naming workloads,
+ * fetch engines, N.X policies, parameter overrides and measurement
+ * windows expands into an ExperimentRunner grid. One spec file per
+ * paper figure/table/ablation lives under configs/; the smtsim CLI
+ * and the bench binaries both execute through this layer.
+ */
+
+#ifndef SMTFETCH_SIM_SWEEP_SPEC_HH
+#define SMTFETCH_SIM_SWEEP_SPEC_HH
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "util/json.hh"
+
+namespace smt
+{
+
+/**
+ * User-facing error in an experiment spec: unreadable file, schema
+ * violation, or an unresolvable workload/engine/policy name. The
+ * message names the offending key and the accepted values.
+ */
+class SpecError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** @name String-to-enum resolvers (SpecError on unknown names). */
+/// @{
+EngineKind engineKindFromString(const std::string &name);
+PolicyKind policyKindFromString(const std::string &name);
+LongLoadPolicy longLoadPolicyFromString(const std::string &name);
+/// @}
+
+/** Validate a Table 2 workload or bare benchmark name. */
+void validateWorkloadName(const std::string &name);
+
+/**
+ * Directory where specs are resolved by bare name: the
+ * SMTFETCH_CONFIG_DIR environment variable when set, else the
+ * build-time configs/ path.
+ */
+std::string defaultConfigDir();
+
+/**
+ * One block of a spec: the cross product of workloads, engines, N.X
+ * policies, selection policies and override variants.
+ */
+struct SweepBlock
+{
+    std::vector<std::string> workloads;
+    std::vector<EngineKind> engines;
+
+    /** (fetchThreads, fetchWidth) pairs, spec order. */
+    std::vector<std::pair<unsigned, unsigned>> policies;
+
+    std::vector<PolicyKind> selections = {PolicyKind::ICount};
+    std::vector<RunOverrides> overrides = {RunOverrides{}};
+};
+
+/** What a spec asks the simulator to produce. */
+enum class SpecType : unsigned char
+{
+    Grid,            //!< (workload x engine x policy) simulations
+    Characteristics, //!< Table 1 trace-model statistics
+};
+
+/** A parsed experiment spec. */
+struct SweepSpec
+{
+    std::string name;
+    SpecType type = SpecType::Grid;
+
+    Cycle warmupCycles = 50'000;
+    Cycle measureCycles = 300'000;
+    std::uint64_t seed = 0;
+
+    /** BENCH_<benchName()>.json record name; defaults to name. */
+    std::string output;
+
+    /** Instructions traced per benchmark (characteristics mode). */
+    std::uint64_t instructions = 400'000;
+
+    std::vector<SweepBlock> sweeps;
+
+    std::string
+    benchName() const
+    {
+        return output.empty() ? name : output;
+    }
+
+    /** Expand every sweep block into runnable grid points. */
+    std::vector<ExperimentRunner::GridPoint> expand() const;
+
+    /** An ExperimentRunner with this spec's windows and seed. */
+    ExperimentRunner makeRunner() const;
+
+    /** @name Construction (SpecError on any schema problem). */
+    /// @{
+    static SweepSpec fromJson(const JsonValue &doc,
+                              const std::string &context);
+    static SweepSpec fromString(const std::string &text,
+                                const std::string &context = "<spec>");
+    static SweepSpec fromFile(const std::string &path);
+    /// @}
+};
+
+/** Expand and run a grid spec through the parallel runner. */
+std::vector<ExperimentResult> runSpec(const SweepSpec &spec);
+
+/** Table 1 row: synthetic-model statistics for one benchmark. */
+struct BenchmarkCharacteristics
+{
+    std::string benchmark;
+    bool ilp = true;           //!< Table 1 class (ILP vs MEM)
+    double paperBlockSize = 0; //!< Table 1 reference value
+    double blockSize = 0;      //!< dynamic insts per CTI
+    double streamLength = 0;   //!< dynamic insts per taken CTI
+    double takenRate = 0;
+    double loadFraction = 0;
+};
+
+/** Trace every benchmark profile for a characteristics spec. */
+std::vector<BenchmarkCharacteristics>
+runCharacteristics(std::uint64_t instructions);
+
+/** Flatten characteristics rows into BENCH-record metric pairs. */
+std::vector<std::pair<std::string, double>>
+characteristicsMetrics(const std::vector<BenchmarkCharacteristics> &rows);
+
+/**
+ * Write a BENCH_<bench>.json record. The directory defaults to the
+ * working directory, overridable by dir_override or the
+ * SMTFETCH_JSON_DIR environment variable; SMTFETCH_NO_JSON=1 skips
+ * emission. Returns false when the file cannot be written.
+ */
+bool writeBenchRecord(
+    const std::string &bench,
+    const std::vector<ExperimentResult> &results,
+    const std::vector<std::pair<std::string, double>> &metrics = {},
+    const std::string &dir_override = "");
+
+} // namespace smt
+
+#endif // SMTFETCH_SIM_SWEEP_SPEC_HH

@@ -1,6 +1,9 @@
 #include "util/json.hh"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <sstream>
 
 #include "util/logging.hh"
 
@@ -170,6 +173,468 @@ JsonWriter::raw(const std::string &json_text)
 {
     preValue();
     os << json_text;
+}
+
+// ------------------------------------------------------------- JsonValue
+
+JsonParseError::JsonParseError(const std::string &what, std::size_t line,
+                               std::size_t column)
+    : std::runtime_error(what), line_(line), column_(column)
+{
+}
+
+const char *
+JsonValue::kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::Null: return "null";
+      case Kind::Bool: return "bool";
+      case Kind::Number: return "number";
+      case Kind::String: return "string";
+      case Kind::Array: return "array";
+      case Kind::Object: return "object";
+    }
+    return "?";
+}
+
+namespace
+{
+
+[[noreturn]] void
+typeMismatch(const JsonValue &v, const char *wanted)
+{
+    throw JsonTypeError(csprintf("expected JSON %s, found %s", wanted,
+                                 v.kindName()));
+}
+
+} // namespace
+
+bool
+JsonValue::asBool() const
+{
+    if (!isBool())
+        typeMismatch(*this, "bool");
+    return boolean;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (!isNumber())
+        typeMismatch(*this, "number");
+    return number;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (!isString())
+        typeMismatch(*this, "string");
+    return string;
+}
+
+const JsonValue::Array &
+JsonValue::asArray() const
+{
+    if (!isArray())
+        typeMismatch(*this, "array");
+    return array;
+}
+
+const JsonValue::Object &
+JsonValue::asObject() const
+{
+    if (!isObject())
+        typeMismatch(*this, "object");
+    return object;
+}
+
+std::uint64_t
+JsonValue::asUInt64() const
+{
+    double v = asNumber();
+    // The bound is exactly 2^64, the first unrepresentable value.
+    if (v < 0 || v != std::floor(v) || v >= 1.8446744073709552e19)
+        throw JsonTypeError(csprintf("expected a non-negative "
+                                     "integer, found %g",
+                                     v));
+    return static_cast<std::uint64_t>(v);
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (!isObject())
+        return nullptr;
+    for (const auto &[k, v] : object)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    switch (kind_) {
+      case Kind::Array: return array.size();
+      case Kind::Object: return object.size();
+      case Kind::String: return string.size();
+      default: return 0;
+    }
+}
+
+void
+JsonValue::write(JsonWriter &jw) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        jw.raw("null");
+        break;
+      case Kind::Bool:
+        jw.value(boolean);
+        break;
+      case Kind::Number:
+        jw.value(number);
+        break;
+      case Kind::String:
+        jw.value(string);
+        break;
+      case Kind::Array:
+        jw.beginArray();
+        for (const auto &v : array)
+            v.write(jw);
+        jw.endArray();
+        break;
+      case Kind::Object:
+        jw.beginObject();
+        for (const auto &[k, v] : object) {
+            jw.key(k);
+            v.write(jw);
+        }
+        jw.endObject();
+        break;
+    }
+}
+
+std::string
+JsonValue::dump(int indent_step) const
+{
+    std::ostringstream os;
+    JsonWriter jw(os, indent_step);
+    write(jw);
+    return os.str();
+}
+
+// ---------------------------------------------------------------- parser
+
+namespace
+{
+
+/** Strict recursive-descent JSON parser with line/column tracking. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text(text) {}
+
+    JsonValue
+    parse()
+    {
+        skipWs();
+        JsonValue v = parseValue(0);
+        skipWs();
+        if (pos != text.size())
+            fail("trailing characters after the top-level value");
+        return v;
+    }
+
+  private:
+    static constexpr unsigned maxDepth = 128;
+
+    const std::string &text;
+    std::size_t pos = 0;
+    std::size_t line = 1;
+    std::size_t lineStart = 0;
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        std::size_t column = pos - lineStart + 1;
+        throw JsonParseError(csprintf("JSON parse error at line "
+                                      "%zu, column %zu: %s",
+                                      line, column, what.c_str()),
+                             line, column);
+    }
+
+    bool atEnd() const { return pos >= text.size(); }
+    char peek() const { return atEnd() ? '\0' : text[pos]; }
+
+    char
+    advance()
+    {
+        char c = text[pos++];
+        if (c == '\n') {
+            ++line;
+            lineStart = pos;
+        }
+        return c;
+    }
+
+    void
+    skipWs()
+    {
+        while (!atEnd()) {
+            char c = peek();
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                return;
+            advance();
+        }
+    }
+
+    void
+    expect(char c, const char *where)
+    {
+        if (atEnd() || peek() != c)
+            fail(csprintf("expected '%c' %s", c, where));
+        advance();
+    }
+
+    /** Consume a keyword (true/false/null) already matched on [0]. */
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p != '\0'; ++p) {
+            if (atEnd() || peek() != *p)
+                fail(csprintf("invalid literal (expected '%s')",
+                              word));
+            advance();
+        }
+    }
+
+    JsonValue
+    parseValue(unsigned depth)
+    {
+        if (depth > maxDepth)
+            fail("nesting depth limit exceeded");
+        if (atEnd())
+            fail("unexpected end of input (expected a value)");
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject(depth);
+          case '[': return parseArray(depth);
+          case '"': return JsonValue(parseString());
+          case 't':
+            literal("true");
+            return JsonValue(true);
+          case 'f':
+            literal("false");
+            return JsonValue(false);
+          case 'n':
+            literal("null");
+            return JsonValue();
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return JsonValue(parseNumber());
+            fail(csprintf("unexpected character '%c' (expected a "
+                          "value)",
+                          c));
+        }
+    }
+
+    JsonValue
+    parseObject(unsigned depth)
+    {
+        expect('{', "to start an object");
+        JsonValue::Object members;
+        skipWs();
+        if (peek() == '}') {
+            advance();
+            return JsonValue(std::move(members));
+        }
+        while (true) {
+            skipWs();
+            if (peek() != '"')
+                fail("expected a string object key");
+            std::string key = parseString();
+            skipWs();
+            expect(':', "after object key");
+            skipWs();
+            members.emplace_back(std::move(key),
+                                 parseValue(depth + 1));
+            skipWs();
+            if (peek() == ',') {
+                advance();
+                continue;
+            }
+            expect('}', "or ',' after object member");
+            return JsonValue(std::move(members));
+        }
+    }
+
+    JsonValue
+    parseArray(unsigned depth)
+    {
+        expect('[', "to start an array");
+        JsonValue::Array elems;
+        skipWs();
+        if (peek() == ']') {
+            advance();
+            return JsonValue(std::move(elems));
+        }
+        while (true) {
+            skipWs();
+            elems.push_back(parseValue(depth + 1));
+            skipWs();
+            if (peek() == ',') {
+                advance();
+                continue;
+            }
+            expect(']', "or ',' after array element");
+            return JsonValue(std::move(elems));
+        }
+    }
+
+    unsigned
+    hex4()
+    {
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (atEnd())
+                fail("unterminated \\u escape");
+            char c = advance();
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid hex digit in \\u escape");
+        }
+        return v;
+    }
+
+    void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"', "to start a string");
+        std::string out;
+        while (true) {
+            if (atEnd())
+                fail("unterminated string");
+            char c = advance();
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (atEnd())
+                fail("unterminated escape sequence");
+            char e = advance();
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                unsigned cp = hex4();
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // High surrogate: require the low half.
+                    if (atEnd() || peek() != '\\')
+                        fail("unpaired UTF-16 high surrogate");
+                    advance();
+                    if (atEnd() || peek() != 'u')
+                        fail("unpaired UTF-16 high surrogate");
+                    advance();
+                    unsigned lo = hex4();
+                    if (lo < 0xdc00 || lo > 0xdfff)
+                        fail("invalid UTF-16 low surrogate");
+                    cp = 0x10000 + ((cp - 0xd800) << 10) +
+                         (lo - 0xdc00);
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    fail("unpaired UTF-16 low surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                fail(csprintf("invalid escape sequence '\\%c'", e));
+            }
+        }
+    }
+
+    double
+    parseNumber()
+    {
+        std::size_t start = pos;
+        if (peek() == '-')
+            advance();
+        if (atEnd() || peek() < '0' || peek() > '9')
+            fail("invalid number (expected a digit)");
+        if (peek() == '0') {
+            advance();
+        } else {
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                advance();
+        }
+        if (peek() == '.') {
+            advance();
+            if (atEnd() || peek() < '0' || peek() > '9')
+                fail("invalid number (expected a fraction digit)");
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                advance();
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            advance();
+            if (peek() == '+' || peek() == '-')
+                advance();
+            if (atEnd() || peek() < '0' || peek() > '9')
+                fail("invalid number (expected an exponent digit)");
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                advance();
+        }
+        std::string slice = text.substr(start, pos - start);
+        double v = std::strtod(slice.c_str(), nullptr);
+        if (!std::isfinite(v))
+            fail(csprintf("number out of range: %s",
+                          slice.c_str()));
+        return v;
+    }
+};
+
+} // namespace
+
+JsonValue
+jsonParse(const std::string &text)
+{
+    return JsonParser(text).parse();
 }
 
 } // namespace smt

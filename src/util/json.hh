@@ -1,8 +1,10 @@
 /**
  * @file
- * Minimal streaming JSON writer: nesting-aware comma/indent handling
- * and string escaping, enough for machine-readable stat and result
- * records. No external dependencies.
+ * Minimal JSON support: a streaming writer (nesting-aware
+ * comma/indent handling and string escaping) and a strict
+ * recursive-descent parser into a JsonValue tree, enough for
+ * machine-readable stat records and experiment specs. No external
+ * dependencies.
  */
 
 #ifndef SMTFETCH_UTIL_JSON_HH
@@ -10,7 +12,9 @@
 
 #include <cstdint>
 #include <ostream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace smt
@@ -77,6 +81,122 @@ class JsonWriter
     bool pendingKey = false;
     std::vector<Scope> stack;
 };
+
+/**
+ * Error raised while parsing malformed JSON text. The message is
+ * stored verbatim; throw sites embed the 1-based line and column of
+ * the offending character, which are also carried as fields.
+ */
+class JsonParseError : public std::runtime_error
+{
+  public:
+    JsonParseError(const std::string &what, std::size_t line,
+                   std::size_t column);
+
+    std::size_t line() const { return line_; }
+    std::size_t column() const { return column_; }
+
+  private:
+    std::size_t line_;
+    std::size_t column_;
+};
+
+/** Error raised by JsonValue accessors on a kind mismatch. */
+class JsonTypeError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * A parsed JSON document node. Objects preserve member order so a
+ * parse/dump round trip of writer output is stable, and so spec
+ * consumers can iterate keys in file order.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind : unsigned char
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    using Array = std::vector<JsonValue>;
+    using Member = std::pair<std::string, JsonValue>;
+    using Object = std::vector<Member>;
+
+    JsonValue() = default; //!< null
+    explicit JsonValue(bool v) : kind_(Kind::Bool), boolean(v) {}
+    explicit JsonValue(double v) : kind_(Kind::Number), number(v) {}
+    explicit JsonValue(std::string v)
+        : kind_(Kind::String), string(std::move(v))
+    {
+    }
+    explicit JsonValue(Array v)
+        : kind_(Kind::Array), array(std::move(v))
+    {
+    }
+    explicit JsonValue(Object v)
+        : kind_(Kind::Object), object(std::move(v))
+    {
+    }
+
+    Kind kind() const { return kind_; }
+    static const char *kindName(Kind kind);
+    const char *kindName() const { return kindName(kind_); }
+
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** @name Checked accessors; JsonTypeError on kind mismatch. */
+    /// @{
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    /** Number that must be integral and fit an unsigned 64-bit. */
+    std::uint64_t asUInt64() const;
+    /// @}
+
+    /** Object member lookup; nullptr when absent (or not an object). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Array/object element count, string length; 0 for scalars. */
+    std::size_t size() const;
+
+    /**
+     * Render back to JSON text through JsonWriter (indent_step 0 for
+     * the compact single-line form).
+     */
+    std::string dump(int indent_step = 0) const;
+    void write(JsonWriter &jw) const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    Array array;
+    Object object;
+};
+
+/**
+ * Parse a complete JSON document (strict grammar: no comments, no
+ * trailing commas, exactly one top-level value). Throws
+ * JsonParseError with line/column context on malformed input.
+ */
+JsonValue jsonParse(const std::string &text);
 
 } // namespace smt
 

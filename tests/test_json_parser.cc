@@ -1,0 +1,185 @@
+/**
+ * @file
+ * JSON parser tests: scalar and nested parsing, writer/parser round
+ * trips, unicode escapes, and malformed-input errors with line/column
+ * context.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/json.hh"
+
+using namespace smt;
+
+TEST(JsonParser, ParsesScalars)
+{
+    EXPECT_TRUE(jsonParse("null").isNull());
+    EXPECT_EQ(jsonParse("true").asBool(), true);
+    EXPECT_EQ(jsonParse("false").asBool(), false);
+    EXPECT_DOUBLE_EQ(jsonParse("0").asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(jsonParse("-17").asNumber(), -17.0);
+    EXPECT_DOUBLE_EQ(jsonParse("3.5").asNumber(), 3.5);
+    EXPECT_DOUBLE_EQ(jsonParse("1e3").asNumber(), 1000.0);
+    EXPECT_DOUBLE_EQ(jsonParse("-2.5e-2").asNumber(), -0.025);
+    EXPECT_EQ(jsonParse("\"hi\"").asString(), "hi");
+    EXPECT_EQ(jsonParse("  \"pad\"  ").asString(), "pad");
+}
+
+TEST(JsonParser, ParsesEscapes)
+{
+    EXPECT_EQ(jsonParse("\"a\\n\\t\\\"b\\\\c\\/\"").asString(),
+              "a\n\t\"b\\c/");
+    EXPECT_EQ(jsonParse("\"\\u0041\"").asString(), "A");
+    // é as a two-byte sequence, and a surrogate pair (U+1F600).
+    EXPECT_EQ(jsonParse("\"\\u00e9\"").asString(), "\xc3\xa9");
+    EXPECT_EQ(jsonParse("\"\\ud83d\\ude00\"").asString(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParser, ParsesNestedStructures)
+{
+    JsonValue doc = jsonParse(
+        R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.size(), 3u);
+
+    const JsonValue *a = doc.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->size(), 3u);
+    EXPECT_DOUBLE_EQ(a->asArray()[0].asNumber(), 1.0);
+    EXPECT_EQ(a->asArray()[2].find("b")->asBool(), true);
+
+    EXPECT_TRUE(doc.find("c")->find("d")->isNull());
+    EXPECT_EQ(doc.find("e")->asString(), "x");
+    EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParser, PreservesObjectOrder)
+{
+    JsonValue doc = jsonParse(R"({"z": 1, "a": 2, "m": 3})");
+    const auto &obj = doc.asObject();
+    ASSERT_EQ(obj.size(), 3u);
+    EXPECT_EQ(obj[0].first, "z");
+    EXPECT_EQ(obj[1].first, "a");
+    EXPECT_EQ(obj[2].first, "m");
+}
+
+TEST(JsonParser, RoundTripsWriterOutput)
+{
+    std::ostringstream os;
+    JsonWriter jw(os, /*indent_step=*/2);
+    jw.beginObject();
+    jw.field("name", "fig4");
+    jw.field("seed", std::uint64_t{42});
+    jw.field("ipc", 3.1415926535897931);
+    jw.field("ok", true);
+    jw.key("grid");
+    jw.beginArray();
+    jw.value("2_MIX");
+    jw.value(std::int64_t{-1});
+    jw.endArray();
+    jw.endObject();
+
+    JsonValue doc = jsonParse(os.str());
+    EXPECT_EQ(doc.find("name")->asString(), "fig4");
+    EXPECT_EQ(doc.find("seed")->asUInt64(), 42u);
+    EXPECT_DOUBLE_EQ(doc.find("ipc")->asNumber(),
+                     3.1415926535897931);
+    EXPECT_EQ(doc.find("ok")->asBool(), true);
+    EXPECT_EQ(doc.find("grid")->asArray()[0].asString(), "2_MIX");
+
+    // dump() -> parse -> dump() is a fixed point.
+    std::string once = doc.dump();
+    EXPECT_EQ(jsonParse(once).dump(), once);
+    std::string pretty = doc.dump(2);
+    EXPECT_EQ(jsonParse(pretty).dump(2), pretty);
+}
+
+TEST(JsonParser, RoundTripsEscapedStrings)
+{
+    JsonValue doc =
+        jsonParse(R"(["tab\there", "quote\"", "back\\slash"])");
+    std::string once = doc.dump();
+    EXPECT_EQ(jsonParse(once).dump(), once);
+}
+
+TEST(JsonParser, UInt64Conversions)
+{
+    EXPECT_EQ(jsonParse("12345").asUInt64(), 12345u);
+    EXPECT_EQ(jsonParse("18446744073709549568").asUInt64(),
+              18446744073709549568u); // largest double below 2^64
+    EXPECT_THROW(jsonParse("3.5").asUInt64(), JsonTypeError);
+    EXPECT_THROW(jsonParse("-1").asUInt64(), JsonTypeError);
+    // 2^64 itself is out of range, not silently wrapped.
+    EXPECT_THROW(jsonParse("18446744073709551616").asUInt64(),
+                 JsonTypeError);
+}
+
+TEST(JsonParser, TypeMismatchesThrow)
+{
+    EXPECT_THROW(jsonParse("42").asString(), JsonTypeError);
+    EXPECT_THROW(jsonParse("\"x\"").asNumber(), JsonTypeError);
+    EXPECT_THROW(jsonParse("[]").asObject(), JsonTypeError);
+    EXPECT_THROW(jsonParse("{}").asArray(), JsonTypeError);
+}
+
+TEST(JsonParser, RejectsMalformedInput)
+{
+    const char *bad[] = {
+        "",                 // empty input
+        "{",                // unterminated object
+        "[1, 2",            // unterminated array
+        "[1,]",             // trailing comma
+        "{\"a\":}",         // missing value
+        "{\"a\" 1}",        // missing colon
+        "{a: 1}",           // unquoted key
+        "tru",              // bad literal
+        "truefalse",        // trailing garbage in literal
+        "01",               // leading zero
+        "1.",               // missing fraction digits
+        "1e",               // missing exponent digits
+        "\"abc",            // unterminated string
+        "\"bad\\q\"",       // bad escape
+        "\"\\u12g4\"",      // bad hex digit
+        "\"\\ud800\"",      // lone high surrogate
+        "\"\\udc00\"",      // lone low surrogate
+        "[1] 2",            // trailing characters
+        "{\"a\":1} {}",     // two top-level values
+        "1e999",            // overflows to infinity
+        "-1e999",           // overflows to -infinity
+    };
+    for (const char *text : bad) {
+        EXPECT_THROW(jsonParse(text), JsonParseError)
+            << "input: " << text;
+    }
+}
+
+TEST(JsonParser, ReportsLineAndColumn)
+{
+    try {
+        jsonParse("{\n  \"a\": bogus\n}");
+        FAIL() << "expected JsonParseError";
+    } catch (const JsonParseError &e) {
+        EXPECT_EQ(e.line(), 2u);
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos);
+    }
+
+    try {
+        jsonParse("[1, 2, ]");
+        FAIL() << "expected JsonParseError";
+    } catch (const JsonParseError &e) {
+        EXPECT_EQ(e.line(), 1u);
+        EXPECT_GT(e.column(), 1u);
+    }
+}
+
+TEST(JsonParser, RejectsExcessiveNesting)
+{
+    std::string deep(1000, '[');
+    deep += std::string(1000, ']');
+    EXPECT_THROW(jsonParse(deep), JsonParseError);
+}

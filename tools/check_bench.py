@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json records emitted by smtsim / the bench binaries.
+
+Checks the smtfetch-bench-v1 schema, rejects NaN/zero throughput and
+empty stats, and (with --spec) cross-checks that every grid point the
+experiment spec expands to is present in the record, so a silently
+dropped series fails CI.
+
+Usage:
+  check_bench.py BENCH_fig4_two_threads.json
+  check_bench.py --spec configs/fig4_two_threads.json BENCH_fig4_two_threads.json
+  check_bench.py --min-results 4 BENCH_*.json
+"""
+
+import argparse
+import itertools
+import json
+import math
+import sys
+
+SCHEMA = "smtfetch-bench-v1"
+
+RESULT_REQUIRED_KEYS = (
+    "workload",
+    "engine",
+    "policy",
+    "fetchThreads",
+    "fetchWidth",
+    "policyString",
+    "warmupCycles",
+    "measureCycles",
+    "ipfc",
+    "ipc",
+    "stats",
+)
+
+# Keyed by the normalized spelling engineKindFromString accepts
+# (lowercased, '+', '_', '-' and spaces stripped).
+ENGINE_NAMES = {
+    "gshare": "gshare+BTB",
+    "gsharebtb": "gshare+BTB",
+    "gskew": "gskew+FTB",
+    "gskewftb": "gskew+FTB",
+    "stream": "stream",
+}
+
+ALL_ENGINES = ["gshare+BTB", "gskew+FTB", "stream"]
+
+
+def normalize_engine(name):
+    key = name.lower().translate(str.maketrans("", "", "+_- "))
+    if key not in ENGINE_NAMES:
+        raise CheckFailure(f"unknown engine {name!r} in spec")
+    return ENGINE_NAMES[key]
+
+
+class CheckFailure(Exception):
+    pass
+
+
+def bad_number(value):
+    return (
+        not isinstance(value, (int, float))
+        or isinstance(value, bool)
+        or math.isnan(value)
+        or math.isinf(value)
+    )
+
+
+def check_result(i, result):
+    for key in RESULT_REQUIRED_KEYS:
+        if key not in result:
+            raise CheckFailure(f"results[{i}] is missing '{key}'")
+    for key in ("ipfc", "ipc"):
+        value = result[key]
+        if bad_number(value):
+            raise CheckFailure(f"results[{i}].{key} is not a finite number: {value!r}")
+        if value <= 0:
+            raise CheckFailure(
+                f"results[{i}].{key} must be positive, got {value!r} "
+                f"({result['workload']}/{result['engine']}/{result['policyString']})"
+            )
+    if not isinstance(result["stats"], dict) or not result["stats"]:
+        raise CheckFailure(f"results[{i}].stats must be a non-empty object")
+    if result["measureCycles"] <= 0:
+        raise CheckFailure(f"results[{i}].measureCycles must be positive")
+
+
+def check_metrics(metrics):
+    if not isinstance(metrics, dict):
+        raise CheckFailure("'metrics' must be an object")
+    for name, value in metrics.items():
+        if bad_number(value):
+            raise CheckFailure(f"metric '{name}' is not a finite number: {value!r}")
+
+
+def expand_spec(spec):
+    """Expand a grid spec the way SweepSpec::expand does.
+
+    Returns the list of expected (workload, engine, threads, width)
+    series, one per grid point (selection policies and override
+    variants multiply point counts but keep the same series key, so
+    they are folded into a count per series).
+    """
+    if spec.get("type", "grid").lower() != "grid":
+        return None
+
+    def listify(value):
+        return value if isinstance(value, list) else [value]
+
+    sweeps = spec.get("sweeps")
+    if sweeps is None:
+        keys = ("workloads", "engines", "policies", "selection", "overrides")
+        sweeps = [{k: spec[k] for k in keys if k in spec}]
+
+    points = []
+    for sweep in sweeps:
+        workloads = listify(sweep["workloads"])
+        engines = []
+        for engine in listify(sweep.get("engines", ["all"])):
+            if engine.lower() == "all":
+                engines.extend(ALL_ENGINES)
+            else:
+                engines.append(normalize_engine(engine))
+        policies = []
+        for policy in listify(sweep["policies"]):
+            if isinstance(policy, dict):
+                policies.append((policy["threads"], policy["width"]))
+            else:
+                n, x = policy.split(".")
+                policies.append((int(n), int(x)))
+        selections = listify(sweep.get("selection", ["icount"]))
+        override_variants = 1
+        for values in sweep.get("overrides", {}).values():
+            override_variants *= len(listify(values))
+        for workload, engine, (n, x) in itertools.product(
+            workloads, engines, policies
+        ):
+            points.append(
+                ((workload, engine, n, x), len(selections) * override_variants)
+            )
+    return points
+
+
+def check_against_spec(doc, spec_path):
+    with open(spec_path) as f:
+        spec = json.load(f)
+    expected = expand_spec(spec)
+    if expected is None:
+        if doc.get("results"):
+            raise CheckFailure(
+                f"{spec_path} is not a grid spec but the record has results"
+            )
+        return 0
+
+    seen = {}
+    for result in doc["results"]:
+        key = (
+            result["workload"],
+            result["engine"],
+            result["fetchThreads"],
+            result["fetchWidth"],
+        )
+        seen[key] = seen.get(key, 0) + 1
+
+    total = 0
+    counted = {}
+    for key, count in expected:
+        counted[key] = counted.get(key, 0) + count
+        total += count
+    for key, count in counted.items():
+        if seen.get(key, 0) != count:
+            workload, engine, n, x = key
+            raise CheckFailure(
+                f"series {workload}/{engine}/{n}.{x}: expected {count} "
+                f"result(s), found {seen.get(key, 0)} (missing series?)"
+            )
+    if len(doc["results"]) != total:
+        raise CheckFailure(
+            f"expected {total} results from {spec_path}, found {len(doc['results'])}"
+        )
+    return total
+
+
+def check_file(path, args):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            raise CheckFailure(f"not valid JSON: {e}")
+
+    if doc.get("schema") != SCHEMA:
+        raise CheckFailure(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if not doc.get("bench"):
+        raise CheckFailure("missing 'bench' name")
+
+    results = doc.get("results")
+    if not isinstance(results, list):
+        raise CheckFailure("'results' must be an array")
+    metrics = doc.get("metrics", {})
+    check_metrics(metrics)
+    if not results and not metrics:
+        raise CheckFailure("record has neither results nor metrics")
+
+    for i, result in enumerate(results):
+        check_result(i, result)
+    if len(results) < args.min_results:
+        raise CheckFailure(
+            f"expected at least {args.min_results} results, found {len(results)}"
+        )
+
+    expected = ""
+    if args.spec:
+        total = check_against_spec(doc, args.spec)
+        expected = f", matches {args.spec} ({total} grid points)"
+    return f"{len(results)} results, {len(metrics)} metrics{expected}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="BENCH_*.json records")
+    parser.add_argument(
+        "--min-results",
+        type=int,
+        default=0,
+        help="fail unless the record has at least this many results",
+    )
+    parser.add_argument(
+        "--spec",
+        help="experiment spec to cross-check the record's grid against "
+        "(use with a single record file)",
+    )
+    args = parser.parse_args()
+
+    if args.spec and len(args.files) != 1:
+        parser.error("--spec cross-checks exactly one record file")
+
+    failed = False
+    for path in args.files:
+        try:
+            summary = check_file(path, args)
+        except (CheckFailure, OSError, KeyError, ValueError) as e:
+            print(f"FAIL {path}: {e}")
+            failed = True
+        else:
+            print(f"OK   {path}: {summary}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
