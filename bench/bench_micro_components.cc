@@ -31,7 +31,7 @@ static void
 BM_TraceGeneration(benchmark::State &state)
 {
     auto img = buildImage(profileFor("gzip"), 0x400000, 0x40000000);
-    TraceStream trace(img);
+    SyntheticTraceStream trace(img);
     for (auto _ : state)
         benchmark::DoNotOptimize(trace.next());
 }

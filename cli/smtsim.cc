@@ -18,9 +18,11 @@
 #include <string>
 #include <vector>
 
+#include "sim/simulator.hh"
 #include "sim/sweep_spec.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
+#include "workload/trace_file.hh"
 
 using namespace smt;
 
@@ -34,6 +36,8 @@ struct Options
     bool quiet = false;
     bool writeJson = true;
     std::string outDir;
+    std::string recordPath;
+    Cycle recordPad = 0;
     std::optional<Cycle> warmup;
     std::optional<Cycle> measure;
     std::optional<std::uint64_t> seed;
@@ -64,6 +68,13 @@ usage(std::FILE *out)
         "  --warmup N     override the spec's warmup cycles\n"
         "  --measure N    override the spec's measured cycles\n"
         "  --seed N       override the spec's seed\n"
+        "  --record PATH  capture the run's correct-path streams to\n"
+        "                 a trace file (the spec must expand to one\n"
+        "                 grid point; multithread workloads write\n"
+        "                 one PATH-derived file per thread). Replay\n"
+        "                 with a {\"trace\": PATH} workload.\n"
+        "  --record-pad N capture N extra post-measurement cycles\n"
+        "                 of records as a replay safety margin\n"
         "  -h, --help     show this help\n");
 }
 
@@ -141,7 +152,20 @@ runOne(const Options &opt, const std::string &arg)
         return 1;
     }
 
+    // Fail fast on an unwritable output directory: a typo'd
+    // --out-dir should not cost a full grid run before erroring.
+    if (opt.writeJson && !opt.list && !opt.validate)
+        ensureWritableDir(benchRecordDir(opt.outDir));
+
     if (spec.type == SpecType::Characteristics) {
+        if (!opt.recordPath.empty()) {
+            std::fprintf(stderr,
+                         "smtsim: --record does not apply to a "
+                         "characteristics spec (\"%s\" runs no "
+                         "simulation)\n",
+                         spec.name.c_str());
+            return 1;
+        }
         if (opt.list || opt.validate) {
             std::printf("%s: characteristics spec (%llu insts per "
                         "benchmark)\n",
@@ -179,7 +203,37 @@ runOne(const Options &opt, const std::string &arg)
         return 0;
     }
 
+    if (!opt.recordPath.empty()) {
+        if (points.size() != 1) {
+            std::fprintf(stderr,
+                         "smtsim: --record needs a spec that "
+                         "expands to exactly one grid point, but "
+                         "\"%s\" expands to %zu — narrow the spec "
+                         "or record each point separately\n",
+                         spec.name.c_str(), points.size());
+            return 1;
+        }
+        points[0].recordPath = opt.recordPath;
+        points[0].recordPadCycles = opt.recordPad;
+    }
+
     auto results = spec.makeRunner().runAll(points);
+    if (!opt.recordPath.empty() && !opt.quiet) {
+        // Name the files actually written (multithread runs get
+        // per-thread suffixes).
+        unsigned threads = static_cast<unsigned>(
+            table3Config(points[0].workload, points[0].engine,
+                         points[0].fetchThreads,
+                         points[0].fetchWidth)
+                .workload.benchmarks.size());
+        std::string files;
+        for (unsigned t = 0; t < threads; ++t)
+            files += (t == 0 ? "" : ", ") +
+                     Simulator::recordPathFor(
+                         opt.recordPath, static_cast<ThreadID>(t),
+                         threads);
+        std::printf("recorded trace to %s\n", files.c_str());
+    }
     if (!opt.quiet) {
         ExperimentRunner::printFigure(
             std::cout, spec.name + " — fetch throughput, IPFC",
@@ -231,6 +285,10 @@ main(int argc, char **argv)
             opt.measure = parseCount("--measure", next());
         } else if (arg == "--seed") {
             opt.seed = parseCount("--seed", next());
+        } else if (arg == "--record") {
+            opt.recordPath = next();
+        } else if (arg == "--record-pad") {
+            opt.recordPad = parseCount("--record-pad", next());
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "smtsim: unknown option %s\n",
                          arg.c_str());
@@ -252,6 +310,9 @@ main(int argc, char **argv)
             if (rc != 0)
                 return rc;
         } catch (const SpecError &e) {
+            std::fprintf(stderr, "smtsim: %s\n", e.what());
+            return 2;
+        } catch (const TraceFileError &e) {
             std::fprintf(stderr, "smtsim: %s\n", e.what());
             return 2;
         }

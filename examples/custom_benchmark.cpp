@@ -39,7 +39,7 @@ main()
               << " blocks, " << img.program.numFunctions()
               << " functions\n";
 
-    TraceStream probe(img);
+    SyntheticTraceStream probe(img);
     for (int i = 0; i < 200'000; ++i)
         probe.next();
     std::cout << "dynamic avg basic block: "
@@ -57,7 +57,7 @@ main()
     params.fetchThreads = 1;
     params.fetchWidth = 16;
     SmtCore core(params);
-    TraceStream trace(img);
+    SyntheticTraceStream trace(img);
     core.setThread(0, &trace, &img);
     core.run(50'000);
     core.resetStats();
@@ -76,7 +76,7 @@ main()
     SmtCore smt(smt_params);
     BenchmarkImage gzip_img =
         buildImage(profileFor("gzip"), 0x1400000, 0x50000000);
-    TraceStream t0(gzip_img), t1(img);
+    SyntheticTraceStream t0(gzip_img), t1(img);
     smt.setThread(0, &t0, &gzip_img);
     smt.setThread(1, &t1, &img);
     smt.run(50'000);

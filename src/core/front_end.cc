@@ -19,7 +19,7 @@ FrontEnd::FrontEnd(const CoreParams &params, FetchEngine &engine,
 }
 
 void
-FrontEnd::setThread(ThreadID tid, TraceStream *trace,
+FrontEnd::setThread(ThreadID tid, TraceSource *trace,
                     const BenchmarkImage *image)
 {
     ThreadState &ts = threads[tid];

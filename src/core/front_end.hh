@@ -90,7 +90,7 @@ class FrontEnd
              SimStats &stats);
 
     /** Bind a thread to its trace and benchmark image. */
-    void setThread(ThreadID tid, TraceStream *trace,
+    void setThread(ThreadID tid, TraceSource *trace,
                    const BenchmarkImage *image);
 
     /** One cycle of the prediction stage (N predictor ports). */
@@ -157,7 +157,7 @@ class FrontEnd
         Cycle icacheBlockedUntil = 0;
         Cycle predictStallUntil = 0;
         Cycle memStallUntil = 0;
-        TraceStream *trace = nullptr;
+        TraceSource *trace = nullptr;
         const BenchmarkImage *image = nullptr;
         bool active = false;
     };

@@ -85,7 +85,7 @@ SmtCore::registerStats()
 }
 
 void
-SmtCore::setThread(ThreadID tid, TraceStream *trace,
+SmtCore::setThread(ThreadID tid, TraceSource *trace,
                    const BenchmarkImage *image)
 {
     if (static_cast<unsigned>(tid) >= coreParams.numThreads)

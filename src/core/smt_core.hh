@@ -42,7 +42,7 @@ class SmtCore
     explicit SmtCore(const CoreParams &params);
 
     /** Bind a hardware thread to a trace and its benchmark image. */
-    void setThread(ThreadID tid, TraceStream *trace,
+    void setThread(ThreadID tid, TraceSource *trace,
                    const BenchmarkImage *image);
 
     /** Advance the pipeline one clock. */

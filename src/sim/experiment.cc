@@ -1,7 +1,9 @@
 #include "sim/experiment.hh"
 
 #include <atomic>
+#include <exception>
 #include <map>
+#include <mutex>
 #include <thread>
 
 #include "sim/simulator.hh"
@@ -115,6 +117,8 @@ ExperimentRunner::run(const GridPoint &point) const
     cfg.warmupCycles = warmup;
     cfg.measureCycles = measure;
     cfg.seed = seed;
+    cfg.recordPath = point.recordPath;
+    cfg.recordPadCycles = point.recordPadCycles;
 
     Simulator sim(cfg);
     sim.run();
@@ -131,7 +135,9 @@ ExperimentRunner::run(const GridPoint &point) const
     r.stats = sim.stats();
     r.ipfc = r.stats.ipfc();
     r.ipc = r.stats.ipc();
-    r.statsJson = sim.core().registry().jsonString();
+    // The end-of-measurement snapshot, not the live registry: on
+    // padded recording runs the live counters include pad activity.
+    r.statsJson = sim.measuredStatsJson();
     return r;
 }
 
@@ -151,18 +157,32 @@ ExperimentRunner::runAll(const std::vector<GridPoint> &points) const
 
     std::vector<std::thread> pool;
     std::atomic<std::size_t> next{0};
+    // First failure wins; a throw escaping a pool thread would
+    // std::terminate with no message (trace replays can fail with
+    // actionable TraceFileErrors).
+    std::exception_ptr error;
+    std::mutex error_mutex;
     for (unsigned w = 0; w < workers; ++w) {
         pool.emplace_back([&]() {
             while (true) {
                 std::size_t i = next.fetch_add(1);
                 if (i >= points.size())
                     return;
-                results[i] = run(points[i]);
+                try {
+                    results[i] = run(points[i]);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!error)
+                        error = std::current_exception();
+                    return;
+                }
             }
         });
     }
     for (auto &t : pool)
         t.join();
+    if (error)
+        std::rethrow_exception(error);
     return results;
 }
 

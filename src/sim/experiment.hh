@@ -104,6 +104,13 @@ class ExperimentRunner
         unsigned fetchWidth;
         PolicyKind policy = PolicyKind::ICount;
         RunOverrides overrides{};
+
+        /** Capture the run's correct-path streams to this trace
+         *  file when non-empty (smtsim --record). */
+        std::string recordPath;
+
+        /** Extra capture cycles after measurement (--record-pad). */
+        Cycle recordPadCycles = 0;
     };
 
     /** Run one grid point, applying its parameter overrides. */

@@ -34,12 +34,16 @@ table3Config(const std::string &workload_name, EngineKind engine,
              unsigned fetch_threads, unsigned fetch_width,
              PolicyKind policy)
 {
-    // Accept a Table 2 workload name or a bare benchmark name.
+    // Accept a Table 2 workload name, a "trace:<path>[,...]" replay
+    // workload, or a bare benchmark name.
     for (const auto &w : table2Workloads()) {
         if (w.name == workload_name)
             return table3Config(w, engine, fetch_threads, fetch_width,
                                 policy);
     }
+    if (isTraceWorkloadName(workload_name))
+        return table3Config(traceWorkload(workload_name), engine,
+                            fetch_threads, fetch_width, policy);
     WorkloadSpec single{workload_name, {workload_name}};
     return table3Config(single, engine, fetch_threads, fetch_width,
                         policy);

@@ -30,6 +30,17 @@ struct SimConfig
     /** Workload-construction seed. */
     std::uint64_t seed = 0;
 
+    /**
+     * When non-empty, capture every thread's correct-path stream to
+     * this trace file (multithread runs get a ".t<tid>" per-thread
+     * suffix; see Simulator::recordPathFor).
+     */
+    std::string recordPath;
+
+    /** Extra cycles simulated after measurement while recording, so
+     *  the captured trace has a replay safety margin. */
+    Cycle recordPadCycles = 0;
+
     /** Human-readable one-line description. */
     std::string describe() const;
 };

@@ -13,6 +13,7 @@
 #include "core/smt_core.hh"
 #include "sim/sim_config.hh"
 #include "workload/trace.hh"
+#include "workload/trace_file.hh"
 #include "workload/workloads.hh"
 
 namespace smt
@@ -38,12 +39,35 @@ class Simulator
     SmtCore &core() { return *core_; }
     const SimConfig &config() const { return cfg; }
     const WorkloadImages &workload() const { return images; }
-    TraceStream &trace(ThreadID tid) { return *traces[tid]; }
+    TraceSource &trace(ThreadID tid) { return *traces[tid]; }
+
+    /**
+     * Capture path for a given thread when the config records the
+     * run: the configured path itself for single-thread workloads,
+     * else with a ".t<tid>" inserted before the extension.
+     */
+    static std::string recordPathFor(const std::string &base,
+                                     ThreadID tid,
+                                     unsigned num_threads);
+
+    /**
+     * The stats-registry JSON dump as of the end of measurement.
+     * Identical to registry().jsonString() except on recording runs
+     * with a pad, where the live registry keeps counting engine and
+     * memory activity during the pad window; consumers wanting the
+     * measured run (ExperimentRunner) must use this snapshot.
+     */
+    const std::string &measuredStatsJson() const
+    {
+        return measuredJson;
+    }
 
   private:
     SimConfig cfg;
+    std::string measuredJson;
     WorkloadImages images;
-    std::vector<std::unique_ptr<TraceStream>> traces;
+    std::vector<std::unique_ptr<TraceWriter>> recorders;
+    std::vector<std::unique_ptr<TraceSource>> traces;
     std::unique_ptr<SmtCore> core_;
 };
 

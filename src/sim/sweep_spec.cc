@@ -7,6 +7,10 @@
 #include <fstream>
 #include <iterator>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
 #include "util/logging.hh"
 #include "workload/profiles.hh"
 #include "workload/trace.hh"
@@ -245,8 +249,41 @@ parseSweepBlock(const JsonValue &v, const std::string &context)
     for (const auto &[key, value] : v.asObject()) {
         if (key == "workloads") {
             for (const JsonValue *w : scalarOrArray(value)) {
-                const std::string &name =
-                    stringValue(*w, context, "a workload");
+                std::string name;
+                if (w->isObject()) {
+                    // {"trace": "path.trc"} or {"trace": [p0, p1]}:
+                    // a file-backed replay workload, one thread per
+                    // path.
+                    const JsonValue *tr = w->find("trace");
+                    if (tr == nullptr || w->size() != 1)
+                        specFail(context,
+                                 "a workload object must have "
+                                 "exactly the key \"trace\" (a "
+                                 "path or an array of per-thread "
+                                 "paths)");
+                    name = "trace:";
+                    bool first = true;
+                    for (const JsonValue *p : scalarOrArray(*tr)) {
+                        const std::string &path = stringValue(
+                            *p, context, "a trace path");
+                        if (path.empty() ||
+                            path.find(',') != std::string::npos)
+                            specFail(context,
+                                     csprintf("bad trace path "
+                                              "\"%s\" (must be "
+                                              "non-empty, without "
+                                              "commas)",
+                                              path.c_str()));
+                        name += (first ? "" : ",") + path;
+                        first = false;
+                    }
+                    if (first)
+                        specFail(context,
+                                 "\"trace\" must name at least one "
+                                 "path");
+                } else {
+                    name = stringValue(*w, context, "a workload");
+                }
                 validateWorkloadName(name);
                 block.workloads.push_back(name);
             }
@@ -381,7 +418,23 @@ validateWorkloadName(const std::string &name)
     for (const auto &p : allProfiles())
         if (p.name == name)
             return;
-    throw SpecError(csprintf("unknown workload \"%s\" (known: %s)",
+    if (isTraceWorkloadName(name)) {
+        // Syntax-only here: the files themselves are opened at run
+        // time, so a spec can be validated before its traces are
+        // recorded.
+        std::string paths = name.substr(6);
+        if (paths.empty() || paths.front() == ',' ||
+            paths.back() == ',' ||
+            paths.find(",,") != std::string::npos)
+            throw SpecError(csprintf(
+                "bad trace workload \"%s\" (expected "
+                "\"trace:<path>[,<path>...]\" with non-empty "
+                "paths)",
+                name.c_str()));
+        return;
+    }
+    throw SpecError(csprintf("unknown workload \"%s\" (known: %s, "
+                             "or \"trace:<path>[,<path>...]\")",
                              name.c_str(),
                              knownWorkloadNames().c_str()));
 }
@@ -537,7 +590,7 @@ runCharacteristics(std::uint64_t instructions)
     std::vector<BenchmarkCharacteristics> rows;
     for (const auto &prof : allProfiles()) {
         auto img = buildImage(prof, 0x400000, 0x40000000);
-        TraceStream ts(img);
+        SyntheticTraceStream ts(img);
         for (std::uint64_t i = 0; i < instructions; ++i)
             ts.next();
         const auto &s = ts.stats();
@@ -572,6 +625,38 @@ characteristicsMetrics(const std::vector<BenchmarkCharacteristics> &rows)
     return metrics;
 }
 
+std::string
+benchRecordDir(const std::string &dir_override)
+{
+    if (!dir_override.empty())
+        return dir_override;
+    const char *env = std::getenv("SMTFETCH_JSON_DIR");
+    return env != nullptr && env[0] != '\0' ? env : ".";
+}
+
+void
+ensureWritableDir(const std::string &dir)
+{
+    std::string probe =
+        dir + "/.smtfetch_write_probe_" + std::to_string(
+#ifdef _WIN32
+                                              0
+#else
+                                              ::getpid()
+#endif
+        );
+    {
+        std::ofstream os(probe);
+        if (!os || !(os << "probe"))
+            throw SpecError(csprintf(
+                "output directory \"%s\" is not writable (cannot "
+                "create files in it) — create the directory or "
+                "pass a writable --out-dir",
+                dir.c_str()));
+    }
+    std::remove(probe.c_str());
+}
+
 bool
 writeBenchRecord(
     const std::string &bench,
@@ -583,12 +668,8 @@ writeBenchRecord(
     if (off != nullptr && off[0] != '\0' && off[0] != '0')
         return true;
 
-    std::string dir = dir_override;
-    if (dir.empty()) {
-        const char *env = std::getenv("SMTFETCH_JSON_DIR");
-        dir = env != nullptr && env[0] != '\0' ? env : ".";
-    }
-    std::string path = dir + "/BENCH_" + bench + ".json";
+    std::string path =
+        benchRecordDir(dir_override) + "/BENCH_" + bench + ".json";
     std::ofstream os(path);
     if (!os) {
         std::fprintf(stderr, "warning: cannot write %s\n",

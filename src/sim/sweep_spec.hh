@@ -39,8 +39,23 @@ PolicyKind policyKindFromString(const std::string &name);
 LongLoadPolicy longLoadPolicyFromString(const std::string &name);
 /// @}
 
-/** Validate a Table 2 workload or bare benchmark name. */
+/** Validate a Table 2 workload, bare benchmark, or "trace:" name. */
 void validateWorkloadName(const std::string &name);
+
+/**
+ * Directory BENCH_*.json records land in: `dir_override` when
+ * non-empty, else the SMTFETCH_JSON_DIR environment variable, else
+ * the working directory.
+ */
+std::string benchRecordDir(const std::string &dir_override = "");
+
+/**
+ * Fail fast on an unwritable record directory: throws SpecError
+ * naming the directory unless a file can actually be created in it.
+ * The CLI calls this before running a grid so a typo'd --out-dir is
+ * caught in milliseconds, not after minutes of simulation.
+ */
+void ensureWritableDir(const std::string &dir);
 
 /**
  * Directory where specs are resolved by bare name: the

@@ -530,7 +530,7 @@ buildImage(const BenchmarkProfile &profile, Addr code_base,
         if (iter >= 4)
             return img;
 
-        TraceStream probe(img);
+        SyntheticTraceStream probe(img);
         for (int i = 0; i < 200'000; ++i)
             probe.next();
         double measured = probe.stats().avgBlockSize();

@@ -2,35 +2,31 @@
 
 #include "util/bitfield.hh"
 #include "util/logging.hh"
+#include "workload/trace_file.hh"
 
 namespace smt
 {
 
-TraceStream::TraceStream(const BenchmarkImage &image)
-    : img(image), branchModels(image.branchModels),
-      indirectModels(image.indirectModels), memModels(image.memModels),
-      pc(image.program.entry())
-{
-    computeUpcoming();
-}
-
 const TraceRecord &
-TraceStream::peek() const
+TraceSource::peek()
 {
     if (nextIndex < generatedCount)
         return ring[nextIndex % replayWindow];
+    ensureUpcoming();
     return upcoming;
 }
 
 TraceRecord
-TraceStream::next()
+TraceSource::next()
 {
     if (nextIndex < generatedCount) {
         // Replaying after a rewind.
         return ring[nextIndex++ % replayWindow];
     }
 
+    ensureUpcoming();
     TraceRecord rec = upcoming;
+    haveUpcoming = false;
 
     ++tstats.insts;
     if (rec.si->isControl()) {
@@ -52,13 +48,14 @@ TraceStream::next()
     ++generatedCount;
     ++nextIndex;
 
-    pc = rec.nextPc;
-    computeUpcoming();
+    if (recorder != nullptr)
+        recorder->append(rec);
+
     return rec;
 }
 
 void
-TraceStream::rewindTo(std::uint64_t index)
+TraceSource::rewindTo(std::uint64_t index)
 {
     if (index > nextIndex)
         panic("trace rewind forward: %llu > %llu",
@@ -70,7 +67,23 @@ TraceStream::rewindTo(std::uint64_t index)
 }
 
 void
-TraceStream::computeUpcoming()
+TraceSource::ensureUpcoming()
+{
+    if (haveUpcoming)
+        return;
+    upcoming = generate();
+    haveUpcoming = true;
+}
+
+SyntheticTraceStream::SyntheticTraceStream(const BenchmarkImage &image)
+    : TraceSource(image), branchModels(image.branchModels),
+      indirectModels(image.indirectModels), memModels(image.memModels),
+      pc(image.program.entry())
+{
+}
+
+TraceRecord
+SyntheticTraceStream::generate()
 {
     const StaticInst *si = img.program.lookup(pc);
     if (si == nullptr)
@@ -133,7 +146,8 @@ TraceStream::computeUpcoming()
             ((rec.nextPc >> 2) & mask(pathSigBitsPerTarget));
     }
 
-    upcoming = rec;
+    pc = rec.nextPc;
+    return rec;
 }
 
 } // namespace smt

@@ -1,13 +1,20 @@
 /**
  * @file
- * Correct-path dynamic trace stream.
+ * Correct-path dynamic trace sources.
  *
- * A TraceStream walks a BenchmarkImage's CFG and produces the
- * benchmark's architecturally-correct dynamic instruction sequence:
- * this is what a trace file would contain. The SMT core consumes one
- * TraceStream per hardware thread; wrong-path fetch does NOT come from
- * here (it reads the static dictionary directly), so the stream
- * position always identifies the next correct-path instruction.
+ * A TraceSource produces a benchmark's architecturally-correct dynamic
+ * instruction sequence: this is what a trace file contains. The SMT
+ * core consumes one TraceSource per hardware thread; wrong-path fetch
+ * does NOT come from here (it reads the static dictionary directly),
+ * so the source position always identifies the next correct-path
+ * instruction.
+ *
+ * Two backends implement the interface: SyntheticTraceStream walks a
+ * BenchmarkImage's CFG and behaviour models (the statistical SPECint
+ * profiles), and FileTraceStream (workload/trace_file.hh) replays a
+ * recorded trace file. Any source can additionally be captured to a
+ * file through setRecorder, which is how `smtsim --record` serializes
+ * synthetic runs.
  */
 
 #ifndef SMTFETCH_WORKLOAD_TRACE_HH
@@ -21,6 +28,8 @@
 
 namespace smt
 {
+
+class TraceWriter;
 
 /** One correct-path dynamic instruction. */
 struct TraceRecord
@@ -70,29 +79,33 @@ struct TraceStats
 };
 
 /**
- * Infinite correct-path instruction stream for one benchmark.
+ * Abstract correct-path instruction source for one benchmark.
  *
- * The stream owns private copies of the behaviour models, so multiple
- * streams over the same image are independent. A bounded replay ring
- * supports rewinding to a recently-consumed position, which squash
- * mechanisms that discard correct-path instructions (the long-
- * latency-load FLUSH policy) need to refetch them.
+ * The base class owns everything the consumer-facing contract needs —
+ * one-record lookahead (peek), per-thread statistics, an optional
+ * capture recorder, and a bounded replay ring supporting rewinds to a
+ * recently-consumed position, which squash mechanisms that discard
+ * correct-path instructions (the long-latency-load FLUSH policy) need
+ * to refetch them. Backends only implement generate(): produce the
+ * next never-before-seen record.
  */
-class TraceStream
+class TraceSource
 {
   public:
     /** Rewind window in records (must exceed max per-thread
      *  in-flight instructions plus fetch run-ahead). */
     static constexpr std::size_t replayWindow = 4096;
 
-    /** @param image Must outlive the stream. */
-    explicit TraceStream(const BenchmarkImage &image);
+    /** @param image Must outlive the source. */
+    explicit TraceSource(const BenchmarkImage &image) : img(image) {}
+
+    virtual ~TraceSource() = default;
 
     /** The next correct-path record, without consuming it. */
-    const TraceRecord &peek() const;
+    const TraceRecord &peek();
 
     /** PC of the next correct-path instruction. */
-    Addr peekPc() const { return peek().si->pc; }
+    Addr peekPc() { return peek().si->pc; }
 
     /** Consume and return the next correct-path record. */
     TraceRecord next();
@@ -109,14 +122,53 @@ class TraceStream
     /** Statistics over everything generated so far. */
     const TraceStats &stats() const { return tstats; }
 
-    /** The benchmark image this stream walks. */
+    /** The benchmark image this source executes over. */
     const BenchmarkImage &image() const { return img; }
 
-  private:
-    void computeUpcoming();
-    void generateNext();
+    /**
+     * Capture every newly-generated record to `writer` (replays after
+     * a rewind are not re-recorded). The writer must outlive the
+     * source or be detached with nullptr.
+     */
+    void setRecorder(TraceWriter *writer) { recorder = writer; }
+
+  protected:
+    /** Produce the record following everything generated so far. */
+    virtual TraceRecord generate() = 0;
 
     const BenchmarkImage &img;
+
+  private:
+    void ensureUpcoming();
+
+    TraceWriter *recorder = nullptr;
+
+    TraceRecord upcoming;
+    bool haveUpcoming = false;
+    TraceStats tstats;
+
+    /** Replay ring: records [generated - window, generated). */
+    std::vector<TraceRecord> ring{replayWindow};
+    std::uint64_t generatedCount = 0; //!< records ever generated
+    std::uint64_t nextIndex = 0;      //!< next record to deliver
+};
+
+/**
+ * Infinite synthetic correct-path stream: walks the image's CFG,
+ * consulting its branch/indirect/memory behaviour models. The stream
+ * owns private copies of the models, so multiple streams over the same
+ * image are independent.
+ */
+class SyntheticTraceStream : public TraceSource
+{
+  public:
+    /** @param image Must outlive the stream. */
+    explicit SyntheticTraceStream(const BenchmarkImage &image);
+
+  protected:
+    TraceRecord generate() override;
+
+  private:
     std::vector<BranchModel> branchModels;
     std::vector<IndirectModel> indirectModels;
     std::vector<MemoryModel> memModels;
@@ -125,14 +177,6 @@ class TraceStream
     std::vector<Addr> callStack;
     std::uint64_t oracleHistory = 0;
     std::uint64_t oraclePathSig = 0;
-
-    TraceRecord upcoming;
-    TraceStats tstats;
-
-    /** Replay ring: records [generated - window, generated). */
-    std::vector<TraceRecord> ring{replayWindow};
-    std::uint64_t generatedCount = 0; //!< records ever generated
-    std::uint64_t nextIndex = 0;      //!< next record to deliver
 
     static constexpr std::size_t maxCallDepth = 64;
 };

@@ -1,0 +1,608 @@
+#include "workload/trace_file.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace smt
+{
+
+namespace
+{
+
+/** @name Little-endian scalar encoding (host-endianness agnostic). */
+/// @{
+void
+put16(std::string &out, std::uint16_t v)
+{
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void
+put32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+put64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint16_t
+get16(const unsigned char *p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t
+get32(const unsigned char *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t
+get64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+/// @}
+
+/** Info-byte layout: op kind nibble, CTI direction, mem-class flag. */
+constexpr unsigned infoKindMask = 0x0f;
+constexpr unsigned infoTakenBit = 0x10;
+constexpr unsigned infoMemBit = 0x20;
+constexpr unsigned infoKnownBits = 0x3f;
+
+constexpr unsigned maxOpKind =
+    static_cast<unsigned>(OpClass::JumpIndirect);
+
+/** Fixed leading header chunk: magic + version + name length. */
+constexpr std::size_t headPreludeBytes = sizeof(traceMagic) + 2 + 2;
+
+/** Header bytes after the name: seed, codeBase, dataBase, count. */
+constexpr std::size_t headTailBytes = 4 * 8;
+
+/** Sanity cap on the benchmark-name length field. */
+constexpr std::size_t maxNameLen = 255;
+
+/** Reverse of opName() for the text encoding. */
+bool
+kindFromName(const std::string &name, OpClass &out)
+{
+    for (unsigned k = 0; k <= maxOpKind; ++k) {
+        OpClass op = static_cast<OpClass>(k);
+        if (name == opName(op)) {
+            out = op;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Encode pc as a code-relative instruction-word index. */
+std::uint32_t
+packWord(Addr addr, Addr code_base, const std::string &path,
+         const char *what)
+{
+    if (addr < code_base || (addr - code_base) % instBytes != 0)
+        throw TraceFileError(
+            csprintf("%s: %s 0x%llx is not an instruction address in "
+                     "the code region starting at 0x%llx",
+                     path.c_str(), what, (unsigned long long)addr,
+                     (unsigned long long)code_base));
+    Addr word = (addr - code_base) / instBytes;
+    if (word > 0xffffffffull)
+        throw TraceFileError(csprintf(
+            "%s: %s 0x%llx overflows the record encoding (more than "
+            "2^32 instruction words past the code base 0x%llx)",
+            path.c_str(), what, (unsigned long long)addr,
+            (unsigned long long)code_base));
+    return static_cast<std::uint32_t>(word);
+}
+
+std::uint64_t
+parseUint(const std::string &tok, bool &ok)
+{
+    if (tok.empty()) {
+        ok = false;
+        return 0;
+    }
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(tok.c_str(), &end, 0);
+    ok = end != nullptr && *end == '\0';
+    return v;
+}
+
+} // namespace
+
+bool
+traceFileIsText(const std::string &path)
+{
+    const std::string ext = ".strc";
+    return path.size() >= ext.size() &&
+           path.compare(path.size() - ext.size(), ext.size(), ext) ==
+               0;
+}
+
+// ------------------------------------------------------------- writer
+
+TraceWriter::TraceWriter(const std::string &path,
+                         const TraceFileHeader &header)
+    : filePath(path), hdr(header)
+{
+    hdr.text = traceFileIsText(path);
+    hdr.version = traceFormatVersion;
+    hdr.recordCount = 0;
+    if (hdr.benchmark.empty() || hdr.benchmark.size() > maxNameLen)
+        fail(csprintf("benchmark name \"%s\" must be 1..%zu bytes",
+                      hdr.benchmark.c_str(), maxNameLen));
+
+    os.open(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        fail("cannot open for writing");
+
+    if (!hdr.text) {
+        std::string head(traceMagic, sizeof(traceMagic));
+        put16(head, hdr.version);
+        put16(head, static_cast<std::uint16_t>(hdr.benchmark.size()));
+        head += hdr.benchmark;
+        put64(head, hdr.seed);
+        put64(head, hdr.codeBase);
+        put64(head, hdr.dataBase);
+        put64(head, 0); // recordCount, patched by close()
+        os.write(head.data(),
+                 static_cast<std::streamsize>(head.size()));
+    }
+}
+
+TraceWriter::~TraceWriter()
+{
+    try {
+        close();
+    } catch (const TraceFileError &) {
+        // Destruction must not throw; close() explicitly to observe
+        // I/O failures.
+    }
+}
+
+void
+TraceWriter::append(const TraceRecord &rec)
+{
+    PackedTraceRecord p;
+    p.pc = rec.si->pc;
+    p.nextPc = rec.nextPc;
+    p.memAddr = rec.memAddr;
+    p.kind = rec.si->op;
+    p.taken = rec.taken;
+    p.depDepth = static_cast<std::uint8_t>(
+        (rec.si->src1 != invalidReg ? 1 : 0) +
+        (rec.si->src2 != invalidReg ? 1 : 0));
+    append(p);
+}
+
+void
+TraceWriter::append(const PackedTraceRecord &rec)
+{
+    if (closed)
+        fail("append after close");
+    if (hdr.text) {
+        textRecords.push_back(rec);
+        ++count;
+        return;
+    }
+
+    std::string buf;
+    buf.reserve(traceRecordBytes);
+    put32(buf, packWord(rec.pc, hdr.codeBase, filePath, "record pc"));
+    put32(buf, packWord(rec.nextPc, hdr.codeBase, filePath,
+                        "record next-pc"));
+    unsigned info = static_cast<unsigned>(rec.kind) & infoKindMask;
+    if (rec.taken)
+        info |= infoTakenBit;
+    bool has_mem = rec.memAddr != invalidAddr;
+    if (has_mem)
+        info |= infoMemBit;
+    buf.push_back(static_cast<char>(info));
+    buf.push_back(static_cast<char>(rec.depDepth));
+    put16(buf, 0); // reserved
+    put64(buf, has_mem ? rec.memAddr : 0);
+    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    ++count;
+}
+
+void
+TraceWriter::close()
+{
+    if (closed)
+        return;
+    closed = true;
+
+    if (hdr.text) {
+        std::ostringstream text;
+        text << "strc v" << hdr.version << "\n";
+        text << "benchmark " << hdr.benchmark << "\n";
+        text << "seed " << hdr.seed << "\n";
+        text << "codeBase 0x" << std::hex << hdr.codeBase << std::dec
+             << "\n";
+        text << "dataBase 0x" << std::hex << hdr.dataBase << std::dec
+             << "\n";
+        text << "records " << count << "\n";
+        text << "# r <pc> <next-pc> <kind> <T|-> <dep-depth> "
+                "[<mem-addr>]\n";
+        for (const auto &r : textRecords) {
+            text << "r 0x" << std::hex << r.pc << " 0x" << r.nextPc
+                 << std::dec << " " << opName(r.kind) << " "
+                 << (r.taken ? "T" : "-") << " "
+                 << static_cast<unsigned>(r.depDepth);
+            if (r.memAddr != invalidAddr)
+                text << " 0x" << std::hex << r.memAddr << std::dec;
+            text << "\n";
+        }
+        std::string s = text.str();
+        os.write(s.data(), static_cast<std::streamsize>(s.size()));
+    } else {
+        // Patch the record count now that it is known.
+        std::string buf;
+        put64(buf, count);
+        os.seekp(static_cast<std::streamoff>(
+            headPreludeBytes + hdr.benchmark.size() + headTailBytes -
+            8));
+        os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    }
+    os.flush();
+    if (!os)
+        fail("I/O error while finalizing");
+    os.close();
+}
+
+void
+TraceWriter::fail(const std::string &what) const
+{
+    throw TraceFileError(filePath + ": " + what);
+}
+
+// ------------------------------------------------------------- reader
+
+TraceReader::TraceReader(const std::string &path, bool header_only)
+    : filePath(path), headerOnly(header_only)
+{
+    is.open(path, std::ios::binary);
+    if (!is)
+        fail("cannot open trace file");
+
+    if (traceFileIsText(path)) {
+        hdr.text = true;
+        parseText(header_only);
+    } else {
+        readBinaryHeader();
+    }
+}
+
+void
+TraceReader::readBinaryHeader()
+{
+    is.seekg(0, std::ios::end);
+    const std::uint64_t file_size =
+        static_cast<std::uint64_t>(is.tellg());
+    is.seekg(0);
+
+    unsigned char prelude[headPreludeBytes];
+    if (!is.read(reinterpret_cast<char *>(prelude), sizeof(prelude)))
+        fail(csprintf("truncated header: file is %llu bytes, the "
+                      "fixed prelude alone is %zu",
+                      (unsigned long long)file_size,
+                      headPreludeBytes));
+
+    if (std::char_traits<char>::compare(
+            reinterpret_cast<const char *>(prelude), traceMagic,
+            sizeof(traceMagic)) != 0)
+        fail("bad magic: not a smtfetch trace file (expected "
+             "\"SMTTRC\"; text fixtures must use the .strc "
+             "extension)");
+
+    hdr.version = get16(prelude + sizeof(traceMagic));
+    if (hdr.version != traceFormatVersion)
+        fail(csprintf("format version %u, but this build reads "
+                      "version %u — re-record the trace with this "
+                      "build's --record",
+                      hdr.version, traceFormatVersion));
+
+    const std::size_t name_len =
+        get16(prelude + sizeof(traceMagic) + 2);
+    if (name_len == 0 || name_len > maxNameLen)
+        fail(csprintf("benchmark-name length %zu overflows the "
+                      "header (corrupt file?)",
+                      name_len));
+
+    std::string name(name_len, '\0');
+    unsigned char tail[headTailBytes];
+    if (!is.read(name.data(),
+                 static_cast<std::streamsize>(name_len)) ||
+        !is.read(reinterpret_cast<char *>(tail), sizeof(tail)))
+        fail(csprintf("truncated header: expected %zu bytes, file "
+                      "is %llu",
+                      headPreludeBytes + name_len + headTailBytes,
+                      (unsigned long long)file_size));
+
+    hdr.benchmark = name;
+    hdr.seed = get64(tail);
+    hdr.codeBase = get64(tail + 8);
+    hdr.dataBase = get64(tail + 16);
+    hdr.recordCount = get64(tail + 24);
+
+    const std::uint64_t header_bytes =
+        headPreludeBytes + name_len + headTailBytes;
+    const std::uint64_t payload = file_size - header_bytes;
+    if (hdr.recordCount > payload / traceRecordBytes)
+        fail(csprintf("header promises %llu records (%llu bytes) but "
+                      "only %llu payload bytes follow the header — "
+                      "truncated or overflowing count",
+                      (unsigned long long)hdr.recordCount,
+                      (unsigned long long)(hdr.recordCount *
+                                           traceRecordBytes),
+                      (unsigned long long)payload));
+    if (payload != hdr.recordCount * traceRecordBytes)
+        fail(csprintf("%llu trailing bytes after the last record "
+                      "(corrupt record count?)",
+                      (unsigned long long)(payload -
+                                           hdr.recordCount *
+                                               traceRecordBytes)));
+}
+
+void
+TraceReader::parseText(bool header_only)
+{
+    std::string line;
+    std::size_t lineno = 0;
+    bool saw_version = false;
+    bool saw_count = false;
+    std::uint64_t declared = 0;
+    std::uint64_t record_lines = 0;
+
+    auto lineFail = [&](const std::string &what) {
+        fail(csprintf("line %zu: %s", lineno, what.c_str()));
+    };
+
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        std::istringstream ls(line);
+        std::string tok;
+        if (!(ls >> tok) || tok[0] == '#')
+            continue;
+
+        // Header-only consumers (readTraceHeader) still count
+        // record lines for the declared-count cross-check, but skip
+        // tokenizing them.
+        if (header_only && saw_version && tok == "r") {
+            ++record_lines;
+            continue;
+        }
+
+        if (!saw_version) {
+            if (tok != "strc")
+                lineFail("a text trace must start with \"strc v1\"");
+            std::string ver;
+            if (!(ls >> ver) ||
+                ver != csprintf("v%u", traceFormatVersion))
+                lineFail(csprintf(
+                    "unsupported text-trace version \"%s\" — this "
+                    "build reads \"v%u\"",
+                    ver.c_str(), traceFormatVersion));
+            saw_version = true;
+            continue;
+        }
+
+        if (tok == "r") {
+            ++record_lines;
+            std::string pc_s, next_s, kind_s, taken_s, dep_s, mem_s;
+            if (!(ls >> pc_s >> next_s >> kind_s >> taken_s >> dep_s))
+                lineFail("a record line is \"r <pc> <next-pc> "
+                         "<kind> <T|-> <dep-depth> [<mem-addr>]\"");
+            PackedTraceRecord rec;
+            bool ok = true, ok2 = true, ok3 = true;
+            rec.pc = parseUint(pc_s, ok);
+            rec.nextPc = parseUint(next_s, ok2);
+            std::uint64_t dep = parseUint(dep_s, ok3);
+            if (!ok || !ok2 || !ok3 || dep > 0xff)
+                lineFail("bad number in record (addresses take "
+                         "0x-hex or decimal; dep-depth is 0..255)");
+            rec.depDepth = static_cast<std::uint8_t>(dep);
+            if (!kindFromName(kind_s, rec.kind))
+                lineFail(csprintf(
+                    "unknown op kind \"%s\" (known: alu, mul, ld, "
+                    "st, fp, br, jmp, call, ret, ijmp)",
+                    kind_s.c_str()));
+            if (taken_s == "T")
+                rec.taken = true;
+            else if (taken_s == "-")
+                rec.taken = false;
+            else
+                lineFail(csprintf("bad taken flag \"%s\" (use T "
+                                  "or -)",
+                                  taken_s.c_str()));
+            if (ls >> mem_s) {
+                bool okm = true;
+                rec.memAddr = parseUint(mem_s, okm);
+                if (!okm)
+                    lineFail(csprintf("bad mem-addr \"%s\"",
+                                      mem_s.c_str()));
+            }
+            textRecords.push_back(rec);
+            continue;
+        }
+
+        std::string value;
+        if (!(ls >> value))
+            lineFail(csprintf("header key \"%s\" needs a value",
+                              tok.c_str()));
+        bool ok = true;
+        if (tok == "benchmark") {
+            hdr.benchmark = value;
+        } else if (tok == "seed") {
+            hdr.seed = parseUint(value, ok);
+        } else if (tok == "codeBase") {
+            hdr.codeBase = parseUint(value, ok);
+        } else if (tok == "dataBase") {
+            hdr.dataBase = parseUint(value, ok);
+        } else if (tok == "records") {
+            declared = parseUint(value, ok);
+            saw_count = true;
+        } else {
+            lineFail(csprintf(
+                "unknown directive \"%s\" (known: benchmark, seed, "
+                "codeBase, dataBase, records, r, #-comments)",
+                tok.c_str()));
+        }
+        if (!ok)
+            lineFail(csprintf("bad value \"%s\" for \"%s\"",
+                              value.c_str(), tok.c_str()));
+    }
+
+    if (!saw_version)
+        fail("empty trace: a text trace must start with \"strc v1\"");
+    if (hdr.benchmark.empty())
+        fail("missing \"benchmark <name>\" header line");
+    if (saw_count && declared != record_lines)
+        fail(csprintf("header declares %llu records but the file "
+                      "holds %llu record lines",
+                      (unsigned long long)declared,
+                      (unsigned long long)record_lines));
+    hdr.recordCount = record_lines;
+}
+
+bool
+TraceReader::next(PackedTraceRecord &out)
+{
+    if (headerOnly || count >= hdr.recordCount)
+        return false;
+
+    if (hdr.text) {
+        out = textRecords[count++];
+        return true;
+    }
+
+    unsigned char buf[traceRecordBytes];
+    if (!is.read(reinterpret_cast<char *>(buf), sizeof(buf)))
+        fail(csprintf("truncated record %llu (header promises %llu "
+                      "records)",
+                      (unsigned long long)count,
+                      (unsigned long long)hdr.recordCount));
+
+    const unsigned info = buf[8];
+    if ((info & ~infoKnownBits) != 0)
+        fail(csprintf("record %llu has unknown flag bits 0x%x set "
+                      "(file written by a newer format revision?)",
+                      (unsigned long long)count,
+                      info & ~infoKnownBits));
+    const unsigned kind = info & infoKindMask;
+    if (kind > maxOpKind)
+        fail(csprintf("record %llu has invalid op kind %u",
+                      (unsigned long long)count, kind));
+
+    out.pc = hdr.codeBase +
+             static_cast<Addr>(get32(buf)) * instBytes;
+    out.nextPc = hdr.codeBase +
+                 static_cast<Addr>(get32(buf + 4)) * instBytes;
+    out.kind = static_cast<OpClass>(kind);
+    out.taken = (info & infoTakenBit) != 0;
+    out.depDepth = buf[9];
+    out.memAddr =
+        (info & infoMemBit) != 0 ? get64(buf + 12) : invalidAddr;
+    ++count;
+    return true;
+}
+
+void
+TraceReader::fail(const std::string &what) const
+{
+    throw TraceFileError(filePath + ": " + what);
+}
+
+TraceFileHeader
+readTraceHeader(const std::string &path)
+{
+    return TraceReader(path, /*header_only=*/true).header();
+}
+
+// -------------------------------------------------------- file stream
+
+FileTraceStream::FileTraceStream(const BenchmarkImage &image,
+                                 const std::string &path)
+    : TraceSource(image), reader(path)
+{
+    const TraceFileHeader &h = reader.header();
+    if (h.benchmark != image.profile.name)
+        throw TraceFileError(csprintf(
+            "%s: trace was recorded for benchmark \"%s\" but is "
+            "bound to an image of \"%s\"",
+            path.c_str(), h.benchmark.c_str(),
+            image.profile.name.c_str()));
+    if (h.codeBase != image.program.base() ||
+        h.dataBase != image.dataBase)
+        throw TraceFileError(csprintf(
+            "%s: trace address bases (code 0x%llx, data 0x%llx) do "
+            "not match the image (code 0x%llx, data 0x%llx) — was "
+            "the image built with a different seed or thread slot?",
+            path.c_str(), (unsigned long long)h.codeBase,
+            (unsigned long long)h.dataBase,
+            (unsigned long long)image.program.base(),
+            (unsigned long long)image.dataBase));
+}
+
+TraceRecord
+FileTraceStream::generate()
+{
+    PackedTraceRecord p;
+    if (!reader.next(p))
+        throw TraceFileError(csprintf(
+            "%s: trace exhausted after %llu records — this "
+            "simulation consumes more correct-path instructions "
+            "than were recorded; re-record with longer windows or a "
+            "--record-pad margin",
+            reader.path().c_str(),
+            (unsigned long long)reader.recordsRead()));
+
+    const StaticInst *si = img.program.lookup(p.pc);
+    if (si == nullptr)
+        throw TraceFileError(csprintf(
+            "%s: record %llu pc 0x%llx is outside the program "
+            "image [0x%llx, 0x%llx)",
+            reader.path().c_str(),
+            (unsigned long long)(reader.recordsRead() - 1),
+            (unsigned long long)p.pc,
+            (unsigned long long)img.program.base(),
+            (unsigned long long)img.program.limit()));
+    if (si->op != p.kind)
+        throw TraceFileError(csprintf(
+            "%s: record %llu op kind \"%s\" does not match the "
+            "program's \"%s\" at pc 0x%llx — trace/program mismatch "
+            "(different profile or seed?)",
+            reader.path().c_str(),
+            (unsigned long long)(reader.recordsRead() - 1),
+            std::string(opName(p.kind)).c_str(),
+            std::string(opName(si->op)).c_str(),
+            (unsigned long long)p.pc));
+
+    TraceRecord rec;
+    rec.si = si;
+    rec.taken = p.taken;
+    rec.nextPc = p.nextPc;
+    rec.memAddr = p.memAddr;
+    return rec;
+}
+
+} // namespace smt

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Versioned on-disk trace format and the file-backed trace source.
+ *
+ * A trace file holds one thread's correct-path dynamic instruction
+ * sequence plus the header needed to rebuild the static program it
+ * executes over (benchmark profile name, build seed, code/data bases).
+ * Two encodings share the same logical content:
+ *
+ *  - binary (`.trc`): a fixed-size little-endian header followed by
+ *    packed 20-byte records — the production format `smtsim --record`
+ *    writes and FileTraceStream replays;
+ *  - text (`.strc`): a line-oriented rendering for hand-written test
+ *    fixtures and human inspection.
+ *
+ * Every malformed input is a TraceFileError with an actionable
+ * message, never UB: bad magic, version skew, truncated headers or
+ * records, and counts that disagree with the file size are all
+ * detected up front.
+ */
+
+#ifndef SMTFETCH_WORKLOAD_TRACE_FILE_HH
+#define SMTFETCH_WORKLOAD_TRACE_FILE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "isa/opcode.hh"
+#include "util/types.hh"
+#include "workload/trace.hh"
+
+namespace smt
+{
+
+/** User-facing error in a trace file: I/O failure or malformed
+ *  content. The message names the file and what to do about it. */
+class TraceFileError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** The trace format revision this build reads and writes. */
+constexpr std::uint16_t traceFormatVersion = 1;
+
+/** Binary file magic ("SMTTRC", no terminator). */
+constexpr char traceMagic[6] = {'S', 'M', 'T', 'T', 'R', 'C'};
+
+/** Size in bytes of one packed binary record. */
+constexpr std::size_t traceRecordBytes = 20;
+
+/**
+ * Trace file header: everything needed to rebuild the benchmark image
+ * the records were captured against (buildImage is deterministic in
+ * profile, bases and seed, so replay reconstructs the identical
+ * program and wrong-path dictionary).
+ */
+struct TraceFileHeader
+{
+    std::string benchmark;       //!< profile name ("gzip", ...)
+    std::uint16_t version = traceFormatVersion;
+    std::uint64_t seed = 0;      //!< buildImage seed salt
+    Addr codeBase = 0;           //!< program base address
+    Addr dataBase = 0;           //!< data region base address
+    std::uint64_t recordCount = 0;
+    bool text = false;           //!< encoding of the backing file
+};
+
+/**
+ * One decoded trace record, independent of any program image. The
+ * binary encoding packs pc/nextPc as 32-bit word offsets from
+ * codeBase, one info byte (op kind, CTI direction, mem-class flag),
+ * the register-dependency depth and the memory effective address.
+ */
+struct PackedTraceRecord
+{
+    Addr pc = invalidAddr;
+    Addr nextPc = invalidAddr;
+    Addr memAddr = invalidAddr;  //!< invalidAddr when not a mem op
+    OpClass kind = OpClass::IntAlu;
+    bool taken = false;
+    std::uint8_t depDepth = 0;   //!< register source-operand count
+};
+
+/** Does the path name the text encoding (`.strc`)? */
+bool traceFileIsText(const std::string &path);
+
+/**
+ * Streaming trace capture. The encoding follows the path's extension.
+ * The header's recordCount is patched on close() (binary) or the
+ * buffered records are flushed then (text); destruction closes.
+ */
+class TraceWriter
+{
+  public:
+    TraceWriter(const std::string &path, const TraceFileHeader &header);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append a live record (packs pc/kind/deps from rec.si). */
+    void append(const TraceRecord &rec);
+
+    /** Append an already-packed record (tests, transcoding). */
+    void append(const PackedTraceRecord &rec);
+
+    /** Finish the file; idempotent. TraceFileError on I/O failure. */
+    void close();
+
+    std::uint64_t recordsWritten() const { return count; }
+    const std::string &path() const { return filePath; }
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const;
+
+    std::string filePath;
+    TraceFileHeader hdr;
+    std::ofstream os;
+    std::uint64_t count = 0;
+    bool closed = false;
+
+    /** Text records buffered until close (fixtures are small). */
+    std::vector<PackedTraceRecord> textRecords;
+};
+
+/**
+ * Sequential trace decoder. The constructor validates the whole
+ * header, including that the record count agrees with the file size,
+ * so corruption surfaces before any simulation starts.
+ */
+class TraceReader
+{
+  public:
+    /**
+     * @param header_only Validate and expose the header without
+     *        decoding records (next() then reports end-of-trace);
+     *        spares re-tokenizing every line of a text trace when
+     *        only the header is needed (readTraceHeader).
+     */
+    explicit TraceReader(const std::string &path,
+                         bool header_only = false);
+
+    const TraceFileHeader &header() const { return hdr; }
+
+    /**
+     * Decode the next record. @return false at the clean end of the
+     * trace; throws TraceFileError on any corruption.
+     */
+    bool next(PackedTraceRecord &out);
+
+    std::uint64_t recordsRead() const { return count; }
+    const std::string &path() const { return filePath; }
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const;
+
+    void readBinaryHeader();
+    void parseText(bool header_only);
+
+    std::string filePath;
+    TraceFileHeader hdr;
+    std::ifstream is;
+    std::uint64_t count = 0;
+    bool headerOnly = false;
+
+    /** Text encoding is fully parsed up front (fixture-sized). */
+    std::vector<PackedTraceRecord> textRecords;
+};
+
+/** Parse just the header of a trace file (workload construction). */
+TraceFileHeader readTraceHeader(const std::string &path);
+
+/**
+ * Replays a recorded trace file as a TraceSource. The image must be
+ * the one named by the file's header (same profile, bases and seed) —
+ * the constructor cross-checks and every delivered record is validated
+ * against the static program, so a trace/program mismatch is an error,
+ * not silent divergence.
+ */
+class FileTraceStream : public TraceSource
+{
+  public:
+    /** @param image Must outlive the stream. */
+    FileTraceStream(const BenchmarkImage &image,
+                    const std::string &path);
+
+    const TraceFileHeader &header() const { return reader.header(); }
+
+  protected:
+    TraceRecord generate() override;
+
+  private:
+    TraceReader reader;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_WORKLOAD_TRACE_FILE_HH

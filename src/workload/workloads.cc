@@ -3,6 +3,7 @@
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "workload/profiles.hh"
+#include "workload/trace_file.hh"
 
 namespace smt
 {
@@ -47,6 +48,45 @@ workloadFor(const std::string &name)
     fatal("unknown workload '%s'", name.c_str());
 }
 
+bool
+isTraceWorkloadName(const std::string &name)
+{
+    return name.rfind("trace:", 0) == 0;
+}
+
+WorkloadSpec
+traceWorkload(const std::string &name)
+{
+    if (!isTraceWorkloadName(name))
+        throw TraceFileError(csprintf(
+            "\"%s\" is not a trace workload (expected "
+            "\"trace:<path>[,<path>...]\")",
+            name.c_str()));
+
+    WorkloadSpec spec;
+    spec.name = name;
+    std::string paths = name.substr(6);
+    std::size_t start = 0;
+    while (start <= paths.size()) {
+        std::size_t comma = paths.find(',', start);
+        std::string path =
+            paths.substr(start, comma == std::string::npos
+                                    ? std::string::npos
+                                    : comma - start);
+        if (path.empty())
+            throw TraceFileError(csprintf(
+                "\"%s\" names an empty trace path (expected "
+                "\"trace:<path>[,<path>...]\")",
+                name.c_str()));
+        spec.benchmarks.push_back(readTraceHeader(path).benchmark);
+        spec.traces.push_back(path);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return spec;
+}
+
 WorkloadImages
 buildWorkload(const WorkloadSpec &spec, std::uint64_t seed)
 {
@@ -56,9 +96,25 @@ buildWorkload(const WorkloadSpec &spec, std::uint64_t seed)
         fatal("workload '%s' exceeds %u threads", spec.name.c_str(),
               maxThreads);
 
+    if (!spec.traces.empty() &&
+        spec.traces.size() != spec.benchmarks.size())
+        fatal("workload '%s' names %zu traces for %zu threads",
+              spec.name.c_str(), spec.traces.size(),
+              spec.benchmarks.size());
+
     WorkloadImages out;
     out.spec = spec;
     for (std::size_t t = 0; t < spec.benchmarks.size(); ++t) {
+        if (t < spec.traces.size() && !spec.traces[t].empty()) {
+            // Trace-backed thread: rebuild the exact image the trace
+            // was recorded against (buildImage is deterministic in
+            // profile, bases and seed — all carried by the header).
+            TraceFileHeader hdr = readTraceHeader(spec.traces[t]);
+            out.images.push_back(std::make_unique<BenchmarkImage>(
+                buildImage(profileFor(hdr.benchmark), hdr.codeBase,
+                           hdr.dataBase, hdr.seed)));
+            continue;
+        }
         const auto &prof = profileFor(spec.benchmarks[t]);
         // Stagger bases by a non-power-of-two line count so threads do
         // not collide on the same cache sets in lockstep (real

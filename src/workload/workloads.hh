@@ -21,10 +21,28 @@ struct WorkloadSpec
 {
     std::string name;                    //!< e.g. "4_MIX"
     std::vector<std::string> benchmarks; //!< thread i runs benchmarks[i]
+
+    /**
+     * Optional per-thread trace files. Empty (the common case) means
+     * every thread synthesizes its stream from its benchmark profile;
+     * otherwise one entry per thread, where a non-empty path replays
+     * that file and "" keeps the thread synthetic.
+     */
+    std::vector<std::string> traces;
 };
 
 /** All ten Table 2 workloads, in paper order. */
 const std::vector<WorkloadSpec> &table2Workloads();
+
+/** Is this a "trace:<path>[,<path>...]" workload name? */
+bool isTraceWorkloadName(const std::string &name);
+
+/**
+ * Build the workload spec for a "trace:..." name: one thread per
+ * comma-separated trace file, benchmarks resolved from the file
+ * headers. TraceFileError on unreadable or malformed files.
+ */
+WorkloadSpec traceWorkload(const std::string &name);
 
 /** Lookup by name ("2_ILP", "8_MIX", ...); fatal if unknown. */
 const WorkloadSpec &workloadFor(const std::string &name);

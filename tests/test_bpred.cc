@@ -300,7 +300,7 @@ TEST_P(EngineTest, CommitTrainingImprovesAccuracy)
 {
     // Drive the engine along the correct path; count how often the
     // predicted next-fetch address matches the oracle, early vs late.
-    TraceStream trace(*image);
+    SyntheticTraceStream trace(*image);
     auto run_window = [&](int blocks) {
         int correct = 0;
         for (int i = 0; i < blocks; ++i) {

@@ -41,9 +41,9 @@ TEST_P(FullSimGrid, CommittedStreamMatchesOracleTrace)
     Simulator sim(cfg);
 
     // Replay oracles: fresh streams over the same images.
-    std::vector<std::unique_ptr<TraceStream>> oracles;
+    std::vector<std::unique_ptr<SyntheticTraceStream>> oracles;
     for (unsigned t = 0; t < 2; ++t)
-        oracles.push_back(std::make_unique<TraceStream>(
+        oracles.push_back(std::make_unique<SyntheticTraceStream>(
             *sim.workload().images[t]));
 
     std::uint64_t checked = 0;
@@ -226,9 +226,9 @@ TEST(IntegrationTest, LongLoadFlushPolicyKeepsOracleFidelity)
     cfg.core.longLoadPolicy = LongLoadPolicy::Flush;
     Simulator sim(cfg);
 
-    std::vector<std::unique_ptr<TraceStream>> oracles;
+    std::vector<std::unique_ptr<SyntheticTraceStream>> oracles;
     for (unsigned t = 0; t < 2; ++t)
-        oracles.push_back(std::make_unique<TraceStream>(
+        oracles.push_back(std::make_unique<SyntheticTraceStream>(
             *sim.workload().images[t]));
     sim.core().commitHook = [&](const DynInst &inst) {
         TraceRecord expect = oracles[inst.tid]->next();

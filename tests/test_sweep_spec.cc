@@ -357,6 +357,70 @@ TEST(SweepSpec, SchemaErrorsAreActionable)
         "cannot open");
 }
 
+TEST(SweepSpec, TraceWorkloadsParseIntoTraceNames)
+{
+    SweepSpec spec = SweepSpec::fromString(R"({
+        "name": "replay",
+        "workloads": [
+            "2_MIX",
+            {"trace": "fig2.t0.trc"},
+            {"trace": ["a.trc", "b.strc"]}
+        ],
+        "engines": ["gshare+BTB"],
+        "policies": ["1.8"]
+    })");
+    auto points = spec.expand();
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_EQ(points[0].workload, "2_MIX");
+    EXPECT_EQ(points[1].workload, "trace:fig2.t0.trc");
+    EXPECT_EQ(points[2].workload, "trace:a.trc,b.strc");
+
+    // The committed trace configs expand without the trace files
+    // existing (they are recorded by the user before running).
+    for (const char *name : {"trace_replay", "trace_mix"}) {
+        SweepSpec committed =
+            SweepSpec::fromFile(configPath(name));
+        EXPECT_EQ(committed.name, name);
+        EXPECT_GT(committed.expand().size(), 0u) << name;
+    }
+
+    EXPECT_NO_THROW(validateWorkloadName("trace:foo.trc"));
+    EXPECT_NO_THROW(validateWorkloadName("trace:a.trc,b.trc"));
+    EXPECT_THROW(validateWorkloadName("trace:"), SpecError);
+    EXPECT_THROW(validateWorkloadName("trace:a,,b"), SpecError);
+
+    expectSpecError(
+        [] {
+            SweepSpec::fromString(R"({"name": "x",
+                "workloads": [{"replay": "a.trc"}],
+                "policies": ["1.8"]})");
+        },
+        "exactly the key \"trace\"");
+    expectSpecError(
+        [] {
+            SweepSpec::fromString(R"({"name": "x",
+                "workloads": [{"trace": []}],
+                "policies": ["1.8"]})");
+        },
+        "at least one path");
+    expectSpecError(
+        [] {
+            SweepSpec::fromString(R"({"name": "x",
+                "workloads": [{"trace": "a,b.trc"}],
+                "policies": ["1.8"]})");
+        },
+        "bad trace path");
+}
+
+TEST(SweepSpec, UnwritableOutputDirFailsFastWithThePath)
+{
+    EXPECT_NO_THROW(ensureWritableDir(::testing::TempDir()));
+    expectSpecError(
+        [] { ensureWritableDir("/nonexistent/json-out"); },
+        "\"/nonexistent/json-out\" is not writable");
+    EXPECT_EQ(benchRecordDir("somewhere"), "somewhere");
+}
+
 TEST(SweepSpec, CharacteristicsSpecRuns)
 {
     SweepSpec spec = SweepSpec::fromString(R"({

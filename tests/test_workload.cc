@@ -207,7 +207,7 @@ TEST_P(Table1Calibration, DynamicBlockSizeNearPaperValue)
 {
     const auto &prof = profileFor(GetParam());
     auto img = buildImage(prof, 0x400000, 0x40000000);
-    TraceStream trace(img);
+    SyntheticTraceStream trace(img);
     for (int i = 0; i < 300'000; ++i)
         trace.next();
     double measured = trace.stats().avgBlockSize();
@@ -226,7 +226,7 @@ INSTANTIATE_TEST_SUITE_P(AllBenchmarks, Table1Calibration,
 TEST(TraceTest, InfiniteAndDeterministic)
 {
     auto img = buildImage(profileFor("gzip"), 0x400000, 0x40000000);
-    TraceStream a(img), b(img);
+    SyntheticTraceStream a(img), b(img);
     for (int i = 0; i < 50'000; ++i) {
         TraceRecord ra = a.next();
         TraceRecord rb = b.next();
@@ -240,7 +240,7 @@ TEST(TraceTest, InfiniteAndDeterministic)
 TEST(TraceTest, NextPcChainsConsistently)
 {
     auto img = buildImage(profileFor("parser"), 0x400000, 0x40000000);
-    TraceStream trace(img);
+    SyntheticTraceStream trace(img);
     TraceRecord prev = trace.next();
     for (int i = 0; i < 20'000; ++i) {
         TraceRecord cur = trace.next();
@@ -252,7 +252,7 @@ TEST(TraceTest, NextPcChainsConsistently)
 TEST(TraceTest, MemoryAddressesOnlyOnMemoryOps)
 {
     auto img = buildImage(profileFor("mcf"), 0x400000, 0x40000000);
-    TraceStream trace(img);
+    SyntheticTraceStream trace(img);
     for (int i = 0; i < 20'000; ++i) {
         TraceRecord r = trace.next();
         if (r.si->isMemory()) {
@@ -267,7 +267,7 @@ TEST(TraceTest, MemoryAddressesOnlyOnMemoryOps)
 TEST(TraceTest, TakenCtisMatchControlFlow)
 {
     auto img = buildImage(profileFor("eon"), 0x400000, 0x40000000);
-    TraceStream trace(img);
+    SyntheticTraceStream trace(img);
     for (int i = 0; i < 20'000; ++i) {
         TraceRecord r = trace.next();
         if (!r.si->isControl()) {

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * tracegen: generate a trace file straight from a synthetic
+ * benchmark profile, without running the cycle-level pipeline.
+ *
+ * Useful for producing replay inputs (and text fixtures) much faster
+ * than `smtsim --record`, since only the correct-path generator runs.
+ * The output's extension picks the encoding: `.strc` is the text
+ * format, anything else the packed binary format.
+ *
+ * Usage: tracegen [options] <benchmark> <out.trc|out.strc>
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "workload/profiles.hh"
+#include "workload/program_builder.hh"
+#include "workload/trace.hh"
+#include "workload/trace_file.hh"
+
+using namespace smt;
+
+namespace
+{
+
+void
+usage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: tracegen [options] <benchmark> <out.trc|out.strc>\n"
+        "\n"
+        "Generates a correct-path trace file from a synthetic\n"
+        "benchmark profile. Replay it with a {\"trace\": PATH}\n"
+        "workload in an smtsim spec.\n"
+        "\n"
+        "options:\n"
+        "  --insts N      records to generate (default 1000000)\n"
+        "  --seed N       image-construction seed (default 0)\n"
+        "  --code-base A  code base address (default 0x400000)\n"
+        "  --data-base A  data base address (default 0x40000000)\n"
+        "  --list         list the benchmark profiles and exit\n"
+        "  -h, --help     show this help\n");
+}
+
+std::uint64_t
+parseNum(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(text, &end, 0);
+    if (end == text || *end != '\0') {
+        std::fprintf(stderr,
+                     "tracegen: %s expects a number, got \"%s\"\n",
+                     flag, text);
+        std::exit(1);
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t insts = 1'000'000;
+    std::uint64_t seed = 0;
+    Addr code_base = 0x400000;
+    Addr data_base = 0x40000000;
+    std::string benchmark, out_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "tracegen: %s expects an argument\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "-h" || arg == "--help") {
+            usage(stdout);
+            return 0;
+        } else if (arg == "--list") {
+            for (const auto &p : allProfiles())
+                std::printf("%s\n", p.name.c_str());
+            return 0;
+        } else if (arg == "--insts") {
+            insts = parseNum("--insts", next());
+        } else if (arg == "--seed") {
+            seed = parseNum("--seed", next());
+        } else if (arg == "--code-base") {
+            code_base = parseNum("--code-base", next());
+        } else if (arg == "--data-base") {
+            data_base = parseNum("--data-base", next());
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "tracegen: unknown option %s\n",
+                         arg.c_str());
+            usage(stderr);
+            return 1;
+        } else if (benchmark.empty()) {
+            benchmark = arg;
+        } else if (out_path.empty()) {
+            out_path = arg;
+        } else {
+            usage(stderr);
+            return 1;
+        }
+    }
+
+    if (benchmark.empty() || out_path.empty() || insts == 0) {
+        usage(stderr);
+        return 1;
+    }
+
+    bool known = false;
+    for (const auto &p : allProfiles())
+        known = known || p.name == benchmark;
+    if (!known) {
+        std::fprintf(stderr,
+                     "tracegen: unknown benchmark \"%s\" (see "
+                     "--list)\n",
+                     benchmark.c_str());
+        return 1;
+    }
+
+    try {
+        BenchmarkImage img = buildImage(profileFor(benchmark),
+                                        code_base, data_base, seed);
+        TraceFileHeader hdr;
+        hdr.benchmark = img.profile.name;
+        hdr.seed = seed;
+        hdr.codeBase = img.program.base();
+        hdr.dataBase = img.dataBase;
+
+        SyntheticTraceStream stream(img);
+        TraceWriter writer(out_path, hdr);
+        stream.setRecorder(&writer);
+        for (std::uint64_t i = 0; i < insts; ++i)
+            stream.next();
+        writer.close();
+
+        const TraceStats &s = stream.stats();
+        std::printf("wrote %s: %llu records (%s), avg block %.2f, "
+                    "avg stream %.2f\n",
+                    out_path.c_str(),
+                    (unsigned long long)writer.recordsWritten(),
+                    traceFileIsText(out_path) ? "text" : "binary",
+                    s.avgBlockSize(), s.avgStreamLength());
+    } catch (const TraceFileError &e) {
+        std::fprintf(stderr, "tracegen: %s\n", e.what());
+        return 2;
+    }
+    return 0;
+}
