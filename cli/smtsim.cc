@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/checkpoint.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep_spec.hh"
 #include "util/logging.hh"
@@ -38,6 +39,10 @@ struct Options
     std::string outDir;
     std::string recordPath;
     Cycle recordPad = 0;
+    std::string saveCheckpointPath;
+    std::string restoreCheckpointPath;
+    bool checkpointWarmup = false;
+    std::string checkpointDir;
     std::optional<Cycle> warmup;
     std::optional<Cycle> measure;
     std::optional<std::uint64_t> seed;
@@ -75,6 +80,23 @@ usage(std::FILE *out)
         "                 with a {\"trace\": PATH} workload.\n"
         "  --record-pad N capture N extra post-measurement cycles\n"
         "                 of records as a replay safety margin\n"
+        "  --save-checkpoint PATH\n"
+        "                 run the warmup, save the full simulator\n"
+        "                 state to PATH, then continue measurement\n"
+        "                 (the spec must expand to one grid point)\n"
+        "  --restore-checkpoint PATH\n"
+        "                 skip the warmup by restoring PATH (saved\n"
+        "                 under the identical configuration; the\n"
+        "                 spec must expand to one grid point)\n"
+        "  --checkpoint-warmup\n"
+        "                 run each unique warmup once per sweep and\n"
+        "                 restore snapshots for the other grid\n"
+        "                 points (bit-identical; also enabled by the\n"
+        "                 spec key \"checkpointAfterWarmup\")\n"
+        "  --checkpoint-dir DIR\n"
+        "                 persist warmup snapshots in DIR and reuse\n"
+        "                 them across sweeps (implies\n"
+        "                 --checkpoint-warmup)\n"
         "  -h, --help     show this help\n");
 }
 
@@ -158,11 +180,13 @@ runOne(const Options &opt, const std::string &arg)
         ensureWritableDir(benchRecordDir(opt.outDir));
 
     if (spec.type == SpecType::Characteristics) {
-        if (!opt.recordPath.empty()) {
+        if (!opt.recordPath.empty() ||
+            !opt.saveCheckpointPath.empty() ||
+            !opt.restoreCheckpointPath.empty()) {
             std::fprintf(stderr,
-                         "smtsim: --record does not apply to a "
-                         "characteristics spec (\"%s\" runs no "
-                         "simulation)\n",
+                         "smtsim: --record and checkpoint options "
+                         "do not apply to a characteristics spec "
+                         "(\"%s\" runs no simulation)\n",
                          spec.name.c_str());
             return 1;
         }
@@ -203,21 +227,49 @@ runOne(const Options &opt, const std::string &arg)
         return 0;
     }
 
+    auto needsOnePoint = [&](const char *flag) {
+        if (points.size() == 1)
+            return true;
+        std::fprintf(stderr,
+                     "smtsim: %s needs a spec that expands to "
+                     "exactly one grid point, but \"%s\" expands "
+                     "to %zu — narrow the spec or run each point "
+                     "separately\n",
+                     flag, spec.name.c_str(), points.size());
+        return false;
+    };
     if (!opt.recordPath.empty()) {
-        if (points.size() != 1) {
-            std::fprintf(stderr,
-                         "smtsim: --record needs a spec that "
-                         "expands to exactly one grid point, but "
-                         "\"%s\" expands to %zu — narrow the spec "
-                         "or record each point separately\n",
-                         spec.name.c_str(), points.size());
+        if (!needsOnePoint("--record"))
             return 1;
-        }
         points[0].recordPath = opt.recordPath;
         points[0].recordPadCycles = opt.recordPad;
     }
+    if (!opt.saveCheckpointPath.empty()) {
+        if (!needsOnePoint("--save-checkpoint"))
+            return 1;
+        points[0].saveCheckpointPath = opt.saveCheckpointPath;
+    }
+    if (!opt.restoreCheckpointPath.empty()) {
+        if (!needsOnePoint("--restore-checkpoint"))
+            return 1;
+        points[0].restoreCheckpointPath = opt.restoreCheckpointPath;
+    }
 
-    auto results = spec.makeRunner().runAll(points);
+    ExperimentRunner::WarmupReuse reuse;
+    reuse.checkpointDir = !opt.checkpointDir.empty()
+                              ? opt.checkpointDir
+                              : spec.checkpointDir;
+    reuse.enabled = opt.checkpointWarmup ||
+                    spec.checkpointAfterWarmup ||
+                    !reuse.checkpointDir.empty();
+    // A typo'd snapshot directory should fail in milliseconds, not
+    // after the first warmup finishes.
+    if (!reuse.checkpointDir.empty())
+        ensureWritableDir(reuse.checkpointDir);
+
+    ExperimentRunner::SweepTiming timing;
+    auto results =
+        spec.makeRunner().runAll(points, reuse, &timing);
     if (!opt.recordPath.empty() && !opt.quiet) {
         // Name the files actually written (multithread runs get
         // per-thread suffixes).
@@ -244,7 +296,8 @@ runOne(const Options &opt, const std::string &arg)
             results, /*fetch=*/false);
     }
     if (opt.writeJson &&
-        !writeBenchRecord(spec.benchName(), results, {}, opt.outDir))
+        !writeBenchRecord(spec.benchName(), results, {}, opt.outDir,
+                          reuse.enabled ? &timing : nullptr))
         return 3;
     return 0;
 }
@@ -289,6 +342,14 @@ main(int argc, char **argv)
             opt.recordPath = next();
         } else if (arg == "--record-pad") {
             opt.recordPad = parseCount("--record-pad", next());
+        } else if (arg == "--save-checkpoint") {
+            opt.saveCheckpointPath = next();
+        } else if (arg == "--restore-checkpoint") {
+            opt.restoreCheckpointPath = next();
+        } else if (arg == "--checkpoint-warmup") {
+            opt.checkpointWarmup = true;
+        } else if (arg == "--checkpoint-dir") {
+            opt.checkpointDir = next();
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "smtsim: unknown option %s\n",
                          arg.c_str());
@@ -304,6 +365,47 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // Output-path flags apply once per spec run: with several specs
+    // each run would silently overwrite the previous spec's file.
+    if (opt.specs.size() > 1 && !opt.recordPath.empty()) {
+        std::fprintf(stderr,
+                     "smtsim: --record with %zu specs would make "
+                     "each spec overwrite \"%s\" — pass one spec "
+                     "per --record invocation (or record each spec "
+                     "to a distinct path)\n",
+                     opt.specs.size(), opt.recordPath.c_str());
+        return 1;
+    }
+    if (opt.specs.size() > 1 && !opt.saveCheckpointPath.empty()) {
+        std::fprintf(stderr,
+                     "smtsim: --save-checkpoint with %zu specs "
+                     "would make each spec overwrite \"%s\" — pass "
+                     "one spec per --save-checkpoint invocation\n",
+                     opt.specs.size(),
+                     opt.saveCheckpointPath.c_str());
+        return 1;
+    }
+    if (!opt.recordPath.empty() &&
+        !opt.restoreCheckpointPath.empty()) {
+        std::fprintf(stderr,
+                     "smtsim: --record cannot be combined with "
+                     "--restore-checkpoint — the captured trace "
+                     "would silently miss every record consumed "
+                     "before the snapshot; record with a full run "
+                     "instead\n");
+        return 1;
+    }
+    if (!opt.saveCheckpointPath.empty() &&
+        !opt.restoreCheckpointPath.empty()) {
+        std::fprintf(stderr,
+                     "smtsim: --save-checkpoint cannot be combined "
+                     "with --restore-checkpoint — a restored run "
+                     "skips the warmup, so there is no new "
+                     "post-warmup state to save (the restored "
+                     "checkpoint already is that state)\n");
+        return 1;
+    }
+
     for (const auto &specArg : opt.specs) {
         try {
             int rc = runOne(opt, specArg);
@@ -313,6 +415,12 @@ main(int argc, char **argv)
             std::fprintf(stderr, "smtsim: %s\n", e.what());
             return 2;
         } catch (const TraceFileError &e) {
+            std::fprintf(stderr, "smtsim: %s\n", e.what());
+            return 2;
+        } catch (const CheckpointError &e) {
+            std::fprintf(stderr, "smtsim: %s\n", e.what());
+            return 2;
+        } catch (const std::invalid_argument &e) {
             std::fprintf(stderr, "smtsim: %s\n", e.what());
             return 2;
         }

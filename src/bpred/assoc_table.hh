@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/checkpoint.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 
@@ -108,6 +109,46 @@ class AssocTable
         for (auto &s : entries)
             s = Slot{};
         lruClock = 0;
+    }
+
+    /**
+     * Checkpoint serialization: geometry echo, LRU clock and every
+     * slot, with the payload encoded by the caller's functor
+     * (sim/checkpoint.hh).
+     */
+    template <typename SavePayload>
+    void
+    save(CheckpointWriter &w, SavePayload &&save_payload) const
+    {
+        w.u32(numSets);
+        w.u32(numWays);
+        w.u64(lruClock);
+        for (const Slot &s : entries) {
+            w.b(s.valid);
+            w.u64(s.tag);
+            w.u64(s.lru);
+            save_payload(w, s.payload);
+        }
+    }
+
+    template <typename LoadPayload>
+    void
+    restore(CheckpointReader &r, LoadPayload &&load_payload)
+    {
+        std::uint32_t sets = r.u32();
+        std::uint32_t ways = r.u32();
+        if (sets != numSets || ways != numWays)
+            r.fail(csprintf("table geometry %ux%u does not match "
+                            "this configuration's %ux%u "
+                            "(configuration mismatch)",
+                            sets, ways, numSets, numWays));
+        lruClock = r.u64();
+        for (Slot &s : entries) {
+            s.valid = r.b();
+            s.tag = r.u64();
+            s.lru = r.u64();
+            load_payload(r, s.payload);
+        }
     }
 
   private:

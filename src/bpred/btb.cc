@@ -32,4 +32,22 @@ Btb::update(Addr pc, Addr target, OpClass cti_type)
     table.insert(indexFor(pc), tagFor(pc), BtbEntry{target, cti_type});
 }
 
+void
+Btb::save(CheckpointWriter &w) const
+{
+    table.save(w, [](CheckpointWriter &cw, const BtbEntry &e) {
+        cw.u64(e.target);
+        cw.u8(static_cast<std::uint8_t>(e.ctiType));
+    });
+}
+
+void
+Btb::restore(CheckpointReader &r)
+{
+    table.restore(r, [](CheckpointReader &cr, BtbEntry &e) {
+        e.target = cr.u64();
+        e.ctiType = checkpointReadOpClass(cr);
+    });
+}
+
 } // namespace smt

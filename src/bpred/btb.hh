@@ -37,6 +37,12 @@ class Btb
 
     void reset() { table.reset(); }
 
+    /** @name Checkpoint serialization (sim/checkpoint.hh). */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r);
+    /// @}
+
   private:
     std::uint64_t indexFor(Addr pc) const;
     std::uint64_t tagFor(Addr pc) const;

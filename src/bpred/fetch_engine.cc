@@ -1,5 +1,6 @@
 #include "bpred/fetch_engine.hh"
 
+#include "sim/checkpoint.hh"
 #include "util/logging.hh"
 #include "util/stats_registry.hh"
 
@@ -129,6 +130,172 @@ FetchEngine::registerStats(StatsRegistry &reg) const
     reg.addCounter("engine.streamsFormed",
                    "commit-side blocks/streams formed",
                    &engineStats.streamsFormed);
+}
+
+void
+EngineCheckpoint::save(CheckpointWriter &w) const
+{
+    w.u64(blockStart);
+    w.u64(ghist);
+    w.u16(ras.tos);
+    if (ras.entries != nullptr) {
+        w.u32(static_cast<std::uint32_t>(ras.entries->size()));
+        for (Addr a : *ras.entries)
+            w.u64(a);
+    } else {
+        w.u32(0);
+    }
+    for (Addr a : path.ring)
+        w.u64(a);
+    w.u8(path.pos);
+}
+
+void
+EngineCheckpoint::restore(CheckpointReader &r,
+                          unsigned expected_ras_entries)
+{
+    blockStart = r.u64();
+    ghist = r.u64();
+    ras.tos = r.u16();
+    std::uint32_t n =
+        static_cast<std::uint32_t>(r.checkCount(r.u32(), 8, "RAS"));
+    if (n > 0 && expected_ras_entries != 0 &&
+        n != expected_ras_entries)
+        r.fail(csprintf("RAS snapshot holds %u entries but this "
+                        "configuration uses %u (configuration "
+                        "mismatch)",
+                        n, expected_ras_entries));
+    if (n > 0) {
+        if (ras.tos >= n)
+            r.fail(csprintf("RAS snapshot top-of-stack %u out of "
+                            "range [0, %u)",
+                            ras.tos, n));
+        std::vector<Addr> stack(n);
+        for (auto &a : stack)
+            a = r.u64();
+        ras.entries = std::make_shared<const std::vector<Addr>>(
+            std::move(stack));
+    } else {
+        if (ras.tos != 0)
+            r.fail(csprintf("RAS snapshot with no entries but "
+                            "top-of-stack %u",
+                            ras.tos));
+        ras.entries = nullptr;
+    }
+    for (Addr &a : path.ring)
+        a = r.u64();
+    path.pos = r.u8();
+    if (path.pos >= PathHistory::maxDepth)
+        r.fail(csprintf("path-history position %u out of range "
+                        "[0, %u)",
+                        path.pos, PathHistory::maxDepth));
+}
+
+void
+BlockPrediction::save(CheckpointWriter &w) const
+{
+    w.u64(start);
+    w.u32(lengthInsts);
+    w.b(endsWithCti);
+    w.u8(static_cast<std::uint8_t>(endType));
+    w.b(predTaken);
+    w.u64(predTarget);
+    w.u64(nextFetchPc);
+    ckpt.save(w);
+}
+
+void
+BlockPrediction::restore(CheckpointReader &r,
+                         unsigned expected_ras_entries)
+{
+    start = r.u64();
+    lengthInsts = r.u32();
+    endsWithCti = r.b();
+    endType = checkpointReadOpClass(r);
+    predTaken = r.b();
+    predTarget = r.u64();
+    nextFetchPc = r.u64();
+    ckpt.restore(r, expected_ras_entries);
+}
+
+void
+FetchEngine::save(CheckpointWriter &w) const
+{
+    w.u8(static_cast<std::uint8_t>(kind()));
+    w.u64(engineStats.blockPredictions);
+    w.u64(engineStats.tableHits);
+    w.u64(engineStats.secondLevelHits);
+    w.u64(engineStats.seqMissBlocks);
+    w.u64(engineStats.condPredictions);
+    w.u64(engineStats.rasPushes);
+    w.u64(engineStats.rasPops);
+    w.u64(engineStats.recoveries);
+    w.u64(engineStats.streamsFormed);
+    for (unsigned t = 0; t < maxThreads; ++t) {
+        w.u64(history[t].snapshot());
+        ras[t].save(w);
+        PathHistory::Snapshot ps = path[t].snapshot();
+        for (Addr a : ps.ring)
+            w.u64(a);
+        w.u8(ps.pos);
+        PathHistory::Snapshot cs = commitPath[t].snapshot();
+        for (Addr a : cs.ring)
+            w.u64(a);
+        w.u8(cs.pos);
+        const FormationState &f = formation[t];
+        w.u64(f.blockStart);
+        w.b(f.started);
+        for (Addr a : f.extraStarts)
+            w.u64(a);
+        w.u32(f.numExtras);
+    }
+}
+
+void
+FetchEngine::restore(CheckpointReader &r)
+{
+    std::uint8_t k = r.u8();
+    if (k != static_cast<std::uint8_t>(kind()))
+        r.fail(csprintf("fetch-engine kind %u does not match this "
+                        "configuration's %u (configuration "
+                        "mismatch)",
+                        k, static_cast<unsigned>(kind())));
+    engineStats.blockPredictions = r.u64();
+    engineStats.tableHits = r.u64();
+    engineStats.secondLevelHits = r.u64();
+    engineStats.seqMissBlocks = r.u64();
+    engineStats.condPredictions = r.u64();
+    engineStats.rasPushes = r.u64();
+    engineStats.rasPops = r.u64();
+    engineStats.recoveries = r.u64();
+    engineStats.streamsFormed = r.u64();
+    auto read_path = [&r]() {
+        PathHistory::Snapshot s;
+        for (Addr &a : s.ring)
+            a = r.u64();
+        s.pos = r.u8();
+        if (s.pos >= PathHistory::maxDepth)
+            r.fail(csprintf("path-history position %u out of range "
+                            "[0, %u)",
+                            s.pos, PathHistory::maxDepth));
+        return s;
+    };
+    for (unsigned t = 0; t < maxThreads; ++t) {
+        history[t].restore(r.u64());
+        ras[t].restore(r);
+        path[t].restore(read_path());
+        commitPath[t].restore(read_path());
+        FormationState &f = formation[t];
+        f.blockStart = r.u64();
+        f.started = r.b();
+        for (Addr &a : f.extraStarts)
+            a = r.u64();
+        f.numExtras = r.u32();
+        if (f.numExtras > f.extraStarts.size())
+            r.fail(csprintf("formation extra-start count %u exceeds "
+                            "the %zu slots",
+                            f.numExtras, f.extraStarts.size()));
+    }
 }
 
 void
@@ -265,6 +432,22 @@ BtbFetchEngine::reset()
     btb.reset();
 }
 
+void
+BtbFetchEngine::save(CheckpointWriter &w) const
+{
+    FetchEngine::save(w);
+    gshare.save(w);
+    btb.save(w);
+}
+
+void
+BtbFetchEngine::restore(CheckpointReader &r)
+{
+    FetchEngine::restore(r);
+    gshare.restore(r);
+    btb.restore(r);
+}
+
 // ---------------------------------------------------------------------
 // gskew + FTB
 // ---------------------------------------------------------------------
@@ -369,6 +552,22 @@ FtbFetchEngine::reset()
     FetchEngine::reset();
     gskew.reset();
     ftb.reset();
+}
+
+void
+FtbFetchEngine::save(CheckpointWriter &w) const
+{
+    FetchEngine::save(w);
+    gskew.save(w);
+    ftb.save(w);
+}
+
+void
+FtbFetchEngine::restore(CheckpointReader &r)
+{
+    FetchEngine::restore(r);
+    gskew.restore(r);
+    ftb.restore(r);
 }
 
 // ---------------------------------------------------------------------
@@ -494,6 +693,20 @@ StreamFetchEngine::recover(ThreadID tid, const EngineCheckpoint &ckpt,
         ckpt.blockStart != invalidAddr) {
         path[tid].push(ckpt.blockStart);
     }
+}
+
+void
+StreamFetchEngine::save(CheckpointWriter &w) const
+{
+    FetchEngine::save(w);
+    streams.save(w);
+}
+
+void
+StreamFetchEngine::restore(CheckpointReader &r)
+{
+    FetchEngine::restore(r);
+    streams.restore(r);
 }
 
 void

@@ -37,6 +37,8 @@
 namespace smt
 {
 
+class CheckpointReader;
+class CheckpointWriter;
 class StatsRegistry;
 
 /** Which front-end to instantiate. */
@@ -95,6 +97,19 @@ struct EngineCheckpoint
     std::uint64_t ghist = 0;
     ReturnAddressStack::Snapshot ras;
     PathHistory::Snapshot path;
+
+    /**
+     * @name Checkpoint serialization (sim/checkpoint.hh).
+     * @param expected_ras_entries When non-zero, a non-empty RAS
+     *        snapshot must hold exactly this many entries — a
+     *        mismatch would otherwise surface as a mid-simulation
+     *        panic when the snapshot is used for squash repair.
+     */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r,
+                 unsigned expected_ras_entries = 0);
+    /// @}
 };
 
 /** One predicted fetch block (an FTQ entry). */
@@ -134,6 +149,13 @@ struct BlockPrediction
     {
         return start + static_cast<Addr>(lengthInsts) * instBytes;
     }
+
+    /** @name Checkpoint serialization (sim/checkpoint.hh). */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r,
+                 unsigned expected_ras_entries = 0);
+    /// @}
 };
 
 /** Aggregate engine statistics (read by benches and tests). */
@@ -208,6 +230,17 @@ class FetchEngine
     /** Register engine counters under "engine.*". */
     virtual void registerStats(StatsRegistry &reg) const;
 
+    /**
+     * @name Checkpoint serialization (sim/checkpoint.hh). The base
+     * implementation covers the shared per-thread speculative state
+     * (history, RAS, path, commit-side formation) and the counters;
+     * derived engines append their prediction tables.
+     */
+    /// @{
+    virtual void save(CheckpointWriter &w) const;
+    virtual void restore(CheckpointReader &r);
+    /// @}
+
   protected:
     /** Fill the common checkpoint fields for a block at `start`. */
     EngineCheckpoint makeCheckpoint(ThreadID tid, Addr start) const;
@@ -260,6 +293,8 @@ class BtbFetchEngine : public FetchEngine
                    std::uint64_t pred_ghist) override;
     EngineKind kind() const override { return EngineKind::GshareBtb; }
     void reset() override;
+    void save(CheckpointWriter &w) const override;
+    void restore(CheckpointReader &r) override;
 
     GsharePredictor &directionPredictor() { return gshare; }
     Btb &targetBuffer() { return btb; }
@@ -282,6 +317,8 @@ class FtbFetchEngine : public FetchEngine
                    std::uint64_t pred_ghist) override;
     EngineKind kind() const override { return EngineKind::GskewFtb; }
     void reset() override;
+    void save(CheckpointWriter &w) const override;
+    void restore(CheckpointReader &r) override;
 
     GskewPredictor &directionPredictor() { return gskew; }
     Ftb &targetBuffer() { return ftb; }
@@ -307,6 +344,8 @@ class StreamFetchEngine : public FetchEngine
                  Addr actual_target) override;
     EngineKind kind() const override { return EngineKind::Stream; }
     void reset() override;
+    void save(CheckpointWriter &w) const override;
+    void restore(CheckpointReader &r) override;
 
     StreamPredictor &predictor() { return streams; }
 

@@ -30,4 +30,24 @@ Ftb::update(Addr start_pc, unsigned length_insts, Addr target,
     return true;
 }
 
+void
+Ftb::save(CheckpointWriter &w) const
+{
+    table.save(w, [](CheckpointWriter &cw, const FtbEntry &e) {
+        cw.u16(e.lengthInsts);
+        cw.u64(e.target);
+        cw.u8(static_cast<std::uint8_t>(e.endType));
+    });
+}
+
+void
+Ftb::restore(CheckpointReader &r)
+{
+    table.restore(r, [](CheckpointReader &cr, FtbEntry &e) {
+        e.lengthInsts = cr.u16();
+        e.target = cr.u64();
+        e.endType = checkpointReadOpClass(cr);
+    });
+}
+
 } // namespace smt

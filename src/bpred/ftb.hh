@@ -76,6 +76,12 @@ class Ftb
 
     void reset() { table.reset(); }
 
+    /** @name Checkpoint serialization (sim/checkpoint.hh). */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r);
+    /// @}
+
   private:
     std::uint64_t indexFor(Addr pc) const { return pc >> 2; }
     std::uint64_t

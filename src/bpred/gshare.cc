@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "sim/checkpoint.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 
@@ -41,6 +42,33 @@ GsharePredictor::reset()
 {
     for (auto &c : table)
         c = SatCounter(2, 1);
+}
+
+void
+GsharePredictor::save(CheckpointWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(table.size()));
+    for (const SatCounter &c : table)
+        w.u8(c.raw());
+}
+
+void
+GsharePredictor::restore(CheckpointReader &r)
+{
+    std::uint32_t n = r.u32();
+    if (n != table.size())
+        r.fail(csprintf("gshare table holds %u counters but this "
+                        "configuration uses %zu (configuration "
+                        "mismatch)",
+                        n, table.size()));
+    for (SatCounter &c : table) {
+        std::uint8_t v = r.u8();
+        if (v > c.max())
+            r.fail(csprintf("gshare counter byte holds %u, max is "
+                            "%u (corrupt payload)",
+                            v, c.max()));
+        c.setRaw(v);
+    }
 }
 
 } // namespace smt

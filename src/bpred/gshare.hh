@@ -16,6 +16,9 @@
 namespace smt
 {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /** Classic gshare: 64K entries, 16 bits of history in the paper. */
 class GsharePredictor
 {
@@ -38,6 +41,12 @@ class GsharePredictor
 
     /** Storage budget in bits (for Table 3 accounting). */
     std::uint64_t storageBits() const { return table.size() * 2; }
+
+    /** @name Checkpoint serialization (sim/checkpoint.hh). */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r);
+    /// @}
 
   private:
     std::uint64_t indexFor(Addr pc, std::uint64_t history) const;

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "sim/checkpoint.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 
@@ -68,6 +69,35 @@ GskewPredictor::reset()
     for (auto &bank : banks)
         for (auto &c : bank)
             c = SatCounter(2, 1);
+}
+
+void
+GskewPredictor::save(CheckpointWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(banks[0].size()));
+    for (const auto &bank : banks)
+        for (const SatCounter &c : bank)
+            w.u8(c.raw());
+}
+
+void
+GskewPredictor::restore(CheckpointReader &r)
+{
+    std::uint32_t n = r.u32();
+    if (n != banks[0].size())
+        r.fail(csprintf("gskew banks hold %u counters but this "
+                        "configuration uses %zu (configuration "
+                        "mismatch)",
+                        n, banks[0].size()));
+    for (auto &bank : banks)
+        for (SatCounter &c : bank) {
+            std::uint8_t v = r.u8();
+            if (v > c.max())
+                r.fail(csprintf("gskew counter byte holds %u, max "
+                                "is %u (corrupt payload)",
+                                v, c.max()));
+            c.setRaw(v);
+        }
 }
 
 } // namespace smt

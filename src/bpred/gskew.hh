@@ -18,6 +18,9 @@
 namespace smt
 {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /** Paper configuration: 3 x 32K entries, 15 bits of history. */
 class GskewPredictor
 {
@@ -39,6 +42,12 @@ class GskewPredictor
     unsigned historyBits() const { return histBits; }
 
     std::uint64_t storageBits() const { return 3 * banks[0].size() * 2; }
+
+    /** @name Checkpoint serialization (sim/checkpoint.hh). */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r);
+    /// @}
 
   private:
     std::uint64_t bankIndex(unsigned bank, Addr pc,

@@ -1,5 +1,6 @@
 #include "bpred/ras.hh"
 
+#include "sim/checkpoint.hh"
 #include "util/logging.hh"
 
 namespace smt
@@ -17,6 +18,7 @@ ReturnAddressStack::push(Addr return_addr)
 {
     tos = static_cast<std::uint16_t>((tos + 1) % stack.size());
     stack[tos] = return_addr;
+    snapCache.reset();
 }
 
 Addr
@@ -28,11 +30,36 @@ ReturnAddressStack::pop()
     return v;
 }
 
+ReturnAddressStack::Snapshot
+ReturnAddressStack::snapshot() const
+{
+    if (snapCache == nullptr)
+        snapCache =
+            std::make_shared<const std::vector<Addr>>(stack);
+    Snapshot snap;
+    snap.tos = tos;
+    snap.entries = snapCache;
+    return snap;
+}
+
 void
 ReturnAddressStack::restore(const Snapshot &snap)
 {
+    if (snap.tos >= stack.size())
+        panic("RAS restore with top-of-stack %u on a %zu-entry "
+              "stack",
+              snap.tos, stack.size());
     tos = snap.tos;
-    stack[tos] = snap.topValue;
+    if (snap.entries == nullptr)
+        return; // default-constructed snapshot: position repair only
+    if (snap.entries->size() != stack.size())
+        panic("RAS restore with %zu-entry snapshot into %zu-entry "
+              "stack",
+              snap.entries->size(), stack.size());
+    stack = *snap.entries;
+    // The restored contents equal the snapshot's: share its copy for
+    // the snapshots that follow the squash.
+    snapCache = snap.entries;
 }
 
 void
@@ -41,6 +68,34 @@ ReturnAddressStack::reset()
     tos = 0;
     for (auto &v : stack)
         v = invalidAddr;
+    snapCache.reset();
+}
+
+void
+ReturnAddressStack::save(CheckpointWriter &w) const
+{
+    w.u16(tos);
+    w.u32(static_cast<std::uint32_t>(stack.size()));
+    for (Addr a : stack)
+        w.u64(a);
+}
+
+void
+ReturnAddressStack::restore(CheckpointReader &r)
+{
+    std::uint16_t new_tos = r.u16();
+    std::uint32_t n = r.u32();
+    if (n != stack.size())
+        r.fail(csprintf("RAS holds %u entries but this configuration "
+                        "uses %zu (configuration mismatch)",
+                        n, stack.size()));
+    if (new_tos >= n)
+        r.fail(csprintf("RAS top-of-stack %u out of range [0, %u)",
+                        new_tos, n));
+    tos = new_tos;
+    for (auto &a : stack)
+        a = r.u64();
+    snapCache.reset();
 }
 
 } // namespace smt

@@ -1,12 +1,13 @@
 /**
  * @file
- * Return address stack with top-of-stack checkpoint repair.
+ * Return address stack with full-stack checkpoint repair.
  */
 
 #ifndef SMTFETCH_BPRED_RAS_HH
 #define SMTFETCH_BPRED_RAS_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "util/types.hh"
@@ -14,11 +15,21 @@
 namespace smt
 {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /**
  * Circular return-address stack (one instance per thread). Speculative
- * pushes/pops happen at prediction time; squashes restore the standard
- * (tos, top-value) checkpoint, which repairs all single-divergence
- * wrong paths exactly.
+ * pushes/pops happen at prediction time; squashes restore the snapshot
+ * taken when the block was predicted.
+ *
+ * A snapshot holds the complete stack contents, not just the
+ * top-of-stack value: a wrong path that pops below the snapshot's TOS
+ * and then pushes overwrites entries *deeper* than the snapshot
+ * position, which a (tos, top-value) checkpoint cannot repair — later
+ * correct-path returns would pop the wrong path's garbage. The stack
+ * copy is shared (immutable) between the snapshot and every in-flight
+ * instruction carrying it, so checkpoint copies stay cheap.
  */
 class ReturnAddressStack
 {
@@ -26,7 +37,9 @@ class ReturnAddressStack
     struct Snapshot
     {
         std::uint16_t tos = 0;
-        Addr topValue = invalidAddr;
+
+        /** Immutable copy of the full stack at snapshot time. */
+        std::shared_ptr<const std::vector<Addr>> entries;
     };
 
     explicit ReturnAddressStack(unsigned entries = 64);
@@ -40,7 +53,7 @@ class ReturnAddressStack
     /** Value that pop() would return, without popping. */
     Addr top() const { return stack[tos]; }
 
-    Snapshot snapshot() const { return {tos, stack[tos]}; }
+    Snapshot snapshot() const;
     void restore(const Snapshot &snap);
     void reset();
 
@@ -49,9 +62,24 @@ class ReturnAddressStack
         return static_cast<unsigned>(stack.size());
     }
 
+    /** @name Checkpoint serialization (sim/checkpoint.hh). */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r);
+    /// @}
+
   private:
     std::vector<Addr> stack;
     std::uint16_t tos = 0;
+
+    /**
+     * Shared immutable copy handed out by snapshot(), rebuilt lazily
+     * after the next content mutation. pop() moves only the TOS
+     * pointer, so the dominant predict-time pattern (many snapshots,
+     * few pushes) reuses one copy instead of allocating per fetch
+     * block.
+     */
+    mutable std::shared_ptr<const std::vector<Addr>> snapCache;
 };
 
 } // namespace smt

@@ -97,4 +97,46 @@ StreamPredictor::reset()
     level2.reset();
 }
 
+namespace
+{
+
+void
+saveStreamEntry(CheckpointWriter &w, const StreamEntry &e)
+{
+    w.u16(e.lengthInsts);
+    w.u64(e.target);
+    w.u8(static_cast<std::uint8_t>(e.endType));
+    w.u8(e.confidence.raw());
+}
+
+void
+loadStreamEntry(CheckpointReader &r, StreamEntry &e)
+{
+    e.lengthInsts = r.u16();
+    e.target = r.u64();
+    e.endType = checkpointReadOpClass(r);
+    std::uint8_t conf = r.u8();
+    if (conf > e.confidence.max())
+        r.fail(csprintf("stream confidence byte holds %u, max is "
+                        "%u (corrupt payload)",
+                        conf, e.confidence.max()));
+    e.confidence.setRaw(conf);
+}
+
+} // namespace
+
+void
+StreamPredictor::save(CheckpointWriter &w) const
+{
+    level1.save(w, saveStreamEntry);
+    level2.save(w, saveStreamEntry);
+}
+
+void
+StreamPredictor::restore(CheckpointReader &r)
+{
+    level1.restore(r, loadStreamEntry);
+    level2.restore(r, loadStreamEntry);
+}
+
 } // namespace smt

@@ -83,6 +83,12 @@ class StreamPredictor
 
     void reset();
 
+    /** @name Checkpoint serialization (sim/checkpoint.hh). */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r);
+    /// @}
+
   private:
     std::uint64_t l1Index(Addr pc) const { return pc >> 2; }
     std::uint64_t

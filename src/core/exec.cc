@@ -1,5 +1,6 @@
 #include "core/exec.hh"
 
+#include "sim/checkpoint.hh"
 #include "util/logging.hh"
 
 namespace smt
@@ -67,6 +68,59 @@ ExecUnit::reset()
 {
     for (auto &slot : wheel)
         slot.clear();
+}
+
+void
+ExecUnit::save(CheckpointWriter &w) const
+{
+    w.u32(wheelSize);
+    std::uint32_t non_empty = 0;
+    for (const auto &slot : wheel)
+        if (!slot.empty())
+            ++non_empty;
+    w.u32(non_empty);
+    for (std::size_t i = 0; i < wheel.size(); ++i) {
+        if (wheel[i].empty())
+            continue;
+        w.u32(static_cast<std::uint32_t>(i));
+        w.u32(static_cast<std::uint32_t>(wheel[i].size()));
+        for (const auto &[tid, seq] : wheel[i]) {
+            w.i16(tid);
+            w.u64(seq);
+        }
+    }
+}
+
+void
+ExecUnit::restore(CheckpointReader &r)
+{
+    std::uint32_t size = r.u32();
+    if (size != wheelSize)
+        r.fail(csprintf("event wheel holds %u slots but this build "
+                        "uses %zu",
+                        size, wheelSize));
+    reset();
+    std::uint32_t non_empty = r.u32();
+    for (std::uint32_t s = 0; s < non_empty; ++s) {
+        std::uint32_t idx = r.u32();
+        if (idx >= wheelSize)
+            r.fail(csprintf("event-wheel slot %u out of range "
+                            "[0, %zu)",
+                            idx, wheelSize));
+        std::uint32_t n = static_cast<std::uint32_t>(
+            r.checkCount(r.u32(), 10, "completion"));
+        for (std::uint32_t i = 0; i < n; ++i) {
+            ThreadID tid = r.i16();
+            InstSeqNum seq = r.u64();
+            if (tid < 0 ||
+                static_cast<unsigned>(tid) >= params.numThreads)
+                r.fail(csprintf("completion references thread %d, "
+                                "valid range is [0, %u) (corrupt "
+                                "reference)",
+                                (int)tid, params.numThreads));
+            wheel[idx].emplace_back(tid, seq);
+        }
+    }
 }
 
 } // namespace smt

@@ -20,6 +20,9 @@
 namespace smt
 {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /** Latency assignment and completion scheduling. */
 class ExecUnit
 {
@@ -42,6 +45,12 @@ class ExecUnit
                        std::vector<std::pair<ThreadID, InstSeqNum>> &out);
 
     void reset();
+
+    /** @name Checkpoint serialization (sim/checkpoint.hh). */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r);
+    /// @}
 
   private:
     void schedule(Cycle when, ThreadID tid, InstSeqNum seq);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/checkpoint.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 
@@ -272,6 +273,63 @@ void
 FrontEnd::stallThread(ThreadID tid, Cycle until)
 {
     threads[tid].memStallUntil = until;
+}
+
+void
+FrontEnd::save(CheckpointWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(threads.size()));
+    for (const ThreadState &ts : threads) {
+        w.u64(ts.predPc);
+        w.b(ts.correctPath);
+        w.u64(ts.icacheBlockedUntil);
+        w.u64(ts.predictStallUntil);
+        w.u64(ts.memStallUntil);
+        w.b(ts.active);
+        w.u32(ts.ftq.headOffset());
+        w.u32(static_cast<std::uint32_t>(ts.ftq.size()));
+        for (const BlockPrediction &block : ts.ftq.contents())
+            block.save(w);
+    }
+}
+
+void
+FrontEnd::restore(CheckpointReader &r)
+{
+    std::uint32_t n = r.u32();
+    if (n != threads.size())
+        r.fail(csprintf("front-end covers %u threads but this "
+                        "configuration uses %zu",
+                        n, threads.size()));
+    for (ThreadState &ts : threads) {
+        ts.predPc = r.u64();
+        ts.correctPath = r.b();
+        ts.icacheBlockedUntil = r.u64();
+        ts.predictStallUntil = r.u64();
+        ts.memStallUntil = r.u64();
+        ts.active = r.b();
+        std::uint32_t head_offset = r.u32();
+        std::uint32_t blocks = r.u32();
+        if (blocks > ts.ftq.capacity())
+            r.fail(csprintf("FTQ holds %u blocks but this "
+                            "configuration caps it at %u",
+                            blocks, ts.ftq.capacity()));
+        ts.ftq.clear();
+        for (std::uint32_t i = 0; i < blocks; ++i) {
+            BlockPrediction block;
+            block.restore(r, params.engineParams.rasEntries);
+            if (block.lengthInsts == 0)
+                r.fail("FTQ block with zero length (corrupt "
+                       "payload)");
+            ts.ftq.push(block);
+        }
+        if (blocks == 0 ? head_offset != 0
+                        : head_offset >=
+                              ts.ftq.head().lengthInsts)
+            r.fail(csprintf("FTQ head offset %u out of range",
+                            head_offset));
+        ts.ftq.setHeadOffset(head_offset);
+    }
 }
 
 void

@@ -28,6 +28,9 @@
 namespace smt
 {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /**
  * Shared-capacity fetch buffer with per-thread FIFOs. Total occupancy
  * is bounded (32 in Table 3) so a clogged thread squeezes everyone's
@@ -144,9 +147,26 @@ class FrontEnd
     {
         return threads[tid].icacheBlockedUntil > now;
     }
+
+    /** The benchmark image a thread executes (checkpoint codecs). */
+    const BenchmarkImage *threadImage(ThreadID tid) const
+    {
+        return threads[tid].image;
+    }
     /// @}
 
     void reset();
+
+    /**
+     * @name Checkpoint serialization (sim/checkpoint.hh). Covers the
+     * per-thread fetch state (FTQ contents, prediction PC, stall
+     * deadlines); the trace/image bindings are re-established by
+     * setThread before restore.
+     */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r);
+    /// @}
 
   private:
     struct ThreadState

@@ -89,6 +89,25 @@ class FetchTargetQueue
         headConsumed = 0;
     }
 
+    /** @name Checkpoint support (see FrontEnd::save/restore). */
+    /// @{
+    const std::deque<BlockPrediction> &contents() const
+    {
+        return blocks;
+    }
+
+    /** Re-establish the consumed offset of a restored head block. */
+    void
+    setHeadOffset(unsigned consumed)
+    {
+        if (blocks.empty() ? consumed != 0
+                           : consumed >= head().lengthInsts)
+            panic("FTQ restored head offset %u out of range",
+                  consumed);
+        headConsumed = consumed;
+    }
+    /// @}
+
   private:
     std::deque<BlockPrediction> blocks;
     unsigned headConsumed = 0;

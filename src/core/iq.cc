@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/rob.hh"
+#include "sim/checkpoint.hh"
 #include "util/logging.hh"
 
 namespace smt
@@ -130,6 +132,67 @@ IssueQueues::clear()
     intQ.clear();
     ldstQ.clear();
     fpQ.clear();
+}
+
+namespace
+{
+
+void
+saveQueue(CheckpointWriter &w, const std::vector<DynInst *> &q)
+{
+    w.u32(static_cast<std::uint32_t>(q.size()));
+    for (const DynInst *inst : q) {
+        w.i16(inst->tid);
+        w.u64(inst->seq);
+    }
+}
+
+void
+restoreQueue(CheckpointReader &r, std::vector<DynInst *> &q,
+             unsigned cap, Rob &rob, const char *what)
+{
+    std::uint32_t n =
+        static_cast<std::uint32_t>(r.checkCount(r.u32(), 10, what));
+    if (n > cap)
+        r.fail(csprintf("%s queue holds %u entries but this "
+                        "configuration caps it at %u",
+                        what, n, cap));
+    q.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        ThreadID tid = r.i16();
+        InstSeqNum seq = r.u64();
+        if (tid < 0 ||
+            static_cast<unsigned>(tid) >= rob.numThreads())
+            r.fail(csprintf("%s queue references thread %d, valid "
+                            "range is [0, %u) (corrupt reference)",
+                            what, (int)tid, rob.numThreads()));
+        DynInst *inst = rob.find(tid, seq);
+        if (inst == nullptr)
+            r.fail(csprintf("%s queue references instruction "
+                            "(thread %d, seq %llu) that is not in "
+                            "the restored ROB (corrupt reference)",
+                            what, (int)tid,
+                            (unsigned long long)seq));
+        q.push_back(inst);
+    }
+}
+
+} // namespace
+
+void
+IssueQueues::save(CheckpointWriter &w) const
+{
+    saveQueue(w, intQ);
+    saveQueue(w, ldstQ);
+    saveQueue(w, fpQ);
+}
+
+void
+IssueQueues::restore(CheckpointReader &r, Rob &rob)
+{
+    restoreQueue(r, intQ, intCap, rob, "int issue");
+    restoreQueue(r, ldstQ, ldstCap, rob, "ld/st issue");
+    restoreQueue(r, fpQ, fpCap, rob, "fp issue");
 }
 
 } // namespace smt

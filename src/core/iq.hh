@@ -17,6 +17,10 @@
 namespace smt
 {
 
+class CheckpointReader;
+class CheckpointWriter;
+class Rob;
+
 /** Which issue queue an instruction waits in. */
 enum class IqClass : unsigned char { Int, LdSt, Fp };
 
@@ -60,6 +64,17 @@ class IssueQueues
     unsigned threadOccupancy(ThreadID tid) const;
 
     void clear();
+
+    /**
+     * @name Checkpoint serialization (sim/checkpoint.hh). Queue
+     * entries are saved as (thread, sequence) references and
+     * re-resolved against the restored ROB, which owns the
+     * instructions.
+     */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r, Rob &rob);
+    /// @}
 
   private:
     std::vector<DynInst *> &queueFor(IqClass c);

@@ -1,5 +1,6 @@
 #include "core/rename.hh"
 
+#include "sim/checkpoint.hh"
 #include "util/logging.hh"
 
 namespace smt
@@ -133,6 +134,106 @@ RenameUnit::sourcesReady(const DynInst &inst) const
 {
     bool fp = usesFpRegs(inst.op);
     return isReady(inst.physSrc1, fp) && isReady(inst.physSrc2, fp);
+}
+
+namespace
+{
+
+void
+saveRegVector(CheckpointWriter &w, const std::vector<RegIndex> &v)
+{
+    w.u32(static_cast<std::uint32_t>(v.size()));
+    for (RegIndex reg : v)
+        w.i16(reg);
+}
+
+/**
+ * @param phys_count Physical registers in the class: every entry
+ *        must be invalidReg or a valid index (out-of-range values
+ *        would index the ready scoreboards out of bounds later).
+ * @param expected Required element count, or SIZE_MAX for "any".
+ */
+void
+restoreRegVector(CheckpointReader &r, std::vector<RegIndex> &v,
+                 const char *what, unsigned phys_count,
+                 std::size_t expected = std::size_t(-1))
+{
+    std::uint32_t n =
+        static_cast<std::uint32_t>(r.checkCount(r.u32(), 2, what));
+    if (expected != std::size_t(-1) && n != expected)
+        r.fail(csprintf("%s holds %u entries but this configuration "
+                        "uses %zu",
+                        what, n, expected));
+    v.resize(n);
+    for (RegIndex &reg : v) {
+        reg = r.i16();
+        if (reg != invalidReg &&
+            (reg < 0 || static_cast<unsigned>(reg) >= phys_count))
+            r.fail(csprintf("%s references physical register %d, "
+                            "valid range is [0, %u) (corrupt "
+                            "payload)",
+                            what, (int)reg, phys_count));
+    }
+}
+
+void
+saveReadyBits(CheckpointWriter &w, const std::vector<bool> &v)
+{
+    w.u32(static_cast<std::uint32_t>(v.size()));
+    for (bool ready : v)
+        w.b(ready);
+}
+
+void
+restoreReadyBits(CheckpointReader &r, std::vector<bool> &v,
+                 std::size_t expected, const char *what)
+{
+    std::uint32_t n = r.u32();
+    if (n != expected)
+        r.fail(csprintf("%s scoreboard holds %u entries but this "
+                        "configuration uses %zu",
+                        what, n, expected));
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = r.b();
+}
+
+} // namespace
+
+void
+RenameUnit::save(CheckpointWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(intMap.size()));
+    for (const auto &m : intMap)
+        saveRegVector(w, m);
+    for (const auto &m : fpMap)
+        saveRegVector(w, m);
+    saveRegVector(w, freeInt);
+    saveRegVector(w, freeFp);
+    saveReadyBits(w, readyInt);
+    saveReadyBits(w, readyFp);
+}
+
+void
+RenameUnit::restore(CheckpointReader &r)
+{
+    std::uint32_t threads = r.u32();
+    if (threads != intMap.size())
+        r.fail(csprintf("rename maps cover %u threads but this "
+                        "configuration uses %zu",
+                        threads, intMap.size()));
+    for (auto &m : intMap)
+        restoreRegVector(r, m, "int map", physIntCount,
+                         numArchIntRegs);
+    for (auto &m : fpMap)
+        restoreRegVector(r, m, "fp map", physFpCount,
+                         numArchFpRegs);
+    restoreRegVector(r, freeInt, "int free list", physIntCount);
+    restoreRegVector(r, freeFp, "fp free list", physFpCount);
+    if (freeInt.size() > physIntCount || freeFp.size() > physFpCount)
+        r.fail("free list larger than the physical register file "
+               "(corrupt payload)");
+    restoreReadyBits(r, readyInt, physIntCount, "int ready");
+    restoreReadyBits(r, readyFp, physFpCount, "fp ready");
 }
 
 } // namespace smt

@@ -21,6 +21,9 @@
 namespace smt
 {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /** Shared-physical-register rename engine. */
 class RenameUnit
 {
@@ -66,6 +69,12 @@ class RenameUnit
     }
 
     void reset(unsigned num_threads);
+
+    /** @name Checkpoint serialization (sim/checkpoint.hh). */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r);
+    /// @}
 
   private:
     unsigned physIntCount;

@@ -44,6 +44,12 @@ class Rob
 
     bool empty(ThreadID tid) const { return lists[tid].empty(); }
 
+    /** Hardware threads this ROB was sized for. */
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(lists.size());
+    }
+
     std::size_t size(ThreadID tid) const { return lists[tid].size(); }
 
     /** Oldest in-flight instruction of the thread. */
@@ -105,6 +111,22 @@ class Rob
         for (auto &seq : nextSeq)
             seq = 1;
     }
+
+    /** @name Checkpoint support (sequence counters travel with the
+     *  serialized instruction lists; see SmtCore::saveState). */
+    /// @{
+    InstSeqNum nextSeqOf(ThreadID tid) const { return nextSeq[tid]; }
+
+    void
+    setNextSeq(ThreadID tid, InstSeqNum seq)
+    {
+        if (!lists[tid].empty() && seq <= lists[tid].back().seq)
+            panic("ROB next-seq %llu not past youngest in-flight %llu",
+                  (unsigned long long)seq,
+                  (unsigned long long)lists[tid].back().seq);
+        nextSeq[tid] = seq;
+    }
+    /// @}
 
   private:
     std::vector<std::deque<DynInst>> lists;

@@ -1,0 +1,74 @@
+#include "core/sim_stats.hh"
+
+#include "sim/checkpoint.hh"
+
+namespace smt
+{
+
+void
+SimStats::save(CheckpointWriter &w) const
+{
+    w.u64(cycles);
+    w.u64(fetchCycles);
+    w.u64(instsFetched);
+    w.u64(wrongPathFetched);
+    fetchWidthHist.save(w);
+    w.u64(bankConflicts);
+    w.u64(icacheBlockEvents);
+    w.u64(fetchBufferFullCycles);
+    w.u64(blockPredictions);
+    w.u64(instsCommitted);
+    for (std::uint64_t c : threadCommitted)
+        w.u64(c);
+    w.u64(committedCtis);
+    w.u64(committedCond);
+    w.u64(committedTaken);
+    w.u64(committedLoads);
+    w.u64(committedStores);
+    w.u64(instsSquashed);
+    w.u64(mispredictsResolved);
+    w.u64(bogusRedirects);
+    w.u64(mispredCond);
+    w.u64(mispredJump);
+    w.u64(mispredCall);
+    w.u64(mispredReturn);
+    w.u64(mispredIndirect);
+    w.u64(dispatched);
+    w.u64(issued);
+    w.u64(longLoadEvents);
+}
+
+void
+SimStats::restore(CheckpointReader &r)
+{
+    cycles = r.u64();
+    fetchCycles = r.u64();
+    instsFetched = r.u64();
+    wrongPathFetched = r.u64();
+    fetchWidthHist.restore(r);
+    bankConflicts = r.u64();
+    icacheBlockEvents = r.u64();
+    fetchBufferFullCycles = r.u64();
+    blockPredictions = r.u64();
+    instsCommitted = r.u64();
+    for (std::uint64_t &c : threadCommitted)
+        c = r.u64();
+    committedCtis = r.u64();
+    committedCond = r.u64();
+    committedTaken = r.u64();
+    committedLoads = r.u64();
+    committedStores = r.u64();
+    instsSquashed = r.u64();
+    mispredictsResolved = r.u64();
+    bogusRedirects = r.u64();
+    mispredCond = r.u64();
+    mispredJump = r.u64();
+    mispredCall = r.u64();
+    mispredReturn = r.u64();
+    mispredIndirect = r.u64();
+    dispatched = r.u64();
+    issued = r.u64();
+    longLoadEvents = r.u64();
+}
+
+} // namespace smt

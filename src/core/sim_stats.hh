@@ -24,6 +24,9 @@
 namespace smt
 {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /** Counters accumulated by the core during simulation. */
 struct SimStats
 {
@@ -118,6 +121,12 @@ struct SimStats
     {
         *this = SimStats{};
     }
+
+    /** @name Checkpoint serialization (sim/checkpoint.hh). */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r);
+    /// @}
 
     void
     dump(std::ostream &os) const

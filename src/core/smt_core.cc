@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/checkpoint.hh"
+
 #include "core/stages/commit_stage.hh"
 #include "core/stages/decode_stage.hh"
 #include "core/stages/dispatch_stage.hh"
@@ -145,6 +147,327 @@ SmtCore::dumpPipeline(std::ostream &os) const
                << " mispred=" << inst->mispredicted << '\n';
         }
     }
+}
+
+namespace
+{
+
+/**
+ * DynInst codec. The thread id is implied by the per-thread ROB list
+ * being (de)serialized; the StaticInst pointer round-trips as the PC,
+ * re-resolved against the thread's program on restore.
+ */
+void
+saveInst(CheckpointWriter &w, const DynInst &inst)
+{
+    w.u64(inst.seq);
+    w.u64(inst.pc);
+    w.b(inst.si != nullptr);
+    w.u8(static_cast<std::uint8_t>(inst.op));
+    w.b(inst.wrongPath);
+    w.b(inst.oracleTaken);
+    w.u64(inst.oracleNext);
+    w.u64(inst.memAddr);
+    w.b(inst.predTaken);
+    w.u64(inst.predNext);
+    w.b(inst.wasBlockEnd);
+    w.b(inst.bogusBlockEnd);
+    w.b(inst.mispredicted);
+    inst.ckpt.save(w);
+    w.i16(inst.physSrc1);
+    w.i16(inst.physSrc2);
+    w.i16(inst.physDst);
+    w.i16(inst.prevPhysDst);
+    w.i16(inst.archDst);
+    w.b(inst.dstIsFp);
+    w.u8(static_cast<std::uint8_t>(inst.stage));
+    w.b(inst.inIcount);
+    w.u64(inst.dispatchStamp);
+    w.u64(inst.fetchCycle);
+    w.u64(inst.traceIndex);
+}
+
+/** invalidReg or [0, bound): anything else would index the rename
+ *  scoreboards out of bounds once the instruction executes. */
+void
+checkRegIndex(CheckpointReader &r, RegIndex reg, unsigned bound,
+              const char *what)
+{
+    if (reg != invalidReg &&
+        (reg < 0 || static_cast<unsigned>(reg) >= bound))
+        r.fail(csprintf("instruction %s register %d out of range "
+                        "[0, %u) (corrupt payload)",
+                        what, (int)reg, bound));
+}
+
+void
+restoreInst(CheckpointReader &r, DynInst &inst,
+            const StaticProgram &program, const CoreParams &params)
+{
+    inst.seq = r.u64();
+    inst.pc = r.u64();
+    bool has_si = r.b();
+    inst.si = program.lookup(inst.pc);
+    if (has_si != (inst.si != nullptr))
+        r.fail(csprintf("instruction at pc 0x%llx is%s mapped in the "
+                        "rebuilt program but was%s at save time — "
+                        "the checkpoint does not match this workload "
+                        "image",
+                        (unsigned long long)inst.pc,
+                        inst.si != nullptr ? "" : " not",
+                        has_si ? "" : " not"));
+    inst.op = checkpointReadOpClass(r);
+    inst.wrongPath = r.b();
+    inst.oracleTaken = r.b();
+    inst.oracleNext = r.u64();
+    inst.memAddr = r.u64();
+    inst.predTaken = r.b();
+    inst.predNext = r.u64();
+    inst.wasBlockEnd = r.b();
+    inst.bogusBlockEnd = r.b();
+    inst.mispredicted = r.b();
+    inst.ckpt.restore(r, params.engineParams.rasEntries);
+    inst.physSrc1 = r.i16();
+    inst.physSrc2 = r.i16();
+    inst.physDst = r.i16();
+    inst.prevPhysDst = r.i16();
+    inst.archDst = r.i16();
+    inst.dstIsFp = r.b();
+    unsigned src_bound = usesFpRegs(inst.op) ? params.physFpRegs
+                                             : params.physIntRegs;
+    unsigned dst_bound =
+        inst.dstIsFp ? params.physFpRegs : params.physIntRegs;
+    unsigned arch_bound =
+        inst.dstIsFp ? numArchFpRegs : numArchIntRegs;
+    checkRegIndex(r, inst.physSrc1, src_bound, "source 1");
+    checkRegIndex(r, inst.physSrc2, src_bound, "source 2");
+    checkRegIndex(r, inst.physDst, dst_bound, "destination");
+    checkRegIndex(r, inst.prevPhysDst, dst_bound,
+                  "previous destination");
+    checkRegIndex(r, inst.archDst, arch_bound,
+                  "architectural destination");
+    std::uint8_t stage = r.u8();
+    if (stage > static_cast<std::uint8_t>(InstStage::Done))
+        r.fail(csprintf("instruction stage byte holds %u (corrupt "
+                        "payload)",
+                        stage));
+    inst.stage = static_cast<InstStage>(stage);
+    inst.inIcount = r.b();
+    inst.dispatchStamp = r.u64();
+    inst.fetchCycle = r.u64();
+    inst.traceIndex = r.u64();
+}
+
+/** Serialize one per-thread latch queue as sequence numbers. */
+void
+saveLatchQueue(CheckpointWriter &w, const std::deque<DynInst *> &q)
+{
+    w.u32(static_cast<std::uint32_t>(q.size()));
+    for (const DynInst *inst : q)
+        w.u64(inst->seq);
+}
+
+void
+restoreLatchQueue(CheckpointReader &r, std::deque<DynInst *> &q,
+                  Rob &rob, ThreadID tid, const char *what)
+{
+    std::uint32_t n =
+        static_cast<std::uint32_t>(r.checkCount(r.u32(), 8, what));
+    q.clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        InstSeqNum seq = r.u64();
+        DynInst *inst = rob.find(tid, seq);
+        if (inst == nullptr)
+            r.fail(csprintf("%s latch references instruction "
+                            "(thread %d, seq %llu) that is not in "
+                            "the restored ROB (corrupt reference)",
+                            what, (int)tid,
+                            (unsigned long long)seq));
+        q.push_back(inst);
+    }
+}
+
+} // namespace
+
+void
+SmtCore::saveState(CheckpointWriter &w) const
+{
+    const unsigned threads = coreParams.numThreads;
+    const std::uint32_t sections_before = w.componentsWritten();
+
+    w.begin("core.rob");
+    w.u32(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        ThreadID tid = static_cast<ThreadID>(t);
+        w.u64(rob.nextSeqOf(tid));
+        w.u32(static_cast<std::uint32_t>(rob.size(tid)));
+        for (std::size_t i = 0; i < rob.size(tid); ++i)
+            saveInst(w, rob.at(tid, i));
+    }
+    w.end();
+
+    w.begin("core.state");
+    w.u64(state.currentCycle);
+    w.u64(state.stampCounter);
+    w.u32(state.commitRotate);
+    w.u32(state.frontRotate);
+    for (unsigned t = 0; t < maxThreads; ++t)
+        w.u32(state.icounts[t]);
+    for (unsigned t = 0; t < maxThreads; ++t)
+        w.u32(state.robCount[t]);
+    w.u32(state.fetchBuffer.capacity);
+    for (unsigned t = 0; t < threads; ++t) {
+        saveLatchQueue(w, state.fetchBuffer.q[t]);
+        saveLatchQueue(w, state.decodeQ[t]);
+        saveLatchQueue(w, state.renameQ[t]);
+    }
+    w.end();
+
+    w.begin("core.rename");
+    rename.save(w);
+    w.end();
+
+    w.begin("core.iq");
+    iqs.save(w);
+    w.end();
+
+    w.begin("core.exec");
+    exec.save(w);
+    w.end();
+
+    w.begin("core.front");
+    front->save(w);
+    w.end();
+
+    w.begin("core.stats");
+    simStats.save(w);
+    w.end();
+
+    w.begin("engine");
+    fetchEngine->save(w);
+    w.end();
+
+    w.begin("mem");
+    memHierarchy.save(w);
+    w.end();
+
+    if (w.componentsWritten() - sections_before != checkpointSections)
+        panic("SmtCore::saveState wrote %u sections, expected %u "
+              "(update SmtCore::checkpointSections)",
+              w.componentsWritten() - sections_before,
+              checkpointSections);
+}
+
+void
+SmtCore::restoreState(CheckpointReader &r)
+{
+    const unsigned threads = coreParams.numThreads;
+
+    r.begin("core.rob");
+    std::uint32_t saved_threads = r.u32();
+    if (saved_threads != threads)
+        r.fail(csprintf("checkpoint covers %u threads but this "
+                        "configuration uses %u (configuration "
+                        "mismatch)",
+                        saved_threads, threads));
+    rob.reset();
+    for (unsigned t = 0; t < threads; ++t) {
+        ThreadID tid = static_cast<ThreadID>(t);
+        const BenchmarkImage *image = front->threadImage(tid);
+        if (image == nullptr)
+            r.fail(csprintf("thread %u has no bound image — restore "
+                            "requires setThread first",
+                            t));
+        InstSeqNum next_seq = r.u64();
+        // The per-thread list holds every in-flight instruction,
+        // fetched-but-undispatched ones included, so it can exceed
+        // robEntries; the payload-size bound is the integrity check.
+        std::uint32_t n = static_cast<std::uint32_t>(
+            r.checkCount(r.u32(), 64, "ROB instruction"));
+        InstSeqNum prev_seq = 0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            DynInst &inst = rob.create(tid);
+            restoreInst(r, inst, image->program, coreParams);
+            inst.tid = tid;
+            if (inst.seq <= prev_seq)
+                r.fail(csprintf("thread %u ROB sequence numbers not "
+                                "strictly increasing (corrupt "
+                                "payload)",
+                                t));
+            prev_seq = inst.seq;
+        }
+        if (next_seq <= prev_seq)
+            r.fail(csprintf("thread %u next sequence %llu not past "
+                            "the youngest in-flight instruction",
+                            t, (unsigned long long)next_seq));
+        rob.setNextSeq(tid, next_seq);
+    }
+    r.end();
+
+    r.begin("core.state");
+    state.currentCycle = r.u64();
+    state.stampCounter = r.u64();
+    state.commitRotate = r.u32();
+    state.frontRotate = r.u32();
+    for (unsigned t = 0; t < maxThreads; ++t)
+        state.icounts[t] = r.u32();
+    for (unsigned t = 0; t < maxThreads; ++t)
+        state.robCount[t] = r.u32();
+    std::uint32_t buffer_cap = r.u32();
+    if (buffer_cap != state.fetchBuffer.capacity)
+        r.fail(csprintf("fetch buffer capacity %u does not match "
+                        "this configuration's %u",
+                        buffer_cap, state.fetchBuffer.capacity));
+    state.fetchBuffer.clear();
+    for (unsigned t = 0; t < threads; ++t) {
+        ThreadID tid = static_cast<ThreadID>(t);
+        restoreLatchQueue(r, state.fetchBuffer.q[t], rob, tid,
+                          "fetch buffer");
+        state.fetchBuffer.total += static_cast<unsigned>(
+            state.fetchBuffer.q[t].size());
+        restoreLatchQueue(r, state.decodeQ[t], rob, tid, "decode");
+        restoreLatchQueue(r, state.renameQ[t], rob, tid, "rename");
+    }
+    if (state.fetchBuffer.total > state.fetchBuffer.capacity)
+        r.fail(csprintf("fetch buffer holds %u instructions but is "
+                        "capped at %u",
+                        state.fetchBuffer.total,
+                        state.fetchBuffer.capacity));
+    // Per-cycle scratch is produced and consumed within one tick;
+    // a checkpoint sits on a cycle boundary, so it starts empty.
+    state.completionScratch.clear();
+    state.issueScratch.clear();
+    r.end();
+
+    r.begin("core.rename");
+    rename.restore(r);
+    r.end();
+
+    r.begin("core.iq");
+    iqs.restore(r, rob);
+    r.end();
+
+    r.begin("core.exec");
+    exec.restore(r);
+    r.end();
+
+    r.begin("core.front");
+    front->restore(r);
+    r.end();
+
+    r.begin("core.stats");
+    simStats.restore(r);
+    r.end();
+
+    r.begin("engine");
+    fetchEngine->restore(r);
+    r.end();
+
+    r.begin("mem");
+    memHierarchy.restore(r);
+    r.end();
+
+    checkIcountInvariant();
 }
 
 void

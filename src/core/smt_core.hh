@@ -35,6 +35,9 @@
 namespace smt
 {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /** Cycle-level SMT processor model. */
 class SmtCore
 {
@@ -101,6 +104,23 @@ class SmtCore
 
     /** Recompute icounts from structures; panic on mismatch. */
     void checkIcountInvariant() const;
+
+    /**
+     * @name Checkpoint serialization (sim/checkpoint.hh). Writes the
+     * full mid-flight core state — ROB contents, inter-stage latches,
+     * rename maps, issue queues, the completion wheel, front-end fetch
+     * state, measurement counters, predictor tables and the memory
+     * hierarchy — as a fixed sequence of named component sections.
+     * restoreState requires a freshly-constructed core with the same
+     * configuration and threads already bound via setThread.
+     */
+    /// @{
+    void saveState(CheckpointWriter &w) const;
+    void restoreState(CheckpointReader &r);
+
+    /** Number of component sections saveState writes. */
+    static constexpr std::uint32_t checkpointSections = 9;
+    /// @}
 
     /**
      * Observer invoked for every committed instruction (testing /

@@ -31,6 +31,10 @@ enum class OpClass : unsigned char
     JumpIndirect, //!< indirect jump (target from register)
 };
 
+/** Number of OpClass enumerators (serialized-value validation). */
+constexpr unsigned numOpClasses =
+    static_cast<unsigned>(OpClass::JumpIndirect) + 1;
+
 /** Is this op class any control-transfer instruction? */
 constexpr bool
 isControl(OpClass op)

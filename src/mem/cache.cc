@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "sim/checkpoint.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 #include "util/stats_registry.hh"
@@ -181,6 +182,71 @@ Cache::reset()
     lruClock = 0;
     missWindowPos = 0;
     cacheStats = CacheStats{};
+}
+
+void
+Cache::save(CheckpointWriter &w) const
+{
+    w.u32(numSets);
+    w.u32(params_.ways);
+    w.u32(params_.lineBytes);
+    w.u64(lruClock);
+    for (const Line &line : lines) {
+        w.b(line.valid);
+        w.u64(line.tag);
+        w.u64(line.lru);
+        w.u64(line.readyAt);
+    }
+    w.u32(static_cast<std::uint32_t>(missWindow.size()));
+    for (const MissSlot &m : missWindow)
+        w.u64(m.readyAt);
+    w.u64(missWindowPos);
+    w.u64(cacheStats.accesses);
+    w.u64(cacheStats.misses);
+    w.u64(cacheStats.writeAccesses);
+    w.u64(cacheStats.mshrMerges);
+    w.u64(cacheStats.mshrFullStalls);
+    w.u64(cacheStats.evictions);
+}
+
+void
+Cache::restore(CheckpointReader &r)
+{
+    std::uint32_t sets = r.u32();
+    std::uint32_t ways = r.u32();
+    std::uint32_t line_bytes = r.u32();
+    if (sets != numSets || ways != params_.ways ||
+        line_bytes != params_.lineBytes)
+        r.fail(csprintf("%s geometry %ux%ux%uB does not match this "
+                        "configuration's %ux%ux%uB (configuration "
+                        "mismatch)",
+                        params_.name.c_str(), sets, ways, line_bytes,
+                        numSets, params_.ways, params_.lineBytes));
+    lruClock = r.u64();
+    for (Line &line : lines) {
+        line.valid = r.b();
+        line.tag = r.u64();
+        line.lru = r.u64();
+        line.readyAt = r.u64();
+    }
+    std::uint32_t mw = r.u32();
+    if (mw != missWindow.size())
+        r.fail(csprintf("%s miss window holds %u slots but this "
+                        "configuration uses %zu",
+                        params_.name.c_str(), mw, missWindow.size()));
+    for (MissSlot &m : missWindow)
+        m.readyAt = r.u64();
+    missWindowPos = r.u64();
+    if (missWindowPos >= missWindow.size())
+        r.fail(csprintf("%s miss-window position %llu out of range",
+                        params_.name.c_str(),
+                        (unsigned long long)missWindowPos));
+    cacheStats.accesses = r.u64();
+    cacheStats.misses = r.u64();
+    cacheStats.writeAccesses = r.u64();
+    cacheStats.mshrMerges = r.u64();
+    cacheStats.mshrFullStalls = r.u64();
+    cacheStats.evictions = r.u64();
 }
 
 } // namespace smt

@@ -21,6 +21,8 @@
 namespace smt
 {
 
+class CheckpointReader;
+class CheckpointWriter;
 class StatsRegistry;
 
 /** Cache geometry and timing. */
@@ -92,6 +94,18 @@ class Cache
 
     void reset();
     void resetStats() { cacheStats = CacheStats{}; }
+
+    /**
+     * @name Checkpoint serialization (sim/checkpoint.hh). The full
+     * replacement state travels with the tags: the LRU clock and
+     * every line's lru stamp are part of the payload, so a restored
+     * cache makes the identical hit/miss/eviction decisions the
+     * original would have made.
+     */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r);
+    /// @}
 
   private:
     struct Line

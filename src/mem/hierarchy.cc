@@ -1,5 +1,6 @@
 #include "mem/hierarchy.hh"
 
+#include "sim/checkpoint.hh"
 #include "util/logging.hh"
 #include "util/stats_registry.hh"
 
@@ -91,6 +92,26 @@ MemoryHierarchy::dumpStats(std::ostream &os) const
        << " misses=" << iTlb->stats().misses << '\n';
     os << "DTLB: accesses=" << dTlb->stats().accesses
        << " misses=" << dTlb->stats().misses << '\n';
+}
+
+void
+MemoryHierarchy::save(CheckpointWriter &w) const
+{
+    l2Cache->save(w);
+    l1iCache->save(w);
+    l1dCache->save(w);
+    iTlb->save(w);
+    dTlb->save(w);
+}
+
+void
+MemoryHierarchy::restore(CheckpointReader &r)
+{
+    l2Cache->restore(r);
+    l1iCache->restore(r);
+    l1dCache->restore(r);
+    iTlb->restore(r);
+    dTlb->restore(r);
 }
 
 } // namespace smt

@@ -16,6 +16,8 @@
 namespace smt
 {
 
+class CheckpointReader;
+class CheckpointWriter;
 class StatsRegistry;
 
 /** Table 3 memory-system parameters. */
@@ -69,6 +71,12 @@ class MemoryHierarchy
 
     /** Register all cache/TLB counters under "mem.*". */
     void registerStats(StatsRegistry &reg) const;
+
+    /** @name Checkpoint serialization (sim/checkpoint.hh). */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r);
+    /// @}
 
   private:
     MemoryParams memParams;

@@ -1,5 +1,6 @@
 #include "mem/tlb.hh"
 
+#include "sim/checkpoint.hh"
 #include "util/logging.hh"
 #include "util/stats_registry.hh"
 
@@ -70,6 +71,40 @@ Tlb::reset()
         e = Entry{};
     lruClock = 0;
     tlbStats = TlbStats{};
+}
+
+void
+Tlb::save(CheckpointWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(entries.size()));
+    w.u64(lruClock);
+    for (const Entry &e : entries) {
+        w.b(e.valid);
+        w.i16(e.tid);
+        w.u64(e.vpn);
+        w.u64(e.lru);
+    }
+    w.u64(tlbStats.accesses);
+    w.u64(tlbStats.misses);
+}
+
+void
+Tlb::restore(CheckpointReader &r)
+{
+    std::uint32_t n = r.u32();
+    if (n != entries.size())
+        r.fail(csprintf("%s holds %u entries but this configuration "
+                        "uses %zu (configuration mismatch)",
+                        name.c_str(), n, entries.size()));
+    lruClock = r.u64();
+    for (Entry &e : entries) {
+        e.valid = r.b();
+        e.tid = r.i16();
+        e.vpn = r.u64();
+        e.lru = r.u64();
+    }
+    tlbStats.accesses = r.u64();
+    tlbStats.misses = r.u64();
 }
 
 } // namespace smt

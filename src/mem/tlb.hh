@@ -17,6 +17,8 @@
 namespace smt
 {
 
+class CheckpointReader;
+class CheckpointWriter;
 class StatsRegistry;
 
 /** TLB statistics. */
@@ -57,6 +59,12 @@ class Tlb
 
     void reset();
     void resetStats() { tlbStats = TlbStats{}; }
+
+    /** @name Checkpoint serialization (sim/checkpoint.hh). */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r);
+    /// @}
 
   private:
     struct Entry

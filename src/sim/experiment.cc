@@ -1,18 +1,111 @@
 #include "sim/experiment.hh"
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <exception>
+#include <fstream>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
+#include <unordered_map>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "sim/checkpoint.hh"
 #include "sim/simulator.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
+#include "util/random.hh"
 #include "util/table.hh"
 
 namespace smt
 {
+
+namespace
+{
+
+using SteadyClock = std::chrono::steady_clock;
+
+double
+secondsSince(SteadyClock::time_point start)
+{
+    return std::chrono::duration<double>(SteadyClock::now() - start)
+        .count();
+}
+
+/**
+ * Fail fast when two grid points would capture to the same trace
+ * file: the second run would silently overwrite the first recording.
+ */
+void
+checkRecordPathsUnique(
+    const std::vector<ExperimentRunner::GridPoint> &points)
+{
+    std::unordered_map<std::string, std::size_t> seen;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const std::string &path = points[i].recordPath;
+        if (path.empty())
+            continue;
+        auto [it, inserted] = seen.emplace(path, i);
+        if (!inserted)
+            throw std::invalid_argument(csprintf(
+                "grid points %zu and %zu both record to \"%s\" — "
+                "the second run would silently overwrite the first "
+                "capture; record each point to a distinct file",
+                it->second, i, path.c_str()));
+    }
+}
+
+/** Run fn(0..n-1) across host threads, propagating one failure. */
+template <typename Fn>
+void
+parallelFor(std::size_t n, Fn &&fn)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    unsigned workers =
+        std::min<unsigned>(hw == 0 ? 4 : hw, static_cast<unsigned>(n));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::vector<std::thread> pool;
+    std::atomic<std::size_t> next{0};
+    // First failure wins; a throw escaping a pool thread would
+    // std::terminate with no message (trace replays and checkpoint
+    // restores can fail with actionable errors).
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&]() {
+            while (true) {
+                std::size_t i = next.fetch_add(1);
+                if (i >= n)
+                    return;
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!error)
+                        error = std::current_exception();
+                    return;
+                }
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace
 
 std::string
 ExperimentResult::policyDotString() const
@@ -107,8 +200,12 @@ ExperimentRunner::run(const std::string &workload_name,
                          fetch_width, policy});
 }
 
-ExperimentResult
-ExperimentRunner::run(const GridPoint &point) const
+namespace
+{
+
+SimConfig
+configForPoint(const ExperimentRunner::GridPoint &point, Cycle warmup,
+               Cycle measure, std::uint64_t seed)
 {
     SimConfig cfg =
         table3Config(point.workload, point.engine, point.fetchThreads,
@@ -119,10 +216,13 @@ ExperimentRunner::run(const GridPoint &point) const
     cfg.seed = seed;
     cfg.recordPath = point.recordPath;
     cfg.recordPadCycles = point.recordPadCycles;
+    return cfg;
+}
 
-    Simulator sim(cfg);
-    sim.run();
-
+ExperimentResult
+resultFrom(const ExperimentRunner::GridPoint &point, Cycle warmup,
+           Cycle measure, const Simulator &sim)
+{
     ExperimentResult r;
     r.workload = point.workload;
     r.engine = point.engine;
@@ -141,48 +241,222 @@ ExperimentRunner::run(const GridPoint &point) const
     return r;
 }
 
+/** Snapshot-cache file name: hash of the warmup configuration key. */
+std::string
+checkpointCacheName(const std::string &key)
+{
+    return csprintf("smtckpt_%016llx.ckpt",
+                    (unsigned long long)Rng::hashString(key));
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return std::ifstream(path, std::ios::binary).good();
+}
+
+} // namespace
+
+ExperimentResult
+ExperimentRunner::run(const GridPoint &point) const
+{
+    SimConfig cfg = configForPoint(point, warmup, measure, seed);
+    Simulator sim(cfg);
+    if (!point.restoreCheckpointPath.empty()) {
+        sim.restoreCheckpoint(point.restoreCheckpointPath);
+    } else {
+        sim.runWarmup();
+        if (!point.saveCheckpointPath.empty())
+            sim.saveCheckpoint(point.saveCheckpointPath);
+    }
+    sim.runMeasure();
+    return resultFrom(point, warmup, measure, sim);
+}
+
 std::vector<ExperimentResult>
 ExperimentRunner::runAll(const std::vector<GridPoint> &points) const
 {
+    return runAll(points, WarmupReuse{});
+}
+
+std::vector<ExperimentResult>
+ExperimentRunner::runAll(const std::vector<GridPoint> &points,
+                         const WarmupReuse &reuse,
+                         SweepTiming *timing) const
+{
+    checkRecordPathsUnique(points);
+    auto sweep_start = SteadyClock::now();
+
+    SweepTiming local;
+    local.gridPoints = points.size();
     std::vector<ExperimentResult> results(points.size());
 
-    unsigned hw = std::thread::hardware_concurrency();
-    unsigned workers = std::min<unsigned>(
-        hw == 0 ? 4 : hw, static_cast<unsigned>(points.size()));
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < points.size(); ++i)
+    if (!reuse.enabled) {
+        local.directRuns = points.size();
+        parallelFor(points.size(), [&](std::size_t i) {
             results[i] = run(points[i]);
+        });
+        local.sweepSeconds = secondsSince(sweep_start);
+        if (timing != nullptr)
+            *timing = local;
         return results;
     }
 
-    std::vector<std::thread> pool;
-    std::atomic<std::size_t> next{0};
-    // First failure wins; a throw escaping a pool thread would
-    // std::terminate with no message (trace replays can fail with
-    // actionable TraceFileErrors).
-    std::exception_ptr error;
-    std::mutex error_mutex;
-    for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([&]() {
-            while (true) {
-                std::size_t i = next.fetch_add(1);
-                if (i >= points.size())
-                    return;
-                try {
-                    results[i] = run(points[i]);
-                } catch (...) {
-                    std::lock_guard<std::mutex> lock(error_mutex);
-                    if (!error)
-                        error = std::current_exception();
-                    return;
-                }
-            }
-        });
+    // Group grid points whose warmup execution is provably identical
+    // (equal warmup configuration keys). Points with record/checkpoint
+    // side effects keep the one-simulator-per-point path: a restored
+    // recording run would capture a truncated trace.
+    struct Group
+    {
+        std::string key;
+        std::vector<std::size_t> indices;
+    };
+    std::vector<Group> groups;
+    std::unordered_map<std::string, std::size_t> keyToGroup;
+    std::vector<std::size_t> direct;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const GridPoint &p = points[i];
+        if (!p.recordPath.empty() || !p.saveCheckpointPath.empty() ||
+            !p.restoreCheckpointPath.empty()) {
+            direct.push_back(i);
+            continue;
+        }
+        std::string key =
+            warmupConfigKey(configForPoint(p, warmup, measure, seed));
+        auto [it, inserted] =
+            keyToGroup.emplace(key, groups.size());
+        if (inserted)
+            groups.push_back(Group{std::move(key), {}});
+        groups[it->second].indices.push_back(i);
     }
-    for (auto &t : pool)
-        t.join();
-    if (error)
-        std::rethrow_exception(error);
+    local.warmupGroups = groups.size();
+    local.directRuns = direct.size();
+
+    std::mutex timing_mutex;
+    auto account = [&](std::size_t warmups, std::size_t restores,
+                       double warmup_sec) {
+        std::lock_guard<std::mutex> lock(timing_mutex);
+        local.warmupRuns += warmups;
+        local.restoredRuns += restores;
+        local.warmupSeconds += warmup_sec;
+    };
+
+    // One work unit per group plus one per direct point; units run
+    // across host threads, points inside a group run sequentially
+    // (they share the group's snapshot).
+    std::size_t units = groups.size() + direct.size();
+    parallelFor(units, [&](std::size_t u) {
+        if (u >= groups.size()) {
+            std::size_t i = direct[u - groups.size()];
+            results[i] = run(points[i]);
+            return;
+        }
+        const Group &group = groups[u];
+
+        auto measurePoint = [&](std::size_t i, Simulator &sim) {
+            sim.runMeasure();
+            results[i] = resultFrom(points[i], warmup, measure, sim);
+        };
+
+        std::string cache_file;
+        if (!reuse.checkpointDir.empty())
+            cache_file = reuse.checkpointDir + "/" +
+                         checkpointCacheName(group.key);
+
+        // Cross-sweep fast path: a persisted snapshot with the same
+        // configuration hash serves every point without any warmup.
+        if (!cache_file.empty() && fileExists(cache_file)) {
+            try {
+                std::size_t restored = 0;
+                for (std::size_t i : group.indices) {
+                    Simulator sim(configForPoint(points[i], warmup,
+                                                 measure, seed));
+                    sim.restoreCheckpoint(cache_file);
+                    measurePoint(i, sim);
+                    ++restored;
+                }
+                account(0, restored, 0.0);
+                return;
+            } catch (const CheckpointError &e) {
+                // Stale or corrupt cache entry (e.g. a config-hash
+                // collision): warn and rebuild it below.
+                warn("ignoring unusable warmup checkpoint: %s",
+                     e.what());
+            }
+        }
+
+        // Run the warmup once; the first point continues on the warm
+        // simulator (it literally is the uninterrupted run), the rest
+        // restore the snapshot.
+        std::size_t first = group.indices.front();
+        Simulator sim(
+            configForPoint(points[first], warmup, measure, seed));
+        auto warmup_start = SteadyClock::now();
+        sim.runWarmup();
+        double warmup_sec = secondsSince(warmup_start);
+
+        std::string snapshot;
+        bool cache_written = false;
+        if (!cache_file.empty()) {
+            // Write-then-rename so a concurrent sweep sharing the
+            // cache directory never observes a half-written
+            // snapshot (rename is atomic on POSIX filesystems). The
+            // pid disambiguates concurrent processes, the simulator
+            // address concurrent workers within one.
+            unsigned long long pid =
+#ifdef _WIN32
+                0;
+#else
+                static_cast<unsigned long long>(::getpid());
+#endif
+            std::string tmp = cache_file +
+                              csprintf(".tmp%llx.%llx", pid,
+                                       (unsigned long long)
+                                           reinterpret_cast<
+                                               std::uintptr_t>(&sim));
+            try {
+                sim.saveCheckpoint(tmp);
+                if (std::rename(tmp.c_str(),
+                                cache_file.c_str()) == 0) {
+                    cache_written = true;
+                } else {
+                    std::remove(tmp.c_str());
+                    warn("cannot move warmup checkpoint into "
+                         "place: %s",
+                         cache_file.c_str());
+                }
+            } catch (const CheckpointError &e) {
+                std::remove(tmp.c_str());
+                warn("cannot persist warmup checkpoint: %s",
+                     e.what());
+            }
+        }
+        // An unusable cache must not abort the sweep: the warm
+        // simulator is in hand, so fall back to the in-memory
+        // snapshot for this group's remaining points.
+        if (!cache_written && group.indices.size() > 1)
+            snapshot = sim.saveCheckpointToString();
+
+        measurePoint(first, sim);
+
+        std::size_t restored = 0;
+        for (std::size_t k = 1; k < group.indices.size(); ++k) {
+            std::size_t i = group.indices[k];
+            Simulator rest(
+                configForPoint(points[i], warmup, measure, seed));
+            if (cache_written)
+                rest.restoreCheckpoint(cache_file);
+            else
+                rest.restoreCheckpointFromString(snapshot);
+            measurePoint(i, rest);
+            ++restored;
+        }
+        account(1, restored, warmup_sec);
+    });
+
+    local.sweepSeconds = secondsSince(sweep_start);
+    if (timing != nullptr)
+        *timing = local;
     return results;
 }
 
@@ -244,12 +518,48 @@ void
 ExperimentRunner::writeJson(
     std::ostream &os, const std::string &bench,
     const std::vector<ExperimentResult> &results,
-    const std::vector<std::pair<std::string, double>> &metrics)
+    const std::vector<std::pair<std::string, double>> &metrics,
+    const SweepTiming *timing)
 {
     JsonWriter jw(os, /*indent_step=*/2);
     jw.beginObject();
     jw.field("schema", "smtfetch-bench-v1");
     jw.field("bench", bench);
+    if (timing != nullptr) {
+        // Measured end-to-end accounting of the warmup-sharing fast
+        // path. The baseline estimate prices every restored point at
+        // this sweep's mean measured warmup cost; when every warmup
+        // came from a persisted cache the estimate is conservative
+        // (no warmup was measured, so the speedup reports 1).
+        double avg_warmup =
+            timing->warmupRuns > 0
+                ? timing->warmupSeconds /
+                      static_cast<double>(timing->warmupRuns)
+                : 0.0;
+        double baseline =
+            timing->sweepSeconds +
+            avg_warmup * static_cast<double>(timing->restoredRuns);
+        jw.key("warmupReuse");
+        jw.beginObject();
+        jw.field("gridPoints",
+                 static_cast<std::uint64_t>(timing->gridPoints));
+        jw.field("warmupGroups",
+                 static_cast<std::uint64_t>(timing->warmupGroups));
+        jw.field("warmupRuns",
+                 static_cast<std::uint64_t>(timing->warmupRuns));
+        jw.field("restoredRuns",
+                 static_cast<std::uint64_t>(timing->restoredRuns));
+        jw.field("directRuns",
+                 static_cast<std::uint64_t>(timing->directRuns));
+        jw.field("warmupSeconds", timing->warmupSeconds);
+        jw.field("sweepSeconds", timing->sweepSeconds);
+        jw.field("estimatedBaselineSeconds", baseline);
+        jw.field("estimatedSpeedup",
+                 timing->sweepSeconds > 0.0
+                     ? baseline / timing->sweepSeconds
+                     : 1.0);
+        jw.endObject();
+    }
     if (!metrics.empty()) {
         jw.key("metrics");
         jw.beginObject();

@@ -111,6 +111,13 @@ class ExperimentRunner
 
         /** Extra capture cycles after measurement (--record-pad). */
         Cycle recordPadCycles = 0;
+
+        /** Save a post-warmup checkpoint here (--save-checkpoint). */
+        std::string saveCheckpointPath;
+
+        /** Skip warmup by restoring this checkpoint
+         *  (--restore-checkpoint). */
+        std::string restoreCheckpointPath;
     };
 
     /** Run one grid point, applying its parameter overrides. */
@@ -119,6 +126,49 @@ class ExperimentRunner
     /** Run a whole grid, parallelized across host threads. */
     std::vector<ExperimentResult>
     runAll(const std::vector<GridPoint> &points) const;
+
+    /**
+     * Warmup-sharing policy for runAll: when enabled, grid points are
+     * grouped by their warmup configuration key (workload + seed +
+     * warmup window + full core configuration); each group runs its
+     * warmup once, snapshots the simulator, and restores the snapshot
+     * for every other point in the group. With a checkpointDir the
+     * snapshots additionally persist on disk keyed by configuration
+     * hash, so later sweeps (or re-runs) sharing a configuration skip
+     * the warmup entirely. Results are bit-identical to the plain
+     * path in either mode.
+     */
+    struct WarmupReuse
+    {
+        bool enabled = false;
+
+        /** On-disk snapshot cache; empty keeps snapshots in memory
+         *  (shared within this runAll call only). */
+        std::string checkpointDir;
+    };
+
+    /** End-to-end accounting for a runAll sweep (bench JSON). */
+    struct SweepTiming
+    {
+        std::size_t gridPoints = 0;
+        std::size_t warmupGroups = 0;  //!< distinct warmup keys
+        std::size_t warmupRuns = 0;    //!< warmups actually executed
+        std::size_t restoredRuns = 0;  //!< points served by restore
+        std::size_t directRuns = 0;    //!< points outside the reuse
+                                       //!< path (recording, explicit
+                                       //!< checkpoint flags)
+        double warmupSeconds = 0;      //!< wall clock inside warmups
+        double sweepSeconds = 0;       //!< wall clock of the sweep
+    };
+
+    /**
+     * Run a grid with optional warmup sharing; fills `timing` (when
+     * non-null) with the measured wall-clock accounting.
+     */
+    std::vector<ExperimentResult>
+    runAll(const std::vector<GridPoint> &points,
+           const WarmupReuse &reuse,
+           SweepTiming *timing = nullptr) const;
 
     /**
      * Render a figure: one row per (workload, policy) group, one
@@ -138,7 +188,8 @@ class ExperimentRunner
     writeJson(std::ostream &os, const std::string &bench,
               const std::vector<ExperimentResult> &results,
               const std::vector<std::pair<std::string, double>>
-                  &metrics = {});
+                  &metrics = {},
+              const SweepTiming *timing = nullptr);
 
     Cycle warmupCycles() const { return warmup; }
     Cycle measureCycles() const { return measure; }

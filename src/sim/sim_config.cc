@@ -71,4 +71,92 @@ describeTable3(const CoreParams &p)
     return s;
 }
 
+namespace
+{
+
+void
+appendCacheKey(std::string &key, const CacheParams &c)
+{
+    key += csprintf("{%u,%u,%u,%u,%llu,%u}", c.sizeBytes, c.ways,
+                    c.lineBytes, c.banks,
+                    (unsigned long long)c.hitLatency, c.mshrs);
+}
+
+/**
+ * Length-prefixed string append: user-controlled strings (benchmark
+ * names, trace paths) must compose injectively — plain separator
+ * joining would let "a,b" as one path collide with "a" and "b" as
+ * two.
+ */
+void
+appendStringKey(std::string &key, const std::string &s)
+{
+    key += csprintf("%zu:", s.size()) + s;
+}
+
+} // namespace
+
+std::string
+warmupConfigKey(const SimConfig &config)
+{
+    const CoreParams &c = config.core;
+    const EngineParams &e = c.engineParams;
+    const MemoryParams &m = c.memory;
+
+    std::string key = "smtfetch-warmup-v1";
+    key += csprintf("|seed=%llu|warmup=%llu",
+                    (unsigned long long)config.seed,
+                    (unsigned long long)config.warmupCycles);
+
+    key += "|workload=";
+    appendStringKey(key, config.workload.name);
+    key += csprintf("|benchmarks=%zu:",
+                    config.workload.benchmarks.size());
+    for (const auto &b : config.workload.benchmarks)
+        appendStringKey(key, b);
+    key += csprintf("|traces=%zu:", config.workload.traces.size());
+    for (const auto &t : config.workload.traces)
+        appendStringKey(key, t);
+
+    key += csprintf("|core=%u,%u,%u,%u,%u", c.numThreads,
+                    static_cast<unsigned>(c.policy), c.fetchThreads,
+                    c.fetchWidth, static_cast<unsigned>(c.engine));
+    key += csprintf("|front=%u,%u,%u,%u", c.ftqEntries,
+                    c.fetchBufferSize, c.decodeWidth, c.commitWidth);
+    key += csprintf("|back=%u,%u,%u,%u,%u,%u,%u,%u,%u",
+                    c.intIqEntries, c.ldstIqEntries, c.fpIqEntries,
+                    c.robEntries, c.physIntRegs, c.physFpRegs,
+                    c.intFUs, c.ldstFUs, c.fpFUs);
+    key += csprintf("|lat=%llu,%llu,%llu,%llu",
+                    (unsigned long long)c.intAluLatency,
+                    (unsigned long long)c.intMultLatency,
+                    (unsigned long long)c.fpLatency,
+                    (unsigned long long)c.agenLatency);
+    key += csprintf("|llp=%u,%llu",
+                    static_cast<unsigned>(c.longLoadPolicy),
+                    (unsigned long long)c.longLoadThreshold);
+
+    key += csprintf("|engine=%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,"
+                    "%u,%u,%u,%u,%u,%u",
+                    e.gshareEntries, e.gshareHistoryBits,
+                    e.gskewEntriesPerBank, e.gskewHistoryBits,
+                    e.btbEntries, e.btbWays, e.ftbEntries, e.ftbWays,
+                    e.ftbMaxBlock, e.streamL1Entries, e.streamL1Ways,
+                    e.streamL2Entries, e.streamL2Ways,
+                    e.streamMaxLength, e.dolcDepth, e.dolcOlderBits,
+                    e.dolcLastBits, e.dolcCurrentBits, e.rasEntries);
+    key += csprintf("|miss=%u,%u", e.missBlockInsts, e.btbScanCap);
+
+    key += "|mem=";
+    appendCacheKey(key, m.l1i);
+    appendCacheKey(key, m.l1d);
+    appendCacheKey(key, m.l2);
+    key += csprintf(",%llu,%u,%u,%u,%llu,%llu",
+                    (unsigned long long)m.memoryLatency,
+                    m.itlbEntries, m.dtlbEntries, m.pageBytes,
+                    (unsigned long long)m.tlbMissPenalty,
+                    (unsigned long long)m.l1dLoadToUse);
+    return key;
+}
+
 } // namespace smt

@@ -62,6 +62,21 @@ SimConfig table3Config(const std::string &workload_name,
 /** Render the Table 3 parameter block (bench harness headers). */
 std::string describeTable3(const CoreParams &params);
 
+/**
+ * Canonical descriptor of everything that shapes a run's warmup
+ * execution: workload (benchmarks, trace paths), seed, warmup window
+ * and the full core/engine/memory parameter set. Two configurations
+ * with equal keys execute bit-identical warmups, so they can share a
+ * warmup checkpoint; measurement-only settings (measureCycles, record
+ * paths, output options) are deliberately excluded. Also embedded in
+ * every checkpoint file and verified on restore.
+ *
+ * Keep in sync with CoreParams / EngineParams / MemoryParams: a field
+ * that changes execution but is missing here would let two different
+ * configurations share a warmup snapshot silently.
+ */
+std::string warmupConfigKey(const SimConfig &config);
+
 } // namespace smt
 
 #endif // SMTFETCH_SIM_SIM_CONFIG_HH

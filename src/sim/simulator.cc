@@ -1,5 +1,9 @@
 #include "sim/simulator.hh"
 
+#include <fstream>
+#include <sstream>
+
+#include "sim/checkpoint.hh"
 #include "util/logging.hh"
 
 namespace smt
@@ -68,8 +72,20 @@ Simulator::recordPathFor(const std::string &base, ThreadID tid,
 void
 Simulator::run()
 {
+    runWarmup();
+    runMeasure();
+}
+
+void
+Simulator::runWarmup()
+{
     core_->run(cfg.warmupCycles);
     core_->resetStats();
+}
+
+void
+Simulator::runMeasure()
+{
     core_->run(cfg.measureCycles);
     measuredJson = core_->registry().jsonString();
 
@@ -84,6 +100,84 @@ Simulator::run()
         core_->run(cfg.recordPadCycles);
         core_->stats() = measured;
     }
+}
+
+void
+Simulator::saveTo(std::ostream &os, const std::string &context) const
+{
+    CheckpointWriter w(os, context, warmupConfigKey(cfg));
+    core_->saveState(w);
+    for (unsigned t = 0; t < images.numThreads(); ++t) {
+        w.begin(csprintf("trace.t%u", t));
+        traces[t]->save(w);
+        w.end();
+    }
+    w.finish();
+}
+
+void
+Simulator::restoreFrom(CheckpointReader &r)
+{
+    if (!cfg.recordPath.empty())
+        throw CheckpointError(
+            "refusing to restore a checkpoint into a recording run: "
+            "the captured trace would silently miss every record "
+            "consumed before the snapshot — record with a full "
+            "(non-restored) run instead");
+    if (core_->now() != 0)
+        throw CheckpointError(
+            "checkpoint restore requires a freshly-constructed "
+            "simulator (this one has already run)");
+    std::string expected = warmupConfigKey(cfg);
+    if (r.configKey() != expected)
+        r.fail(csprintf(
+            "was saved under a different configuration.\n  saved:  "
+            "%s\n  target: %s\nRe-run the warmup for this "
+            "configuration (or point --restore-checkpoint at the "
+            "matching checkpoint)",
+            r.configKey().c_str(), expected.c_str()));
+    core_->restoreState(r);
+    for (unsigned t = 0; t < images.numThreads(); ++t) {
+        r.begin(csprintf("trace.t%u", t));
+        traces[t]->restore(r);
+        r.end();
+    }
+    r.finish();
+}
+
+void
+Simulator::saveCheckpoint(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        throw CheckpointError(csprintf(
+            "%s: cannot create checkpoint file (missing directory "
+            "or no write permission?)",
+            path.c_str()));
+    saveTo(os, path);
+}
+
+void
+Simulator::restoreCheckpoint(const std::string &path)
+{
+    CheckpointFileReader file(path);
+    restoreFrom(file.reader());
+}
+
+std::string
+Simulator::saveCheckpointToString() const
+{
+    std::ostringstream os(std::ios::binary);
+    saveTo(os, "<memory>");
+    return std::move(os).str();
+}
+
+void
+Simulator::restoreCheckpointFromString(const std::string &data)
+{
+    std::istringstream is(data, std::ios::binary);
+    CheckpointReader r(is, "<memory>");
+    restoreFrom(r);
 }
 
 void

@@ -7,6 +7,7 @@
 #ifndef SMTFETCH_SIM_SIMULATOR_HH
 #define SMTFETCH_SIM_SIMULATOR_HH
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -19,6 +20,8 @@
 namespace smt
 {
 
+class CheckpointReader;
+
 /** One self-contained simulation instance. */
 class Simulator
 {
@@ -27,6 +30,35 @@ class Simulator
 
     /** Warmup (stats cleared afterwards) then measurement. */
     void run();
+
+    /**
+     * @name Split run phases. runWarmup simulates the warmup window
+     * and clears statistics; runMeasure simulates the measurement
+     * window. run() is exactly runWarmup() followed by runMeasure(),
+     * and a checkpoint taken between the two captures the state an
+     * uninterrupted run has at that boundary.
+     */
+    /// @{
+    void runWarmup();
+    void runMeasure();
+    /// @}
+
+    /**
+     * @name Checkpoint save/restore. A checkpoint holds the complete
+     * simulator state (core, predictors, caches, trace positions)
+     * plus the warmup configuration key; restore verifies the key,
+     * requires a freshly-constructed simulator, and refuses recording
+     * runs (the trace file would silently miss its prefix). All
+     * failures are CheckpointErrors naming the file and the fix.
+     */
+    /// @{
+    void saveCheckpoint(const std::string &path) const;
+    void restoreCheckpoint(const std::string &path);
+
+    /** In-memory variants (warmup sharing within one process). */
+    std::string saveCheckpointToString() const;
+    void restoreCheckpointFromString(const std::string &data);
+    /// @}
 
     /** Run additional cycles beyond what run() executed. */
     void runExtra(Cycle cycles);
@@ -63,6 +95,10 @@ class Simulator
     }
 
   private:
+    /** Shared body of the save/restore entry points. */
+    void saveTo(std::ostream &os, const std::string &context) const;
+    void restoreFrom(CheckpointReader &r);
+
     SimConfig cfg;
     std::string measuredJson;
     WorkloadImages images;

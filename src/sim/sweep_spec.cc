@@ -496,6 +496,20 @@ SweepSpec::fromJson(const JsonValue &doc, const std::string &context)
             spec.seed = uintValue(value, context, "seed");
         } else if (key == "output") {
             spec.output = stringValue(value, context, "\"output\"");
+        } else if (key == "checkpointAfterWarmup") {
+            if (!value.isBool())
+                specFail(context,
+                         csprintf("checkpointAfterWarmup must be a "
+                                  "boolean, found %s",
+                                  value.kindName()));
+            spec.checkpointAfterWarmup = value.asBool();
+        } else if (key == "checkpointDir") {
+            spec.checkpointDir =
+                stringValue(value, context, "\"checkpointDir\"");
+            if (spec.checkpointDir.empty())
+                specFail(context,
+                         "checkpointDir must not be empty (omit the "
+                         "key to keep snapshots in memory)");
         } else if (key == "instructions") {
             spec.instructions =
                 uintValue(value, context, "instructions");
@@ -510,6 +524,7 @@ SweepSpec::fromJson(const JsonValue &doc, const std::string &context)
                      csprintf("unknown spec key \"%s\" (known: "
                               "name, type, warmupCycles, "
                               "measureCycles, seed, output, "
+                              "checkpointAfterWarmup, checkpointDir, "
                               "instructions, sweeps, workloads, "
                               "engines, policies, selection, "
                               "overrides)",
@@ -576,12 +591,16 @@ SweepSpec::fromFile(const std::string &path)
 }
 
 std::vector<ExperimentResult>
-runSpec(const SweepSpec &spec)
+runSpec(const SweepSpec &spec, ExperimentRunner::SweepTiming *timing)
 {
     if (spec.type != SpecType::Grid)
         throw SpecError(csprintf("spec \"%s\" is not a grid spec",
                                  spec.name.c_str()));
-    return spec.makeRunner().runAll(spec.expand());
+    ExperimentRunner::WarmupReuse reuse;
+    reuse.enabled =
+        spec.checkpointAfterWarmup || !spec.checkpointDir.empty();
+    reuse.checkpointDir = spec.checkpointDir;
+    return spec.makeRunner().runAll(spec.expand(), reuse, timing);
 }
 
 std::vector<BenchmarkCharacteristics>
@@ -651,7 +670,7 @@ ensureWritableDir(const std::string &dir)
             throw SpecError(csprintf(
                 "output directory \"%s\" is not writable (cannot "
                 "create files in it) — create the directory or "
-                "pass a writable --out-dir",
+                "pass a writable one",
                 dir.c_str()));
     }
     std::remove(probe.c_str());
@@ -662,7 +681,8 @@ writeBenchRecord(
     const std::string &bench,
     const std::vector<ExperimentResult> &results,
     const std::vector<std::pair<std::string, double>> &metrics,
-    const std::string &dir_override)
+    const std::string &dir_override,
+    const ExperimentRunner::SweepTiming *timing)
 {
     const char *off = std::getenv("SMTFETCH_NO_JSON");
     if (off != nullptr && off[0] != '\0' && off[0] != '0')
@@ -676,7 +696,7 @@ writeBenchRecord(
                      path.c_str());
         return false;
     }
-    ExperimentRunner::writeJson(os, bench, results, metrics);
+    ExperimentRunner::writeJson(os, bench, results, metrics, timing);
     std::printf("wrote %s\n", path.c_str());
     return true;
 }

@@ -103,6 +103,19 @@ struct SweepSpec
     /** Instructions traced per benchmark (characteristics mode). */
     std::uint64_t instructions = 400'000;
 
+    /**
+     * Warmup-snapshot sharing: run the warmup once per unique
+     * (workload, core-configuration) group, checkpoint the simulator,
+     * and restore the snapshot for every other grid point in the
+     * group (see ExperimentRunner::WarmupReuse). Bit-identical to the
+     * plain path.
+     */
+    bool checkpointAfterWarmup = false;
+
+    /** Persist warmup snapshots here for reuse across sweeps (keyed
+     *  by configuration hash); implies checkpointAfterWarmup. */
+    std::string checkpointDir;
+
     std::vector<SweepBlock> sweeps;
 
     std::string
@@ -127,8 +140,14 @@ struct SweepSpec
     /// @}
 };
 
-/** Expand and run a grid spec through the parallel runner. */
-std::vector<ExperimentResult> runSpec(const SweepSpec &spec);
+/**
+ * Expand and run a grid spec through the parallel runner, honouring
+ * the spec's warmup-reuse settings; `timing` (when non-null) receives
+ * the sweep's wall-clock accounting for the bench record.
+ */
+std::vector<ExperimentResult>
+runSpec(const SweepSpec &spec,
+        ExperimentRunner::SweepTiming *timing = nullptr);
 
 /** Table 1 row: synthetic-model statistics for one benchmark. */
 struct BenchmarkCharacteristics
@@ -160,7 +179,8 @@ bool writeBenchRecord(
     const std::string &bench,
     const std::vector<ExperimentResult> &results,
     const std::vector<std::pair<std::string, double>> &metrics = {},
-    const std::string &dir_override = "");
+    const std::string &dir_override = "",
+    const ExperimentRunner::SweepTiming *timing = nullptr);
 
 } // namespace smt
 

@@ -1,5 +1,6 @@
 #include "util/histogram.hh"
 
+#include "sim/checkpoint.hh"
 #include "util/logging.hh"
 
 namespace smt
@@ -76,6 +77,30 @@ Histogram::summary() const
 {
     return csprintf("mean=%.2f n=%llu", mean(),
                     static_cast<unsigned long long>(total));
+}
+
+void
+Histogram::save(CheckpointWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(bins.size()));
+    for (std::uint64_t b : bins)
+        w.u64(b);
+    w.u64(total);
+    w.u64(weighted);
+}
+
+void
+Histogram::restore(CheckpointReader &r)
+{
+    std::uint32_t n = r.u32();
+    if (n != bins.size())
+        r.fail(csprintf("histogram holds %u buckets but this "
+                        "configuration uses %zu",
+                        n, bins.size()));
+    for (auto &b : bins)
+        b = r.u64();
+    total = r.u64();
+    weighted = r.u64();
 }
 
 } // namespace smt

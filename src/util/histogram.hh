@@ -14,6 +14,9 @@
 namespace smt
 {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /**
  * Histogram over small non-negative integer samples (e.g. instructions
  * delivered per fetch cycle, 0..16). Values above the configured max
@@ -56,6 +59,12 @@ class Histogram
 
     /** One-line rendering "mean=.. p(>=8)=.." for logs. */
     std::string summary() const;
+
+    /** @name Checkpoint serialization (sim/checkpoint.hh). */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r);
+    /// @}
 
   private:
     std::vector<std::uint64_t> bins;

@@ -70,6 +70,13 @@ class SatCounter
     std::uint8_t raw() const { return value; }
     std::uint8_t max() const { return maxVal; }
 
+    /** Restore a serialized raw value (clamped to the counter max). */
+    void
+    setRaw(std::uint8_t v)
+    {
+        value = v > maxVal ? maxVal : v;
+    }
+
   private:
     std::uint8_t maxVal = 3;
     std::uint8_t value = 0;

@@ -1,5 +1,6 @@
 #include "workload/branch_model.hh"
 
+#include "sim/checkpoint.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 
@@ -162,6 +163,36 @@ IndirectModel::next()
     std::size_t idx =
         1 + (mix64(seed ^ d) % (targetSet.size() - 1));
     return targetSet[idx];
+}
+
+void
+BranchModel::save(CheckpointWriter &w) const
+{
+    w.u64(execCount);
+    w.u32(tripPos);
+}
+
+void
+BranchModel::restore(CheckpointReader &r)
+{
+    execCount = r.u64();
+    tripPos = r.u32();
+    if (tripCount != 0 && tripPos >= tripCount)
+        r.fail(csprintf("loop branch position %u out of range "
+                        "[0, %u) (corrupt payload)",
+                        tripPos, tripCount));
+}
+
+void
+IndirectModel::save(CheckpointWriter &w) const
+{
+    w.u64(execCount);
+}
+
+void
+IndirectModel::restore(CheckpointReader &r)
+{
+    execCount = r.u64();
 }
 
 } // namespace smt

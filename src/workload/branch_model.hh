@@ -30,6 +30,9 @@
 namespace smt
 {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /** Deterministic taken/not-taken generator for one static branch. */
 class BranchModel
 {
@@ -69,6 +72,13 @@ class BranchModel
     /** Long-run expected taken rate (for workload statistics). */
     double expectedTakenRate() const;
 
+    /** @name Checkpoint serialization of the mutable state (the
+     *  static shape is rebuilt from the image; sim/checkpoint.hh). */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r);
+    /// @}
+
   private:
     Kind modelKind = Kind::Biased;
     std::uint64_t seed = 0;
@@ -106,6 +116,12 @@ class IndirectModel
     Addr next();
 
     const std::vector<Addr> &targets() const { return targetSet; }
+
+    /** @name Checkpoint serialization (sim/checkpoint.hh). */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r);
+    /// @}
 
   private:
     std::vector<Addr> targetSet;

@@ -1,5 +1,6 @@
 #include "workload/memory_model.hh"
 
+#include "sim/checkpoint.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 
@@ -98,6 +99,20 @@ MemoryModel::next()
       }
     }
     panic("unreachable memory model kind");
+}
+
+void
+MemoryModel::save(CheckpointWriter &w) const
+{
+    w.u64(offset);
+    w.u64(execCount);
+}
+
+void
+MemoryModel::restore(CheckpointReader &r)
+{
+    offset = r.u64();
+    execCount = r.u64();
 }
 
 } // namespace smt

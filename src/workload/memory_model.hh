@@ -23,6 +23,9 @@
 namespace smt
 {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /** Deterministic address generator for one static load or store. */
 class MemoryModel
 {
@@ -55,6 +58,13 @@ class MemoryModel
     Addr next();
 
     Kind kind() const { return modelKind; }
+
+    /** @name Checkpoint serialization of the mutable state (the
+     *  static shape is rebuilt from the image; sim/checkpoint.hh). */
+    /// @{
+    void save(CheckpointWriter &w) const;
+    void restore(CheckpointReader &r);
+    /// @}
 
   private:
     Kind modelKind = Kind::Stride;

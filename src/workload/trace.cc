@@ -1,5 +1,6 @@
 #include "workload/trace.hh"
 
+#include "sim/checkpoint.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 #include "workload/trace_file.hh"
@@ -75,6 +76,98 @@ TraceSource::ensureUpcoming()
     haveUpcoming = true;
 }
 
+namespace
+{
+
+/** TraceRecord codec: the StaticInst round-trips as its PC. */
+void
+saveRecord(CheckpointWriter &w, const TraceRecord &rec)
+{
+    w.u64(rec.si->pc);
+    w.b(rec.taken);
+    w.u64(rec.nextPc);
+    w.u64(rec.memAddr);
+}
+
+TraceRecord
+restoreRecord(CheckpointReader &r, const BenchmarkImage &img)
+{
+    TraceRecord rec;
+    Addr pc = r.u64();
+    rec.si = img.program.lookup(pc);
+    if (rec.si == nullptr)
+        r.fail(csprintf("trace record pc 0x%llx is not mapped in "
+                        "the rebuilt program — the checkpoint does "
+                        "not match this workload image",
+                        (unsigned long long)pc));
+    rec.taken = r.b();
+    rec.nextPc = r.u64();
+    rec.memAddr = r.u64();
+    return rec;
+}
+
+} // namespace
+
+void
+TraceSource::saveBase(CheckpointWriter &w) const
+{
+    w.u64(tstats.insts);
+    w.u64(tstats.ctis);
+    w.u64(tstats.condBranches);
+    w.u64(tstats.takenCtis);
+    w.u64(tstats.takenCond);
+    w.u64(tstats.loads);
+    w.u64(tstats.stores);
+    w.u64(generatedCount);
+    w.u64(nextIndex);
+    w.b(haveUpcoming);
+    if (haveUpcoming)
+        saveRecord(w, upcoming);
+    // Only the live replay window is needed: squashes can rewind at
+    // most replayWindow records behind the generation frontier.
+    std::uint64_t window_start =
+        generatedCount > replayWindow ? generatedCount - replayWindow
+                                      : 0;
+    w.u64(window_start);
+    for (std::uint64_t i = window_start; i < generatedCount; ++i)
+        saveRecord(w, ring[i % replayWindow]);
+}
+
+void
+TraceSource::restoreBase(CheckpointReader &r)
+{
+    if (nextIndex != 0 || generatedCount != 0)
+        r.fail("trace-source restore requires a freshly-constructed "
+               "stream");
+    tstats.insts = r.u64();
+    tstats.ctis = r.u64();
+    tstats.condBranches = r.u64();
+    tstats.takenCtis = r.u64();
+    tstats.takenCond = r.u64();
+    tstats.loads = r.u64();
+    tstats.stores = r.u64();
+    generatedCount = r.u64();
+    nextIndex = r.u64();
+    haveUpcoming = r.b();
+    if (haveUpcoming)
+        upcoming = restoreRecord(r, img);
+    std::uint64_t window_start = r.u64();
+    std::uint64_t expected_start =
+        generatedCount > replayWindow ? generatedCount - replayWindow
+                                      : 0;
+    if (window_start != expected_start)
+        r.fail(csprintf("replay window starts at %llu, expected "
+                        "%llu (corrupt payload)",
+                        (unsigned long long)window_start,
+                        (unsigned long long)expected_start));
+    if (nextIndex > generatedCount ||
+        generatedCount - nextIndex > replayWindow)
+        r.fail("trace position outside the replay window (corrupt "
+               "payload)");
+    for (std::uint64_t i = window_start; i < generatedCount; ++i)
+        ring[i % replayWindow] = restoreRecord(r, img);
+}
+
 SyntheticTraceStream::SyntheticTraceStream(const BenchmarkImage &image)
     : TraceSource(image), branchModels(image.branchModels),
       indirectModels(image.indirectModels), memModels(image.memModels),
@@ -148,6 +241,60 @@ SyntheticTraceStream::generate()
 
     pc = rec.nextPc;
     return rec;
+}
+
+void
+SyntheticTraceStream::save(CheckpointWriter &w) const
+{
+    saveBase(w);
+    w.u64(pc);
+    w.u32(static_cast<std::uint32_t>(callStack.size()));
+    for (Addr a : callStack)
+        w.u64(a);
+    w.u64(oracleHistory);
+    w.u64(oraclePathSig);
+    w.u32(static_cast<std::uint32_t>(branchModels.size()));
+    for (const BranchModel &m : branchModels)
+        m.save(w);
+    w.u32(static_cast<std::uint32_t>(indirectModels.size()));
+    for (const IndirectModel &m : indirectModels)
+        m.save(w);
+    w.u32(static_cast<std::uint32_t>(memModels.size()));
+    for (const MemoryModel &m : memModels)
+        m.save(w);
+}
+
+void
+SyntheticTraceStream::restore(CheckpointReader &r)
+{
+    restoreBase(r);
+    pc = r.u64();
+    std::uint32_t depth = r.u32();
+    if (depth > maxCallDepth)
+        r.fail(csprintf("call-stack depth %u exceeds the %zu cap",
+                        depth, maxCallDepth));
+    callStack.resize(depth);
+    for (Addr &a : callStack)
+        a = r.u64();
+    oracleHistory = r.u64();
+    oraclePathSig = r.u64();
+    auto check_models = [&r](std::uint32_t n, std::size_t have,
+                             const char *what) {
+        if (n != have)
+            r.fail(csprintf("%s model count %u does not match the "
+                            "image's %zu — the checkpoint does not "
+                            "match this workload image",
+                            what, n, have));
+    };
+    check_models(r.u32(), branchModels.size(), "branch");
+    for (BranchModel &m : branchModels)
+        m.restore(r);
+    check_models(r.u32(), indirectModels.size(), "indirect");
+    for (IndirectModel &m : indirectModels)
+        m.restore(r);
+    check_models(r.u32(), memModels.size(), "memory");
+    for (MemoryModel &m : memModels)
+        m.restore(r);
 }
 
 } // namespace smt

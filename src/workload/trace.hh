@@ -29,6 +29,8 @@
 namespace smt
 {
 
+class CheckpointReader;
+class CheckpointWriter;
 class TraceWriter;
 
 /** One correct-path dynamic instruction. */
@@ -132,9 +134,35 @@ class TraceSource
      */
     void setRecorder(TraceWriter *writer) { recorder = writer; }
 
+    /**
+     * @name Checkpoint serialization (sim/checkpoint.hh). The base
+     * state (replay ring, positions, statistics, lookahead) is shared;
+     * each backend appends what it needs to resume generation —
+     * model/RNG state for the synthetic stream, a file position for
+     * the replay stream. restore() requires a freshly-constructed
+     * source over the identical image.
+     */
+    /// @{
+    virtual void save(CheckpointWriter &w) const = 0;
+    virtual void restore(CheckpointReader &r) = 0;
+    /// @}
+
   protected:
     /** Produce the record following everything generated so far. */
     virtual TraceRecord generate() = 0;
+
+    /** @name Base-state serialization for backends. */
+    /// @{
+    void saveBase(CheckpointWriter &w) const;
+    void restoreBase(CheckpointReader &r);
+
+    /** Records generate() has produced (checkpoint file skipping). */
+    std::uint64_t
+    generatedRecords() const
+    {
+        return generatedCount + (haveUpcoming ? 1 : 0);
+    }
+    /// @}
 
     const BenchmarkImage &img;
 
@@ -164,6 +192,9 @@ class SyntheticTraceStream : public TraceSource
   public:
     /** @param image Must outlive the stream. */
     explicit SyntheticTraceStream(const BenchmarkImage &image);
+
+    void save(CheckpointWriter &w) const override;
+    void restore(CheckpointReader &r) override;
 
   protected:
     TraceRecord generate() override;

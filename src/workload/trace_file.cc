@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "sim/checkpoint.hh"
 #include "util/logging.hh"
 
 namespace smt
@@ -603,6 +604,42 @@ FileTraceStream::generate()
     rec.nextPc = p.nextPc;
     rec.memAddr = p.memAddr;
     return rec;
+}
+
+void
+FileTraceStream::save(CheckpointWriter &w) const
+{
+    saveBase(w);
+    w.u64(generatedRecords());
+}
+
+void
+FileTraceStream::restore(CheckpointReader &r)
+{
+    if (reader.recordsRead() != 0)
+        r.fail("trace-file restore requires a freshly-opened "
+               "replay stream");
+    restoreBase(r);
+    std::uint64_t skip = r.u64();
+    if (skip != generatedRecords())
+        r.fail(csprintf("trace-file position %llu disagrees with "
+                        "the %llu records the stream generated "
+                        "(corrupt payload)",
+                        (unsigned long long)skip,
+                        (unsigned long long)generatedRecords()));
+    // The file content is immutable and validated record-by-record,
+    // so resuming is just re-reading the already-consumed prefix.
+    PackedTraceRecord p;
+    for (std::uint64_t i = 0; i < skip; ++i) {
+        if (!reader.next(p))
+            r.fail(csprintf("%s holds only %llu records but the "
+                            "checkpoint consumed %llu — the "
+                            "checkpoint was saved against a "
+                            "different trace file",
+                            reader.path().c_str(),
+                            (unsigned long long)i,
+                            (unsigned long long)skip));
+    }
 }
 
 } // namespace smt

@@ -190,6 +190,16 @@ class FileTraceStream : public TraceSource
 
     const TraceFileHeader &header() const { return reader.header(); }
 
+    /**
+     * @name Checkpoint serialization: the base replay state plus the
+     * file position, re-established on restore by skipping the
+     * already-generated prefix of the (deterministic) trace file.
+     */
+    /// @{
+    void save(CheckpointWriter &w) const override;
+    void restore(CheckpointReader &r) override;
+    /// @}
+
   protected:
     TraceRecord generate() override;
 

@@ -74,6 +74,50 @@ TEST(RasTest, SnapshotRepairsSingleDivergence)
     EXPECT_EQ(ras.pop(), 0x100u);
 }
 
+TEST(RasTest, DeepRestoreRepairsEntriesBelowTopOfStack)
+{
+    // Regression: wrong-path pops below the snapshot's TOS followed
+    // by a push overwrite entries *deeper* than the snapshot
+    // position. A (tos, top-value) checkpoint cannot repair them;
+    // the full-stack snapshot must.
+    ReturnAddressStack ras(16);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    auto snap = ras.snapshot();
+
+    // Wrong path: three pops walk below the checkpointed TOS, then a
+    // push clobbers the slot that held 0x200.
+    ras.pop();
+    ras.pop();
+    ras.pop();
+    ras.push(0xbad);
+
+    ras.restore(snap);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(RasTest, DeepRestoreAcrossWrapAround)
+{
+    ReturnAddressStack ras(4);
+    for (Addr a = 1; a <= 6; ++a)
+        ras.push(a * 0x10); // wraps; stack holds 0x30..0x60
+    auto snap = ras.snapshot();
+
+    ras.pop();
+    ras.pop();
+    ras.push(0xdead);
+    ras.push(0xbeef);
+
+    ras.restore(snap);
+    EXPECT_EQ(ras.pop(), 0x60u);
+    EXPECT_EQ(ras.pop(), 0x50u);
+    EXPECT_EQ(ras.pop(), 0x40u);
+    EXPECT_EQ(ras.pop(), 0x30u);
+}
+
 TEST(RasTest, WrapsAtCapacity)
 {
     ReturnAddressStack ras(4);

@@ -94,6 +94,65 @@ def check_metrics(metrics):
             raise CheckFailure(f"metric '{name}' is not a finite number: {value!r}")
 
 
+WARMUP_REUSE_COUNTS = (
+    "gridPoints",
+    "warmupGroups",
+    "warmupRuns",
+    "restoredRuns",
+    "directRuns",
+)
+
+WARMUP_REUSE_SECONDS = (
+    "warmupSeconds",
+    "sweepSeconds",
+    "estimatedBaselineSeconds",
+    "estimatedSpeedup",
+)
+
+
+def check_warmup_reuse(reuse, result_count):
+    """Validate the warmup-sharing timing block a checkpointed sweep emits."""
+    if not isinstance(reuse, dict):
+        raise CheckFailure("'warmupReuse' must be an object")
+    for key in WARMUP_REUSE_COUNTS:
+        value = reuse.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise CheckFailure(
+                f"warmupReuse.{key} must be a non-negative integer, got {value!r}"
+            )
+    for key in WARMUP_REUSE_SECONDS:
+        value = reuse.get(key)
+        if bad_number(value) or value < 0:
+            raise CheckFailure(
+                f"warmupReuse.{key} must be a non-negative finite number, "
+                f"got {value!r}"
+            )
+    if reuse["gridPoints"] != result_count:
+        raise CheckFailure(
+            f"warmupReuse.gridPoints is {reuse['gridPoints']} but the record "
+            f"has {result_count} results"
+        )
+    if reuse["warmupGroups"] > reuse["gridPoints"]:
+        raise CheckFailure("warmupReuse.warmupGroups exceeds gridPoints")
+    if reuse["warmupRuns"] > reuse["warmupGroups"]:
+        raise CheckFailure("warmupReuse.warmupRuns exceeds warmupGroups")
+    covered = reuse["warmupRuns"] + reuse["restoredRuns"] + reuse["directRuns"]
+    if covered != reuse["gridPoints"]:
+        raise CheckFailure(
+            f"warmupReuse accounting covers {covered} points, expected "
+            f"{reuse['gridPoints']} (warmupRuns + restoredRuns + directRuns)"
+        )
+    if reuse["estimatedSpeedup"] < 1.0 - 1e-9:
+        raise CheckFailure(
+            f"warmupReuse.estimatedSpeedup is {reuse['estimatedSpeedup']}, "
+            "expected >= 1 (the baseline includes every skipped warmup)"
+        )
+    if reuse["estimatedBaselineSeconds"] < reuse["sweepSeconds"] - 1e-9:
+        raise CheckFailure(
+            "warmupReuse.estimatedBaselineSeconds is smaller than sweepSeconds"
+        )
+
+
 def expand_spec(spec):
     """Expand a grid spec the way SweepSpec::expand does.
 
@@ -202,6 +261,14 @@ def check_file(path, args):
     if not results and not metrics:
         raise CheckFailure("record has neither results nor metrics")
 
+    if args.require_warmup_reuse and "warmupReuse" not in doc:
+        raise CheckFailure(
+            "record has no 'warmupReuse' block (was the sweep run with "
+            "--checkpoint-warmup / \"checkpointAfterWarmup\"?)"
+        )
+    if "warmupReuse" in doc:
+        check_warmup_reuse(doc["warmupReuse"], len(results))
+
     for i, result in enumerate(results):
         check_result(i, result)
     if len(results) < args.min_results:
@@ -229,6 +296,12 @@ def main():
         "--spec",
         help="experiment spec to cross-check the record's grid against "
         "(use with a single record file)",
+    )
+    parser.add_argument(
+        "--require-warmup-reuse",
+        action="store_true",
+        help="fail unless the record carries the warmup-sharing timing "
+        "block a checkpointed sweep emits",
     )
     args = parser.parse_args()
 
