@@ -1,11 +1,19 @@
 /**
  * @file
  * google-benchmark microbenchmarks for the simulator substrates: cache
- * access, trace generation and whole-core cycle throughput.
+ * access, trace generation, whole-core cycle throughput, and the
+ * hot-loop structures (ring-buffer ROB create/commit/squash/find, IQ
+ * insert/pick/occupancy). The structure benches are the before/after
+ * evidence for the zero-steady-state-allocation storage rewrite — run
+ * them under `heaptrack` (or an allocator interposer) to verify the
+ * loops make no heap allocations.
  */
 
 #include <benchmark/benchmark.h>
 
+#include "core/iq.hh"
+#include "core/rename.hh"
+#include "core/rob.hh"
 #include "mem/hierarchy.hh"
 #include "sim/simulator.hh"
 #include "util/random.hh"
@@ -36,6 +44,121 @@ BM_TraceGeneration(benchmark::State &state)
         benchmark::DoNotOptimize(trace.next());
 }
 BENCHMARK(BM_TraceGeneration);
+
+static void
+BM_RobCreateCommit(benchmark::State &state)
+{
+    // Steady-state churn: fill the window, then one create + one
+    // commit per iteration (ring slot reuse, no allocation).
+    Rob rob(1, 512);
+    for (int i = 0; i < 256; ++i)
+        rob.create(0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(&rob.create(0));
+        rob.popHead(0);
+    }
+}
+BENCHMARK(BM_RobCreateCommit);
+
+static void
+BM_RobSquash(benchmark::State &state)
+{
+    // Mispredict repair: create a run of young instructions, squash
+    // them back off (pop-from-the-back), like squashAfter does.
+    Rob rob(1, 512);
+    for (int i = 0; i < 64; ++i)
+        rob.create(0);
+    for (auto _ : state) {
+        for (int i = 0; i < 8; ++i)
+            rob.create(0);
+        for (int i = 0; i < 8; ++i)
+            rob.popYoungest(0);
+    }
+}
+BENCHMARK(BM_RobSquash);
+
+static void
+BM_RobFind(benchmark::State &state)
+{
+    // The writeback-stage lookup: (tid, seq) -> DynInst in a dense
+    // window (the O(1) seq-offset fast path).
+    Rob rob(1, 512);
+    for (int i = 0; i < 256; ++i)
+        rob.create(0);
+    InstSeqNum seq = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rob.find(0, seq));
+        seq = seq % 256 + 1;
+    }
+}
+BENCHMARK(BM_RobFind);
+
+static void
+BM_RobFindWithHole(benchmark::State &state)
+{
+    // Same lookup when the window contains a squash hole (binary
+    // search fallback).
+    Rob rob(1, 512);
+    for (int i = 0; i < 128; ++i)
+        rob.create(0);
+    for (int i = 0; i < 8; ++i)
+        rob.popYoungest(0); // squash 121..128
+    for (int i = 0; i < 128; ++i)
+        rob.create(0); // 129..256 past the hole
+    InstSeqNum seq = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rob.find(0, seq));
+        seq = seq % 120 + 1;
+    }
+}
+BENCHMARK(BM_RobFindWithHole);
+
+static void
+BM_IqInsertPick(benchmark::State &state)
+{
+    // One dispatch+issue round: insert a fetch group, pick it back
+    // out oldest-first under FU limits.
+    IssueQueues iqs(32, 32, 32);
+    RenameUnit rename(384, 384, 2);
+    Rob rob(2, 512);
+    std::vector<DynInst *> batch;
+    for (int i = 0; i < 8; ++i) {
+        DynInst &inst = rob.create(i % 2);
+        inst.op = i < 5 ? OpClass::IntAlu
+                        : (i < 7 ? OpClass::Load : OpClass::FpAlu);
+        batch.push_back(&inst);
+    }
+    std::vector<DynInst *> picked;
+    picked.reserve(8);
+    for (auto _ : state) {
+        for (DynInst *inst : batch)
+            iqs.insert(inst);
+        picked.clear();
+        iqs.pickReady(rename, 6, 4, 3, picked);
+        benchmark::DoNotOptimize(picked.data());
+    }
+}
+BENCHMARK(BM_IqInsertPick);
+
+static void
+BM_IqOccupancy(benchmark::State &state)
+{
+    // The incremental counters: per-thread and total occupancy reads
+    // with full queues (previously an every-instruction scan).
+    IssueQueues iqs(32, 32, 32);
+    Rob rob(2, 512);
+    for (int i = 0; i < 64; ++i) {
+        DynInst &inst = rob.create(i % 2);
+        inst.op = i % 2 == 0 ? OpClass::IntAlu : OpClass::Load;
+        iqs.insert(&inst);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(iqs.threadOccupancy(0));
+        benchmark::DoNotOptimize(iqs.threadOccupancy(1));
+        benchmark::DoNotOptimize(iqs.totalOccupancy());
+    }
+}
+BENCHMARK(BM_IqOccupancy);
 
 static void
 BM_CoreCycle(benchmark::State &state)

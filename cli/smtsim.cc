@@ -297,7 +297,7 @@ runOne(const Options &opt, const std::string &arg)
     }
     if (opt.writeJson &&
         !writeBenchRecord(spec.benchName(), results, {}, opt.outDir,
-                          reuse.enabled ? &timing : nullptr))
+                          &timing))
         return 3;
     return 0;
 }

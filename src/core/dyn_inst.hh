@@ -2,12 +2,13 @@
  * @file
  * Dynamic (in-flight) instruction record.
  *
- * DynInsts are owned by the per-thread ROB deques; every other
+ * DynInsts are owned by the per-thread ROB rings; every other
  * structure (fetch buffer, latches, issue queues, event wheel) refers
  * to them by pointer or by (thread, sequence) pair. Sequence numbers
- * are contiguous per thread, and instructions are only removed at the
- * ends (commit at the front, squash at the back), so pointers to live
- * instructions remain stable.
+ * are strictly increasing per thread (with holes after squashes, see
+ * Rob::find), and instructions are only removed at the ends (commit
+ * at the front, squash at the back), so pointers to live instructions
+ * remain stable.
  */
 
 #ifndef SMTFETCH_CORE_DYN_INST_HH

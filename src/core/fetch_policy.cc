@@ -16,17 +16,26 @@ IcountPolicy::order(Cycle now, const std::uint32_t *icounts,
         out.push_back(static_cast<ThreadID>(t));
 
     unsigned rotate = static_cast<unsigned>(now % num_threads);
-    std::stable_sort(out.begin(), out.end(),
-                     [&](ThreadID a, ThreadID b) {
-                         if (icounts[a] != icounts[b])
-                             return icounts[a] < icounts[b];
-                         // Rotating tie-break.
-                         unsigned ra = (a + num_threads - rotate) %
-                                       num_threads;
-                         unsigned rb = (b + num_threads - rotate) %
-                                       num_threads;
-                         return ra < rb;
-                     });
+    auto before = [&](ThreadID a, ThreadID b) {
+        if (icounts[a] != icounts[b])
+            return icounts[a] < icounts[b];
+        // Rotating tie-break.
+        unsigned ra = (a + num_threads - rotate) % num_threads;
+        unsigned rb = (b + num_threads - rotate) % num_threads;
+        return ra < rb;
+    };
+    // Stable insertion sort: identical ordering to std::stable_sort
+    // but allocation-free (this runs twice per simulated cycle, and
+    // num_threads is tiny).
+    for (unsigned i = 1; i < num_threads; ++i) {
+        ThreadID key = out[i];
+        unsigned j = i;
+        while (j > 0 && before(key, out[j - 1])) {
+            out[j] = out[j - 1];
+            --j;
+        }
+        out[j] = key;
+    }
 }
 
 void

@@ -288,8 +288,8 @@ FrontEnd::save(CheckpointWriter &w) const
         w.b(ts.active);
         w.u32(ts.ftq.headOffset());
         w.u32(static_cast<std::uint32_t>(ts.ftq.size()));
-        for (const BlockPrediction &block : ts.ftq.contents())
-            block.save(w);
+        for (std::size_t i = 0; i < ts.ftq.size(); ++i)
+            ts.ftq.blockAt(i).save(w);
     }
 }
 

@@ -11,8 +11,8 @@
 #ifndef SMTFETCH_CORE_FRONT_END_HH
 #define SMTFETCH_CORE_FRONT_END_HH
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "bpred/fetch_engine.hh"
@@ -23,6 +23,7 @@
 #include "core/rob.hh"
 #include "core/sim_stats.hh"
 #include "mem/hierarchy.hh"
+#include "util/ring_buffer.hh"
 #include "workload/trace.hh"
 
 namespace smt
@@ -39,9 +40,24 @@ class CheckpointWriter;
  */
 struct FetchBuffer
 {
-    std::array<std::deque<DynInst *>, maxThreads> q;
+    std::array<RingBuffer<DynInst *>, maxThreads> q;
     unsigned total = 0;
     unsigned capacity = 32;
+
+    FetchBuffer() { setCapacity(capacity); }
+
+    /**
+     * Size the shared pool; every per-thread ring gets the full
+     * capacity (one thread may hold all of it).
+     */
+    void
+    setCapacity(unsigned cap)
+    {
+        capacity = cap;
+        total = 0;
+        for (auto &dq : q)
+            dq.setCapacity(cap);
+    }
 
     unsigned free() const { return capacity - total; }
 

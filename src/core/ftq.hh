@@ -10,10 +10,10 @@
 #define SMTFETCH_CORE_FTQ_HH
 
 #include <cstdint>
-#include <deque>
 
 #include "bpred/fetch_engine.hh"
 #include "util/logging.hh"
+#include "util/ring_buffer.hh"
 #include "util/types.hh"
 
 namespace smt
@@ -24,14 +24,14 @@ class FetchTargetQueue
 {
   public:
     explicit FetchTargetQueue(unsigned capacity = 4)
-        : cap(capacity)
+        : blocks(capacity)
     {
     }
 
     bool empty() const { return blocks.empty(); }
-    bool full() const { return blocks.size() >= cap; }
+    bool full() const { return blocks.full(); }
     std::size_t size() const { return blocks.size(); }
-    unsigned capacity() const { return cap; }
+    unsigned capacity() const { return blocks.capacity(); }
 
     void
     push(const BlockPrediction &block)
@@ -91,9 +91,10 @@ class FetchTargetQueue
 
     /** @name Checkpoint support (see FrontEnd::save/restore). */
     /// @{
-    const std::deque<BlockPrediction> &contents() const
+    /** Queued block by position, 0 = head (serialization walks). */
+    const BlockPrediction &blockAt(std::size_t idx) const
     {
-        return blocks;
+        return blocks[idx];
     }
 
     /** Re-establish the consumed offset of a restored head block. */
@@ -109,9 +110,8 @@ class FetchTargetQueue
     /// @}
 
   private:
-    std::deque<BlockPrediction> blocks;
+    RingBuffer<BlockPrediction> blocks;
     unsigned headConsumed = 0;
-    unsigned cap;
 };
 
 } // namespace smt

@@ -58,6 +58,7 @@ IssueQueues::insert(DynInst *inst)
     if (!hasSpace(c))
         panic("IQ overflow");
     queueFor(c).push_back(inst);
+    ++threadOcc[inst->tid];
 }
 
 void
@@ -83,6 +84,7 @@ IssueQueues::pickReady(const RenameUnit &rename, unsigned int_fus,
             DynInst *inst = q[r];
             if (taken < pick.limit && rename.sourcesReady(*inst)) {
                 out.push_back(inst);
+                --threadOcc[inst->tid];
                 ++taken;
             } else {
                 q[w++] = inst;
@@ -95,8 +97,11 @@ IssueQueues::pickReady(const RenameUnit &rename, unsigned int_fus,
 void
 IssueQueues::squash(ThreadID tid, InstSeqNum seq)
 {
-    auto drop = [tid, seq](DynInst *inst) {
-        return inst->tid == tid && inst->seq > seq;
+    auto drop = [this, tid, seq](DynInst *inst) {
+        if (inst->tid != tid || inst->seq <= seq)
+            return false;
+        --threadOcc[tid];
+        return true;
     };
     for (auto *q : {&intQ, &ldstQ, &fpQ})
         q->erase(std::remove_if(q->begin(), q->end(), drop), q->end());
@@ -115,23 +120,13 @@ IssueQueues::totalOccupancy() const
                                  fpQ.size());
 }
 
-unsigned
-IssueQueues::threadOccupancy(ThreadID tid) const
-{
-    unsigned n = 0;
-    for (const auto *q : {&intQ, &ldstQ, &fpQ})
-        for (const DynInst *inst : *q)
-            if (inst->tid == tid)
-                ++n;
-    return n;
-}
-
 void
 IssueQueues::clear()
 {
     intQ.clear();
     ldstQ.clear();
     fpQ.clear();
+    threadOcc.fill(0);
 }
 
 namespace
@@ -193,6 +188,12 @@ IssueQueues::restore(CheckpointReader &r, Rob &rob)
     restoreQueue(r, intQ, intCap, rob, "int issue");
     restoreQueue(r, ldstQ, ldstCap, rob, "ld/st issue");
     restoreQueue(r, fpQ, fpCap, rob, "fp issue");
+
+    // Rebuild the incremental per-thread counts (cold path).
+    threadOcc.fill(0);
+    for (const auto *q : {&intQ, &ldstQ, &fpQ})
+        for (const DynInst *inst : *q)
+            ++threadOcc[inst->tid];
 }
 
 } // namespace smt

@@ -7,6 +7,7 @@
 #ifndef SMTFETCH_CORE_IQ_HH
 #define SMTFETCH_CORE_IQ_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -57,11 +58,21 @@ class IssueQueues
     /** Remove all instructions of `tid` younger than `seq`. */
     void squash(ThreadID tid, InstSeqNum seq);
 
+    /** @name O(1) occupancy. Per-class counts are the queue sizes;
+     *  the per-thread counts are maintained incrementally by
+     *  insert/pickReady/squash instead of scanning every in-flight
+     *  instruction. */
+    /// @{
     unsigned occupancy(IqClass c) const;
     unsigned totalOccupancy() const;
 
     /** Per-thread entries currently waiting (for diagnostics). */
-    unsigned threadOccupancy(ThreadID tid) const;
+    unsigned
+    threadOccupancy(ThreadID tid) const
+    {
+        return threadOcc[tid];
+    }
+    /// @}
 
     void clear();
 
@@ -86,6 +97,9 @@ class IssueQueues
     unsigned intCap;
     unsigned ldstCap;
     unsigned fpCap;
+
+    /** Incrementally-maintained per-thread entry counts. */
+    std::array<unsigned, maxThreads> threadOcc{};
 };
 
 } // namespace smt

@@ -18,17 +18,20 @@ PipelineState::PipelineState(const CoreParams &params,
     : params(params), memory(memory), engine(engine), rob(rob),
       rename(rename), iqs(iqs), exec(exec), front(front), stats(stats)
 {
-    fetchBuffer.capacity = params.fetchBufferSize;
+    fetchBuffer.setCapacity(params.fetchBufferSize);
+    for (auto &q : decodeQ)
+        q.setCapacity(params.decodeWidth);
+    for (auto &q : renameQ)
+        q.setCapacity(params.decodeWidth);
 }
 
-template <typename Container>
 void
-PipelineState::removeYounger(Container &c, ThreadID tid, InstSeqNum seq)
+PipelineState::removeYounger(RingBuffer<DynInst *> &q, InstSeqNum seq)
 {
-    auto drop = [tid, seq](DynInst *inst) {
-        return inst->tid == tid && inst->seq > seq;
-    };
-    c.erase(std::remove_if(c.begin(), c.end(), drop), c.end());
+    // The latch queues are per-thread and age-ordered, so the younger
+    // instructions are exactly a suffix.
+    while (!q.empty() && q.back()->seq > seq)
+        q.pop_back();
 }
 
 void
@@ -42,8 +45,8 @@ PipelineState::squashAfter(DynInst &offender)
                                         : invalidAddr);
 
     fetchBuffer.removeYounger(tid, seq);
-    removeYounger(decodeQ[tid], tid, seq);
-    removeYounger(renameQ[tid], tid, seq);
+    removeYounger(decodeQ[tid], seq);
+    removeYounger(renameQ[tid], seq);
     iqs.squash(tid, seq);
 
     while (!rob.empty(tid) && rob.youngest(tid).seq > seq) {

@@ -16,7 +16,6 @@
 #define SMTFETCH_CORE_PIPELINE_STATE_HH
 
 #include <array>
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -24,6 +23,7 @@
 #include "core/front_end.hh"
 #include "core/params.hh"
 #include "core/sim_stats.hh"
+#include "util/ring_buffer.hh"
 
 namespace smt
 {
@@ -56,11 +56,12 @@ struct PipelineState
     SimStats &stats;
     /// @}
 
-    /** @name Inter-stage latches. */
+    /** @name Inter-stage latches (fixed-capacity ring storage; all
+     *  slots preallocated, steady-state cycles never allocate). */
     /// @{
     FetchBuffer fetchBuffer;
-    std::array<std::deque<DynInst *>, maxThreads> decodeQ;
-    std::array<std::deque<DynInst *>, maxThreads> renameQ;
+    std::array<RingBuffer<DynInst *>, maxThreads> decodeQ;
+    std::array<RingBuffer<DynInst *>, maxThreads> renameQ;
     /// @}
 
     /** @name Per-thread occupancy tracking. */
@@ -102,8 +103,7 @@ struct PipelineState
     void squashAfter(DynInst &offender);
 
   private:
-    template <typename Container>
-    static void removeYounger(Container &c, ThreadID tid,
+    static void removeYounger(RingBuffer<DynInst *> &q,
                               InstSeqNum seq);
 };
 

@@ -1,21 +1,21 @@
 /**
  * @file
- * Reorder buffer: per-thread in-order instruction lists over a shared
- * capacity pool (SMTSIM-style active lists). The deques own every
- * in-flight DynInst; commit pops the front, squash pops the back, so
- * pointers to live instructions stay valid and (thread, seq) lookup is
- * O(1).
+ * Reorder buffer: per-thread in-order instruction lists over
+ * fixed-capacity ring buffers (SMTSIM-style active lists). The rings
+ * own every in-flight DynInst; commit pops the front, squash pops the
+ * back, so slots are stable and pointers to live instructions stay
+ * valid until the instruction leaves and its slot is eventually
+ * reused.
  */
 
 #ifndef SMTFETCH_CORE_ROB_HH
 #define SMTFETCH_CORE_ROB_HH
 
-#include <algorithm>
-#include <deque>
 #include <vector>
 
 #include "core/dyn_inst.hh"
 #include "util/logging.hh"
+#include "util/ring_buffer.hh"
 #include "util/types.hh"
 
 namespace smt
@@ -25,9 +25,18 @@ namespace smt
 class Rob
 {
   public:
-    Rob(unsigned num_threads)
+    /**
+     * @param num_threads Hardware thread count.
+     * @param capacity_per_thread Upper bound on one thread's
+     *        in-flight instructions, fetched-but-undispatched ones
+     *        included (robEntries + fetch buffer + decode and rename
+     *        latches for the core's configuration).
+     */
+    Rob(unsigned num_threads, unsigned capacity_per_thread)
         : lists(num_threads), nextSeq(num_threads, 1)
     {
+        for (auto &list : lists)
+            list.setCapacity(capacity_per_thread);
     }
 
     /** Create the next dynamic instruction for a thread. */
@@ -35,8 +44,10 @@ class Rob
     create(ThreadID tid)
     {
         auto &list = lists[tid];
-        list.emplace_back();
-        DynInst &inst = list.back();
+        if (list.full())
+            panic("ROB ring overflow on thread %d (capacity %u)", tid,
+                  list.capacity());
+        DynInst &inst = list.emplace_back();
         inst.tid = tid;
         inst.seq = nextSeq[tid]++;
         return inst;
@@ -49,6 +60,9 @@ class Rob
     {
         return static_cast<unsigned>(lists.size());
     }
+
+    /** Per-thread ring capacity (checkpoint restore bound). */
+    unsigned capacity() const { return lists[0].capacity(); }
 
     std::size_t size(ThreadID tid) const { return lists[tid].size(); }
 
@@ -75,24 +89,42 @@ class Rob
     /**
      * Lookup by sequence number; nullptr if the instruction has been
      * committed or squashed. Sequence numbers are strictly increasing
-     * within the deque but may have holes after squashes, so this is
-     * a binary search.
+     * within the list but can have holes: a squash pops the youngest
+     * entries without rewinding the per-thread sequence counter
+     * (squashed numbers may still be referenced from the completion
+     * wheel, so reuse would alias old events onto new instructions),
+     * and the next fetched instruction continues past the gap. In the
+     * common hole-free window the offset from the head sequence IS
+     * the index (O(1)); only a window that still contains a squash
+     * gap falls back to binary search.
      */
     DynInst *
     find(ThreadID tid, InstSeqNum seq)
     {
         auto &list = lists[tid];
-        if (list.empty() || seq < list.front().seq ||
-            seq > list.back().seq)
+        if (list.empty())
             return nullptr;
-        auto it = std::lower_bound(
-            list.begin(), list.end(), seq,
-            [](const DynInst &inst, InstSeqNum s) {
-                return inst.seq < s;
-            });
-        if (it == list.end() || it->seq != seq)
+        const InstSeqNum first = list.front().seq;
+        const InstSeqNum last = list.back().seq;
+        if (seq < first || seq > last)
             return nullptr;
-        return &*it;
+        if (last - first + 1 == list.size()) {
+            // Dense window: seq-offset indexing.
+            DynInst &inst = list[static_cast<std::size_t>(seq - first)];
+            return &inst;
+        }
+        std::size_t lo = 0;
+        std::size_t hi = list.size();
+        while (lo < hi) {
+            std::size_t mid = lo + (hi - lo) / 2;
+            if (list[mid].seq < seq)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        if (lo == list.size() || list[lo].seq != seq)
+            return nullptr;
+        return &list[lo];
     }
 
     /** Index-based access (0 = oldest), for diagnostics/walks. */
@@ -129,7 +161,7 @@ class Rob
     /// @}
 
   private:
-    std::vector<std::deque<DynInst>> lists;
+    std::vector<RingBuffer<DynInst>> lists;
     std::vector<InstSeqNum> nextSeq;
 };
 

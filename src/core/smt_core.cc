@@ -21,7 +21,14 @@ namespace smt
 SmtCore::SmtCore(const CoreParams &params)
     : coreParams(params), memHierarchy(params.memory),
       fetchEngine(makeEngine(params.engine, params.engineParams)),
-      fetchPolicy(makePolicy(params.policy)), rob(params.numThreads),
+      fetchPolicy(makePolicy(params.policy)),
+      // A thread's in-flight instructions (fetched-but-undispatched
+      // included) live in the fetch buffer, the decode and rename
+      // latches, or count against robEntries — that sum bounds the
+      // per-thread ring.
+      rob(params.numThreads,
+          params.robEntries + params.fetchBufferSize +
+              2 * params.decodeWidth),
       rename(params.physIntRegs, params.physFpRegs, params.numThreads),
       iqs(params.intIqEntries, params.ldstIqEntries,
           params.fpIqEntries),
@@ -260,19 +267,23 @@ restoreInst(CheckpointReader &r, DynInst &inst,
 
 /** Serialize one per-thread latch queue as sequence numbers. */
 void
-saveLatchQueue(CheckpointWriter &w, const std::deque<DynInst *> &q)
+saveLatchQueue(CheckpointWriter &w, const RingBuffer<DynInst *> &q)
 {
     w.u32(static_cast<std::uint32_t>(q.size()));
-    for (const DynInst *inst : q)
-        w.u64(inst->seq);
+    for (std::size_t i = 0; i < q.size(); ++i)
+        w.u64(q[i]->seq);
 }
 
 void
-restoreLatchQueue(CheckpointReader &r, std::deque<DynInst *> &q,
+restoreLatchQueue(CheckpointReader &r, RingBuffer<DynInst *> &q,
                   Rob &rob, ThreadID tid, const char *what)
 {
     std::uint32_t n =
         static_cast<std::uint32_t>(r.checkCount(r.u32(), 8, what));
+    if (n > q.capacity())
+        r.fail(csprintf("%s latch holds %u entries but this "
+                        "configuration caps it at %u",
+                        what, n, q.capacity()));
     q.clear();
     for (std::uint32_t i = 0; i < n; ++i) {
         InstSeqNum seq = r.u64();
@@ -381,9 +392,14 @@ SmtCore::restoreState(CheckpointReader &r)
         InstSeqNum next_seq = r.u64();
         // The per-thread list holds every in-flight instruction,
         // fetched-but-undispatched ones included, so it can exceed
-        // robEntries; the payload-size bound is the integrity check.
+        // robEntries — but never the ring capacity the same
+        // configuration computes.
         std::uint32_t n = static_cast<std::uint32_t>(
             r.checkCount(r.u32(), 64, "ROB instruction"));
+        if (n > rob.capacity())
+            r.fail(csprintf("thread %u ROB holds %u instructions but "
+                            "this configuration caps it at %u",
+                            t, n, rob.capacity()));
         InstSeqNum prev_seq = 0;
         for (std::uint32_t i = 0; i < n; ++i) {
             DynInst &inst = rob.create(tid);
@@ -473,7 +489,7 @@ SmtCore::restoreState(CheckpointReader &r)
 void
 SmtCore::checkIcountInvariant() const
 {
-    // Every in-flight instruction lives in the ROB deques, and the
+    // Every in-flight instruction lives in the ROB rings, and the
     // inIcount flag marks membership in the ICOUNT front section, so
     // an ROB walk recomputes the counters exactly.
     Rob &mrob = const_cast<Rob &>(rob);

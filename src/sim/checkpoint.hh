@@ -49,8 +49,12 @@ class CheckpointError : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
-/** The checkpoint format revision this build reads and writes. */
-constexpr std::uint16_t checkpointFormatVersion = 1;
+/**
+ * The checkpoint format revision this build reads and writes.
+ * History: v2 added the explicit overflow count to the Histogram
+ * payload (a v1 checkpoint fails restore with a re-save-it error).
+ */
+constexpr std::uint16_t checkpointFormatVersion = 2;
 
 /** Binary file magic ("SMTCKPT" + NUL). */
 constexpr char checkpointMagic[8] = {'S', 'M', 'T', 'C',

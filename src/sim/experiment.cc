@@ -260,6 +260,13 @@ fileExists(const std::string &path)
 ExperimentResult
 ExperimentRunner::run(const GridPoint &point) const
 {
+    return runTimed(point, nullptr);
+}
+
+ExperimentResult
+ExperimentRunner::runTimed(const GridPoint &point,
+                           double *measure_seconds) const
+{
     SimConfig cfg = configForPoint(point, warmup, measure, seed);
     Simulator sim(cfg);
     if (!point.restoreCheckpointPath.empty()) {
@@ -269,7 +276,10 @@ ExperimentRunner::run(const GridPoint &point) const
         if (!point.saveCheckpointPath.empty())
             sim.saveCheckpoint(point.saveCheckpointPath);
     }
+    auto measure_start = SteadyClock::now();
     sim.runMeasure();
+    if (measure_seconds != nullptr)
+        *measure_seconds = secondsSince(measure_start);
     return resultFrom(point, warmup, measure, sim);
 }
 
@@ -289,16 +299,35 @@ ExperimentRunner::runAll(const std::vector<GridPoint> &points,
 
     SweepTiming local;
     local.gridPoints = points.size();
+    local.reuseEnabled = reuse.enabled;
     std::vector<ExperimentResult> results(points.size());
+
+    // Simulation-throughput accounting, shared by both paths: the
+    // cycle/instruction totals come from the (deterministic) results,
+    // the wall clock is accumulated around each measure phase.
+    std::mutex measure_mutex;
+    auto addMeasureSeconds = [&](double s) {
+        std::lock_guard<std::mutex> lock(measure_mutex);
+        local.measureSeconds += s;
+    };
+    auto finalize = [&]() {
+        for (const auto &r : results) {
+            local.simulatedCycles += r.measureCycles;
+            local.committedInsts += r.stats.instsCommitted;
+        }
+        local.sweepSeconds = secondsSince(sweep_start);
+        if (timing != nullptr)
+            *timing = local;
+    };
 
     if (!reuse.enabled) {
         local.directRuns = points.size();
         parallelFor(points.size(), [&](std::size_t i) {
-            results[i] = run(points[i]);
+            double measure_sec = 0;
+            results[i] = runTimed(points[i], &measure_sec);
+            addMeasureSeconds(measure_sec);
         });
-        local.sweepSeconds = secondsSince(sweep_start);
-        if (timing != nullptr)
-            *timing = local;
+        finalize();
         return results;
     }
 
@@ -348,14 +377,23 @@ ExperimentRunner::runAll(const std::vector<GridPoint> &points,
     parallelFor(units, [&](std::size_t u) {
         if (u >= groups.size()) {
             std::size_t i = direct[u - groups.size()];
-            results[i] = run(points[i]);
+            double measure_sec = 0;
+            results[i] = runTimed(points[i], &measure_sec);
+            addMeasureSeconds(measure_sec);
             return;
         }
         const Group &group = groups[u];
 
+        // Returns the measure-phase wall seconds; the caller decides
+        // when to commit them to the sweep accounting (the cache
+        // fast path below may abandon a half-measured group and
+        // re-measure it, which must not double-count).
         auto measurePoint = [&](std::size_t i, Simulator &sim) {
+            auto measure_start = SteadyClock::now();
             sim.runMeasure();
+            double sec = secondsSince(measure_start);
             results[i] = resultFrom(points[i], warmup, measure, sim);
+            return sec;
         };
 
         std::string cache_file;
@@ -368,13 +406,15 @@ ExperimentRunner::runAll(const std::vector<GridPoint> &points,
         if (!cache_file.empty() && fileExists(cache_file)) {
             try {
                 std::size_t restored = 0;
+                double group_measure_sec = 0;
                 for (std::size_t i : group.indices) {
                     Simulator sim(configForPoint(points[i], warmup,
                                                  measure, seed));
                     sim.restoreCheckpoint(cache_file);
-                    measurePoint(i, sim);
+                    group_measure_sec += measurePoint(i, sim);
                     ++restored;
                 }
+                addMeasureSeconds(group_measure_sec);
                 account(0, restored, 0.0);
                 return;
             } catch (const CheckpointError &e) {
@@ -437,7 +477,7 @@ ExperimentRunner::runAll(const std::vector<GridPoint> &points,
         if (!cache_written && group.indices.size() > 1)
             snapshot = sim.saveCheckpointToString();
 
-        measurePoint(first, sim);
+        addMeasureSeconds(measurePoint(first, sim));
 
         std::size_t restored = 0;
         for (std::size_t k = 1; k < group.indices.size(); ++k) {
@@ -448,15 +488,13 @@ ExperimentRunner::runAll(const std::vector<GridPoint> &points,
                 rest.restoreCheckpoint(cache_file);
             else
                 rest.restoreCheckpointFromString(snapshot);
-            measurePoint(i, rest);
+            addMeasureSeconds(measurePoint(i, rest));
             ++restored;
         }
         account(1, restored, warmup_sec);
     });
 
-    local.sweepSeconds = secondsSince(sweep_start);
-    if (timing != nullptr)
-        *timing = local;
+    finalize();
     return results;
 }
 
@@ -526,6 +564,30 @@ ExperimentRunner::writeJson(
     jw.field("schema", "smtfetch-bench-v1");
     jw.field("bench", bench);
     if (timing != nullptr) {
+        // Measured simulation throughput of this sweep (wall clock is
+        // host-dependent by design; tools/check_bench.py validates
+        // shape and finiteness, tools/compare_throughput.py reports
+        // run-over-run deltas).
+        double mcycles =
+            static_cast<double>(timing->simulatedCycles) / 1e6;
+        double minsts =
+            static_cast<double>(timing->committedInsts) / 1e6;
+        jw.key("throughput");
+        jw.beginObject();
+        jw.field("wallSeconds", timing->sweepSeconds);
+        jw.field("measureSeconds", timing->measureSeconds);
+        jw.field("simulatedCycles", timing->simulatedCycles);
+        jw.field("committedInsts", timing->committedInsts);
+        jw.field("mcyclesPerSecond",
+                 timing->measureSeconds > 0.0
+                     ? mcycles / timing->measureSeconds
+                     : 0.0);
+        jw.field("mips", timing->measureSeconds > 0.0
+                             ? minsts / timing->measureSeconds
+                             : 0.0);
+        jw.endObject();
+    }
+    if (timing != nullptr && timing->reuseEnabled) {
         // Measured end-to-end accounting of the warmup-sharing fast
         // path. The baseline estimate prices every restored point at
         // this sweep's mean measured warmup cost; when every warmup

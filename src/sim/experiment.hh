@@ -159,6 +159,19 @@ class ExperimentRunner
                                        //!< checkpoint flags)
         double warmupSeconds = 0;      //!< wall clock inside warmups
         double sweepSeconds = 0;       //!< wall clock of the sweep
+
+        /** Warmup sharing was active (the `warmupReuse` JSON block
+         *  is only meaningful — and only emitted — when true). */
+        bool reuseEnabled = false;
+
+        /** @name Simulation-throughput accounting (the `throughput`
+         *  JSON block): wall clock spent inside the measurement
+         *  windows and the work simulated in them. */
+        /// @{
+        double measureSeconds = 0;        //!< wall clock in measure
+        std::uint64_t simulatedCycles = 0; //!< measured-window cycles
+        std::uint64_t committedInsts = 0;  //!< insts committed in them
+        /// @}
     };
 
     /**
@@ -195,6 +208,11 @@ class ExperimentRunner
     Cycle measureCycles() const { return measure; }
 
   private:
+    /** run(point), additionally reporting the measure-phase wall
+     *  seconds when `measure_seconds` is non-null. */
+    ExperimentResult runTimed(const GridPoint &point,
+                              double *measure_seconds) const;
+
     Cycle warmup;
     Cycle measure;
     std::uint64_t seed;

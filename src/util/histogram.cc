@@ -15,8 +15,10 @@ void
 Histogram::sample(unsigned value)
 {
     unsigned idx = value;
-    if (idx >= bins.size())
+    if (idx >= bins.size()) {
         idx = static_cast<unsigned>(bins.size()) - 1;
+        ++overflow;
+    }
     ++bins[idx];
     ++total;
     weighted += value;
@@ -29,6 +31,7 @@ Histogram::reset()
         b = 0;
     total = 0;
     weighted = 0;
+    overflow = 0;
 }
 
 double
@@ -87,6 +90,7 @@ Histogram::save(CheckpointWriter &w) const
         w.u64(b);
     w.u64(total);
     w.u64(weighted);
+    w.u64(overflow);
 }
 
 void
@@ -101,6 +105,7 @@ Histogram::restore(CheckpointReader &r)
         b = r.u64();
     total = r.u64();
     weighted = r.u64();
+    overflow = r.u64();
 }
 
 } // namespace smt

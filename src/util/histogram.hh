@@ -20,7 +20,9 @@ class CheckpointWriter;
 /**
  * Histogram over small non-negative integer samples (e.g. instructions
  * delivered per fetch cycle, 0..16). Values above the configured max
- * are clamped into the top bucket.
+ * are clamped into the top bucket; overflows() counts how many
+ * samples were clamped, so consumers can tell true max-value samples
+ * from out-of-range ones.
  */
 class Histogram
 {
@@ -36,10 +38,19 @@ class Histogram
     /** Total number of samples recorded. */
     std::uint64_t count() const { return total; }
 
-    /** Sum of all sample values. */
+    /** Sum of all sample values (unclamped, see mean()). */
     std::uint64_t sum() const { return weighted; }
 
-    /** Arithmetic mean (0 if empty). */
+    /** Samples that exceeded the top bucket and were clamped. */
+    std::uint64_t overflows() const { return overflow; }
+
+    /**
+     * Arithmetic mean of the raw sample values (0 if empty).
+     * Overflowed samples contribute their unclamped value, so the
+     * mean is exact even when the bin distribution saturates — it
+     * can therefore exceed the top bucket index; check overflows()
+     * before reading the mean off the bins.
+     */
     double mean() const;
 
     /** Fraction of samples equal to v. */
@@ -70,6 +81,7 @@ class Histogram
     std::vector<std::uint64_t> bins;
     std::uint64_t total = 0;
     std::uint64_t weighted = 0;
+    std::uint64_t overflow = 0;
 };
 
 } // namespace smt

@@ -140,6 +140,13 @@ void
 JsonWriter::value(double v)
 {
     preValue();
+    // JSON has no NaN/Infinity literals — "%.17g" would print tokens
+    // jsonParse itself rejects. Emit null so the document stays
+    // parseable and the non-finite value is visible downstream.
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
     // %.17g round-trips any double exactly; determinism tests rely on
     // the rendering being reproducible bit for bit.
     char buf[40];

@@ -132,6 +132,7 @@ StatsRegistry::dumpJson(JsonWriter &jw) const
             jw.field("count", h.count());
             jw.field("sum", h.sum());
             jw.field("mean", h.mean());
+            jw.field("overflows", h.overflows());
             jw.key("bins");
             jw.beginArray();
             for (unsigned b = 0; b < h.buckets(); ++b)

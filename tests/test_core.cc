@@ -11,6 +11,7 @@
 #include "core/iq.hh"
 #include "core/params.hh"
 #include "core/rename.hh"
+#include "core/rob.hh"
 
 namespace smt
 {
@@ -205,6 +206,89 @@ TEST(RenameTest, ExhaustionReported)
     EXPECT_FALSE(ru.canAllocate(false));
 }
 
+// --- Reorder buffer ---------------------------------------------------
+
+TEST(RobTest, SquashLeavesSequenceHoles)
+{
+    // Regression for the Rob::find invariant: a squash pops the back
+    // WITHOUT rewinding the per-thread sequence counter (squashed
+    // numbers may still be referenced from the completion wheel, so
+    // reuse would alias old events onto new instructions). The next
+    // fetched instruction therefore continues past a gap and the live
+    // window is NOT contiguous — find() must still resolve live
+    // sequence numbers and reject squashed ones.
+    Rob rob(1, 16);
+    for (int i = 0; i < 3; ++i)
+        rob.create(0); // seqs 1..3
+    rob.popYoungest(0); // squash seq 3
+    rob.popYoungest(0); // squash seq 2
+    DynInst &refetched = rob.create(0);
+    EXPECT_EQ(refetched.seq, 4u); // continues past the gap
+    EXPECT_EQ(rob.size(0), 2u);   // window [1, 4] has a hole
+    ASSERT_NE(rob.find(0, 1), nullptr);
+    EXPECT_EQ(rob.find(0, 1)->seq, 1u);
+    EXPECT_EQ(rob.find(0, 2), nullptr); // squashed
+    EXPECT_EQ(rob.find(0, 3), nullptr); // squashed
+    EXPECT_EQ(rob.find(0, 4), &refetched);
+    EXPECT_EQ(rob.find(0, 5), nullptr); // never created
+}
+
+TEST(RobTest, DenseWindowLookupSurvivesRingWraparound)
+{
+    // Commit+create far past the ring capacity: slots are reused but
+    // the dense-window O(1) lookup stays exact at every step.
+    Rob rob(1, 8);
+    for (unsigned i = 0; i < 100; ++i) {
+        rob.create(0);
+        if (rob.size(0) == 8)
+            rob.popHead(0); // commit the oldest
+    }
+    InstSeqNum oldest = rob.head(0).seq;
+    InstSeqNum youngest = rob.youngest(0).seq;
+    EXPECT_EQ(youngest, 100u);
+    for (InstSeqNum s = oldest; s <= youngest; ++s) {
+        DynInst *inst = rob.find(0, s);
+        ASSERT_NE(inst, nullptr) << "seq " << s;
+        EXPECT_EQ(inst->seq, s);
+    }
+    EXPECT_EQ(rob.find(0, oldest - 1), nullptr);
+    EXPECT_EQ(rob.find(0, youngest + 1), nullptr);
+}
+
+TEST(RobTest, ReusedSlotsComeBackDefaultInitialized)
+{
+    Rob rob(1, 4);
+    DynInst &a = rob.create(0);
+    a.pc = 0x1234;
+    a.mispredicted = true;
+    a.stage = InstStage::Done;
+    rob.popHead(0);
+    // Four more creates wrap the ring onto a's old slot.
+    DynInst *last = nullptr;
+    for (int i = 0; i < 4; ++i)
+        last = &rob.create(0);
+    EXPECT_EQ(last->seq, 5u);
+    EXPECT_EQ(last->pc, invalidAddr);
+    EXPECT_FALSE(last->mispredicted);
+    EXPECT_EQ(last->stage, InstStage::Fetched);
+}
+
+TEST(RobTest, PerThreadListsAreIndependent)
+{
+    Rob rob(2, 8);
+    rob.create(0);
+    rob.create(1);
+    rob.create(1);
+    EXPECT_EQ(rob.size(0), 1u);
+    EXPECT_EQ(rob.size(1), 2u);
+    EXPECT_EQ(rob.youngest(1).seq, 2u); // own sequence space
+    EXPECT_EQ(rob.find(1, 2)->tid, 1);
+    rob.reset();
+    EXPECT_TRUE(rob.empty(0));
+    EXPECT_TRUE(rob.empty(1));
+    EXPECT_EQ(rob.create(0).seq, 1u); // counters rewound
+}
+
 // --- Issue queues -----------------------------------------------------
 
 TEST(IqTest, ClassMapping)
@@ -259,6 +343,47 @@ TEST(IqTest, SquashRemovesYounger)
     EXPECT_EQ(iqs.occupancy(IqClass::Int), 3u);
     EXPECT_EQ(iqs.threadOccupancy(0), 1u);
     EXPECT_EQ(iqs.threadOccupancy(1), 2u);
+}
+
+TEST(IqTest, IncrementalOccupancyCountersTrackEveryOperation)
+{
+    // threadOccupancy/totalOccupancy are incremental counters, not
+    // scans; they must agree with the queue contents after every
+    // kind of mutation (insert, pick, squash, clear).
+    IssueQueues iqs(8, 8, 8);
+    RenameUnit ru(96, 96, 2);
+    std::vector<DynInst> insts(6);
+    for (unsigned i = 0; i < 6; ++i) {
+        insts[i].tid = i % 2;
+        insts[i].seq = i + 1;
+        insts[i].op = i < 4 ? OpClass::IntAlu : OpClass::Load;
+        iqs.insert(&insts[i]);
+    }
+    EXPECT_EQ(iqs.totalOccupancy(), 6u);
+    EXPECT_EQ(iqs.threadOccupancy(0), 3u);
+    EXPECT_EQ(iqs.threadOccupancy(1), 3u);
+
+    // Pick drains ready instructions from both classes.
+    std::vector<DynInst *> picked;
+    iqs.pickReady(ru, /*int_fus=*/2, /*ldst_fus=*/1, /*fp_fus=*/1,
+                  picked);
+    ASSERT_EQ(picked.size(), 3u);
+    unsigned t0 = 0;
+    for (const DynInst *inst : picked)
+        t0 += inst->tid == 0 ? 1 : 0;
+    EXPECT_EQ(iqs.totalOccupancy(), 3u);
+    EXPECT_EQ(iqs.threadOccupancy(0), 3u - t0);
+    EXPECT_EQ(iqs.threadOccupancy(1), t0); // 3 - (3 - t0)
+
+    // Squash everything of thread 1 younger than seq 1.
+    iqs.squash(1, 1);
+    EXPECT_EQ(iqs.threadOccupancy(1),
+              iqs.totalOccupancy() - iqs.threadOccupancy(0));
+
+    iqs.clear();
+    EXPECT_EQ(iqs.totalOccupancy(), 0u);
+    EXPECT_EQ(iqs.threadOccupancy(0), 0u);
+    EXPECT_EQ(iqs.threadOccupancy(1), 0u);
 }
 
 TEST(IqTest, AgeOrderPreserved)

@@ -7,6 +7,8 @@
  * stall/flush counters.
  */
 
+#include <algorithm>
+#include <numeric>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -73,6 +75,60 @@ TEST(FetchPolicy, IcountTieBreakRotatesAcrossCycles)
     // Occupancy still dominates the rotation.
     EXPECT_EQ(rank(icount, 1, {2, 2, 0}),
               (std::vector<ThreadID>{2, 1, 0}));
+}
+
+TEST(FetchPolicy, IcountTieBreakProperty)
+{
+    // Property check over thread counts and random occupancies:
+    //  (a) with all threads tied, every thread gets top priority
+    //      exactly once across num_threads consecutive cycles;
+    //  (b) any ordering is exactly the stable sort by icount with the
+    //      documented rotating tie-break (the reference comparator
+    //      below) — ties never reorder unequal counts, and the
+    //      allocation-free insertion sort must match std::stable_sort
+    //      bit for bit.
+    IcountPolicy icount;
+    std::vector<ThreadID> out;
+    for (unsigned n : {2u, 3u, 5u, 8u}) {
+        std::vector<std::uint32_t> tied(n, 7);
+        std::vector<unsigned> tops(n, 0);
+        for (Cycle now = 0; now < n; ++now) {
+            icount.order(now, tied.data(), n, out);
+            ASSERT_EQ(out.size(), n);
+            ++tops[out.front()];
+        }
+        for (unsigned t = 0; t < n; ++t)
+            EXPECT_EQ(tops[t], 1u)
+                << "thread " << t << " of " << n
+                << " was not top priority exactly once";
+
+        std::uint64_t rng = 0x9e3779b97f4a7c15ULL + n;
+        for (Cycle now = 0; now < 4 * n; ++now) {
+            std::vector<std::uint32_t> counts(n);
+            for (auto &c : counts) {
+                rng = rng * 6364136223846793005ULL +
+                      1442695040888963407ULL;
+                c = static_cast<std::uint32_t>((rng >> 33) % 4);
+            }
+            icount.order(now, counts.data(), n, out);
+            ASSERT_EQ(out.size(), n);
+
+            std::vector<ThreadID> ref(n);
+            std::iota(ref.begin(), ref.end(), ThreadID{0});
+            unsigned rotate = static_cast<unsigned>(now % n);
+            std::stable_sort(
+                ref.begin(), ref.end(),
+                [&](ThreadID a, ThreadID b) {
+                    if (counts[a] != counts[b])
+                        return counts[a] < counts[b];
+                    return (a + n - rotate) % n < (b + n - rotate) % n;
+                });
+            EXPECT_EQ(out, ref)
+                << "cycle " << now << ", " << n << " threads";
+            for (unsigned i = 1; i < n; ++i)
+                EXPECT_LE(counts[out[i - 1]], counts[out[i]]);
+        }
+    }
 }
 
 TEST(FetchPolicy, RoundRobinIgnoresOccupancy)

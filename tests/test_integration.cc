@@ -87,7 +87,7 @@ TEST_P(FullSimGrid, ResourceAccountingConserved)
     unsigned in_flight_dsts = 0;
     for (unsigned t = 0; t < cfg.core.numThreads; ++t) {
         for (std::size_t i = 0; i < core.inFlight(t); ++i) {
-            // in-flight instructions are in the ROB deques
+            // in-flight instructions are in the ROB rings
         }
     }
     // Drain the machine: stop fetching new work by running the clock

@@ -5,6 +5,8 @@
  * context.
  */
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -96,6 +98,43 @@ TEST(JsonParser, RoundTripsWriterOutput)
     EXPECT_EQ(jsonParse(once).dump(), once);
     std::string pretty = doc.dump(2);
     EXPECT_EQ(jsonParse(pretty).dump(2), pretty);
+}
+
+TEST(JsonParser, NonFiniteDoublesEmitNullAndRoundTrip)
+{
+    // JSON has no NaN/Infinity literals; a literal "nan"/"inf" token
+    // would be rejected by jsonParse itself. The writer must emit
+    // null instead so every document it produces stays parseable.
+    std::ostringstream os;
+    JsonWriter jw(os, /*indent_step=*/0);
+    jw.beginObject();
+    jw.field("nan", std::nan(""));
+    jw.field("posInf", std::numeric_limits<double>::infinity());
+    jw.field("negInf", -std::numeric_limits<double>::infinity());
+    jw.field("finite", 2.5);
+    jw.endObject();
+
+    JsonValue doc = jsonParse(os.str());
+    EXPECT_TRUE(doc.find("nan")->isNull());
+    EXPECT_TRUE(doc.find("posInf")->isNull());
+    EXPECT_TRUE(doc.find("negInf")->isNull());
+    EXPECT_DOUBLE_EQ(doc.find("finite")->asNumber(), 2.5);
+
+    std::string once = doc.dump();
+    EXPECT_EQ(jsonParse(once).dump(), once);
+}
+
+TEST(JsonParser, NonFiniteDoublesInArraysEmitNull)
+{
+    std::ostringstream os;
+    JsonWriter jw(os, /*indent_step=*/0);
+    jw.beginArray();
+    jw.value(std::numeric_limits<double>::quiet_NaN());
+    jw.value(1.0);
+    jw.endArray();
+    JsonValue doc = jsonParse(os.str());
+    EXPECT_TRUE(doc.asArray()[0].isNull());
+    EXPECT_DOUBLE_EQ(doc.asArray()[1].asNumber(), 1.0);
 }
 
 TEST(JsonParser, RoundTripsEscapedStrings)

@@ -12,6 +12,7 @@
 #include "util/bitfield.hh"
 #include "util/histogram.hh"
 #include "util/random.hh"
+#include "util/ring_buffer.hh"
 #include "util/sat_counter.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -152,6 +153,54 @@ TEST(SatCounter, IsSaturated)
     EXPECT_FALSE(d.isSaturated());
 }
 
+TEST(RingBuffer, FifoOrderAcrossWraparound)
+{
+    RingBuffer<int> rb(3); // slot array rounds up to 4
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.capacity(), 3u);
+    int next = 0, expect = 0;
+    for (int round = 0; round < 10; ++round) {
+        while (!rb.full())
+            rb.push_back(next++);
+        EXPECT_EQ(rb.size(), 3u);
+        EXPECT_EQ(rb.front(), expect);
+        EXPECT_EQ(rb.back(), next - 1);
+        rb.pop_front();
+        ++expect;
+    }
+    EXPECT_EQ(rb[0], expect);
+    EXPECT_EQ(rb[1], expect + 1);
+}
+
+TEST(RingBuffer, PopBackAndClear)
+{
+    RingBuffer<int> rb(4);
+    for (int i = 0; i < 4; ++i)
+        rb.push_back(i);
+    rb.pop_back();
+    EXPECT_EQ(rb.back(), 2);
+    EXPECT_EQ(rb.size(), 3u);
+    rb.clear();
+    EXPECT_TRUE(rb.empty());
+    rb.push_back(7); // usable after clear
+    EXPECT_EQ(rb.front(), 7);
+}
+
+TEST(RingBuffer, EmplaceBackResetsReusedSlots)
+{
+    struct Payload
+    {
+        int v = -1;
+    };
+    RingBuffer<Payload> rb(2);
+    rb.emplace_back().v = 42;
+    rb.pop_front();
+    rb.emplace_back();
+    rb.emplace_back(); // wraps onto the old slot
+    EXPECT_EQ(rb[0].v, -1);
+    EXPECT_EQ(rb[1].v, -1);
+}
+
 TEST(Histogram, MeanAndFractions)
 {
     Histogram h(16);
@@ -172,14 +221,41 @@ TEST(Histogram, ClampsOverflowToTopBucket)
     h.sample(100);
     EXPECT_EQ(h.at(8), 1u);
     EXPECT_EQ(h.sum(), 100u); // mean uses true values
+    EXPECT_EQ(h.overflows(), 1u);
+}
+
+TEST(Histogram, OverflowCountSeparatesClampedFromTrueMax)
+{
+    Histogram h(8);
+    h.sample(8);  // true top-bucket sample
+    h.sample(9);  // clamped
+    h.sample(20); // clamped
+    EXPECT_EQ(h.at(8), 3u); // bins alone cannot tell them apart...
+    EXPECT_EQ(h.overflows(), 2u); // ...the overflow count can
+    EXPECT_EQ(h.count(), 3u);
+    // The mean stays exact (raw values, not the clamped bins), so it
+    // may exceed the top bucket when overflows are present.
+    EXPECT_DOUBLE_EQ(h.mean(), (8.0 + 9.0 + 20.0) / 3.0);
+    EXPECT_GT(h.mean(), 8.0);
+}
+
+TEST(Histogram, InRangeSamplesDoNotCountAsOverflow)
+{
+    Histogram h(4);
+    for (unsigned v = 0; v <= 4; ++v)
+        h.sample(v);
+    EXPECT_EQ(h.overflows(), 0u);
+    EXPECT_EQ(h.at(4), 1u);
 }
 
 TEST(Histogram, ResetClears)
 {
     Histogram h(4);
     h.sample(2);
+    h.sample(99);
     h.reset();
     EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.overflows(), 0u);
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Validate BENCH_*.json records emitted by smtsim / the bench binaries.
 
-Checks the smtfetch-bench-v1 schema, rejects NaN/zero throughput and
-empty stats, and (with --spec) cross-checks that every grid point the
-experiment spec expands to is present in the record, so a silently
-dropped series fails CI.
+Checks the smtfetch-bench-v1 schema, rejects NaN/zero metrics and
+empty stats, validates the optional `warmupReuse` and `throughput`
+blocks (require them with --require-warmup-reuse /
+--require-throughput), and (with --spec) cross-checks that every grid
+point the experiment spec expands to is present in the record, so a
+silently dropped series fails CI.
 
 Usage:
   check_bench.py BENCH_fig4_two_threads.json
@@ -92,6 +94,45 @@ def check_metrics(metrics):
     for name, value in metrics.items():
         if bad_number(value):
             raise CheckFailure(f"metric '{name}' is not a finite number: {value!r}")
+
+
+THROUGHPUT_SECONDS = ("wallSeconds", "measureSeconds")
+THROUGHPUT_COUNTS = ("simulatedCycles", "committedInsts")
+THROUGHPUT_RATES = ("mcyclesPerSecond", "mips")
+
+
+def check_throughput(tp, results):
+    """Validate the simulation-throughput block a timed sweep emits."""
+    if not isinstance(tp, dict):
+        raise CheckFailure("'throughput' must be an object")
+    for key in THROUGHPUT_SECONDS + THROUGHPUT_COUNTS + THROUGHPUT_RATES:
+        value = tp.get(key)
+        if bad_number(value):
+            raise CheckFailure(
+                f"throughput.{key} is not a finite number: {value!r}"
+            )
+        if value <= 0:
+            raise CheckFailure(
+                f"throughput.{key} must be positive, got {value!r}"
+            )
+    for key in THROUGHPUT_COUNTS:
+        if not isinstance(tp[key], int):
+            raise CheckFailure(
+                f"throughput.{key} must be an integer, got {tp[key]!r}"
+            )
+    if results:
+        cycles = [r.get("measureCycles") for r in results]
+        if any(bad_number(c) for c in cycles):
+            raise CheckFailure(
+                "cannot cross-check throughput.simulatedCycles: a "
+                "result's measureCycles is not a finite number"
+            )
+        expected_cycles = sum(cycles)
+        if tp["simulatedCycles"] != expected_cycles:
+            raise CheckFailure(
+                f"throughput.simulatedCycles is {tp['simulatedCycles']} "
+                f"but the results' measure windows sum to {expected_cycles}"
+            )
 
 
 WARMUP_REUSE_COUNTS = (
@@ -269,6 +310,14 @@ def check_file(path, args):
     if "warmupReuse" in doc:
         check_warmup_reuse(doc["warmupReuse"], len(results))
 
+    if args.require_throughput and "throughput" not in doc:
+        raise CheckFailure(
+            "record has no 'throughput' block (was it produced by an "
+            "smtsim new enough to time its sweeps?)"
+        )
+    if "throughput" in doc:
+        check_throughput(doc["throughput"], results)
+
     for i, result in enumerate(results):
         check_result(i, result)
     if len(results) < args.min_results:
@@ -303,6 +352,13 @@ def main():
         help="fail unless the record carries the warmup-sharing timing "
         "block a checkpointed sweep emits",
     )
+    parser.add_argument(
+        "--require-throughput",
+        action="store_true",
+        help="fail unless the record carries the simulation-throughput "
+        "block (wall seconds, Mcycles/s, MIPS) and its values are "
+        "finite and nonzero",
+    )
     args = parser.parse_args()
 
     if args.spec and len(args.files) != 1:
@@ -312,7 +368,7 @@ def main():
     for path in args.files:
         try:
             summary = check_file(path, args)
-        except (CheckFailure, OSError, KeyError, ValueError) as e:
+        except (CheckFailure, OSError, KeyError, TypeError, ValueError) as e:
             print(f"FAIL {path}: {e}")
             failed = True
         else:

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Warn-only simulation-throughput delta report between bench records.
+
+Compares the `throughput` block (Mcycles/s, MIPS, wall seconds) of a
+current BENCH_*.json record against the same-named record from a
+previous run (the perf-smoke CI job feeds it the prior run's artifact
+via the actions cache). Intended as a trend report, not a gate: CI
+wall clocks are noisy, so by default every outcome exits 0 and big
+regressions only print a loud warning. Pass --fail-below <ratio> to
+turn it into a gate (e.g. local A/B runs on a quiet host).
+
+Usage:
+  compare_throughput.py --previous prev/BENCH_fig2.json \\
+      current/BENCH_fig2.json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+METRICS = ("mcyclesPerSecond", "mips")
+
+
+def load_throughput(path):
+    """The record's throughput block, or None if it has none (e.g. a
+    record produced before the block existed — skippable, not fatal:
+    check_bench --require-throughput is the schema gate)."""
+    with open(path) as f:
+        doc = json.load(f)
+    block = doc.get("throughput")
+    return block if isinstance(block, dict) else None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="BENCH_*.json from this run")
+    parser.add_argument(
+        "--previous",
+        required=True,
+        help="same bench's record from the previous run; a missing "
+        "file is reported and skipped (first run, cache miss)",
+    )
+    parser.add_argument(
+        "--fail-below",
+        type=float,
+        default=0.0,
+        metavar="RATIO",
+        help="exit nonzero when current/previous Mcycles/s drops "
+        "below RATIO (default 0: warn only)",
+    )
+    args = parser.parse_args()
+
+    if not os.path.exists(args.previous):
+        print(
+            f"NOTE {args.current}: no previous record at "
+            f"{args.previous} — nothing to compare (first run?)"
+        )
+        return 0
+
+    cur = load_throughput(args.current)
+    prev = load_throughput(args.previous)
+    if cur is None or prev is None:
+        which = args.current if cur is None else args.previous
+        print(f"NOTE {which}: record has no 'throughput' block — "
+              "nothing to compare")
+        return 0
+
+    status = 0
+    for metric in METRICS:
+        c, p = cur.get(metric), prev.get(metric)
+        if not c or not p:
+            which = "current" if not c else "previous"
+            print(f"NOTE {metric}: {which} record lacks it, skipping")
+            continue
+        ratio = c / p
+        line = (
+            f"{metric}: {p:.3f} -> {c:.3f} "
+            f"({(ratio - 1.0) * 100.0:+.1f}%)"
+        )
+        if metric == "mcyclesPerSecond" and args.fail_below > 0.0 and (
+            ratio < args.fail_below
+        ):
+            print(f"FAIL {line} — below --fail-below {args.fail_below}")
+            status = 1
+        elif ratio < 0.8:
+            print(f"WARN {line} — large slowdown (noisy host, or a "
+                  f"real hot-loop regression?)")
+        else:
+            print(f"OK   {line}")
+    print(
+        f"wall {prev.get('wallSeconds', 0):.2f}s -> "
+        f"{cur.get('wallSeconds', 0):.2f}s, measure "
+        f"{prev.get('measureSeconds', 0):.2f}s -> "
+        f"{cur.get('measureSeconds', 0):.2f}s"
+    )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
