@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/exec.hh"
 #include "core/iq.hh"
 #include "core/rename.hh"
 #include "core/rob.hh"
@@ -174,5 +175,43 @@ BM_CoreCycle(benchmark::State &state)
         benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_CoreCycle);
+
+static void
+BM_NextEventScan(benchmark::State &state)
+{
+    // The sleep-path wheel scan with a distant wake-up: a lone
+    // long-latency completion 1000 slots away makes the scan walk
+    // ~1000 empty slots, the worst realistic case (DRAM-bound spans).
+    CoreParams params;
+    params.fpLatency = 1'000;
+    MemoryHierarchy mem{params.memory};
+    ExecUnit exec(params, mem);
+    DynInst inst;
+    inst.tid = 0;
+    inst.seq = 1;
+    inst.op = OpClass::FpAlu;
+    Cycle now = 0;
+    exec.issue(inst, now);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(exec.nextEventCycle(now));
+}
+BENCHMARK(BM_NextEventScan);
+
+static void
+BM_QuiescenceCheck(benchmark::State &state)
+{
+    // The per-cycle skip gate on a live core: every stage's no-op
+    // predicate plus the issue-queue ready scan. This is pure
+    // overhead on busy cycles, so it must stay cheap relative to
+    // BM_CoreCycle.
+    SimConfig cfg = table3Config("2_MEM", EngineKind::GshareBtb, 2, 8);
+    cfg.core.longLoadPolicy = LongLoadPolicy::Stall;
+    Simulator sim(cfg);
+    sim.runExtra(10'000); // prime
+    auto &core = sim.core();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core.quiescent());
+}
+BENCHMARK(BM_QuiescenceCheck);
 
 BENCHMARK_MAIN();

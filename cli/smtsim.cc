@@ -43,6 +43,7 @@ struct Options
     std::string restoreCheckpointPath;
     bool checkpointWarmup = false;
     std::string checkpointDir;
+    bool noCycleSkip = false;
     std::optional<Cycle> warmup;
     std::optional<Cycle> measure;
     std::optional<std::uint64_t> seed;
@@ -97,6 +98,11 @@ usage(std::FILE *out)
         "                 persist warmup snapshots in DIR and reuse\n"
         "                 them across sweeps (implies\n"
         "                 --checkpoint-warmup)\n"
+        "  --no-cycle-skip\n"
+        "                 tick every cycle instead of fast-\n"
+        "                 forwarding over quiescent spans (debug\n"
+        "                 escape hatch; results are bit-identical\n"
+        "                 either way, only slower)\n"
         "  -h, --help     show this help\n");
 }
 
@@ -168,6 +174,8 @@ runOne(const Options &opt, const std::string &arg)
         spec.measureCycles = *opt.measure;
     if (opt.seed)
         spec.seed = *opt.seed;
+    if (opt.noCycleSkip)
+        spec.cycleSkip = false;
     if (spec.measureCycles == 0) {
         std::fprintf(stderr,
                      "smtsim: --measure must be positive\n");
@@ -350,6 +358,8 @@ main(int argc, char **argv)
             opt.checkpointWarmup = true;
         } else if (arg == "--checkpoint-dir") {
             opt.checkpointDir = next();
+        } else if (arg == "--no-cycle-skip") {
+            opt.noCycleSkip = true;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "smtsim: unknown option %s\n",
                          arg.c_str());

@@ -63,6 +63,15 @@ ExecUnit::completionsAt(
     slot.clear();
 }
 
+Cycle
+ExecUnit::nextEventCycle(Cycle now) const
+{
+    for (Cycle d = 1; d < wheelSize; ++d)
+        if (!wheel[(now + d) % wheelSize].empty())
+            return now + d;
+    return now;
+}
+
 void
 ExecUnit::reset()
 {

@@ -44,6 +44,21 @@ class ExecUnit
     void completionsAt(Cycle now,
                        std::vector<std::pair<ThreadID, InstSeqNum>> &out);
 
+    /** Anything scheduled to complete exactly at `now`? */
+    bool
+    pendingAt(Cycle now) const
+    {
+        return !wheel[now % wheelSize].empty();
+    }
+
+    /**
+     * Earliest cycle strictly after `now` with a scheduled
+     * completion, or `now` itself when the wheel is empty. Every
+     * live event lies within one wheel revolution of its issue
+     * cycle (issue() panics otherwise), so one scan is exhaustive.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     void reset();
 
     /** @name Checkpoint serialization (sim/checkpoint.hh). */

@@ -147,6 +147,58 @@ class FrontEnd
         return threads[tid].memStallUntil > now;
     }
 
+    /** @name Cycle-skip support (core/smt_core.cc).
+     *
+     * The two quiescence predicates mirror the per-thread skip
+     * conditions of predictionStage/fetchStage exactly: when they
+     * hold, a tick of the corresponding stage touches nothing — no
+     * predictor access, no I-cache access, no stat. They are
+     * time-varying only through the three per-thread stall deadlines,
+     * which nextDeadlineAfter exposes as wake-up events.
+     */
+    /// @{
+    /** Would predictionStage(now) be a pure no-op? */
+    bool
+    predictQuiescent(Cycle now) const
+    {
+        for (const ThreadState &ts : threads)
+            if (ts.active && ts.predictStallUntil <= now &&
+                ts.memStallUntil <= now && !ts.ftq.full())
+                return false;
+        return true;
+    }
+
+    /** Would fetchStage(now) attempt no I-cache access? (The
+     *  buffer-full gate is the caller's to check: it bumps a
+     *  counter, which SmtCore folds across skipped spans.) */
+    bool
+    fetchQuiescent(Cycle now) const
+    {
+        for (const ThreadState &ts : threads)
+            if (ts.active && !ts.ftq.empty() &&
+                ts.icacheBlockedUntil <= now && ts.memStallUntil <= now)
+                return false;
+        return true;
+    }
+
+    /** Earliest per-thread stall deadline strictly after `now`
+     *  (I-cache fill, redirect release, long-load stall release), or
+     *  `now` itself when no deadline is pending. */
+    Cycle
+    nextDeadlineAfter(Cycle now) const
+    {
+        Cycle best = now;
+        for (const ThreadState &ts : threads) {
+            for (Cycle d : {ts.icacheBlockedUntil, ts.predictStallUntil,
+                            ts.memStallUntil}) {
+                if (d > now && (best == now || d < best))
+                    best = d;
+            }
+        }
+        return best;
+    }
+    /// @}
+
     /** @name Introspection (tests, diagnostics). */
     /// @{
     Addr predPc(ThreadID tid) const { return threads[tid].predPc; }

@@ -94,6 +94,16 @@ IssueQueues::pickReady(const RenameUnit &rename, unsigned int_fus,
     }
 }
 
+bool
+IssueQueues::hasReady(const RenameUnit &rename) const
+{
+    for (const auto *q : {&intQ, &ldstQ, &fpQ})
+        for (const DynInst *inst : *q)
+            if (rename.sourcesReady(*inst))
+                return true;
+    return false;
+}
+
 void
 IssueQueues::squash(ThreadID tid, InstSeqNum seq)
 {

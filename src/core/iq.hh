@@ -55,6 +55,9 @@ class IssueQueues
                    unsigned ldst_fus, unsigned fp_fus,
                    std::vector<DynInst *> &out);
 
+    /** Would pickReady() select anything right now? */
+    bool hasReady(const RenameUnit &rename) const;
+
     /** Remove all instructions of `tid` younger than `seq`. */
     void squash(ThreadID tid, InstSeqNum seq);
 

@@ -85,6 +85,14 @@ struct CoreParams
     Cycle longLoadThreshold = 30;
     /// @}
 
+    /**
+     * Event-driven fast-forward over globally quiescent cycles
+     * (simulation speed only — results are bit-identical either way;
+     * excluded from warmupConfigKey for that reason). Off = tick
+     * every cycle (smtsim --no-cycle-skip).
+     */
+    bool cycleSkip = true;
+
     MemoryParams memory{};
 
     /** Policy-string rendering, e.g. "ICOUNT.2.8". */

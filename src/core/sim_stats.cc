@@ -36,6 +36,9 @@ SimStats::save(CheckpointWriter &w) const
     w.u64(dispatched);
     w.u64(issued);
     w.u64(longLoadEvents);
+    w.u64(cyclesSkipped);
+    w.u64(sleepEvents);
+    w.u64(maxSkipSpan);
 }
 
 void
@@ -69,6 +72,9 @@ SimStats::restore(CheckpointReader &r)
     dispatched = r.u64();
     issued = r.u64();
     longLoadEvents = r.u64();
+    cyclesSkipped = r.u64();
+    sleepEvents = r.u64();
+    maxSkipSpan = r.u64();
 }
 
 } // namespace smt

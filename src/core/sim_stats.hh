@@ -78,6 +78,15 @@ struct SimStats
     std::uint64_t longLoadEvents = 0;
     /// @}
 
+    /** @name Cycle skipping (simulation-speed telemetry: cycles the
+     *  event-driven fast-forward jumped over instead of ticking;
+     *  deliberately outside the architectural counters above). */
+    /// @{
+    std::uint64_t cyclesSkipped = 0;
+    std::uint64_t sleepEvents = 0;  //!< quiescent spans fast-forwarded
+    std::uint64_t maxSkipSpan = 0;  //!< longest single jump, cycles
+    /// @}
+
     /** Commit throughput in instructions per cycle. */
     double
     ipc() const

@@ -80,6 +80,18 @@ SmtCore::registerStats()
         "sim.branchMispredictRate",
         "mispredicts per committed CTI",
         [this]() { return simStats.branchMispredictRate(); });
+    // Cycle-skip telemetry: simulation-speed counters, not
+    // architecture. Tests comparing skip-on vs skip-off registry
+    // dumps exclude exactly the sim.cycleSkip.* prefix.
+    statsRegistry.addCounter("sim.cycleSkip.cyclesSkipped",
+                             "cycles fast-forwarded instead of ticked",
+                             &simStats.cyclesSkipped);
+    statsRegistry.addCounter("sim.cycleSkip.sleepEvents",
+                             "quiescent spans fast-forwarded",
+                             &simStats.sleepEvents);
+    statsRegistry.addCounter("sim.cycleSkip.maxSkipSpan",
+                             "longest single fast-forward jump",
+                             &simStats.maxSkipSpan);
     for (unsigned t = 0; t < coreParams.numThreads; ++t) {
         ThreadID tid = static_cast<ThreadID>(t);
         statsRegistry.addFormula(
@@ -110,11 +122,120 @@ SmtCore::cycle()
     ++simStats.cycles;
 }
 
+bool
+SmtCore::quiescentAt(Cycle now)
+{
+    const unsigned n = coreParams.numThreads;
+
+    // Execute/writeback: a completion (stale squashed entries
+    // included — writeback drains them) makes this cycle live.
+    if (exec.pendingAt(now))
+        return false;
+
+    for (unsigned t = 0; t < n; ++t) {
+        ThreadID tid = static_cast<ThreadID>(t);
+
+        // Commit: a Done ROB head retires this cycle.
+        if (!rob.empty(tid) && rob.head(tid).stage == InstStage::Done)
+            return false;
+
+        // Decode: fetch buffer drains into a non-full decode latch.
+        if (state.fetchBuffer.front(tid) != nullptr &&
+            state.decodeQ[t].size() < coreParams.decodeWidth)
+            return false;
+
+        // Rename: decode latch drains into a non-full rename latch.
+        if (!state.decodeQ[t].empty() &&
+            state.renameQ[t].size() < coreParams.decodeWidth)
+            return false;
+
+        // Dispatch: the thread's head instruction moves unless it
+        // hits a structural hazard (mirrors DispatchStage::tick).
+        if (!state.renameQ[t].empty()) {
+            DynInst *inst = state.renameQ[t].front();
+            bool needs_reg =
+                inst->si != nullptr && inst->si->dst != invalidReg;
+            bool blocked =
+                state.robCount[t] >= coreParams.robEntries ||
+                !iqs.hasSpace(iqClassFor(inst->op)) ||
+                (needs_reg && !rename.canAllocate(usesFpRegs(inst->op)));
+            if (!blocked)
+                return false;
+        }
+    }
+
+    // Predict: some thread is eligible for a block prediction.
+    if (!front->predictQuiescent(now))
+        return false;
+
+    // Fetch: with room for a fetch group, some thread would access
+    // the I-cache. (Buffer-full cycles only bump a counter, which
+    // skipTo folds across the span.)
+    if (state.fetchBuffer.free() >= coreParams.fetchWidth &&
+        !front->fetchQuiescent(now))
+        return false;
+
+    // Issue: a waiting instruction with ready sources would issue.
+    // The scan is the most expensive check, so it runs last.
+    return !iqs.hasReady(rename);
+}
+
+Cycle
+SmtCore::nextWakeCycle(Cycle now, Cycle limit) const
+{
+    Cycle wake = limit;
+    if (Cycle e = exec.nextEventCycle(now); e > now && e < wake)
+        wake = e;
+    if (Cycle d = front->nextDeadlineAfter(now); d > now && d < wake)
+        wake = d;
+    return wake;
+}
+
+void
+SmtCore::skipTo(Cycle target)
+{
+    const Cycle span = target - state.currentCycle;
+    const unsigned n = coreParams.numThreads;
+
+    state.currentCycle = target;
+    simStats.cycles += span;
+
+    // Fold the per-tick side effects of the otherwise-dead stages:
+    // the commit/front rotation counters advance unconditionally,
+    // and a full fetch buffer charges fetchBufferFullCycles.
+    state.commitRotate =
+        static_cast<unsigned>((state.commitRotate + span) % n);
+    state.frontRotate =
+        static_cast<unsigned>((state.frontRotate + span) % n);
+    if (state.fetchBuffer.free() < coreParams.fetchWidth)
+        simStats.fetchBufferFullCycles += span;
+
+    simStats.cyclesSkipped += span;
+    ++simStats.sleepEvents;
+    if (span > simStats.maxSkipSpan)
+        simStats.maxSkipSpan = span;
+}
+
 void
 SmtCore::run(Cycle cycles)
 {
-    for (Cycle i = 0; i < cycles; ++i)
+    if (!coreParams.cycleSkip) {
+        for (Cycle i = 0; i < cycles; ++i)
+            cycle();
+        return;
+    }
+    const Cycle end = state.currentCycle + cycles;
+    while (state.currentCycle < end) {
+        if (quiescentAt(state.currentCycle)) {
+            // Nothing can happen until the next event; jump there
+            // (clamped to the window so a run() boundary — e.g. the
+            // warmup/measure split — lands on the same cycle as the
+            // ticked loop would).
+            skipTo(nextWakeCycle(state.currentCycle, end));
+            continue;
+        }
         cycle();
+    }
 }
 
 void

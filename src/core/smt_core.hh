@@ -51,8 +51,23 @@ class SmtCore
     /** Advance the pipeline one clock. */
     void cycle();
 
-    /** Run for the given number of cycles. */
+    /**
+     * Run for the given number of cycles. With params().cycleSkip
+     * set (the default) the loop fast-forwards over globally
+     * quiescent spans: whenever the next tick would be a pure no-op
+     * for every stage, it jumps straight to the earliest wake-up
+     * event (completion-wheel entry or front-end stall deadline),
+     * folding the skipped cycles into the stats exactly as if they
+     * had been ticked. Results are bit-identical either way.
+     */
     void run(Cycle cycles);
+
+    /**
+     * Would ticking the pipeline right now change any architectural
+     * or statistical state? (Cycle-skip predicate; public for tests
+     * and microbenchmarks.)
+     */
+    bool quiescent() { return quiescentAt(state.currentCycle); }
 
     /** Measurement counters (clearable mid-run for warmup). */
     SimStats &stats() { return simStats; }
@@ -135,6 +150,18 @@ class SmtCore
   private:
     /** Instantiate the nine stages in tick (reverse-pipeline) order. */
     void buildStages();
+
+    /** @name Event-driven cycle skipping (see run()). */
+    /// @{
+    /** Per-stage no-op check for a hypothetical tick at `now`. */
+    bool quiescentAt(Cycle now);
+
+    /** Earliest event cycle in (now, limit]; `limit` when none. */
+    Cycle nextWakeCycle(Cycle now, Cycle limit) const;
+
+    /** Jump from now() to `target`, folding the span into stats. */
+    void skipTo(Cycle target);
+    /// @}
 
     /** Register core-level stats and formulas (IPC, IPFC). */
     void registerStats();

@@ -52,9 +52,10 @@ class CheckpointError : public std::runtime_error
 /**
  * The checkpoint format revision this build reads and writes.
  * History: v2 added the explicit overflow count to the Histogram
- * payload (a v1 checkpoint fails restore with a re-save-it error).
+ * payload; v3 appended the cycle-skip counters to the SimStats
+ * payload (older checkpoints fail restore with a re-save-it error).
  */
-constexpr std::uint16_t checkpointFormatVersion = 2;
+constexpr std::uint16_t checkpointFormatVersion = 3;
 
 /** Binary file magic ("SMTCKPT" + NUL). */
 constexpr char checkpointMagic[8] = {'S', 'M', 'T', 'C',

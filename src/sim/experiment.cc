@@ -186,8 +186,9 @@ RunOverrides::writeJson(JsonWriter &jw) const
 }
 
 ExperimentRunner::ExperimentRunner(Cycle warmup, Cycle measure,
-                                   std::uint64_t seed)
-    : warmup(warmup), measure(measure), seed(seed)
+                                   std::uint64_t seed, bool cycle_skip)
+    : warmup(warmup), measure(measure), seed(seed),
+      cycleSkip(cycle_skip)
 {
 }
 
@@ -205,12 +206,13 @@ namespace
 
 SimConfig
 configForPoint(const ExperimentRunner::GridPoint &point, Cycle warmup,
-               Cycle measure, std::uint64_t seed)
+               Cycle measure, std::uint64_t seed, bool cycle_skip)
 {
     SimConfig cfg =
         table3Config(point.workload, point.engine, point.fetchThreads,
                      point.fetchWidth, point.policy);
     point.overrides.apply(cfg.core);
+    cfg.core.cycleSkip = cycle_skip;
     cfg.warmupCycles = warmup;
     cfg.measureCycles = measure;
     cfg.seed = seed;
@@ -267,7 +269,8 @@ ExperimentResult
 ExperimentRunner::runTimed(const GridPoint &point,
                            double *measure_seconds) const
 {
-    SimConfig cfg = configForPoint(point, warmup, measure, seed);
+    SimConfig cfg =
+        configForPoint(point, warmup, measure, seed, cycleSkip);
     Simulator sim(cfg);
     if (!point.restoreCheckpointPath.empty()) {
         sim.restoreCheckpoint(point.restoreCheckpointPath);
@@ -314,6 +317,10 @@ ExperimentRunner::runAll(const std::vector<GridPoint> &points,
         for (const auto &r : results) {
             local.simulatedCycles += r.measureCycles;
             local.committedInsts += r.stats.instsCommitted;
+            local.cyclesSkipped += r.stats.cyclesSkipped;
+            local.sleepEvents += r.stats.sleepEvents;
+            if (r.stats.maxSkipSpan > local.maxSkipSpan)
+                local.maxSkipSpan = r.stats.maxSkipSpan;
         }
         local.sweepSeconds = secondsSince(sweep_start);
         if (timing != nullptr)
@@ -351,7 +358,8 @@ ExperimentRunner::runAll(const std::vector<GridPoint> &points,
             continue;
         }
         std::string key =
-            warmupConfigKey(configForPoint(p, warmup, measure, seed));
+            warmupConfigKey(
+                configForPoint(p, warmup, measure, seed, cycleSkip));
         auto [it, inserted] =
             keyToGroup.emplace(key, groups.size());
         if (inserted)
@@ -409,7 +417,8 @@ ExperimentRunner::runAll(const std::vector<GridPoint> &points,
                 double group_measure_sec = 0;
                 for (std::size_t i : group.indices) {
                     Simulator sim(configForPoint(points[i], warmup,
-                                                 measure, seed));
+                                                 measure, seed,
+                                                 cycleSkip));
                     sim.restoreCheckpoint(cache_file);
                     group_measure_sec += measurePoint(i, sim);
                     ++restored;
@@ -430,7 +439,8 @@ ExperimentRunner::runAll(const std::vector<GridPoint> &points,
         // restore the snapshot.
         std::size_t first = group.indices.front();
         Simulator sim(
-            configForPoint(points[first], warmup, measure, seed));
+            configForPoint(points[first], warmup, measure, seed,
+                           cycleSkip));
         auto warmup_start = SteadyClock::now();
         sim.runWarmup();
         double warmup_sec = secondsSince(warmup_start);
@@ -483,7 +493,8 @@ ExperimentRunner::runAll(const std::vector<GridPoint> &points,
         for (std::size_t k = 1; k < group.indices.size(); ++k) {
             std::size_t i = group.indices[k];
             Simulator rest(
-                configForPoint(points[i], warmup, measure, seed));
+                configForPoint(points[i], warmup, measure, seed,
+                               cycleSkip));
             if (cache_written)
                 rest.restoreCheckpoint(cache_file);
             else
@@ -585,6 +596,9 @@ ExperimentRunner::writeJson(
         jw.field("mips", timing->measureSeconds > 0.0
                              ? minsts / timing->measureSeconds
                              : 0.0);
+        jw.field("cyclesSkipped", timing->cyclesSkipped);
+        jw.field("sleepEvents", timing->sleepEvents);
+        jw.field("maxSkipSpan", timing->maxSkipSpan);
         jw.endObject();
     }
     if (timing != nullptr && timing->reuseEnabled) {

@@ -87,7 +87,7 @@ class ExperimentRunner
 {
   public:
     ExperimentRunner(Cycle warmup = 50'000, Cycle measure = 300'000,
-                     std::uint64_t seed = 0);
+                     std::uint64_t seed = 0, bool cycle_skip = true);
 
     /** Run one configuration. */
     ExperimentResult run(const std::string &workload_name,
@@ -171,6 +171,12 @@ class ExperimentRunner
         double measureSeconds = 0;        //!< wall clock in measure
         std::uint64_t simulatedCycles = 0; //!< measured-window cycles
         std::uint64_t committedInsts = 0;  //!< insts committed in them
+
+        /** Event-driven cycle skipping across the measured windows
+         *  (all zero with skipping disabled). */
+        std::uint64_t cyclesSkipped = 0;   //!< fast-forwarded cycles
+        std::uint64_t sleepEvents = 0;     //!< quiescent spans jumped
+        std::uint64_t maxSkipSpan = 0;     //!< longest single jump
         /// @}
     };
 
@@ -206,6 +212,7 @@ class ExperimentRunner
 
     Cycle warmupCycles() const { return warmup; }
     Cycle measureCycles() const { return measure; }
+    bool cycleSkipEnabled() const { return cycleSkip; }
 
   private:
     /** run(point), additionally reporting the measure-phase wall
@@ -216,6 +223,7 @@ class ExperimentRunner
     Cycle warmup;
     Cycle measure;
     std::uint64_t seed;
+    bool cycleSkip;
 };
 
 /** All three engines in paper order. */

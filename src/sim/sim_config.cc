@@ -135,6 +135,8 @@ warmupConfigKey(const SimConfig &config)
     key += csprintf("|llp=%u,%llu",
                     static_cast<unsigned>(c.longLoadPolicy),
                     (unsigned long long)c.longLoadThreshold);
+    // c.cycleSkip is deliberately excluded: skipping is bit-identical
+    // to ticking, so both modes may share a warmup snapshot.
 
     key += csprintf("|engine=%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,%u,"
                     "%u,%u,%u,%u,%u,%u",

@@ -456,7 +456,8 @@ SweepSpec::expand() const
 ExperimentRunner
 SweepSpec::makeRunner() const
 {
-    return ExperimentRunner(warmupCycles, measureCycles, seed);
+    return ExperimentRunner(warmupCycles, measureCycles, seed,
+                            cycleSkip);
 }
 
 SweepSpec
@@ -503,6 +504,13 @@ SweepSpec::fromJson(const JsonValue &doc, const std::string &context)
                                   "boolean, found %s",
                                   value.kindName()));
             spec.checkpointAfterWarmup = value.asBool();
+        } else if (key == "cycleSkip") {
+            if (!value.isBool())
+                specFail(context,
+                         csprintf("cycleSkip must be a boolean, "
+                                  "found %s",
+                                  value.kindName()));
+            spec.cycleSkip = value.asBool();
         } else if (key == "checkpointDir") {
             spec.checkpointDir =
                 stringValue(value, context, "\"checkpointDir\"");
@@ -525,9 +533,9 @@ SweepSpec::fromJson(const JsonValue &doc, const std::string &context)
                               "name, type, warmupCycles, "
                               "measureCycles, seed, output, "
                               "checkpointAfterWarmup, checkpointDir, "
-                              "instructions, sweeps, workloads, "
-                              "engines, policies, selection, "
-                              "overrides)",
+                              "cycleSkip, instructions, sweeps, "
+                              "workloads, engines, policies, "
+                              "selection, overrides)",
                               key.c_str()));
         }
     }

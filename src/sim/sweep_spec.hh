@@ -112,6 +112,13 @@ struct SweepSpec
      */
     bool checkpointAfterWarmup = false;
 
+    /**
+     * Event-driven cycle skipping (default on; results are
+     * bit-identical either way). `smtsim --no-cycle-skip` clears it
+     * for debugging.
+     */
+    bool cycleSkip = true;
+
     /** Persist warmup snapshots here for reuse across sweeps (keyed
      *  by configuration hash); implies checkpointAfterWarmup. */
     std::string checkpointDir;

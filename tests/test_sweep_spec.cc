@@ -357,6 +357,35 @@ TEST(SweepSpec, SchemaErrorsAreActionable)
         "cannot open");
 }
 
+TEST(SweepSpec, CycleSkipKeyParsesAndReachesTheRunner)
+{
+    // Default: skipping on (it is bit-identical, so there is no
+    // reason to tick dead cycles).
+    SweepSpec defaulted = SweepSpec::fromString(R"({"name": "x",
+        "workloads": ["2_MIX"], "policies": ["1.8"]})");
+    EXPECT_TRUE(defaulted.cycleSkip);
+    EXPECT_TRUE(defaulted.makeRunner().cycleSkipEnabled());
+
+    SweepSpec off = SweepSpec::fromString(R"({"name": "x",
+        "cycleSkip": false,
+        "workloads": ["2_MIX"], "policies": ["1.8"]})");
+    EXPECT_FALSE(off.cycleSkip);
+    EXPECT_FALSE(off.makeRunner().cycleSkipEnabled());
+
+    SweepSpec on = SweepSpec::fromString(R"({"name": "x",
+        "cycleSkip": true,
+        "workloads": ["2_MIX"], "policies": ["1.8"]})");
+    EXPECT_TRUE(on.cycleSkip);
+
+    expectSpecError(
+        [] {
+            SweepSpec::fromString(R"({"name": "x",
+                "cycleSkip": "fast",
+                "workloads": ["2_MIX"], "policies": ["1.8"]})");
+        },
+        "cycleSkip must be a boolean");
+}
+
 TEST(SweepSpec, TraceWorkloadsParseIntoTraceNames)
 {
     SweepSpec spec = SweepSpec::fromString(R"({

@@ -100,8 +100,60 @@ THROUGHPUT_SECONDS = ("wallSeconds", "measureSeconds")
 THROUGHPUT_COUNTS = ("simulatedCycles", "committedInsts")
 THROUGHPUT_RATES = ("mcyclesPerSecond", "mips")
 
+# Cycle-skip telemetry: legitimately zero when skipping is off
+# (--no-cycle-skip / "cycleSkip": false), so unlike the fields above
+# these are validated as non-negative, plus mutual consistency.
+THROUGHPUT_SKIP_COUNTS = ("cyclesSkipped", "sleepEvents", "maxSkipSpan")
 
-def check_throughput(tp, results):
+
+def check_throughput_skip(tp, require):
+    """Validate the cycle-skip counters of a throughput block."""
+    missing = [k for k in THROUGHPUT_SKIP_COUNTS if k not in tp]
+    if missing:
+        if require:
+            raise CheckFailure(
+                f"throughput block lacks cycle-skip counters "
+                f"{missing} (was it produced by an smtsim new enough "
+                "to fast-forward quiescent cycles?)"
+            )
+        if len(missing) != len(THROUGHPUT_SKIP_COUNTS):
+            raise CheckFailure(
+                f"throughput block has only some cycle-skip counters "
+                f"(missing {missing})"
+            )
+        return
+    for key in THROUGHPUT_SKIP_COUNTS:
+        value = tp[key]
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise CheckFailure(
+                f"throughput.{key} must be a non-negative integer, "
+                f"got {value!r}"
+            )
+    skipped, events, span = (tp[k] for k in THROUGHPUT_SKIP_COUNTS)
+    if (skipped == 0) != (events == 0) or (skipped == 0) != (span == 0):
+        raise CheckFailure(
+            f"inconsistent cycle-skip counters: cyclesSkipped={skipped}, "
+            f"sleepEvents={events}, maxSkipSpan={span} (all three must "
+            "be zero or all nonzero)"
+        )
+    if events > skipped:
+        raise CheckFailure(
+            f"throughput.sleepEvents ({events}) exceeds cyclesSkipped "
+            f"({skipped}): every fast-forward jumps at least one cycle"
+        )
+    if span > skipped:
+        raise CheckFailure(
+            f"throughput.maxSkipSpan ({span}) exceeds cyclesSkipped "
+            f"({skipped})"
+        )
+    if skipped > tp.get("simulatedCycles", 0):
+        raise CheckFailure(
+            f"throughput.cyclesSkipped ({skipped}) exceeds "
+            f"simulatedCycles ({tp.get('simulatedCycles')})"
+        )
+
+
+def check_throughput(tp, results, require_skip=False):
     """Validate the simulation-throughput block a timed sweep emits."""
     if not isinstance(tp, dict):
         raise CheckFailure("'throughput' must be an object")
@@ -120,6 +172,7 @@ def check_throughput(tp, results):
             raise CheckFailure(
                 f"throughput.{key} must be an integer, got {tp[key]!r}"
             )
+    check_throughput_skip(tp, require_skip)
     if results:
         cycles = [r.get("measureCycles") for r in results]
         if any(bad_number(c) for c in cycles):
@@ -316,7 +369,9 @@ def check_file(path, args):
             "smtsim new enough to time its sweeps?)"
         )
     if "throughput" in doc:
-        check_throughput(doc["throughput"], results)
+        check_throughput(
+            doc["throughput"], results, require_skip=args.require_throughput
+        )
 
     for i, result in enumerate(results):
         check_result(i, result)

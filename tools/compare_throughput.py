@@ -1,17 +1,23 @@
 #!/usr/bin/env python3
-"""Warn-only simulation-throughput delta report between bench records.
+"""Simulation-throughput delta report / gate between bench records.
 
 Compares the `throughput` block (Mcycles/s, MIPS, wall seconds) of a
 current BENCH_*.json record against the same-named record from a
 previous run (the perf-smoke CI job feeds it the prior run's artifact
-via the actions cache). Intended as a trend report, not a gate: CI
-wall clocks are noisy, so by default every outcome exits 0 and big
-regressions only print a loud warning. Pass --fail-below <ratio> to
-turn it into a gate (e.g. local A/B runs on a quiet host).
+via the actions cache). By default every outcome exits 0 and big
+regressions only print a loud warning. Two gating modes:
+
+  --max-regress-pct PCT   exit nonzero when Mcycles/s drops more than
+                          PCT percent below the previous record (the
+                          perf-smoke CI gate; pick PCT generously —
+                          CI wall clocks are noisy)
+  --fail-below RATIO      exit nonzero when current/previous Mcycles/s
+                          drops below RATIO (local A/B runs on a
+                          quiet host)
 
 Usage:
   compare_throughput.py --previous prev/BENCH_fig2.json \\
-      current/BENCH_fig2.json
+      --max-regress-pct 50 current/BENCH_fig2.json
 """
 
 import argparse
@@ -49,7 +55,19 @@ def main():
         help="exit nonzero when current/previous Mcycles/s drops "
         "below RATIO (default 0: warn only)",
     )
+    parser.add_argument(
+        "--max-regress-pct",
+        type=float,
+        default=0.0,
+        metavar="PCT",
+        help="exit nonzero when Mcycles/s regresses by more than PCT "
+        "percent against the previous record (default 0: warn only)",
+    )
     args = parser.parse_args()
+
+    fail_ratio = args.fail_below
+    if args.max_regress_pct > 0.0:
+        fail_ratio = max(fail_ratio, 1.0 - args.max_regress_pct / 100.0)
 
     if not os.path.exists(args.previous):
         print(
@@ -78,10 +96,13 @@ def main():
             f"{metric}: {p:.3f} -> {c:.3f} "
             f"({(ratio - 1.0) * 100.0:+.1f}%)"
         )
-        if metric == "mcyclesPerSecond" and args.fail_below > 0.0 and (
-            ratio < args.fail_below
+        if metric == "mcyclesPerSecond" and fail_ratio > 0.0 and (
+            ratio < fail_ratio
         ):
-            print(f"FAIL {line} — below --fail-below {args.fail_below}")
+            print(f"FAIL {line} — below the gating ratio "
+                  f"{fail_ratio:.2f} (--max-regress-pct "
+                  f"{args.max_regress_pct}, --fail-below "
+                  f"{args.fail_below})")
             status = 1
         elif ratio < 0.8:
             print(f"WARN {line} — large slowdown (noisy host, or a "
