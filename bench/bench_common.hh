@@ -48,7 +48,7 @@ inline SpecRun
 runSpecByName(const std::string &name)
 {
     SpecRun sr{loadSpec(name), {}};
-    sr.results = runSpec(sr.spec);
+    sr.results = runSpec(sr.spec).results;
     return sr;
 }
 

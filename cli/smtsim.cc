@@ -7,6 +7,7 @@
  * binaries emit for the same spec.
  *
  * Usage: smtsim [options] <spec.json | spec-name> ...
+ *        smtsim serve [options]   (long-running sweep daemon)
  */
 
 #include <cstdio>
@@ -18,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/server.hh"
 #include "sim/checkpoint.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep_spec.hh"
@@ -56,9 +58,11 @@ usage(std::FILE *out)
     std::fprintf(
         out,
         "usage: smtsim [options] <spec.json | spec-name> ...\n"
+        "       smtsim serve [options]\n"
         "\n"
         "Runs JSON experiment specs (see configs/) through the\n"
         "simulator and writes BENCH_<name>.json records.\n"
+        "(`smtsim serve --help` describes the sweep daemon.)\n"
         "\n"
         "A bare spec name (no '/' and no '.json') is resolved\n"
         "against $SMTFETCH_CONFIG_DIR or the build-time configs/\n"
@@ -141,7 +145,7 @@ parseCount(const char *flag, const char *text)
 
 void
 printGrid(const SweepSpec &spec,
-          const std::vector<ExperimentRunner::GridPoint> &points)
+          const std::vector<GridPoint> &points)
 {
     TextTable t({"#", "workload", "engine", "policy", "selection",
                  "overrides"});
@@ -263,28 +267,27 @@ runOne(const Options &opt, const std::string &arg)
         points[0].restoreCheckpointPath = opt.restoreCheckpointPath;
     }
 
-    ExperimentRunner::WarmupReuse reuse;
-    reuse.checkpointDir = !opt.checkpointDir.empty()
-                              ? opt.checkpointDir
-                              : spec.checkpointDir;
-    reuse.enabled = opt.checkpointWarmup ||
-                    spec.checkpointAfterWarmup ||
-                    !reuse.checkpointDir.empty();
+    SweepRequest request = spec.makeRequest();
+    request.points = std::move(points);
+    if (opt.checkpointWarmup)
+        request.reuseWarmup = true;
+    if (!opt.checkpointDir.empty())
+        request.checkpointDir = opt.checkpointDir;
     // A typo'd snapshot directory should fail in milliseconds, not
     // after the first warmup finishes.
-    if (!reuse.checkpointDir.empty())
-        ensureWritableDir(reuse.checkpointDir);
+    if (!request.checkpointDir.empty())
+        ensureWritableDir(request.checkpointDir);
 
-    ExperimentRunner::SweepTiming timing;
-    auto results =
-        spec.makeRunner().runAll(points, reuse, &timing);
+    SweepReport report = ExperimentRunner().run(request);
+    const auto &results = report.results;
+    const auto &points_run = request.points;
     if (!opt.recordPath.empty() && !opt.quiet) {
         // Name the files actually written (multithread runs get
         // per-thread suffixes).
         unsigned threads = static_cast<unsigned>(
-            table3Config(points[0].workload, points[0].engine,
-                         points[0].fetchThreads,
-                         points[0].fetchWidth)
+            table3Config(points_run[0].workload, points_run[0].engine,
+                         points_run[0].fetchThreads,
+                         points_run[0].fetchWidth)
                 .workload.benchmarks.size());
         std::string files;
         for (unsigned t = 0; t < threads; ++t)
@@ -305,7 +308,7 @@ runOne(const Options &opt, const std::string &arg)
     }
     if (opt.writeJson &&
         !writeBenchRecord(spec.benchName(), results, {}, opt.outDir,
-                          &timing))
+                          &report.timing))
         return 3;
     return 0;
 }
@@ -315,6 +318,12 @@ runOne(const Options &opt, const std::string &arg)
 int
 main(int argc, char **argv)
 {
+    // `smtsim serve ...` is a subcommand with its own flags: a
+    // long-running daemon accepting the same spec documents over
+    // HTTP (see src/serve/).
+    if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
+        return serveMain(argc - 2, argv + 2);
+
     Options opt;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];

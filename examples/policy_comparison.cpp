@@ -18,7 +18,6 @@ int
 main()
 {
     const std::string workload = "4_MIX";
-    ExperimentRunner runner(40'000, 200'000);
 
     struct Point
     {
@@ -33,12 +32,22 @@ main()
         {EngineKind::Stream, 2, 16, "all-in-one (expensive)"},
     };
 
+    // One request, one run: the runner schedules the whole grid
+    // across the worker pool.
+    SweepRequest request;
+    request.warmupCycles = 40'000;
+    request.measureCycles = 200'000;
+    for (const auto &p : points)
+        request.points.push_back(
+            GridPoint{workload, p.engine, p.n, p.x});
+    SweepReport report = ExperimentRunner().run(request);
+
     TextTable t({"engine", "policy", "IPFC", "IPC", "note"});
-    for (const auto &p : points) {
-        auto r = runner.run(workload, p.engine, p.n, p.x);
-        t.addRow({engineName(p.engine), r.policyDotString(),
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+        const auto &r = report.results[i];
+        t.addRow({engineName(points[i].engine), r.policyDotString(),
                   TextTable::num(r.ipfc), TextTable::num(r.ipc),
-                  p.note});
+                  points[i].note});
     }
     t.print(std::cout,
             "Fetch policies on " + workload +

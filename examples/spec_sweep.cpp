@@ -41,7 +41,7 @@ main()
     std::cout << "Expanded " << spec.expand().size()
               << " grid points from the spec\n\n";
 
-    auto results = runSpec(spec);
+    auto results = runSpec(spec).results;
 
     TextTable t({"variant", "IPFC", "IPC"});
     for (const auto &r : results)

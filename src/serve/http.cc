@@ -1,0 +1,318 @@
+#include "serve/http.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+#include "util/logging.hh"
+
+namespace smt
+{
+
+#ifndef _WIN32
+
+namespace
+{
+
+/** Map an HTTP status code to its reason phrase (the ones we emit). */
+const char *
+reasonPhrase(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 201: return "Created";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 409: return "Conflict";
+      case 500: return "Internal Server Error";
+      default: return "Unknown";
+    }
+}
+
+/** Read until the header terminator; false on EOF/timeout/overflow. */
+bool
+readHead(int fd, std::string &head, std::string &rest)
+{
+    static constexpr std::size_t maxHead = 64 * 1024;
+    char buf[4096];
+    for (;;) {
+        std::size_t end = head.find("\r\n\r\n");
+        if (end != std::string::npos) {
+            rest = head.substr(end + 4);
+            head.resize(end + 4);
+            return true;
+        }
+        if (head.size() > maxHead)
+            return false;
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            return false;
+        head.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                           MSG_NOSIGNAL
+#else
+                           0
+#endif
+        );
+        if (n <= 0)
+            return false;
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+HttpServer::HttpServer(const std::string &host, std::uint16_t port,
+                       Handler handler)
+    : handler(std::move(handler))
+{
+    listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        throw ServeError("serve: cannot create socket: " +
+                         std::string(std::strerror(errno)));
+
+    int one = 1;
+    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(listenFd);
+        throw ServeError("serve: bad listen address \"" + host +
+                         "\" (expected a dotted IPv4 address, e.g. "
+                         "127.0.0.1)");
+    }
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        int err = errno;
+        ::close(listenFd);
+        throw ServeError(csprintf(
+            "serve: cannot bind %s:%u: %s", host.c_str(),
+            (unsigned)port, std::strerror(err)));
+    }
+    if (::listen(listenFd, 64) != 0) {
+        int err = errno;
+        ::close(listenFd);
+        throw ServeError("serve: cannot listen: " +
+                         std::string(std::strerror(err)));
+    }
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listenFd, reinterpret_cast<sockaddr *>(&bound),
+                      &len) == 0)
+        boundPort = ntohs(bound.sin_port);
+
+    acceptThread = std::thread([this] { acceptLoop(); });
+}
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+void
+HttpServer::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(m);
+        if (stopped)
+            return;
+        stopped = true;
+    }
+    // Closing the listening socket fails the blocking accept(), which
+    // ends the accept loop.
+    ::shutdown(listenFd, SHUT_RDWR);
+    ::close(listenFd);
+    if (acceptThread.joinable())
+        acceptThread.join();
+    std::unique_lock<std::mutex> lock(m);
+    cvIdle.wait(lock, [&] { return activeConnections == 0; });
+}
+
+void
+HttpServer::acceptLoop()
+{
+    for (;;) {
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            std::lock_guard<std::mutex> lock(m);
+            if (stopped)
+                return;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            return; // listening socket is gone
+        }
+
+        // A stuck client must not wedge its connection thread
+        // forever (stop() waits for all of them).
+        timeval tv{};
+        tv.tv_sec = 10;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+        {
+            std::lock_guard<std::mutex> lock(m);
+            ++activeConnections;
+        }
+        std::thread([this, fd] {
+            handleConnection(fd);
+            ::close(fd);
+            {
+                std::lock_guard<std::mutex> lock(m);
+                --activeConnections;
+            }
+            cvIdle.notify_all();
+        }).detach();
+    }
+}
+
+void
+HttpServer::handleConnection(int fd)
+{
+    auto respond = [&](const HttpResponse &r) {
+        std::string out = csprintf(
+            "HTTP/1.1 %d %s\r\n"
+            "Content-Type: %s\r\n"
+            "Content-Length: %zu\r\n"
+            "Connection: close\r\n"
+            "\r\n",
+            r.status, reasonPhrase(r.status), r.contentType.c_str(),
+            r.body.size());
+        out += r.body;
+        writeAll(fd, out);
+    };
+
+    std::string head, body;
+    if (!readHead(fd, head, body))
+        return; // client vanished or sent garbage; nothing to say
+
+    // Request line: METHOD SP TARGET SP VERSION CRLF
+    std::size_t line_end = head.find("\r\n");
+    std::string line = head.substr(0, line_end);
+    std::size_t sp1 = line.find(' ');
+    std::size_t sp2 =
+        sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        respond({400, "application/json",
+                 "{\"error\": \"malformed request line\"}"});
+        return;
+    }
+
+    HttpRequest req;
+    req.method = line.substr(0, sp1);
+    req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::size_t q = req.target.find('?');
+    if (q != std::string::npos)
+        req.target.resize(q);
+
+    // Headers: only Content-Length matters to us.
+    std::size_t content_length = 0;
+    std::size_t pos = line_end + 2;
+    while (pos + 2 <= head.size()) {
+        std::size_t eol = head.find("\r\n", pos);
+        if (eol == std::string::npos || eol == pos)
+            break;
+        std::string h = head.substr(pos, eol - pos);
+        pos = eol + 2;
+        std::size_t colon = h.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::string name = h.substr(0, colon);
+        for (char &c : name)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        if (name == "content-length") {
+            content_length = std::strtoull(
+                h.c_str() + colon + 1, nullptr, 10);
+        }
+    }
+
+    static constexpr std::size_t maxBody = 16 * 1024 * 1024;
+    if (content_length > maxBody) {
+        respond({400, "application/json",
+                 "{\"error\": \"request body too large\"}"});
+        return;
+    }
+    while (body.size() < content_length) {
+        char buf[8192];
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            return;
+        body.append(buf, static_cast<std::size_t>(n));
+    }
+    req.body = body.substr(0, content_length);
+
+    HttpResponse resp;
+    try {
+        resp = handler(req);
+    } catch (const std::exception &e) {
+        resp.status = 500;
+        std::string msg = e.what();
+        // Crude but sufficient escaping for an error string.
+        std::string esc;
+        for (char c : msg) {
+            if (c == '"' || c == '\\')
+                esc += '\\';
+            if (c == '\n') {
+                esc += "\\n";
+                continue;
+            }
+            esc += c;
+        }
+        resp.body = "{\"error\": \"" + esc + "\"}";
+    }
+    respond(resp);
+}
+
+#else // _WIN32
+
+HttpServer::HttpServer(const std::string &, std::uint16_t, Handler)
+{
+    fatal("smtsim serve requires POSIX sockets (not available on "
+          "this platform)");
+}
+
+HttpServer::~HttpServer() = default;
+
+void
+HttpServer::stop()
+{
+}
+
+void
+HttpServer::acceptLoop()
+{
+}
+
+void
+HttpServer::handleConnection(int)
+{
+}
+
+#endif // _WIN32
+
+} // namespace smt

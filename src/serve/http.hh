@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A deliberately small HTTP/1.1 server for the smtsim serve daemon:
+ * loopback TCP, Content-Length bodies, one request per connection
+ * (Connection: close). Just enough protocol for local sweep clients
+ * (tools/serve_stress.py, curl) — not a general web server, and not
+ * meant to face a network.
+ */
+
+#ifndef SMTFETCH_SERVE_HTTP_HH
+#define SMTFETCH_SERVE_HTTP_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace smt
+{
+
+/** User-facing serve failure (bad port, bind failure, ...). */
+class ServeError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+struct HttpRequest
+{
+    std::string method; //!< GET / POST / ...
+    std::string target; //!< path only ("/v1/sweeps/3")
+    std::string body;
+};
+
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "application/json";
+    std::string body;
+};
+
+/**
+ * Accepts connections on a loopback TCP port and runs each request
+ * through the handler on a short-lived connection thread. The
+ * handler must be thread-safe; exceptions it throws become 500
+ * responses.
+ */
+class HttpServer
+{
+  public:
+    using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+    /**
+     * Binds and starts accepting immediately. @param port 0 picks an
+     * ephemeral port (read it back with port()). Throws ServeError
+     * when the socket cannot be bound.
+     */
+    HttpServer(const std::string &host, std::uint16_t port,
+               Handler handler);
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** The actually-bound port. */
+    std::uint16_t port() const { return boundPort; }
+
+    /** Stop accepting, drain in-flight connections, join. */
+    void stop();
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+
+    Handler handler;
+    int listenFd = -1;
+    std::uint16_t boundPort = 0;
+    std::thread acceptThread;
+
+    std::mutex m;
+    std::condition_variable cvIdle;
+    unsigned activeConnections = 0;
+    bool stopped = false;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_SERVE_HTTP_HH

@@ -1,0 +1,215 @@
+#include "serve/server.hh"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+
+#include "sim/sweep_spec.hh"
+#include "util/logging.hh"
+
+namespace smt
+{
+
+SweepServer::SweepServer(const ServeOptions &options)
+    : service(std::make_unique<SweepService>(options))
+{
+    http = std::make_unique<HttpServer>(
+        options.host, options.port,
+        [this](const HttpRequest &req) {
+            auto r = service->handle(req.method, req.target,
+                                     req.body);
+            HttpResponse resp;
+            resp.status = r.status;
+            resp.body = std::move(r.body);
+            return resp;
+        });
+}
+
+SweepServer::~SweepServer()
+{
+    stop();
+}
+
+void
+SweepServer::stop()
+{
+    if (http)
+        http->stop();
+}
+
+namespace
+{
+
+#ifndef _WIN32
+std::atomic<bool> signalled{false};
+
+void
+onSignal(int)
+{
+    signalled.store(true);
+}
+#endif
+
+void
+serveUsage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: smtsim serve [options]\n"
+        "\n"
+        "Runs a long-lived sweep daemon: clients submit the same\n"
+        "JSON spec documents the CLI runs, the daemon schedules\n"
+        "their grid points fairly across one worker pool and every\n"
+        "sweep shares one warmup-snapshot cache (popular warmup\n"
+        "configs are simulated once, ever). See the README's\n"
+        "\"smtsim serve\" section for the endpoints.\n"
+        "\n"
+        "options:\n"
+        "  --port N        listen port (default 0: pick an\n"
+        "                  ephemeral port and print it)\n"
+        "  --port-file PATH\n"
+        "                  write the bound port to PATH once\n"
+        "                  listening (for scripts that spawn the\n"
+        "                  daemon with --port 0)\n"
+        "  --host ADDR     listen address (default 127.0.0.1;\n"
+        "                  loopback only — the daemon is not meant\n"
+        "                  to face a network)\n"
+        "  --workers N     simulation worker threads (default:\n"
+        "                  host concurrency)\n"
+        "  --cache-mb N    in-memory snapshot-cache budget in MiB\n"
+        "                  (default 256)\n"
+        "  --checkpoint-dir DIR\n"
+        "                  persist warmup snapshots in DIR (shared\n"
+        "                  disk tier for sweeps without their own\n"
+        "                  checkpointDir)\n"
+        "  -h, --help      show this help\n");
+}
+
+std::uint64_t
+parseServeCount(const char *flag, const char *text)
+{
+    bool ok = text[0] != '\0';
+    for (const char *p = text; *p != '\0'; ++p)
+        if (*p < '0' || *p > '9')
+            ok = false;
+    char *end = nullptr;
+    unsigned long long v = ok ? std::strtoull(text, &end, 10) : 0;
+    if (!ok || end == text || *end != '\0') {
+        std::fprintf(stderr,
+                     "smtsim serve: %s expects a non-negative "
+                     "integer, got \"%s\"\n",
+                     flag, text);
+        std::exit(1);
+    }
+    return v;
+}
+
+} // namespace
+
+int
+serveMain(int argc, char **argv)
+{
+    ServeOptions options;
+    std::string portFile;
+
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "smtsim serve: %s expects an "
+                             "argument\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "-h" || arg == "--help") {
+            serveUsage(stdout);
+            return 0;
+        } else if (arg == "--port") {
+            std::uint64_t p = parseServeCount("--port", next());
+            if (p > 65535) {
+                std::fprintf(stderr,
+                             "smtsim serve: --port %llu is out of "
+                             "range [0, 65535]\n",
+                             (unsigned long long)p);
+                return 1;
+            }
+            options.port = static_cast<std::uint16_t>(p);
+        } else if (arg == "--port-file") {
+            portFile = next();
+        } else if (arg == "--host") {
+            options.host = next();
+        } else if (arg == "--workers") {
+            options.workers = static_cast<unsigned>(
+                parseServeCount("--workers", next()));
+        } else if (arg == "--cache-mb") {
+            options.cacheMaxBytes =
+                static_cast<std::size_t>(
+                    parseServeCount("--cache-mb", next()))
+                << 20;
+        } else if (arg == "--checkpoint-dir") {
+            options.snapshotDir = next();
+        } else {
+            std::fprintf(stderr,
+                         "smtsim serve: unknown option %s\n",
+                         arg.c_str());
+            serveUsage(stderr);
+            return 1;
+        }
+    }
+
+    if (!options.snapshotDir.empty()) {
+        try {
+            ensureWritableDir(options.snapshotDir);
+        } catch (const SpecError &e) {
+            std::fprintf(stderr, "smtsim serve: %s\n", e.what());
+            return 1;
+        }
+    }
+
+#ifdef _WIN32
+    std::fprintf(stderr, "smtsim serve requires POSIX sockets\n");
+    return 1;
+#else
+    try {
+        SweepServer server(options);
+
+        if (!portFile.empty()) {
+            std::ofstream pf(portFile);
+            if (!pf || !(pf << server.port() << '\n')) {
+                std::fprintf(stderr,
+                             "smtsim serve: cannot write port file "
+                             "%s\n",
+                             portFile.c_str());
+                return 1;
+            }
+        }
+        std::printf("smtsim serve: listening on %s:%u\n",
+                    options.host.c_str(), (unsigned)server.port());
+        std::fflush(stdout);
+
+        signalled.store(false);
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+
+        while (!signalled.load() && !server.shutdownRequested())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+
+        std::printf("smtsim serve: shutting down\n");
+        server.stop();
+        return 0;
+    } catch (const ServeError &e) {
+        std::fprintf(stderr, "smtsim serve: %s\n", e.what());
+        return 1;
+    }
+#endif
+}
+
+} // namespace smt

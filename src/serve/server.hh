@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The smtsim serve daemon: SweepServer glues the HTTP transport
+ * (serve/http.hh) to the request handling (serve/service.hh), and
+ * serveMain implements the `smtsim serve` subcommand.
+ */
+
+#ifndef SMTFETCH_SERVE_SERVER_HH
+#define SMTFETCH_SERVE_SERVER_HH
+
+#include <memory>
+
+#include "serve/http.hh"
+#include "serve/service.hh"
+
+namespace smt
+{
+
+/**
+ * A running daemon. Construction binds the port and starts serving;
+ * requests are handled until stop(). Tests embed this directly; the
+ * CLI wraps it in serveMain's signal-aware run loop.
+ */
+class SweepServer
+{
+  public:
+    explicit SweepServer(const ServeOptions &options);
+    ~SweepServer();
+
+    /** The actually-bound port (options.port == 0 picks one). */
+    std::uint16_t port() const { return http->port(); }
+
+    SweepService &serviceRef() { return *service; }
+
+    /** A client POSTed /v1/shutdown. */
+    bool
+    shutdownRequested() const
+    {
+        return service->shutdownRequested();
+    }
+
+    /** Stop accepting and drain connections (idempotent). */
+    void stop();
+
+  private:
+    // Service first: connection threads reach through http into
+    // service, so it must outlive the transport.
+    std::unique_ptr<SweepService> service;
+    std::unique_ptr<HttpServer> http;
+};
+
+/** The `smtsim serve` subcommand (argv past the subcommand word). */
+int serveMain(int argc, char **argv);
+
+} // namespace smt
+
+#endif // SMTFETCH_SERVE_SERVER_HH

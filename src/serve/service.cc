@@ -1,0 +1,319 @@
+#include "serve/service.hh"
+
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+
+#include "sim/experiment.hh"
+#include "sim/sweep_spec.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace smt
+{
+
+namespace
+{
+
+const char *
+stateName(SweepScheduler::JobState s)
+{
+    switch (s) {
+      case SweepScheduler::JobState::Queued: return "queued";
+      case SweepScheduler::JobState::Running: return "running";
+      case SweepScheduler::JobState::Done: return "done";
+      case SweepScheduler::JobState::Failed: return "failed";
+      case SweepScheduler::JobState::Cancelled: return "cancelled";
+    }
+    return "unknown";
+}
+
+std::string
+errorBody(const std::string &message)
+{
+    std::ostringstream os;
+    JsonWriter jw(os, 0);
+    jw.beginObject();
+    jw.field("error", message);
+    jw.endObject();
+    return os.str();
+}
+
+void
+writeStatusFields(JsonWriter &jw, SweepScheduler::JobId id,
+                  const std::string &bench,
+                  const SweepScheduler::JobStatus &s)
+{
+    jw.field("id", static_cast<std::uint64_t>(id));
+    jw.field("bench", bench);
+    if (!s.name.empty())
+        jw.field("name", s.name);
+    jw.field("state", stateName(s.state));
+    jw.field("totalPoints",
+             static_cast<std::uint64_t>(s.totalPoints));
+    jw.field("completedPoints",
+             static_cast<std::uint64_t>(s.completedPoints));
+    jw.field("cancelledPoints",
+             static_cast<std::uint64_t>(s.cancelledPoints));
+    jw.field("warmupRuns",
+             static_cast<std::uint64_t>(s.warmupRuns));
+    jw.field("restoredRuns",
+             static_cast<std::uint64_t>(s.restoredRuns));
+    if (!s.error.empty())
+        jw.field("error", s.error);
+    jw.field("firstDoneSeq", s.firstDoneSeq);
+    jw.field("lastDoneSeq", s.lastDoneSeq);
+}
+
+/** "/v1/sweeps/<id>[/...]" → id, or nullopt for non-numeric ids. */
+std::optional<SweepScheduler::JobId>
+parseId(const std::string &digits)
+{
+    if (digits.empty())
+        return std::nullopt;
+    for (char c : digits)
+        if (c < '0' || c > '9')
+            return std::nullopt;
+    return static_cast<SweepScheduler::JobId>(
+        std::strtoull(digits.c_str(), nullptr, 10));
+}
+
+} // namespace
+
+SweepService::SweepService(const ServeOptions &options)
+    : cache(options.cacheMaxBytes),
+      scheduler(options.workers, &cache, options.snapshotDir)
+{
+}
+
+SweepService::Response
+SweepService::handle(const std::string &method,
+                     const std::string &target,
+                     const std::string &body)
+{
+    if (target == "/v1/healthz") {
+        if (method != "GET")
+            return {405, errorBody("use GET " + target)};
+        return {200, "{\"ok\": true}"};
+    }
+    if (target == "/v1/status") {
+        if (method != "GET")
+            return {405, errorBody("use GET " + target)};
+        return daemonStatus();
+    }
+    if (target == "/v1/shutdown") {
+        if (method != "POST")
+            return {405, errorBody("use POST " + target)};
+        shutdown.store(true);
+        return {200, "{\"shuttingDown\": true}"};
+    }
+    if (target == "/v1/sweeps") {
+        if (method == "POST")
+            return submit(body);
+        if (method == "GET")
+            return list();
+        return {405, errorBody("use GET or POST " + target)};
+    }
+
+    const std::string prefix = "/v1/sweeps/";
+    if (target.rfind(prefix, 0) == 0) {
+        std::string rest = target.substr(prefix.size());
+        std::string digits = rest;
+        std::string tail;
+        std::size_t slash = rest.find('/');
+        if (slash != std::string::npos) {
+            digits = rest.substr(0, slash);
+            tail = rest.substr(slash);
+        }
+        auto id = parseId(digits);
+        if (!id)
+            return {404, errorBody("bad sweep id \"" + digits +
+                                   "\" (expected digits)")};
+        if (tail.empty()) {
+            if (method != "GET")
+                return {405, errorBody("use GET " + target)};
+            return jobStatus(*id);
+        }
+        if (tail == "/record") {
+            if (method != "GET")
+                return {405, errorBody("use GET " + target)};
+            return jobRecord(*id);
+        }
+        if (tail == "/cancel") {
+            if (method != "POST")
+                return {405, errorBody("use POST " + target)};
+            return jobCancel(*id);
+        }
+    }
+
+    return {404, errorBody("unknown endpoint " + method + " " +
+                           target)};
+}
+
+SweepService::Response
+SweepService::submit(const std::string &body)
+{
+    SweepSpec spec;
+    try {
+        // The exact parser/validator the CLI runs — same schema,
+        // same error messages.
+        spec = SweepSpec::fromString(body);
+        if (spec.type != SpecType::Grid)
+            throw SpecError(csprintf(
+                "spec \"%s\" is not a grid spec", spec.name.c_str()));
+    } catch (const SpecError &e) {
+        return {400, errorBody(e.what())};
+    }
+
+    SweepRequest request = spec.makeRequest();
+    // The daemon's whole point is cross-client warmup sharing:
+    // every sweep joins the shared snapshot cache (results are
+    // bit-identical to the plain path either way).
+    request.reuseWarmup = true;
+
+    SweepScheduler::JobId id;
+    try {
+        id = scheduler.submit(request, spec.name);
+    } catch (const std::invalid_argument &e) {
+        return {400, errorBody(e.what())};
+    }
+    {
+        std::lock_guard<std::mutex> lock(m);
+        benchNames.emplace(id, spec.benchName());
+    }
+
+    std::ostringstream os;
+    JsonWriter jw(os, 0);
+    jw.beginObject();
+    jw.field("id", static_cast<std::uint64_t>(id));
+    jw.field("bench", spec.benchName());
+    jw.field("status",
+             csprintf("/v1/sweeps/%llu", (unsigned long long)id));
+    jw.field("record",
+             csprintf("/v1/sweeps/%llu/record",
+                      (unsigned long long)id));
+    jw.endObject();
+    return {201, os.str()};
+}
+
+SweepService::Response
+SweepService::list() const
+{
+    std::map<SweepScheduler::JobId, std::string> names;
+    {
+        std::lock_guard<std::mutex> lock(m);
+        names = benchNames;
+    }
+    std::ostringstream os;
+    JsonWriter jw(os, 0);
+    jw.beginObject();
+    jw.key("sweeps");
+    jw.beginArray();
+    for (const auto &[id, bench] : names) {
+        auto s = scheduler.status(id);
+        if (!s)
+            continue;
+        jw.beginObject();
+        writeStatusFields(jw, id, bench, *s);
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+    return {200, os.str()};
+}
+
+SweepService::Response
+SweepService::jobStatus(SweepScheduler::JobId id) const
+{
+    auto s = scheduler.status(id);
+    if (!s)
+        return {404, errorBody(csprintf("unknown sweep id %llu",
+                                        (unsigned long long)id))};
+    std::string bench;
+    {
+        std::lock_guard<std::mutex> lock(m);
+        auto it = benchNames.find(id);
+        bench = it == benchNames.end() ? "" : it->second;
+    }
+    std::ostringstream os;
+    JsonWriter jw(os, 0);
+    jw.beginObject();
+    writeStatusFields(jw, id, bench, *s);
+    jw.endObject();
+    return {200, os.str()};
+}
+
+SweepService::Response
+SweepService::jobRecord(SweepScheduler::JobId id) const
+{
+    auto s = scheduler.status(id);
+    if (!s)
+        return {404, errorBody(csprintf("unknown sweep id %llu",
+                                        (unsigned long long)id))};
+    const SweepReport *report = scheduler.report(id);
+    if (report == nullptr)
+        return {409,
+                errorBody(csprintf(
+                    "sweep %llu is %s — the record exists only "
+                    "once the sweep is done",
+                    (unsigned long long)id, stateName(s->state)))};
+    std::string bench;
+    {
+        std::lock_guard<std::mutex> lock(m);
+        auto it = benchNames.find(id);
+        bench = it == benchNames.end() ? "sweep" : it->second;
+    }
+    // Byte-compatible with the single-process runner: both render
+    // through ExperimentRunner::writeJson.
+    std::ostringstream os;
+    ExperimentRunner::writeJson(os, bench, report->results, {},
+                                &report->timing);
+    return {200, os.str()};
+}
+
+SweepService::Response
+SweepService::jobCancel(SweepScheduler::JobId id)
+{
+    if (!scheduler.status(id))
+        return {404, errorBody(csprintf("unknown sweep id %llu",
+                                        (unsigned long long)id))};
+    bool cancelled = scheduler.cancel(id);
+    std::ostringstream os;
+    JsonWriter jw(os, 0);
+    jw.beginObject();
+    jw.field("id", static_cast<std::uint64_t>(id));
+    jw.field("cancelled", cancelled);
+    jw.endObject();
+    return {200, os.str()};
+}
+
+SweepService::Response
+SweepService::daemonStatus() const
+{
+    auto cs = cache.stats();
+    std::size_t sweeps;
+    {
+        std::lock_guard<std::mutex> lock(m);
+        sweeps = benchNames.size();
+    }
+    std::ostringstream os;
+    JsonWriter jw(os, 0);
+    jw.beginObject();
+    jw.field("workers", scheduler.workerCount());
+    jw.field("sweeps", static_cast<std::uint64_t>(sweeps));
+    jw.key("cache");
+    jw.beginObject();
+    jw.field("hits", cs.hits);
+    jw.field("diskHits", cs.diskHits);
+    jw.field("misses", cs.misses);
+    jw.field("insertions", cs.insertions);
+    jw.field("evictions", cs.evictions);
+    jw.field("bytes", static_cast<std::uint64_t>(cs.bytes));
+    jw.field("entries", static_cast<std::uint64_t>(cs.entries));
+    jw.field("maxBytes", static_cast<std::uint64_t>(cs.maxBytes));
+    jw.endObject();
+    jw.endObject();
+    return {200, os.str()};
+}
+
+} // namespace smt

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The serve daemon's request handling, independent of HTTP: JSON in,
+ * JSON out. SweepService owns the process-wide WarmupSnapshotCache
+ * and the SweepScheduler worker pool; submitted specs go through
+ * exactly the same SweepSpec parser/validator as the smtsim CLI, so a
+ * spec that validates on one frontend is accepted verbatim by the
+ * other — with identical error messages.
+ *
+ * Endpoints (see README "smtsim serve"):
+ *   POST /v1/sweeps            submit a spec document
+ *   GET  /v1/sweeps            list submitted sweeps
+ *   GET  /v1/sweeps/<id>       structured progress/status
+ *   GET  /v1/sweeps/<id>/record  finished BENCH record (409 before)
+ *   POST /v1/sweeps/<id>/cancel  stop scheduling remaining points
+ *   GET  /v1/status            daemon + snapshot-cache statistics
+ *   GET  /v1/healthz           liveness probe
+ *   POST /v1/shutdown          request daemon shutdown
+ */
+
+#ifndef SMTFETCH_SERVE_SERVICE_HH
+#define SMTFETCH_SERVE_SERVICE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "sim/scheduler.hh"
+#include "sim/snapshot_cache.hh"
+
+namespace smt
+{
+
+/** Daemon configuration (CLI flags of `smtsim serve`). */
+struct ServeOptions
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0; //!< 0: ephemeral, printed on startup
+
+    /** Worker pool size; 0 picks the host concurrency. */
+    unsigned workers = 0;
+
+    /** In-memory snapshot-cache budget. */
+    std::size_t cacheMaxBytes = WarmupSnapshotCache::defaultMaxBytes;
+
+    /**
+     * Default persistent snapshot tier for sweeps that don't name
+     * their own checkpointDir (empty: memory-only for those).
+     */
+    std::string snapshotDir;
+};
+
+/**
+ * Routes one API request to the scheduler/cache and renders the JSON
+ * response. Thread-safe (the HTTP layer calls handle() from
+ * concurrent connection threads).
+ */
+class SweepService
+{
+  public:
+    explicit SweepService(const ServeOptions &options);
+
+    struct Response
+    {
+        int status = 200;
+        std::string body; //!< always a JSON document
+    };
+
+    Response handle(const std::string &method,
+                    const std::string &target,
+                    const std::string &body);
+
+    /** POST /v1/shutdown arrived; the daemon's run loop polls this. */
+    bool
+    shutdownRequested() const
+    {
+        return shutdown.load();
+    }
+
+    WarmupSnapshotCache &cacheRef() { return cache; }
+    SweepScheduler &schedulerRef() { return scheduler; }
+
+  private:
+    Response submit(const std::string &body);
+    Response list() const;
+    Response jobStatus(SweepScheduler::JobId id) const;
+    Response jobRecord(SweepScheduler::JobId id) const;
+    Response jobCancel(SweepScheduler::JobId id);
+    Response daemonStatus() const;
+
+    WarmupSnapshotCache cache;
+    SweepScheduler scheduler;
+    std::atomic<bool> shutdown{false};
+
+    mutable std::mutex m;
+    /** Submitted jobs, in order: id → BENCH record name. */
+    std::map<SweepScheduler::JobId, std::string> benchNames;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_SERVE_SERVICE_HH

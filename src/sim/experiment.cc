@@ -1,111 +1,18 @@
 #include "sim/experiment.hh"
 
-#include <atomic>
-#include <chrono>
-#include <cstdint>
-#include <cstdio>
-#include <exception>
-#include <fstream>
+#include <algorithm>
 #include <map>
-#include <mutex>
-#include <stdexcept>
+#include <optional>
 #include <thread>
-#include <unordered_map>
 
-#ifndef _WIN32
-#include <unistd.h>
-#endif
-
-#include "sim/checkpoint.hh"
-#include "sim/simulator.hh"
+#include "sim/scheduler.hh"
+#include "sim/snapshot_cache.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
-#include "util/random.hh"
 #include "util/table.hh"
 
 namespace smt
 {
-
-namespace
-{
-
-using SteadyClock = std::chrono::steady_clock;
-
-double
-secondsSince(SteadyClock::time_point start)
-{
-    return std::chrono::duration<double>(SteadyClock::now() - start)
-        .count();
-}
-
-/**
- * Fail fast when two grid points would capture to the same trace
- * file: the second run would silently overwrite the first recording.
- */
-void
-checkRecordPathsUnique(
-    const std::vector<ExperimentRunner::GridPoint> &points)
-{
-    std::unordered_map<std::string, std::size_t> seen;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const std::string &path = points[i].recordPath;
-        if (path.empty())
-            continue;
-        auto [it, inserted] = seen.emplace(path, i);
-        if (!inserted)
-            throw std::invalid_argument(csprintf(
-                "grid points %zu and %zu both record to \"%s\" — "
-                "the second run would silently overwrite the first "
-                "capture; record each point to a distinct file",
-                it->second, i, path.c_str()));
-    }
-}
-
-/** Run fn(0..n-1) across host threads, propagating one failure. */
-template <typename Fn>
-void
-parallelFor(std::size_t n, Fn &&fn)
-{
-    unsigned hw = std::thread::hardware_concurrency();
-    unsigned workers =
-        std::min<unsigned>(hw == 0 ? 4 : hw, static_cast<unsigned>(n));
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            fn(i);
-        return;
-    }
-
-    std::vector<std::thread> pool;
-    std::atomic<std::size_t> next{0};
-    // First failure wins; a throw escaping a pool thread would
-    // std::terminate with no message (trace replays and checkpoint
-    // restores can fail with actionable errors).
-    std::exception_ptr error;
-    std::mutex error_mutex;
-    for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([&]() {
-            while (true) {
-                std::size_t i = next.fetch_add(1);
-                if (i >= n)
-                    return;
-                try {
-                    fn(i);
-                } catch (...) {
-                    std::lock_guard<std::mutex> lock(error_mutex);
-                    if (!error)
-                        error = std::current_exception();
-                    return;
-                }
-            }
-        });
-    }
-    for (auto &t : pool)
-        t.join();
-    if (error)
-        std::rethrow_exception(error);
-}
-
-} // namespace
 
 std::string
 ExperimentResult::policyDotString() const
@@ -185,328 +92,24 @@ RunOverrides::writeJson(JsonWriter &jw) const
         jw.field("predictorShift", predictorShift);
 }
 
-ExperimentRunner::ExperimentRunner(Cycle warmup, Cycle measure,
-                                   std::uint64_t seed, bool cycle_skip)
-    : warmup(warmup), measure(measure), seed(seed),
-      cycleSkip(cycle_skip)
+SweepReport
+ExperimentRunner::run(const SweepRequest &request) const
 {
-}
+    // A reuse-enabled run without an installed shared cache gets a
+    // private one scoped to this call — the PR 4 "once per runAll"
+    // semantics; snapshots still persist across calls through
+    // request.checkpointDir's disk tier.
+    std::optional<WarmupSnapshotCache> local;
+    WarmupSnapshotCache *cache_ptr = nullptr;
+    if (request.reuseEnabled())
+        cache_ptr = sharedCache ? sharedCache : &local.emplace();
 
-ExperimentResult
-ExperimentRunner::run(const std::string &workload_name,
-                      EngineKind engine, unsigned fetch_threads,
-                      unsigned fetch_width, PolicyKind policy) const
-{
-    return run(GridPoint{workload_name, engine, fetch_threads,
-                         fetch_width, policy});
-}
-
-namespace
-{
-
-SimConfig
-configForPoint(const ExperimentRunner::GridPoint &point, Cycle warmup,
-               Cycle measure, std::uint64_t seed, bool cycle_skip)
-{
-    SimConfig cfg =
-        table3Config(point.workload, point.engine, point.fetchThreads,
-                     point.fetchWidth, point.policy);
-    point.overrides.apply(cfg.core);
-    cfg.core.cycleSkip = cycle_skip;
-    cfg.warmupCycles = warmup;
-    cfg.measureCycles = measure;
-    cfg.seed = seed;
-    cfg.recordPath = point.recordPath;
-    cfg.recordPadCycles = point.recordPadCycles;
-    return cfg;
-}
-
-ExperimentResult
-resultFrom(const ExperimentRunner::GridPoint &point, Cycle warmup,
-           Cycle measure, const Simulator &sim)
-{
-    ExperimentResult r;
-    r.workload = point.workload;
-    r.engine = point.engine;
-    r.policy = point.policy;
-    r.fetchThreads = point.fetchThreads;
-    r.fetchWidth = point.fetchWidth;
-    r.overrides = point.overrides;
-    r.warmupCycles = warmup;
-    r.measureCycles = measure;
-    r.stats = sim.stats();
-    r.ipfc = r.stats.ipfc();
-    r.ipc = r.stats.ipc();
-    // The end-of-measurement snapshot, not the live registry: on
-    // padded recording runs the live counters include pad activity.
-    r.statsJson = sim.measuredStatsJson();
-    return r;
-}
-
-/** Snapshot-cache file name: hash of the warmup configuration key. */
-std::string
-checkpointCacheName(const std::string &key)
-{
-    return csprintf("smtckpt_%016llx.ckpt",
-                    (unsigned long long)Rng::hashString(key));
-}
-
-bool
-fileExists(const std::string &path)
-{
-    return std::ifstream(path, std::ios::binary).good();
-}
-
-} // namespace
-
-ExperimentResult
-ExperimentRunner::run(const GridPoint &point) const
-{
-    return runTimed(point, nullptr);
-}
-
-ExperimentResult
-ExperimentRunner::runTimed(const GridPoint &point,
-                           double *measure_seconds) const
-{
-    SimConfig cfg =
-        configForPoint(point, warmup, measure, seed, cycleSkip);
-    Simulator sim(cfg);
-    if (!point.restoreCheckpointPath.empty()) {
-        sim.restoreCheckpoint(point.restoreCheckpointPath);
-    } else {
-        sim.runWarmup();
-        if (!point.saveCheckpointPath.empty())
-            sim.saveCheckpoint(point.saveCheckpointPath);
-    }
-    auto measure_start = SteadyClock::now();
-    sim.runMeasure();
-    if (measure_seconds != nullptr)
-        *measure_seconds = secondsSince(measure_start);
-    return resultFrom(point, warmup, measure, sim);
-}
-
-std::vector<ExperimentResult>
-ExperimentRunner::runAll(const std::vector<GridPoint> &points) const
-{
-    return runAll(points, WarmupReuse{});
-}
-
-std::vector<ExperimentResult>
-ExperimentRunner::runAll(const std::vector<GridPoint> &points,
-                         const WarmupReuse &reuse,
-                         SweepTiming *timing) const
-{
-    checkRecordPathsUnique(points);
-    auto sweep_start = SteadyClock::now();
-
-    SweepTiming local;
-    local.gridPoints = points.size();
-    local.reuseEnabled = reuse.enabled;
-    std::vector<ExperimentResult> results(points.size());
-
-    // Simulation-throughput accounting, shared by both paths: the
-    // cycle/instruction totals come from the (deterministic) results,
-    // the wall clock is accumulated around each measure phase.
-    std::mutex measure_mutex;
-    auto addMeasureSeconds = [&](double s) {
-        std::lock_guard<std::mutex> lock(measure_mutex);
-        local.measureSeconds += s;
-    };
-    auto finalize = [&]() {
-        for (const auto &r : results) {
-            local.simulatedCycles += r.measureCycles;
-            local.committedInsts += r.stats.instsCommitted;
-            local.cyclesSkipped += r.stats.cyclesSkipped;
-            local.sleepEvents += r.stats.sleepEvents;
-            if (r.stats.maxSkipSpan > local.maxSkipSpan)
-                local.maxSkipSpan = r.stats.maxSkipSpan;
-        }
-        local.sweepSeconds = secondsSince(sweep_start);
-        if (timing != nullptr)
-            *timing = local;
-    };
-
-    if (!reuse.enabled) {
-        local.directRuns = points.size();
-        parallelFor(points.size(), [&](std::size_t i) {
-            double measure_sec = 0;
-            results[i] = runTimed(points[i], &measure_sec);
-            addMeasureSeconds(measure_sec);
-        });
-        finalize();
-        return results;
-    }
-
-    // Group grid points whose warmup execution is provably identical
-    // (equal warmup configuration keys). Points with record/checkpoint
-    // side effects keep the one-simulator-per-point path: a restored
-    // recording run would capture a truncated trace.
-    struct Group
-    {
-        std::string key;
-        std::vector<std::size_t> indices;
-    };
-    std::vector<Group> groups;
-    std::unordered_map<std::string, std::size_t> keyToGroup;
-    std::vector<std::size_t> direct;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const GridPoint &p = points[i];
-        if (!p.recordPath.empty() || !p.saveCheckpointPath.empty() ||
-            !p.restoreCheckpointPath.empty()) {
-            direct.push_back(i);
-            continue;
-        }
-        std::string key =
-            warmupConfigKey(
-                configForPoint(p, warmup, measure, seed, cycleSkip));
-        auto [it, inserted] =
-            keyToGroup.emplace(key, groups.size());
-        if (inserted)
-            groups.push_back(Group{std::move(key), {}});
-        groups[it->second].indices.push_back(i);
-    }
-    local.warmupGroups = groups.size();
-    local.directRuns = direct.size();
-
-    std::mutex timing_mutex;
-    auto account = [&](std::size_t warmups, std::size_t restores,
-                       double warmup_sec) {
-        std::lock_guard<std::mutex> lock(timing_mutex);
-        local.warmupRuns += warmups;
-        local.restoredRuns += restores;
-        local.warmupSeconds += warmup_sec;
-    };
-
-    // One work unit per group plus one per direct point; units run
-    // across host threads, points inside a group run sequentially
-    // (they share the group's snapshot).
-    std::size_t units = groups.size() + direct.size();
-    parallelFor(units, [&](std::size_t u) {
-        if (u >= groups.size()) {
-            std::size_t i = direct[u - groups.size()];
-            double measure_sec = 0;
-            results[i] = runTimed(points[i], &measure_sec);
-            addMeasureSeconds(measure_sec);
-            return;
-        }
-        const Group &group = groups[u];
-
-        // Returns the measure-phase wall seconds; the caller decides
-        // when to commit them to the sweep accounting (the cache
-        // fast path below may abandon a half-measured group and
-        // re-measure it, which must not double-count).
-        auto measurePoint = [&](std::size_t i, Simulator &sim) {
-            auto measure_start = SteadyClock::now();
-            sim.runMeasure();
-            double sec = secondsSince(measure_start);
-            results[i] = resultFrom(points[i], warmup, measure, sim);
-            return sec;
-        };
-
-        std::string cache_file;
-        if (!reuse.checkpointDir.empty())
-            cache_file = reuse.checkpointDir + "/" +
-                         checkpointCacheName(group.key);
-
-        // Cross-sweep fast path: a persisted snapshot with the same
-        // configuration hash serves every point without any warmup.
-        if (!cache_file.empty() && fileExists(cache_file)) {
-            try {
-                std::size_t restored = 0;
-                double group_measure_sec = 0;
-                for (std::size_t i : group.indices) {
-                    Simulator sim(configForPoint(points[i], warmup,
-                                                 measure, seed,
-                                                 cycleSkip));
-                    sim.restoreCheckpoint(cache_file);
-                    group_measure_sec += measurePoint(i, sim);
-                    ++restored;
-                }
-                addMeasureSeconds(group_measure_sec);
-                account(0, restored, 0.0);
-                return;
-            } catch (const CheckpointError &e) {
-                // Stale or corrupt cache entry (e.g. a config-hash
-                // collision): warn and rebuild it below.
-                warn("ignoring unusable warmup checkpoint: %s",
-                     e.what());
-            }
-        }
-
-        // Run the warmup once; the first point continues on the warm
-        // simulator (it literally is the uninterrupted run), the rest
-        // restore the snapshot.
-        std::size_t first = group.indices.front();
-        Simulator sim(
-            configForPoint(points[first], warmup, measure, seed,
-                           cycleSkip));
-        auto warmup_start = SteadyClock::now();
-        sim.runWarmup();
-        double warmup_sec = secondsSince(warmup_start);
-
-        std::string snapshot;
-        bool cache_written = false;
-        if (!cache_file.empty()) {
-            // Write-then-rename so a concurrent sweep sharing the
-            // cache directory never observes a half-written
-            // snapshot (rename is atomic on POSIX filesystems). The
-            // pid disambiguates concurrent processes, the simulator
-            // address concurrent workers within one.
-            unsigned long long pid =
-#ifdef _WIN32
-                0;
-#else
-                static_cast<unsigned long long>(::getpid());
-#endif
-            std::string tmp = cache_file +
-                              csprintf(".tmp%llx.%llx", pid,
-                                       (unsigned long long)
-                                           reinterpret_cast<
-                                               std::uintptr_t>(&sim));
-            try {
-                sim.saveCheckpoint(tmp);
-                if (std::rename(tmp.c_str(),
-                                cache_file.c_str()) == 0) {
-                    cache_written = true;
-                } else {
-                    std::remove(tmp.c_str());
-                    warn("cannot move warmup checkpoint into "
-                         "place: %s",
-                         cache_file.c_str());
-                }
-            } catch (const CheckpointError &e) {
-                std::remove(tmp.c_str());
-                warn("cannot persist warmup checkpoint: %s",
-                     e.what());
-            }
-        }
-        // An unusable cache must not abort the sweep: the warm
-        // simulator is in hand, so fall back to the in-memory
-        // snapshot for this group's remaining points.
-        if (!cache_written && group.indices.size() > 1)
-            snapshot = sim.saveCheckpointToString();
-
-        addMeasureSeconds(measurePoint(first, sim));
-
-        std::size_t restored = 0;
-        for (std::size_t k = 1; k < group.indices.size(); ++k) {
-            std::size_t i = group.indices[k];
-            Simulator rest(
-                configForPoint(points[i], warmup, measure, seed,
-                               cycleSkip));
-            if (cache_written)
-                rest.restoreCheckpoint(cache_file);
-            else
-                rest.restoreCheckpointFromString(snapshot);
-            addMeasureSeconds(measurePoint(i, rest));
-            ++restored;
-        }
-        account(1, restored, warmup_sec);
-    });
-
-    finalize();
-    return results;
+    unsigned hw = std::thread::hardware_concurrency();
+    unsigned workers = std::min<unsigned>(
+        hw == 0 ? 4 : hw,
+        (unsigned)std::max<std::size_t>(request.points.size(), 1));
+    SweepScheduler scheduler(workers, cache_ptr);
+    return scheduler.wait(scheduler.submit(request));
 }
 
 void
@@ -627,6 +230,9 @@ ExperimentRunner::writeJson(
                  static_cast<std::uint64_t>(timing->restoredRuns));
         jw.field("directRuns",
                  static_cast<std::uint64_t>(timing->directRuns));
+        jw.field("cacheHits", timing->cacheHits);
+        jw.field("cacheDiskHits", timing->cacheDiskHits);
+        jw.field("cacheEvictions", timing->cacheEvictions);
         jw.field("warmupSeconds", timing->warmupSeconds);
         jw.field("sweepSeconds", timing->sweepSeconds);
         jw.field("estimatedBaselineSeconds", baseline);

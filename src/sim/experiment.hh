@@ -1,8 +1,13 @@
 /**
  * @file
- * Experiment runner: executes (workload x engine x policy) grids and
- * renders paper-figure tables. Runs are parallelized across hardware
- * threads since each simulation is independent and deterministic.
+ * The sweep request/report API: a SweepRequest names the grid points
+ * plus the measurement windows and warmup-sharing policy, a
+ * SweepReport carries every point's results and the sweep's measured
+ * accounting. ExperimentRunner is a thin facade that feeds a request
+ * through the scheduler/executor pair (sim/scheduler.hh,
+ * sim/executor.hh) and renders paper-figure tables and BENCH_*.json
+ * records; the serve daemon drives the same scheduler directly with a
+ * shared process-wide snapshot cache.
  */
 
 #ifndef SMTFETCH_SIM_EXPERIMENT_HH
@@ -20,6 +25,7 @@ namespace smt
 {
 
 class JsonWriter;
+class WarmupSnapshotCache;
 
 /**
  * Optional per-run deviations from the Table 3 baseline, used by the
@@ -55,6 +61,31 @@ struct RunOverrides
     void writeJson(JsonWriter &jw) const;
 };
 
+/** One point of a sweep grid. */
+struct GridPoint
+{
+    std::string workload;
+    EngineKind engine;
+    unsigned fetchThreads;
+    unsigned fetchWidth;
+    PolicyKind policy = PolicyKind::ICount;
+    RunOverrides overrides{};
+
+    /** Capture the run's correct-path streams to this trace
+     *  file when non-empty (smtsim --record). */
+    std::string recordPath;
+
+    /** Extra capture cycles after measurement (--record-pad). */
+    Cycle recordPadCycles = 0;
+
+    /** Save a post-warmup checkpoint here (--save-checkpoint). */
+    std::string saveCheckpointPath;
+
+    /** Skip warmup by restoring this checkpoint
+     *  (--restore-checkpoint). */
+    std::string restoreCheckpointPath;
+};
+
 /** One grid point's results. */
 struct ExperimentResult
 {
@@ -82,112 +113,114 @@ struct ExperimentResult
     std::string policyDotString() const;
 };
 
-/** Runs simulation grids with shared warmup/measure windows. */
+/**
+ * Everything one sweep run needs: the expanded grid plus the
+ * execution parameters shared by every point. The single entry point
+ * is ExperimentRunner::run(request) (or SweepScheduler::submit for
+ * queued/concurrent execution); there are no positional per-point
+ * overloads — a one-point sweep is a one-element `points` vector.
+ */
+struct SweepRequest
+{
+    std::vector<GridPoint> points;
+
+    Cycle warmupCycles = 50'000;
+    Cycle measureCycles = 300'000;
+    std::uint64_t seed = 0;
+
+    /** Event-driven cycle skipping (bit-identical either way). */
+    bool cycleSkip = true;
+
+    /**
+     * Warmup-snapshot sharing: group points by warmup configuration
+     * key, simulate each distinct warmup once (process-wide when a
+     * shared WarmupSnapshotCache is installed), and restore the
+     * snapshot for every other point. Results are bit-identical to
+     * the plain path. Implied by a non-empty checkpointDir.
+     */
+    bool reuseWarmup = false;
+
+    /** Persistent snapshot tier reused across sweeps and processes;
+     *  empty keeps snapshots in memory only. */
+    std::string checkpointDir;
+
+    /** Warmup sharing is in effect for this request. */
+    bool
+    reuseEnabled() const
+    {
+        return reuseWarmup || !checkpointDir.empty();
+    }
+};
+
+/** End-to-end accounting for a sweep (the bench-record blocks). */
+struct SweepTiming
+{
+    std::size_t gridPoints = 0;
+    std::size_t warmupGroups = 0;  //!< distinct warmup keys
+    std::size_t warmupRuns = 0;    //!< warmups actually executed
+    std::size_t restoredRuns = 0;  //!< points served by restore
+    std::size_t directRuns = 0;    //!< points outside the reuse
+                                   //!< path (recording, explicit
+                                   //!< checkpoint flags)
+    double warmupSeconds = 0;      //!< wall clock inside warmups
+    double sweepSeconds = 0;       //!< wall clock of the sweep
+
+    /** Warmup sharing was active (the `warmupReuse` JSON block
+     *  is only meaningful — and only emitted — when true). */
+    bool reuseEnabled = false;
+
+    /** @name Snapshot-cache accounting (reuse path only): restored
+     *  points split by serving tier, plus the evictions the serving
+     *  cache performed over this sweep's lifetime (exact for a
+     *  single-process run; a lower bound under concurrent sweeps
+     *  sharing the daemon's cache). */
+    /// @{
+    std::uint64_t cacheHits = 0;      //!< memory-tier restores
+    std::uint64_t cacheDiskHits = 0;  //!< disk-tier restores
+    std::uint64_t cacheEvictions = 0; //!< LRU evictions over the run
+    /// @}
+
+    /** @name Simulation-throughput accounting (the `throughput`
+     *  JSON block): wall clock spent inside the measurement
+     *  windows and the work simulated in them. */
+    /// @{
+    double measureSeconds = 0;        //!< wall clock in measure
+    std::uint64_t simulatedCycles = 0; //!< measured-window cycles
+    std::uint64_t committedInsts = 0;  //!< insts committed in them
+
+    /** Event-driven cycle skipping across the measured windows
+     *  (all zero with skipping disabled). */
+    std::uint64_t cyclesSkipped = 0;   //!< fast-forwarded cycles
+    std::uint64_t sleepEvents = 0;     //!< quiescent spans jumped
+    std::uint64_t maxSkipSpan = 0;     //!< longest single jump
+    /// @}
+};
+
+/** A finished sweep: per-point results in grid order plus timing. */
+struct SweepReport
+{
+    std::vector<ExperimentResult> results;
+    SweepTiming timing;
+};
+
+/**
+ * Facade over the scheduler/executor pair: runs one SweepRequest to
+ * completion across host threads and renders results. Construct with
+ * a WarmupSnapshotCache to share warmup snapshots beyond a single
+ * run() call (the serve daemon's process-wide cache); the default
+ * constructor gives every reuse-enabled run a private cache.
+ */
 class ExperimentRunner
 {
   public:
-    ExperimentRunner(Cycle warmup = 50'000, Cycle measure = 300'000,
-                     std::uint64_t seed = 0, bool cycle_skip = true);
-
-    /** Run one configuration. */
-    ExperimentResult run(const std::string &workload_name,
-                         EngineKind engine, unsigned fetch_threads,
-                         unsigned fetch_width,
-                         PolicyKind policy = PolicyKind::ICount) const;
-
-    /** Grid point descriptor for runAll. */
-    struct GridPoint
+    ExperimentRunner() = default;
+    explicit ExperimentRunner(WarmupSnapshotCache &shared_cache)
+        : sharedCache(&shared_cache)
     {
-        std::string workload;
-        EngineKind engine;
-        unsigned fetchThreads;
-        unsigned fetchWidth;
-        PolicyKind policy = PolicyKind::ICount;
-        RunOverrides overrides{};
+    }
 
-        /** Capture the run's correct-path streams to this trace
-         *  file when non-empty (smtsim --record). */
-        std::string recordPath;
-
-        /** Extra capture cycles after measurement (--record-pad). */
-        Cycle recordPadCycles = 0;
-
-        /** Save a post-warmup checkpoint here (--save-checkpoint). */
-        std::string saveCheckpointPath;
-
-        /** Skip warmup by restoring this checkpoint
-         *  (--restore-checkpoint). */
-        std::string restoreCheckpointPath;
-    };
-
-    /** Run one grid point, applying its parameter overrides. */
-    ExperimentResult run(const GridPoint &point) const;
-
-    /** Run a whole grid, parallelized across host threads. */
-    std::vector<ExperimentResult>
-    runAll(const std::vector<GridPoint> &points) const;
-
-    /**
-     * Warmup-sharing policy for runAll: when enabled, grid points are
-     * grouped by their warmup configuration key (workload + seed +
-     * warmup window + full core configuration); each group runs its
-     * warmup once, snapshots the simulator, and restores the snapshot
-     * for every other point in the group. With a checkpointDir the
-     * snapshots additionally persist on disk keyed by configuration
-     * hash, so later sweeps (or re-runs) sharing a configuration skip
-     * the warmup entirely. Results are bit-identical to the plain
-     * path in either mode.
-     */
-    struct WarmupReuse
-    {
-        bool enabled = false;
-
-        /** On-disk snapshot cache; empty keeps snapshots in memory
-         *  (shared within this runAll call only). */
-        std::string checkpointDir;
-    };
-
-    /** End-to-end accounting for a runAll sweep (bench JSON). */
-    struct SweepTiming
-    {
-        std::size_t gridPoints = 0;
-        std::size_t warmupGroups = 0;  //!< distinct warmup keys
-        std::size_t warmupRuns = 0;    //!< warmups actually executed
-        std::size_t restoredRuns = 0;  //!< points served by restore
-        std::size_t directRuns = 0;    //!< points outside the reuse
-                                       //!< path (recording, explicit
-                                       //!< checkpoint flags)
-        double warmupSeconds = 0;      //!< wall clock inside warmups
-        double sweepSeconds = 0;       //!< wall clock of the sweep
-
-        /** Warmup sharing was active (the `warmupReuse` JSON block
-         *  is only meaningful — and only emitted — when true). */
-        bool reuseEnabled = false;
-
-        /** @name Simulation-throughput accounting (the `throughput`
-         *  JSON block): wall clock spent inside the measurement
-         *  windows and the work simulated in them. */
-        /// @{
-        double measureSeconds = 0;        //!< wall clock in measure
-        std::uint64_t simulatedCycles = 0; //!< measured-window cycles
-        std::uint64_t committedInsts = 0;  //!< insts committed in them
-
-        /** Event-driven cycle skipping across the measured windows
-         *  (all zero with skipping disabled). */
-        std::uint64_t cyclesSkipped = 0;   //!< fast-forwarded cycles
-        std::uint64_t sleepEvents = 0;     //!< quiescent spans jumped
-        std::uint64_t maxSkipSpan = 0;     //!< longest single jump
-        /// @}
-    };
-
-    /**
-     * Run a grid with optional warmup sharing; fills `timing` (when
-     * non-null) with the measured wall-clock accounting.
-     */
-    std::vector<ExperimentResult>
-    runAll(const std::vector<GridPoint> &points,
-           const WarmupReuse &reuse,
-           SweepTiming *timing = nullptr) const;
+    /** Run a whole request, parallelized across host threads. */
+    SweepReport run(const SweepRequest &request) const;
 
     /**
      * Render a figure: one row per (workload, policy) group, one
@@ -210,20 +243,8 @@ class ExperimentRunner
                   &metrics = {},
               const SweepTiming *timing = nullptr);
 
-    Cycle warmupCycles() const { return warmup; }
-    Cycle measureCycles() const { return measure; }
-    bool cycleSkipEnabled() const { return cycleSkip; }
-
   private:
-    /** run(point), additionally reporting the measure-phase wall
-     *  seconds when `measure_seconds` is non-null. */
-    ExperimentResult runTimed(const GridPoint &point,
-                              double *measure_seconds) const;
-
-    Cycle warmup;
-    Cycle measure;
-    std::uint64_t seed;
-    bool cycleSkip;
+    WarmupSnapshotCache *sharedCache = nullptr;
 };
 
 /** All three engines in paper order. */

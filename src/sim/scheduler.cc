@@ -1,0 +1,325 @@
+#include "sim/scheduler.hh"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/snapshot_cache.hh"
+#include "util/logging.hh"
+
+namespace smt
+{
+
+namespace
+{
+
+using SteadyClock = std::chrono::steady_clock;
+
+double
+secondsSince(SteadyClock::time_point start)
+{
+    return std::chrono::duration<double>(SteadyClock::now() - start)
+        .count();
+}
+
+/**
+ * Fail fast when two grid points would capture to the same trace
+ * file: the second run would silently overwrite the first recording.
+ */
+void
+checkRecordPathsUnique(const std::vector<GridPoint> &points)
+{
+    std::unordered_map<std::string, std::size_t> seen;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const std::string &path = points[i].recordPath;
+        if (path.empty())
+            continue;
+        auto [it, inserted] = seen.emplace(path, i);
+        if (!inserted)
+            throw std::invalid_argument(csprintf(
+                "grid points %zu and %zu both record to \"%s\" — "
+                "the second run would silently overwrite the first "
+                "capture; record each point to a distinct file",
+                it->second, i, path.c_str()));
+    }
+}
+
+} // namespace
+
+SweepScheduler::Job::Job(const SweepRequest &request, std::string name,
+                         WarmupSnapshotCache *cache,
+                         const std::string &default_snapshot_dir)
+    : name(std::move(name)), points(request.points),
+      executor(ExecutorParams{request.warmupCycles,
+                              request.measureCycles, request.seed,
+                              request.cycleSkip},
+               request.reuseEnabled() ? cache : nullptr,
+               !request.checkpointDir.empty() ? request.checkpointDir
+                                              : default_snapshot_dir),
+      reuseEnabled(request.reuseEnabled() && cache != nullptr)
+{
+    report.results.resize(points.size());
+    auto &t = report.timing;
+    t.gridPoints = points.size();
+    t.reuseEnabled = reuseEnabled;
+    if (reuseEnabled) {
+        // Precompute the warmup grouping so the report's
+        // warmupGroups is exact even when another job sharing the
+        // cache leads some of this job's warmups.
+        std::unordered_set<std::string> keys;
+        for (const GridPoint &p : points) {
+            if (PointExecutor::reusable(p))
+                keys.insert(executor.warmupKey(p));
+        }
+        t.warmupGroups = keys.size();
+    }
+}
+
+SweepScheduler::SweepScheduler(unsigned workers,
+                               WarmupSnapshotCache *cache,
+                               std::string default_snapshot_dir)
+    : cache(cache), defaultSnapshotDir(std::move(default_snapshot_dir))
+{
+    if (workers == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        workers = hw == 0 ? 4 : hw;
+    }
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back([this] { workerLoop(); });
+}
+
+SweepScheduler::~SweepScheduler()
+{
+    {
+        std::lock_guard<std::mutex> lock(m);
+        stopping = true;
+    }
+    cvWork.notify_all();
+    for (auto &t : pool)
+        t.join();
+}
+
+SweepScheduler::JobId
+SweepScheduler::submit(const SweepRequest &request, std::string name)
+{
+    checkRecordPathsUnique(request.points);
+
+    auto job = std::make_unique<Job>(request, std::move(name), cache,
+                                     defaultSnapshotDir);
+    job->submitTime = SteadyClock::now();
+    job->evictionsAtSubmit =
+        (job->reuseEnabled && cache) ? cache->stats().evictions : 0;
+
+    std::lock_guard<std::mutex> lock(m);
+    JobId id = nextId++;
+    Job &ref = *job;
+    jobs.emplace(id, std::move(job));
+    if (ref.points.empty()) {
+        finalizeLocked(ref, JobState::Done);
+    } else {
+        runQueue.push_back(id);
+        cvWork.notify_all();
+    }
+    return id;
+}
+
+bool
+SweepScheduler::cancel(JobId id)
+{
+    std::lock_guard<std::mutex> lock(m);
+    auto it = jobs.find(id);
+    if (it == jobs.end())
+        return false;
+    Job &job = *it->second;
+    if (job.state != JobState::Queued &&
+        job.state != JobState::Running)
+        return false;
+    job.cancelRequested = true;
+    job.nextPoint = job.points.size(); // stop further claims
+    if (job.inFlight == 0)
+        finalizeLocked(job, JobState::Cancelled);
+    return true;
+}
+
+std::optional<SweepScheduler::JobStatus>
+SweepScheduler::status(JobId id) const
+{
+    std::lock_guard<std::mutex> lock(m);
+    auto it = jobs.find(id);
+    if (it == jobs.end())
+        return std::nullopt;
+    const Job &job = *it->second;
+    JobStatus s;
+    s.state = job.state;
+    s.name = job.name;
+    s.totalPoints = job.points.size();
+    s.completedPoints = job.completed;
+    if (job.state == JobState::Cancelled ||
+        job.state == JobState::Failed)
+        s.cancelledPoints = job.points.size() - job.completed;
+    s.warmupRuns = job.report.timing.warmupRuns;
+    s.restoredRuns = job.report.timing.restoredRuns;
+    s.error = job.errorText;
+    s.firstDoneSeq = job.firstDoneSeq;
+    s.lastDoneSeq = job.lastDoneSeq;
+    return s;
+}
+
+SweepReport
+SweepScheduler::wait(JobId id)
+{
+    std::unique_lock<std::mutex> lock(m);
+    auto it = jobs.find(id);
+    if (it == jobs.end())
+        throw std::invalid_argument(
+            csprintf("unknown sweep job id %llu",
+                     (unsigned long long)id));
+    Job &job = *it->second;
+    cvDone.wait(lock, [&] {
+        return job.state == JobState::Done ||
+               job.state == JobState::Failed ||
+               job.state == JobState::Cancelled;
+    });
+    if (job.state == JobState::Failed) {
+        if (job.error)
+            std::rethrow_exception(job.error);
+        throw std::runtime_error("sweep failed: " + job.errorText);
+    }
+    if (job.state == JobState::Cancelled)
+        throw std::runtime_error(
+            job.name.empty()
+                ? std::string("sweep cancelled")
+                : "sweep cancelled: " + job.name);
+    return job.report;
+}
+
+const SweepReport *
+SweepScheduler::report(JobId id) const
+{
+    std::lock_guard<std::mutex> lock(m);
+    auto it = jobs.find(id);
+    if (it == jobs.end() || it->second->state != JobState::Done)
+        return nullptr;
+    return &it->second->report;
+}
+
+void
+SweepScheduler::finalizeLocked(Job &job, JobState terminal)
+{
+    auto &t = job.report.timing;
+    if (terminal == JobState::Done) {
+        for (const auto &r : job.report.results) {
+            t.simulatedCycles += r.measureCycles;
+            t.committedInsts += r.stats.instsCommitted;
+            t.cyclesSkipped += r.stats.cyclesSkipped;
+            t.sleepEvents += r.stats.sleepEvents;
+            if (r.stats.maxSkipSpan > t.maxSkipSpan)
+                t.maxSkipSpan = r.stats.maxSkipSpan;
+        }
+    }
+    if (job.reuseEnabled && cache) {
+        std::uint64_t now = cache->stats().evictions;
+        t.cacheEvictions = now - job.evictionsAtSubmit;
+    }
+    t.sweepSeconds = secondsSince(job.submitTime);
+    job.state = terminal;
+    cvDone.notify_all();
+}
+
+void
+SweepScheduler::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(m);
+    for (;;) {
+        cvWork.wait(lock,
+                    [&] { return stopping || !runQueue.empty(); });
+        if (stopping)
+            return;
+
+        JobId id = runQueue.front();
+        runQueue.pop_front();
+        auto it = jobs.find(id);
+        if (it == jobs.end())
+            continue;
+        Job &job = *it->second;
+        if (job.nextPoint >= job.points.size())
+            continue; // tombstone token (cancelled/failed/drained)
+
+        // Claim exactly one point, then send the job to the back of
+        // the queue: concurrent sweeps interleave point-by-point
+        // instead of draining whole-sweep FIFO.
+        std::size_t i = job.nextPoint++;
+        ++job.inFlight;
+        if (job.nextPoint < job.points.size()) {
+            runQueue.push_back(id);
+            cvWork.notify_one();
+        }
+
+        lock.unlock();
+        PointOutcome outcome;
+        std::exception_ptr error;
+        try {
+            outcome = job.executor.execute(job.points[i]);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        lock.lock();
+
+        --job.inFlight;
+        if (error) {
+            if (!job.error) {
+                job.error = error;
+                try {
+                    std::rethrow_exception(error);
+                } catch (const std::exception &e) {
+                    job.errorText = e.what();
+                } catch (...) {
+                    job.errorText = "unknown error";
+                }
+            }
+            job.nextPoint = job.points.size(); // stop further claims
+        } else {
+            job.report.results[i] = std::move(outcome.result);
+            ++job.completed;
+            std::uint64_t seq = ++doneSeq;
+            if (job.firstDoneSeq == 0)
+                job.firstDoneSeq = seq;
+            job.lastDoneSeq = seq;
+            if (job.state == JobState::Queued)
+                job.state = JobState::Running;
+
+            auto &t = job.report.timing;
+            t.warmupSeconds += outcome.warmupSeconds;
+            t.measureSeconds += outcome.measureSeconds;
+            if (outcome.ranWarmup)
+                ++t.warmupRuns;
+            if (outcome.direct)
+                ++t.directRuns;
+            if (outcome.restored) {
+                ++t.restoredRuns;
+                if (outcome.diskHit)
+                    ++t.cacheDiskHits;
+                else
+                    ++t.cacheHits;
+            }
+        }
+
+        bool drained = job.inFlight == 0 &&
+                       job.nextPoint >= job.points.size();
+        if (drained && job.state != JobState::Done &&
+            job.state != JobState::Failed &&
+            job.state != JobState::Cancelled) {
+            JobState terminal = JobState::Done;
+            if (job.error)
+                terminal = JobState::Failed;
+            else if (job.cancelRequested)
+                terminal = JobState::Cancelled;
+            else if (job.completed != job.points.size())
+                terminal = JobState::Failed; // unreachable guard
+            finalizeLocked(job, terminal);
+        }
+    }
+}
+
+} // namespace smt

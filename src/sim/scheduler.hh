@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The scheduler half of the ExperimentRunner split: SweepScheduler
+ * owns a bounded worker pool and a round-robin run queue of submitted
+ * sweeps. Each worker claims ONE grid point from the job at the front
+ * of the queue, then sends the job to the back, so concurrent
+ * sweeps — e.g. several serve clients — make fair interleaved
+ * progress instead of queueing whole-sweep FIFO. Points themselves
+ * run through a PointExecutor (sim/executor.hh), which shares warmup
+ * snapshots through the scheduler's WarmupSnapshotCache.
+ */
+
+#ifndef SMTFETCH_SIM_SCHEDULER_HH
+#define SMTFETCH_SIM_SCHEDULER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/executor.hh"
+#include "sim/experiment.hh"
+
+namespace smt
+{
+
+class WarmupSnapshotCache;
+
+/**
+ * Queues SweepRequests and runs their grid points across a bounded
+ * worker pool. Thread-safe throughout; jobs (and their reports) live
+ * until the scheduler is destroyed.
+ */
+class SweepScheduler
+{
+  public:
+    using JobId = std::uint64_t;
+
+    enum class JobState
+    {
+        Queued,   //!< submitted, no point finished yet
+        Running,  //!< at least one point finished
+        Done,     //!< every point finished; report available
+        Failed,   //!< a point threw; error captures the message
+        Cancelled //!< cancelled before every point finished
+    };
+
+    /** A point-granularity progress snapshot. */
+    struct JobStatus
+    {
+        JobState state = JobState::Queued;
+        std::string name;
+        std::size_t totalPoints = 0;
+        std::size_t completedPoints = 0;
+
+        /** Points skipped by cancellation (terminal states only). */
+        std::size_t cancelledPoints = 0;
+
+        /** Warmups this job led / points served by snapshot
+         *  restore so far (the cache-effectiveness live view). */
+        std::size_t warmupRuns = 0;
+        std::size_t restoredRuns = 0;
+
+        /** What went wrong (Failed only). */
+        std::string error;
+
+        /**
+         * Global completion sequence numbers of this job's first and
+         * last finished point (0 when none finished yet). Every point
+         * completion in the scheduler — across all jobs — gets the
+         * next number, so interleaving between concurrent jobs is
+         * directly observable: under round-robin, a short job
+         * submitted second still finishes before a long job submitted
+         * first.
+         */
+        std::uint64_t firstDoneSeq = 0;
+        std::uint64_t lastDoneSeq = 0;
+    };
+
+    /**
+     * @param workers pool size; 0 picks the host concurrency.
+     * @param cache shared warmup-snapshot cache for reuse-enabled
+     *        requests (null: every request runs the direct path).
+     * @param default_snapshot_dir disk tier for reuse-enabled
+     *        requests that don't name their own checkpointDir
+     *        (empty: memory-only for those requests).
+     */
+    explicit SweepScheduler(unsigned workers = 0,
+                            WarmupSnapshotCache *cache = nullptr,
+                            std::string default_snapshot_dir = "");
+    ~SweepScheduler();
+
+    SweepScheduler(const SweepScheduler &) = delete;
+    SweepScheduler &operator=(const SweepScheduler &) = delete;
+
+    /**
+     * Queue a sweep. Validates the request up front (duplicate
+     * record paths throw std::invalid_argument) and precomputes the
+     * warmup grouping. Returns immediately.
+     */
+    JobId submit(const SweepRequest &request, std::string name = "");
+
+    /**
+     * Stop scheduling a job's remaining points. Points already
+     * executing finish (and are reported); pending points are
+     * skipped. Returns false when the job is unknown or already
+     * terminal.
+     */
+    bool cancel(JobId id);
+
+    /** Progress snapshot; nullopt for unknown ids. */
+    std::optional<JobStatus> status(JobId id) const;
+
+    /**
+     * Block until the job is terminal. Returns the report on Done,
+     * rethrows the failing point's exception on Failed, throws
+     * std::runtime_error on Cancelled.
+     */
+    SweepReport wait(JobId id);
+
+    /** The finished report; null unless the job is Done. */
+    const SweepReport *report(JobId id) const;
+
+    /** Pool size (for status/introspection). */
+    unsigned workerCount() const { return (unsigned)pool.size(); }
+
+  private:
+    struct Job
+    {
+        std::string name;
+        std::vector<GridPoint> points;
+        PointExecutor executor;
+        bool reuseEnabled = false;
+
+        JobState state = JobState::Queued;
+        std::size_t nextPoint = 0; //!< next unclaimed grid index
+        std::size_t inFlight = 0;  //!< points executing right now
+        std::size_t completed = 0;
+        bool cancelRequested = false;
+        std::exception_ptr error;
+        std::string errorText;
+
+        SweepReport report; //!< results grow in place, grid order
+        std::uint64_t firstDoneSeq = 0;
+        std::uint64_t lastDoneSeq = 0;
+        std::uint64_t evictionsAtSubmit = 0;
+        std::chrono::steady_clock::time_point submitTime;
+
+        Job(const SweepRequest &request, std::string name,
+            WarmupSnapshotCache *cache,
+            const std::string &default_snapshot_dir);
+    };
+
+    void workerLoop();
+
+    /** Under `m`: move a drained job to its terminal state. */
+    void finalizeLocked(Job &job, JobState terminal);
+
+    mutable std::mutex m;
+    std::condition_variable cvWork; //!< run-queue pushes
+    std::condition_variable cvDone; //!< job state transitions
+    std::map<JobId, std::unique_ptr<Job>> jobs;
+    std::deque<JobId> runQueue; //!< ≤ 1 token per unfinished job
+    JobId nextId = 1;
+    std::uint64_t doneSeq = 0; //!< global completion counter
+    bool stopping = false;
+
+    WarmupSnapshotCache *cache;
+    std::string defaultSnapshotDir;
+    std::vector<std::thread> pool;
+};
+
+} // namespace smt
+
+#endif // SMTFETCH_SIM_SCHEDULER_HH

@@ -439,10 +439,10 @@ validateWorkloadName(const std::string &name)
                              knownWorkloadNames().c_str()));
 }
 
-std::vector<ExperimentRunner::GridPoint>
+std::vector<GridPoint>
 SweepSpec::expand() const
 {
-    std::vector<ExperimentRunner::GridPoint> points;
+    std::vector<GridPoint> points;
     for (const auto &block : sweeps)
         for (const auto &w : block.workloads)
             for (EngineKind e : block.engines)
@@ -453,11 +453,18 @@ SweepSpec::expand() const
     return points;
 }
 
-ExperimentRunner
-SweepSpec::makeRunner() const
+SweepRequest
+SweepSpec::makeRequest() const
 {
-    return ExperimentRunner(warmupCycles, measureCycles, seed,
-                            cycleSkip);
+    SweepRequest request;
+    request.points = expand();
+    request.warmupCycles = warmupCycles;
+    request.measureCycles = measureCycles;
+    request.seed = seed;
+    request.cycleSkip = cycleSkip;
+    request.reuseWarmup = checkpointAfterWarmup;
+    request.checkpointDir = checkpointDir;
+    return request;
 }
 
 SweepSpec
@@ -598,17 +605,13 @@ SweepSpec::fromFile(const std::string &path)
     return fromString(text, path);
 }
 
-std::vector<ExperimentResult>
-runSpec(const SweepSpec &spec, ExperimentRunner::SweepTiming *timing)
+SweepReport
+runSpec(const SweepSpec &spec)
 {
     if (spec.type != SpecType::Grid)
         throw SpecError(csprintf("spec \"%s\" is not a grid spec",
                                  spec.name.c_str()));
-    ExperimentRunner::WarmupReuse reuse;
-    reuse.enabled =
-        spec.checkpointAfterWarmup || !spec.checkpointDir.empty();
-    reuse.checkpointDir = spec.checkpointDir;
-    return spec.makeRunner().runAll(spec.expand(), reuse, timing);
+    return ExperimentRunner().run(spec.makeRequest());
 }
 
 std::vector<BenchmarkCharacteristics>
@@ -690,7 +693,7 @@ writeBenchRecord(
     const std::vector<ExperimentResult> &results,
     const std::vector<std::pair<std::string, double>> &metrics,
     const std::string &dir_override,
-    const ExperimentRunner::SweepTiming *timing)
+    const SweepTiming *timing)
 {
     const char *off = std::getenv("SMTFETCH_NO_JSON");
     if (off != nullptr && off[0] != '\0' && off[0] != '0')

@@ -107,7 +107,7 @@ struct SweepSpec
      * Warmup-snapshot sharing: run the warmup once per unique
      * (workload, core-configuration) group, checkpoint the simulator,
      * and restore the snapshot for every other grid point in the
-     * group (see ExperimentRunner::WarmupReuse). Bit-identical to the
+     * group (see SweepRequest::reuseWarmup). Bit-identical to the
      * plain path.
      */
     bool checkpointAfterWarmup = false;
@@ -132,10 +132,16 @@ struct SweepSpec
     }
 
     /** Expand every sweep block into runnable grid points. */
-    std::vector<ExperimentRunner::GridPoint> expand() const;
+    std::vector<GridPoint> expand() const;
 
-    /** An ExperimentRunner with this spec's windows and seed. */
-    ExperimentRunner makeRunner() const;
+    /**
+     * The full SweepRequest this spec describes: the expanded grid
+     * plus windows, seed, cycle-skip and warmup-reuse settings. Both
+     * frontends — `smtsim <spec>` and the serve daemon — run exactly
+     * this request, so a spec accepted by one behaves identically on
+     * the other.
+     */
+    SweepRequest makeRequest() const;
 
     /** @name Construction (SpecError on any schema problem). */
     /// @{
@@ -149,12 +155,11 @@ struct SweepSpec
 
 /**
  * Expand and run a grid spec through the parallel runner, honouring
- * the spec's warmup-reuse settings; `timing` (when non-null) receives
- * the sweep's wall-clock accounting for the bench record.
+ * the spec's warmup-reuse settings. The report carries both the
+ * per-point results and the sweep's wall-clock accounting for the
+ * bench record.
  */
-std::vector<ExperimentResult>
-runSpec(const SweepSpec &spec,
-        ExperimentRunner::SweepTiming *timing = nullptr);
+SweepReport runSpec(const SweepSpec &spec);
 
 /** Table 1 row: synthetic-model statistics for one benchmark. */
 struct BenchmarkCharacteristics
@@ -187,7 +192,7 @@ bool writeBenchRecord(
     const std::vector<ExperimentResult> &results,
     const std::vector<std::pair<std::string, double>> &metrics = {},
     const std::string &dir_override = "",
-    const ExperimentRunner::SweepTiming *timing = nullptr);
+    const SweepTiming *timing = nullptr);
 
 } // namespace smt
 

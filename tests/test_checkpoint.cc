@@ -211,13 +211,20 @@ namespace
 /** Run a spec plain and with warmup reuse; both must match exactly. */
 void
 expectReuseBitIdentical(SweepSpec spec,
-                        const ExperimentRunner::WarmupReuse &reuse,
-                        ExperimentRunner::SweepTiming &timing)
+                        const std::string &checkpoint_dir,
+                        SweepTiming &timing)
 {
-    auto points = spec.expand();
-    ExperimentRunner runner = spec.makeRunner();
-    auto plain = runner.runAll(points);
-    auto reused = runner.runAll(points, reuse, &timing);
+    SweepRequest plain_request = spec.makeRequest();
+    plain_request.reuseWarmup = false;
+    plain_request.checkpointDir.clear();
+    auto plain = ExperimentRunner().run(plain_request).results;
+
+    SweepRequest reuse_request = spec.makeRequest();
+    reuse_request.reuseWarmup = true;
+    reuse_request.checkpointDir = checkpoint_dir;
+    SweepReport report = ExperimentRunner().run(reuse_request);
+    const auto &reused = report.results;
+    timing = report.timing;
 
     ASSERT_EQ(plain.size(), reused.size());
     for (std::size_t i = 0; i < plain.size(); ++i) {
@@ -226,7 +233,7 @@ expectReuseBitIdentical(SweepSpec spec,
         EXPECT_EQ(plain[i].statsJson, reused[i].statsJson)
             << "point " << i;
     }
-    EXPECT_EQ(timing.gridPoints, points.size());
+    EXPECT_EQ(timing.gridPoints, reuse_request.points.size());
 }
 
 } // namespace
@@ -235,8 +242,8 @@ TEST(WarmupReuse, Fig2SpecBitIdenticalAndOneWarmupPerGroup)
 {
     SweepSpec spec = SweepSpec::fromFile(defaultConfigDir() +
                                          "/fig2_single_thread.json");
-    ExperimentRunner::SweepTiming timing;
-    expectReuseBitIdentical(spec, {true, ""}, timing);
+    SweepTiming timing;
+    expectReuseBitIdentical(spec, "", timing);
     // fig2's grid points all differ in core configuration, so every
     // group is its own warmup — exactly one warmup per unique
     // (workload, core-config) group, none reused, none direct.
@@ -250,8 +257,8 @@ TEST(WarmupReuse, Fig4SpecBitIdenticalAndOneWarmupPerGroup)
 {
     SweepSpec spec = SweepSpec::fromFile(defaultConfigDir() +
                                          "/fig4_two_threads.json");
-    ExperimentRunner::SweepTiming timing;
-    expectReuseBitIdentical(spec, {true, ""}, timing);
+    SweepTiming timing;
+    expectReuseBitIdentical(spec, "", timing);
     EXPECT_EQ(timing.warmupGroups, timing.gridPoints);
     EXPECT_EQ(timing.warmupRuns, timing.warmupGroups);
     EXPECT_EQ(timing.restoredRuns, 0u);
@@ -273,8 +280,8 @@ TEST(WarmupReuse, DuplicateConfigPointsShareOneWarmup)
              "policies": ["1.8"]}
         ]
     })");
-    ExperimentRunner::SweepTiming timing;
-    expectReuseBitIdentical(spec, {true, ""}, timing);
+    SweepTiming timing;
+    expectReuseBitIdentical(spec, "", timing);
     EXPECT_EQ(timing.gridPoints, 2u);
     EXPECT_EQ(timing.warmupGroups, 1u);
     EXPECT_EQ(timing.warmupRuns, 1u);
@@ -295,22 +302,27 @@ TEST(WarmupReuse, DiskCacheServesLaterSweepsWithoutWarmup)
     std::filesystem::remove_all(dir);
     std::filesystem::create_directories(dir);
 
-    auto points = spec.expand();
-    ExperimentRunner runner = spec.makeRunner();
-    ExperimentRunner::WarmupReuse reuse{true, dir};
+    SweepRequest request = spec.makeRequest();
+    request.reuseWarmup = true;
+    request.checkpointDir = dir;
 
-    ExperimentRunner::SweepTiming first;
-    auto cold = runner.runAll(points, reuse, &first);
-    EXPECT_EQ(first.warmupRuns, 2u);
-    EXPECT_EQ(first.restoredRuns, 0u);
+    // Each run() call gets a fresh in-memory cache, so the second
+    // sweep can only be served by the persisted disk tier.
+    SweepReport first = ExperimentRunner().run(request);
+    const auto &cold = first.results;
+    EXPECT_EQ(first.timing.warmupRuns, 2u);
+    EXPECT_EQ(first.timing.restoredRuns, 0u);
 
     // A second sweep over the same configurations restores every
     // point from the persisted snapshots: zero warmups, identical
     // results.
-    ExperimentRunner::SweepTiming second;
-    auto warm = runner.runAll(points, reuse, &second);
-    EXPECT_EQ(second.warmupRuns, 0u);
-    EXPECT_EQ(second.restoredRuns, points.size());
+    SweepReport second = ExperimentRunner().run(request);
+    const auto &warm = second.results;
+    EXPECT_EQ(second.timing.warmupRuns, 0u);
+    EXPECT_EQ(second.timing.restoredRuns, request.points.size());
+    EXPECT_EQ(second.timing.cacheDiskHits + second.timing.cacheHits,
+              second.timing.restoredRuns);
+    EXPECT_GE(second.timing.cacheDiskHits, 1u);
     ASSERT_EQ(cold.size(), warm.size());
     for (std::size_t i = 0; i < cold.size(); ++i) {
         EXPECT_EQ(cold[i].ipfc, warm[i].ipfc);
@@ -329,30 +341,31 @@ TEST(WarmupReuse, RecordingPointsBypassTheReusePath)
         "engines": ["gshare+BTB"],
         "policies": ["1.8"]
     })");
-    auto points = spec.expand();
-    ASSERT_EQ(points.size(), 1u);
-    points[0].recordPath = tempPath("reuse_bypass.trc");
+    SweepRequest request = spec.makeRequest();
+    ASSERT_EQ(request.points.size(), 1u);
+    request.points[0].recordPath = tempPath("reuse_bypass.trc");
+    request.reuseWarmup = true;
 
-    ExperimentRunner::SweepTiming timing;
-    auto results =
-        spec.makeRunner().runAll(points, {true, ""}, &timing);
-    EXPECT_EQ(timing.directRuns, 1u);
-    EXPECT_EQ(timing.warmupRuns, 0u);
-    EXPECT_GT(results[0].ipc, 0.0);
-    std::remove(points[0].recordPath.c_str());
+    SweepReport report = ExperimentRunner().run(request);
+    EXPECT_EQ(report.timing.directRuns, 1u);
+    EXPECT_EQ(report.timing.warmupRuns, 0u);
+    EXPECT_GT(report.results[0].ipc, 0.0);
+    std::remove(request.points[0].recordPath.c_str());
 }
 
 TEST(RunnerGuards, DuplicateRecordPathsFailFast)
 {
-    ExperimentRunner runner(1'000, 2'000, 0);
-    std::vector<ExperimentRunner::GridPoint> points = {
+    SweepRequest request;
+    request.warmupCycles = 1'000;
+    request.measureCycles = 2'000;
+    request.points = {
         {"gzip", EngineKind::GshareBtb, 1, 8},
         {"gzip", EngineKind::GskewFtb, 1, 8},
     };
-    points[0].recordPath = tempPath("dup.trc");
-    points[1].recordPath = points[0].recordPath;
+    request.points[0].recordPath = tempPath("dup.trc");
+    request.points[1].recordPath = request.points[0].recordPath;
     try {
-        runner.runAll(points);
+        ExperimentRunner().run(request);
         FAIL() << "duplicate record paths did not throw";
     } catch (const std::invalid_argument &e) {
         EXPECT_NE(std::string(e.what()).find("overwrite"),
@@ -723,11 +736,10 @@ TEST(CheckpointSpec, CheckpointAfterWarmupSpecKeyParsesAndRuns)
     })");
     EXPECT_TRUE(spec.checkpointAfterWarmup);
 
-    ExperimentRunner::SweepTiming timing;
-    auto results = runSpec(spec, &timing);
-    ASSERT_EQ(results.size(), 1u);
-    EXPECT_GT(results[0].ipc, 0.0);
-    EXPECT_EQ(timing.warmupRuns, 1u);
+    SweepReport report = runSpec(spec);
+    ASSERT_EQ(report.results.size(), 1u);
+    EXPECT_GT(report.results[0].ipc, 0.0);
+    EXPECT_EQ(report.timing.warmupRuns, 1u);
 }
 
 TEST(CheckpointSpec, BadCheckpointKeysRejected)

@@ -57,10 +57,10 @@ configPath(const std::string &name)
 /** Spec's grid points minus trace-replay ones (the .trc files the
  *  trace specs reference are produced by smtsim --record, not
  *  committed). */
-std::vector<ExperimentRunner::GridPoint>
+std::vector<GridPoint>
 replayablePoints(const SweepSpec &spec)
 {
-    std::vector<ExperimentRunner::GridPoint> points;
+    std::vector<GridPoint> points;
     for (const auto &p : spec.expand())
         if (p.workload.rfind("trace:", 0) != 0)
             points.push_back(p);
@@ -156,10 +156,15 @@ TEST(CycleSkipEquivalence, SkipOnMatchesSkipOffAcrossAllConfigs)
         auto points = replayablePoints(spec);
         ASSERT_FALSE(points.empty()) << name;
 
-        ExperimentRunner skipping(warmup, measure, spec.seed, true);
-        ExperimentRunner ticking(warmup, measure, spec.seed, false);
-        auto on = skipping.runAll(points);
-        auto off = ticking.runAll(points);
+        SweepRequest request;
+        request.points = points;
+        request.warmupCycles = warmup;
+        request.measureCycles = measure;
+        request.seed = spec.seed;
+        request.cycleSkip = true;
+        auto on = ExperimentRunner().run(request).results;
+        request.cycleSkip = false;
+        auto off = ExperimentRunner().run(request).results;
         ASSERT_EQ(on.size(), off.size()) << name;
 
         for (std::size_t i = 0; i < on.size(); ++i) {

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * End-to-end tests for the smtsim serve daemon: a SweepServer bound
+ * to an ephemeral loopback port, exercised through a minimal HTTP/1.1
+ * client. Covers the submit/poll/record/cancel lifecycle, concurrent
+ * clients sharing one warmup-snapshot cache (a popular warmup config
+ * is simulated exactly once across all requests), record results
+ * bit-identical to the single-process runner, and spec errors
+ * matching the CLI's messages byte for byte.
+ */
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "serve/server.hh"
+#include "sim/experiment.hh"
+#include "sim/sweep_spec.hh"
+#include "util/json.hh"
+
+using namespace smt;
+
+namespace
+{
+
+struct ClientResponse
+{
+    int status = 0;
+    std::string body;
+};
+
+/** One HTTP/1.1 request over a fresh loopback connection. */
+ClientResponse
+request(std::uint16_t port, const std::string &method,
+        const std::string &target, const std::string &body = "")
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0) << std::strerror(errno);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    int rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    EXPECT_EQ(rc, 0) << std::strerror(errno);
+
+    std::ostringstream os;
+    os << method << " " << target << " HTTP/1.1\r\n"
+       << "Host: 127.0.0.1\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: close\r\n\r\n"
+       << body;
+    std::string wire = os.str();
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+        ssize_t n =
+            ::send(fd, wire.data() + sent, wire.size() - sent, 0);
+        if (n <= 0)
+            break;
+        sent += static_cast<std::size_t>(n);
+    }
+
+    std::string raw;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        raw.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+
+    ClientResponse resp;
+    // "HTTP/1.1 NNN ..." — the status is the second token.
+    if (raw.size() > 12)
+        resp.status = std::atoi(raw.c_str() + 9);
+    std::size_t blank = raw.find("\r\n\r\n");
+    if (blank != std::string::npos)
+        resp.body = raw.substr(blank + 4);
+    return resp;
+}
+
+/** Parse a JSON body; ADD_FAILURE (not throw) on malformed output. */
+JsonValue
+parsed(const ClientResponse &resp)
+{
+    try {
+        return jsonParse(resp.body);
+    } catch (const JsonParseError &e) {
+        ADD_FAILURE() << e.what() << " in: " << resp.body;
+        return JsonValue();
+    }
+}
+
+/** GET the sweep's status until it reaches a terminal state. */
+std::string
+pollUntilTerminal(std::uint16_t port, const std::string &id)
+{
+    for (int i = 0; i < 3000; ++i) {
+        auto resp = request(port, "GET", "/v1/sweeps/" + id);
+        EXPECT_EQ(resp.status, 200) << resp.body;
+        const JsonValue *state = parsed(resp).find("state");
+        if (state == nullptr)
+            return "";
+        const std::string &s = state->asString();
+        if (s == "done" || s == "failed" || s == "cancelled")
+            return s;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return "timeout";
+}
+
+/** The id a 201 submit response names, as decimal text. */
+std::string
+submittedId(const ClientResponse &resp)
+{
+    EXPECT_EQ(resp.status, 201) << resp.body;
+    const JsonValue *id = parsed(resp).find("id");
+    if (id == nullptr)
+        return "";
+    return std::to_string(id->asUInt64());
+}
+
+/**
+ * The single-process expectation for a spec: run it through the
+ * plain ExperimentRunner and render the same record the daemon
+ * serves, then keep only the results array (timing is wall-clock).
+ */
+std::string
+localResultsArray(const std::string &spec_text)
+{
+    SweepSpec spec = SweepSpec::fromString(spec_text);
+    SweepReport report = ExperimentRunner().run(spec.makeRequest());
+    std::ostringstream os;
+    ExperimentRunner::writeJson(os, spec.benchName(), report.results,
+                                {}, &report.timing);
+    return jsonParse(os.str()).find("results")->dump();
+}
+
+/** The record's results array as rendered text. */
+std::string
+recordResultsArray(std::uint16_t port, const std::string &id)
+{
+    auto resp = request(port, "GET", "/v1/sweeps/" + id + "/record");
+    EXPECT_EQ(resp.status, 200) << resp.body;
+    JsonValue doc = parsed(resp);
+    const JsonValue *results = doc.find("results");
+    if (results == nullptr)
+        return "";
+    return results->dump();
+}
+
+/** A one-point spec every "popular" client submits verbatim. */
+const char *popularSpec = R"({
+    "name": "popular",
+    "warmupCycles": 3000,
+    "measureCycles": 8000,
+    "workloads": ["gzip"],
+    "engines": ["gshare+BTB"],
+    "policies": ["1.8"]
+})";
+
+const char *distinctSpec = R"({
+    "name": "distinct",
+    "warmupCycles": 2000,
+    "measureCycles": 6000,
+    "workloads": ["2_MIX"],
+    "engines": ["stream"],
+    "policies": ["1.16"]
+})";
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Transport and plumbing
+// ---------------------------------------------------------------------
+
+TEST(Serve, HealthzStatusAndUnknownEndpoints)
+{
+    ServeOptions options;
+    options.workers = 2;
+    SweepServer server(options);
+    ASSERT_GT(server.port(), 0);
+
+    auto health = request(server.port(), "GET", "/v1/healthz");
+    EXPECT_EQ(health.status, 200);
+    EXPECT_TRUE(parsed(health).find("ok")->asBool());
+
+    auto status = request(server.port(), "GET", "/v1/status");
+    EXPECT_EQ(status.status, 200);
+    JsonValue doc = parsed(status);
+    EXPECT_EQ(doc.find("workers")->asUInt64(), 2u);
+    EXPECT_EQ(doc.find("sweeps")->asUInt64(), 0u);
+    ASSERT_NE(doc.find("cache"), nullptr);
+    EXPECT_EQ(doc.find("cache")->find("entries")->asUInt64(), 0u);
+
+    EXPECT_EQ(request(server.port(), "GET", "/v1/nope").status, 404);
+    EXPECT_EQ(request(server.port(), "POST", "/v1/healthz").status,
+              405);
+    EXPECT_EQ(request(server.port(), "GET", "/v1/sweeps/99").status,
+              404);
+    EXPECT_EQ(request(server.port(), "GET", "/v1/sweeps/xyz").status,
+              404);
+    server.stop();
+}
+
+TEST(Serve, ShutdownEndpointRaisesTheFlag)
+{
+    ServeOptions options;
+    options.workers = 1;
+    SweepServer server(options);
+    EXPECT_FALSE(server.shutdownRequested());
+    auto resp = request(server.port(), "POST", "/v1/shutdown");
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_TRUE(server.shutdownRequested());
+    server.stop();
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle: submit, poll, record
+// ---------------------------------------------------------------------
+
+TEST(Serve, SubmitPollAndFetchRecordMatchesSingleProcessRunner)
+{
+    ServeOptions options;
+    options.workers = 2;
+    SweepServer server(options);
+
+    auto submit =
+        request(server.port(), "POST", "/v1/sweeps", distinctSpec);
+    std::string id = submittedId(submit);
+    ASSERT_FALSE(id.empty());
+    EXPECT_EQ(parsed(submit).find("bench")->asString(), "distinct");
+
+    ASSERT_EQ(pollUntilTerminal(server.port(), id), "done");
+
+    // The daemon's record carries the same schema/bench header and
+    // byte-identical results (IPFC, IPC, full stats) as the
+    // single-process runner writing the same sweep.
+    auto record =
+        request(server.port(), "GET", "/v1/sweeps/" + id + "/record");
+    ASSERT_EQ(record.status, 200) << record.body;
+    JsonValue doc = parsed(record);
+    EXPECT_EQ(doc.find("schema")->asString(), "smtfetch-bench-v1");
+    EXPECT_EQ(doc.find("bench")->asString(), "distinct");
+    ASSERT_NE(doc.find("warmupReuse"), nullptr)
+        << "daemon sweeps always account their cache use";
+    EXPECT_EQ(doc.find("results")->dump(),
+              localResultsArray(distinctSpec));
+
+    // The terminal status reports every point completed.
+    auto status =
+        parsed(request(server.port(), "GET", "/v1/sweeps/" + id));
+    EXPECT_EQ(status.find("completedPoints")->asUInt64(),
+              status.find("totalPoints")->asUInt64());
+    server.stop();
+}
+
+TEST(Serve, SpecErrorsMatchTheCliParserByteForByte)
+{
+    ServeOptions options;
+    options.workers = 1;
+    SweepServer server(options);
+
+    // Both frontends run SweepSpec::fromString, so the daemon's 400
+    // body carries the exact message the CLI prints.
+    const char *bad_specs[] = {
+        R"({"name": "x"})",                  // no sweep axes at all
+        R"({"name": )",                      // malformed JSON
+        R"({"name": "x", "workloads": ["2_MIX"],
+            "policies": ["1.8"], "cycleSkip": "fast"})",
+    };
+    for (const char *text : bad_specs) {
+        std::string expected;
+        try {
+            SweepSpec spec = SweepSpec::fromString(text);
+            if (spec.type != SpecType::Grid)
+                expected = "spec \"" + spec.name +
+                           "\" is not a grid spec";
+        } catch (const SpecError &e) {
+            expected = e.what();
+        }
+        ASSERT_FALSE(expected.empty()) << text;
+
+        auto resp =
+            request(server.port(), "POST", "/v1/sweeps", text);
+        EXPECT_EQ(resp.status, 400) << resp.body;
+        EXPECT_EQ(parsed(resp).find("error")->asString(), expected);
+    }
+    server.stop();
+}
+
+// ---------------------------------------------------------------------
+// Cancellation
+// ---------------------------------------------------------------------
+
+TEST(Serve, CancelStopsASweepAndTheRecordStays409)
+{
+    ServeOptions options;
+    options.workers = 2;
+    SweepServer server(options);
+
+    // A deliberately heavy sweep so the cancel lands mid-flight.
+    const char *heavy = R"({
+        "name": "heavy",
+        "warmupCycles": 20000,
+        "measureCycles": 300000,
+        "workloads": ["2_MIX", "2_MEM", "4_MIX"],
+        "engines": ["gshare+BTB", "gskew+FTB", "stream"],
+        "policies": ["1.8", "2.8"]
+    })";
+    std::string id = submittedId(
+        request(server.port(), "POST", "/v1/sweeps", heavy));
+    ASSERT_FALSE(id.empty());
+
+    auto cancel = request(server.port(), "POST",
+                          "/v1/sweeps/" + id + "/cancel");
+    EXPECT_EQ(cancel.status, 200);
+    EXPECT_TRUE(parsed(cancel).find("cancelled")->asBool());
+
+    ASSERT_EQ(pollUntilTerminal(server.port(), id), "cancelled");
+    auto status =
+        parsed(request(server.port(), "GET", "/v1/sweeps/" + id));
+    EXPECT_GT(status.find("cancelledPoints")->asUInt64(), 0u);
+
+    // No record for a cancelled sweep: 409 conflict, not 404/500.
+    auto record =
+        request(server.port(), "GET", "/v1/sweeps/" + id + "/record");
+    EXPECT_EQ(record.status, 409);
+    EXPECT_NE(parsed(record).find("error")->asString().find(
+                  "cancelled"),
+              std::string::npos);
+    server.stop();
+}
+
+// ---------------------------------------------------------------------
+// Concurrent clients sharing the warmup cache
+// ---------------------------------------------------------------------
+
+TEST(Serve, ConcurrentClientsWarmAPopularConfigExactlyOnce)
+{
+    ServeOptions options;
+    options.workers = 4;
+    SweepServer server(options);
+
+    // Five concurrent clients: four submit the same popular spec,
+    // one a distinct spec. Each submits over its own connection and
+    // polls its own sweep to completion.
+    constexpr int clients = 5;
+    std::vector<std::string> ids(clients);
+    std::vector<std::string> states(clients);
+    std::vector<std::thread> pool;
+    for (int c = 0; c < clients; ++c) {
+        pool.emplace_back([&, c] {
+            const char *spec =
+                c < 4 ? popularSpec : distinctSpec;
+            ids[c] = submittedId(
+                request(server.port(), "POST", "/v1/sweeps", spec));
+            if (!ids[c].empty())
+                states[c] = pollUntilTerminal(server.port(), ids[c]);
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+
+    std::string popular_expected = localResultsArray(popularSpec);
+    std::string distinct_expected = localResultsArray(distinctSpec);
+
+    std::uint64_t warmup_runs = 0;
+    std::uint64_t restored_runs = 0;
+    for (int c = 0; c < clients; ++c) {
+        SCOPED_TRACE("client " + std::to_string(c));
+        ASSERT_FALSE(ids[c].empty());
+        EXPECT_EQ(states[c], "done");
+
+        // Every client's record is bit-identical to the
+        // single-process runner for its spec.
+        EXPECT_EQ(recordResultsArray(server.port(), ids[c]),
+                  c < 4 ? popular_expected : distinct_expected);
+
+        auto status = parsed(
+            request(server.port(), "GET", "/v1/sweeps/" + ids[c]));
+        if (c < 4) {
+            warmup_runs += status.find("warmupRuns")->asUInt64();
+            restored_runs += status.find("restoredRuns")->asUInt64();
+        }
+    }
+
+    // The popular warmup ran once, ever; the other three clients
+    // restored the shared snapshot.
+    EXPECT_EQ(warmup_runs, 1u);
+    EXPECT_EQ(restored_runs, 3u);
+
+    // The daemon-wide cache statistics agree: two distinct warmup
+    // keys were led, three acquisitions hit.
+    auto cache =
+        *parsed(request(server.port(), "GET", "/v1/status"))
+             .find("cache");
+    EXPECT_EQ(cache.find("misses")->asUInt64(), 2u);
+    EXPECT_EQ(cache.find("insertions")->asUInt64(), 2u);
+    EXPECT_EQ(cache.find("hits")->asUInt64(), 3u);
+    EXPECT_EQ(cache.find("entries")->asUInt64(), 2u);
+    server.stop();
+}

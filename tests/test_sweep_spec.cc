@@ -49,7 +49,7 @@ TEST(SweepSpec, Fig4SpecMatchesHandCodedGrid)
     EXPECT_EQ(spec.name, "fig4_two_threads");
     EXPECT_EQ(spec.type, SpecType::Grid);
 
-    // The windows the bench harness has always used (makeRunner()).
+    // The windows the bench harness has always used (makeRequest()).
     EXPECT_EQ(spec.warmupCycles, 40'000u);
     EXPECT_EQ(spec.measureCycles, 250'000u);
     EXPECT_EQ(spec.seed, 0u);
@@ -125,15 +125,19 @@ TEST(SweepSpec, SpecRunIsBitIdenticalToDirectRunner)
         "engines": ["gshare+BTB"],
         "policies": ["1.8", "2.8", "1.16", "2.16"]
     })");
-    auto results = runSpec(spec);
+    auto results = runSpec(spec).results;
     ASSERT_EQ(results.size(), 4u);
 
-    ExperimentRunner runner(2000, 8000, 0);
     std::vector<std::pair<unsigned, unsigned>> grid = {
         {1, 8}, {2, 8}, {1, 16}, {2, 16}};
     for (std::size_t i = 0; i < grid.size(); ++i) {
-        auto direct = runner.run("2_MIX", EngineKind::GshareBtb,
-                                 grid[i].first, grid[i].second);
+        SweepRequest request;
+        request.points = {GridPoint{"2_MIX", EngineKind::GshareBtb,
+                                    grid[i].first, grid[i].second}};
+        request.warmupCycles = 2000;
+        request.measureCycles = 8000;
+        request.seed = 0;
+        auto direct = ExperimentRunner().run(request).results.at(0);
         EXPECT_EQ(results[i].ipfc, direct.ipfc);
         EXPECT_EQ(results[i].ipc, direct.ipc);
         EXPECT_EQ(results[i].statsJson, direct.statsJson);
@@ -364,13 +368,13 @@ TEST(SweepSpec, CycleSkipKeyParsesAndReachesTheRunner)
     SweepSpec defaulted = SweepSpec::fromString(R"({"name": "x",
         "workloads": ["2_MIX"], "policies": ["1.8"]})");
     EXPECT_TRUE(defaulted.cycleSkip);
-    EXPECT_TRUE(defaulted.makeRunner().cycleSkipEnabled());
+    EXPECT_TRUE(defaulted.makeRequest().cycleSkip);
 
     SweepSpec off = SweepSpec::fromString(R"({"name": "x",
         "cycleSkip": false,
         "workloads": ["2_MIX"], "policies": ["1.8"]})");
     EXPECT_FALSE(off.cycleSkip);
-    EXPECT_FALSE(off.makeRunner().cycleSkipEnabled());
+    EXPECT_FALSE(off.makeRequest().cycleSkip);
 
     SweepSpec on = SweepSpec::fromString(R"({"name": "x",
         "cycleSkip": true,

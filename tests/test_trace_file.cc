@@ -417,6 +417,24 @@ TEST(TraceFile, MalformedTextInputsAreActionable)
         "declares 5 records");
 }
 
+namespace
+{
+
+/** Run one grid point through the request API. */
+ExperimentResult
+runPoint(Cycle warmup, Cycle measure, std::uint64_t seed,
+         GridPoint point)
+{
+    SweepRequest request;
+    request.points = {std::move(point)};
+    request.warmupCycles = warmup;
+    request.measureCycles = measure;
+    request.seed = seed;
+    return ExperimentRunner().run(request).results.at(0);
+}
+
+} // namespace
+
 TEST(TraceFile, RecordReplayRoundTripIsBitIdentical)
 {
     // The permanent determinism oracle: a synthetic fig2-style run
@@ -424,20 +442,18 @@ TEST(TraceFile, RecordReplayRoundTripIsBitIdentical)
     // FileTraceStream must reproduce IPFC, IPC and the full stats
     // registry bit for bit.
     std::string base = tempPath("oracle.trc");
-    ExperimentRunner runner(2000, 8000, 0);
 
-    ExperimentRunner::GridPoint record_point{
-        "2_MIX", EngineKind::GshareBtb, 1, 8};
+    GridPoint record_point{"2_MIX", EngineKind::GshareBtb, 1, 8};
     record_point.recordPath = base;
-    ExperimentResult recorded = runner.run(record_point);
+    ExperimentResult recorded = runPoint(2000, 8000, 0, record_point);
 
     std::string t0 = Simulator::recordPathFor(base, 0, 2);
     std::string t1 = Simulator::recordPathFor(base, 1, 2);
     EXPECT_NE(t0, base);
 
-    ExperimentRunner::GridPoint replay_point{
-        "trace:" + t0 + "," + t1, EngineKind::GshareBtb, 1, 8};
-    ExperimentResult replayed = runner.run(replay_point);
+    GridPoint replay_point{"trace:" + t0 + "," + t1,
+                           EngineKind::GshareBtb, 1, 8};
+    ExperimentResult replayed = runPoint(2000, 8000, 0, replay_point);
 
     EXPECT_EQ(recorded.ipfc, replayed.ipfc);
     EXPECT_EQ(recorded.ipc, replayed.ipc);
@@ -449,16 +465,14 @@ TEST(TraceFile, RecordPadExtendsTraceWithoutChangingStats)
 {
     std::string plain = tempPath("pad0.trc");
     std::string padded = tempPath("pad1.trc");
-    ExperimentRunner runner(1000, 4000, 0);
 
-    ExperimentRunner::GridPoint p{"gzip", EngineKind::GshareBtb, 1,
-                                  8};
+    GridPoint p{"gzip", EngineKind::GshareBtb, 1, 8};
     p.recordPath = plain;
-    ExperimentResult a = runner.run(p);
+    ExperimentResult a = runPoint(1000, 4000, 0, p);
 
     p.recordPath = padded;
     p.recordPadCycles = 2000;
-    ExperimentResult b = runner.run(p);
+    ExperimentResult b = runPoint(1000, 4000, 0, p);
 
     // Padding adds records for replay headroom...
     EXPECT_GT(readTraceHeader(padded).recordCount,
@@ -480,25 +494,20 @@ TEST(TraceFile, ReRecordingAReplayKeepsTheImageSeed)
     std::string first = tempPath("gen1.trc");
     std::string second = tempPath("gen2.trc");
 
-    ExperimentRunner seeded(500, 2000, 7);
-    ExperimentRunner::GridPoint p{"gzip", EngineKind::GshareBtb, 1,
-                                  8};
+    GridPoint p{"gzip", EngineKind::GshareBtb, 1, 8};
     p.recordPath = first;
-    ExperimentResult gen1 = seeded.run(p);
+    ExperimentResult gen1 = runPoint(500, 2000, 7, p);
     EXPECT_EQ(readTraceHeader(first).seed, 7u);
 
-    ExperimentRunner unseeded(500, 2000, 0);
-    ExperimentRunner::GridPoint q{"trace:" + first,
-                                  EngineKind::GshareBtb, 1, 8};
+    GridPoint q{"trace:" + first, EngineKind::GshareBtb, 1, 8};
     q.recordPath = second;
-    ExperimentResult gen2 = unseeded.run(q);
+    ExperimentResult gen2 = runPoint(500, 2000, 0, q);
     EXPECT_EQ(readTraceHeader(second).seed, 7u);
 
     // The second-generation trace replays cleanly and reproduces the
     // original run.
-    ExperimentRunner::GridPoint q2{"trace:" + second,
-                                   EngineKind::GshareBtb, 1, 8};
-    ExperimentResult gen3 = unseeded.run(q2);
+    GridPoint q2{"trace:" + second, EngineKind::GshareBtb, 1, 8};
+    ExperimentResult gen3 = runPoint(500, 2000, 0, q2);
     EXPECT_EQ(gen1.ipc, gen2.ipc);
     EXPECT_EQ(gen1.statsJson, gen3.statsJson);
     EXPECT_GT(gen3.ipc, 0.0);

@@ -203,6 +203,36 @@ WARMUP_REUSE_SECONDS = (
     "estimatedSpeedup",
 )
 
+# Snapshot-cache counters: absent in records written before the
+# shared-cache runner, validated when present (all-or-nothing).
+WARMUP_REUSE_CACHE_COUNTS = ("cacheHits", "cacheDiskHits", "cacheEvictions")
+
+
+def check_warmup_reuse_cache(reuse):
+    """Validate the snapshot-cache counters of a warmupReuse block."""
+    missing = [k for k in WARMUP_REUSE_CACHE_COUNTS if k not in reuse]
+    if missing:
+        if len(missing) != len(WARMUP_REUSE_CACHE_COUNTS):
+            raise CheckFailure(
+                f"warmupReuse has only some snapshot-cache counters "
+                f"(missing {missing})"
+            )
+        return
+    for key in WARMUP_REUSE_CACHE_COUNTS:
+        value = reuse[key]
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise CheckFailure(
+                f"warmupReuse.{key} must be a non-negative integer, "
+                f"got {value!r}"
+            )
+    served = reuse["cacheHits"] + reuse["cacheDiskHits"]
+    if served != reuse["restoredRuns"]:
+        raise CheckFailure(
+            f"warmupReuse cache accounting: cacheHits + cacheDiskHits is "
+            f"{served} but restoredRuns is {reuse['restoredRuns']} (every "
+            "restored point is served by exactly one cache tier)"
+        )
+
 
 def check_warmup_reuse(reuse, result_count):
     """Validate the warmup-sharing timing block a checkpointed sweep emits."""
@@ -245,6 +275,7 @@ def check_warmup_reuse(reuse, result_count):
         raise CheckFailure(
             "warmupReuse.estimatedBaselineSeconds is smaller than sweepSeconds"
         )
+    check_warmup_reuse_cache(reuse)
 
 
 def expand_spec(spec):

@@ -1,0 +1,285 @@
+#!/usr/bin/env python3
+"""Exercise a running `smtsim serve` daemon from concurrent clients.
+
+Modes:
+  submit   submit one spec, poll to completion, print (or save) the
+           BENCH record
+  cancel   submit one spec, cancel it mid-flight, verify the daemon
+           reports a clean `cancelled` terminal state
+  stress   N concurrent clients submit a mix of specs and poll their
+           own sweeps; verifies every client finishes, clients that
+           submitted the same spec got byte-identical results, and
+           reports the daemon's snapshot-cache counters (a popular
+           warmup config should have been simulated once, ever)
+
+Examples:
+  serve_stress.py --port 8040 submit configs/fig2_single_thread.json
+  serve_stress.py --port 8040 stress --clients 8 \\
+      configs/fig2_single_thread.json configs/fig4_two_threads.json
+  serve_stress.py --port 8040 cancel configs/fig8_mem_wide.json
+
+Only the Python standard library is used, so the script runs anywhere
+the daemon does.
+"""
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+
+class ServeError(Exception):
+    pass
+
+
+class Client:
+    """A thin JSON-over-HTTP client for one serve daemon."""
+
+    def __init__(self, host, port, timeout=30.0):
+        self.base = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    def request(self, method, path, body=None):
+        data = body.encode() if isinstance(body, str) else body
+        req = urllib.request.Request(
+            self.base + path, data=data, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as e:
+            payload = e.read()
+            try:
+                return e.code, json.loads(payload)
+            except json.JSONDecodeError:
+                return e.code, {"error": payload.decode(errors="replace")}
+        except OSError as e:
+            raise ServeError(f"cannot reach {self.base}: {e}") from e
+
+    def submit(self, spec_text):
+        status, doc = self.request("POST", "/v1/sweeps", spec_text)
+        if status != 201:
+            raise ServeError(f"submit failed ({status}): {doc.get('error')}")
+        return doc["id"]
+
+    def status(self, sweep_id):
+        status, doc = self.request("GET", f"/v1/sweeps/{sweep_id}")
+        if status != 200:
+            raise ServeError(f"status failed ({status}): {doc.get('error')}")
+        return doc
+
+    def record(self, sweep_id):
+        status, doc = self.request("GET", f"/v1/sweeps/{sweep_id}/record")
+        if status != 200:
+            raise ServeError(f"record failed ({status}): {doc.get('error')}")
+        return doc
+
+    def cancel(self, sweep_id):
+        status, doc = self.request("POST", f"/v1/sweeps/{sweep_id}/cancel")
+        if status != 200:
+            raise ServeError(f"cancel failed ({status}): {doc.get('error')}")
+        return doc
+
+    def daemon_status(self):
+        status, doc = self.request("GET", "/v1/status")
+        if status != 200:
+            raise ServeError(f"/v1/status failed ({status})")
+        return doc
+
+    def poll(self, sweep_id, timeout=600.0, interval=0.1):
+        """Poll until the sweep is terminal; returns the final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.status(sweep_id)
+            if doc["state"] in ("done", "failed", "cancelled"):
+                return doc
+            if time.monotonic() > deadline:
+                raise ServeError(
+                    f"sweep {sweep_id} still {doc['state']} after "
+                    f"{timeout:.0f}s ({doc['completedPoints']}/"
+                    f"{doc['totalPoints']} points)"
+                )
+            time.sleep(interval)
+
+
+def load_specs(paths):
+    specs = []
+    for path in paths:
+        with open(path) as f:
+            text = f.read()
+        json.loads(text)  # fail fast on malformed spec files
+        specs.append((path, text))
+    return specs
+
+
+def run_submit(client, args):
+    [(path, text)] = load_specs(args.specs[:1])
+    sweep_id = client.submit(text)
+    print(f"submitted {path} as sweep {sweep_id}")
+    final = client.poll(sweep_id, timeout=args.timeout)
+    if final["state"] != "done":
+        raise ServeError(
+            f"sweep {sweep_id} ended {final['state']}: "
+            f"{final.get('error', '')}"
+        )
+    record = client.record(sweep_id)
+    print(
+        f"done: {len(record['results'])} results, "
+        f"warmupRuns={final['warmupRuns']} "
+        f"restoredRuns={final['restoredRuns']}"
+    )
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(record, f, indent=2)
+        print(f"record written to {args.out}")
+
+
+def run_cancel(client, args):
+    [(path, text)] = load_specs(args.specs[:1])
+    sweep_id = client.submit(text)
+    print(f"submitted {path} as sweep {sweep_id}; cancelling")
+    client.cancel(sweep_id)
+    final = client.poll(sweep_id, timeout=args.timeout)
+    if final["state"] != "cancelled":
+        raise ServeError(
+            f"expected a cancelled sweep, daemon reports {final['state']}"
+        )
+    print(
+        f"cancelled cleanly: {final['completedPoints']} points finished, "
+        f"{final['cancelledPoints']} skipped"
+    )
+
+
+def run_stress(client, args):
+    specs = load_specs(args.specs)
+    before = client.daemon_status()["cache"]
+
+    results = [None] * args.clients
+    errors = [None] * args.clients
+
+    def one_client(i):
+        path, text = specs[i % len(specs)]
+        try:
+            sweep_id = client.submit(text)
+            final = client.poll(sweep_id, timeout=args.timeout)
+            if final["state"] != "done":
+                raise ServeError(
+                    f"sweep {sweep_id} ({path}) ended {final['state']}: "
+                    f"{final.get('error', '')}"
+                )
+            record = client.record(sweep_id)
+            results[i] = (path, final, record)
+        except ServeError as e:
+            errors[i] = e
+
+    threads = [
+        threading.Thread(target=one_client, args=(i,))
+        for i in range(args.clients)
+    ]
+    start = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.monotonic() - start
+
+    failed = [e for e in errors if e is not None]
+    for e in failed:
+        print(f"FAIL: {e}")
+    if failed:
+        raise ServeError(f"{len(failed)}/{args.clients} clients failed")
+
+    # Clients that submitted the same spec must have byte-identical
+    # result sets: scheduling order and cache hits are invisible.
+    by_spec = {}
+    for path, final, record in results:
+        by_spec.setdefault(path, []).append(
+            (final, json.dumps(record["results"], sort_keys=True))
+        )
+    for path, runs in by_spec.items():
+        baseline = runs[0][1]
+        for final, dumped in runs[1:]:
+            if dumped != baseline:
+                raise ServeError(
+                    f"clients running {path} disagree on results"
+                )
+        warmups = sum(final["warmupRuns"] for final, _ in runs)
+        restored = sum(final["restoredRuns"] for final, _ in runs)
+        print(
+            f"{path}: {len(runs)} client(s), identical results, "
+            f"warmupRuns={warmups} restoredRuns={restored}"
+        )
+
+    after = client.daemon_status()["cache"]
+    delta = {
+        k: after[k] - before[k]
+        for k in ("hits", "diskHits", "misses", "insertions", "evictions")
+    }
+    print(
+        f"{args.clients} clients finished in {elapsed:.1f}s; "
+        f"cache delta: {delta}"
+    )
+    if args.expect_warmups is not None:
+        total_warmups = sum(
+            final["warmupRuns"] for _, final, _ in results
+        )
+        if total_warmups != args.expect_warmups:
+            raise ServeError(
+                f"expected exactly {args.expect_warmups} warmup runs "
+                f"across all clients, measured {total_warmups}"
+            )
+        print(f"warmup-once check passed ({total_warmups} warmup runs)")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="per-sweep completion timeout in seconds",
+    )
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    p_submit = sub.add_parser("submit", help="submit one spec and wait")
+    p_submit.add_argument("specs", nargs=1, help="spec file")
+    p_submit.add_argument("--out", help="write the BENCH record here")
+
+    p_cancel = sub.add_parser("cancel", help="submit then cancel a spec")
+    p_cancel.add_argument("specs", nargs=1, help="spec file")
+
+    p_stress = sub.add_parser(
+        "stress", help="N concurrent clients over a spec mix"
+    )
+    p_stress.add_argument("specs", nargs="+", help="spec files to mix")
+    p_stress.add_argument("--clients", type=int, default=8)
+    p_stress.add_argument(
+        "--expect-warmups",
+        type=int,
+        default=None,
+        help="fail unless exactly this many warmups ran across all "
+        "clients (asserts cross-client snapshot sharing)",
+    )
+
+    args = parser.parse_args()
+    client = Client(args.host, args.port, timeout=min(args.timeout, 60.0))
+    try:
+        {"submit": run_submit, "cancel": run_cancel, "stress": run_stress}[
+            args.mode
+        ](client, args)
+    except ServeError as e:
+        print(f"FAIL: {e}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
