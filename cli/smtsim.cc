@@ -8,6 +8,8 @@
  *
  * Usage: smtsim [options] <spec.json | spec-name> ...
  *        smtsim serve [options]   (long-running sweep daemon)
+ *        smtsim sweep [options] <spec> (distributed resumable sweep)
+ *        smtsim worker [options]  (one sweep worker process)
  */
 
 #include <cstdio>
@@ -19,7 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "serve/distributed.hh"
 #include "serve/server.hh"
+#include "serve/worker.hh"
 #include "sim/checkpoint.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep_spec.hh"
@@ -59,10 +63,14 @@ usage(std::FILE *out)
         out,
         "usage: smtsim [options] <spec.json | spec-name> ...\n"
         "       smtsim serve [options]\n"
+        "       smtsim sweep [options] <spec> ...\n"
+        "       smtsim worker [options]\n"
         "\n"
         "Runs JSON experiment specs (see configs/) through the\n"
         "simulator and writes BENCH_<name>.json records.\n"
-        "(`smtsim serve --help` describes the sweep daemon.)\n"
+        "(`smtsim serve --help` describes the sweep daemon;\n"
+        "`smtsim sweep --help` the distributed, resumable sweep\n"
+        "runner and its `worker` processes.)\n"
         "\n"
         "A bare spec name (no '/' and no '.json') is resolved\n"
         "against $SMTFETCH_CONFIG_DIR or the build-time configs/\n"
@@ -320,9 +328,14 @@ main(int argc, char **argv)
 {
     // `smtsim serve ...` is a subcommand with its own flags: a
     // long-running daemon accepting the same spec documents over
-    // HTTP (see src/serve/).
+    // HTTP (see src/serve/). `sweep` runs one spec across spawned
+    // `worker` processes with journaled resume support.
     if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
         return serveMain(argc - 2, argv + 2);
+    if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
+        return sweepMain(argc - 2, argv + 2, argv[0]);
+    if (argc > 1 && std::strcmp(argv[1], "worker") == 0)
+        return workerMain(argc - 2, argv + 2);
 
     Options opt;
     for (int i = 1; i < argc; ++i) {

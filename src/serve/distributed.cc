@@ -1,0 +1,387 @@
+#include "serve/distributed.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <unordered_set>
+
+#include "serve/http.hh"
+#include "sim/journal.hh"
+#include "sim/result_codec.hh"
+#include "sim/sweep_spec.hh"
+#include "util/logging.hh"
+
+namespace smt
+{
+
+DistributedSubmit
+submitDistributed(SweepScheduler &scheduler,
+                  const SweepRequest &request,
+                  const std::string &bench,
+                  const DistributedOptions &options)
+{
+    ExecutorParams params{request.warmupCycles, request.measureCycles,
+                          request.seed, request.cycleSkip};
+
+    DistributedSubmit out;
+    SweepScheduler::SubmitOptions so;
+
+    if (!request.checkpointDir.empty()) {
+        // Match the warmup grouping the scheduler reports so the
+        // journal header describes the same sweep shape.
+        std::size_t warmupGroups = 0;
+        if (request.reuseEnabled()) {
+            PointExecutor probe(params);
+            std::unordered_set<std::string> keys;
+            for (const GridPoint &p : request.points)
+                if (PointExecutor::reusable(p))
+                    keys.insert(probe.warmupKey(p));
+            warmupGroups = keys.size();
+        }
+        out.journal = std::make_shared<SweepJournal>(
+            SweepJournal::pathFor(request.checkpointDir, bench),
+            bench, sweepRequestKey(request), request.points.size(),
+            warmupGroups, options.fresh);
+        so.journal = out.journal;
+        so.precompleted = out.journal->completed();
+        out.journaledPoints = so.precompleted.size();
+    }
+
+    if (out.journal &&
+        out.journaledPoints >= request.points.size()) {
+        // Every point is already journaled: the job finalizes at
+        // submit without claiming anything, so don't spawn a fleet
+        // just to kill it. The runner still marks the job as
+        // remote-executed (reuse accounting) but can never run.
+        so.runner = [](std::size_t, const GridPoint &) -> PointOutcome {
+            throw std::logic_error(
+                "fully journaled sweep dispatched a point");
+        };
+        so.groupGate = request.reuseEnabled();
+        out.id = scheduler.submit(request, bench, std::move(so));
+        return out;
+    }
+
+    if (!options.attachPorts.empty()) {
+        out.pool = std::make_shared<WorkerPool>(options.attachPorts);
+    } else {
+        WorkerPool::Options po;
+        po.workers = options.workers;
+        po.exePath = options.exePath;
+        po.cacheMaxBytes = options.workerCacheMaxBytes;
+        out.pool = std::make_shared<WorkerPool>(po);
+    }
+
+    // The runner owns the fleet: when the scheduler finalizes the
+    // job it drops this closure, which tears the worker processes
+    // down deterministically.
+    std::shared_ptr<WorkerPool> pool = out.pool;
+    std::string snapshotDir = request.checkpointDir;
+    bool reuse = request.reuseEnabled();
+    so.runner = [pool, params, snapshotDir,
+                 reuse](std::size_t, const GridPoint &point) {
+        return pool->runPoint(params, point, snapshotDir, reuse);
+    };
+
+    // Cross-process warmup sharing only works through the disk
+    // tier; without a checkpointDir each worker has a private
+    // cache, so serializing group leaders would only slow us down.
+    so.groupGate = reuse && !request.checkpointDir.empty();
+
+    out.id = scheduler.submit(request, bench, std::move(so));
+    return out;
+}
+
+DistributedRun
+runDistributed(const SweepRequest &request, const std::string &bench,
+               const DistributedOptions &options)
+{
+    unsigned fleet = options.attachPorts.empty()
+                         ? options.workers
+                         : (unsigned)options.attachPorts.size();
+    if (fleet == 0)
+        fleet = 2;
+    // One scheduler thread per worker process: each thread blocks on
+    // its worker's HTTP round-trip, keeping the whole fleet busy.
+    SweepScheduler scheduler(fleet, nullptr, "");
+    DistributedSubmit sub =
+        submitDistributed(scheduler, request, bench, options);
+    DistributedRun run;
+    run.journaledPoints = sub.journaledPoints;
+    run.report = scheduler.wait(sub.id);
+    run.respawns = sub.pool ? sub.pool->respawns() : 0;
+    return run;
+}
+
+namespace
+{
+
+void
+sweepUsage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: smtsim sweep [options] <spec.json | spec-name> ...\n"
+        "\n"
+        "Runs a grid spec across a fleet of spawned `smtsim worker`\n"
+        "processes (one grid point per worker at a time) and writes\n"
+        "the same BENCH_<name>.json record the single-process runner\n"
+        "writes — the per-point results are bit-identical.\n"
+        "\n"
+        "With --checkpoint-dir the sweep is resumable: every\n"
+        "finished point is journaled there, and a re-run of the same\n"
+        "spec skips the journaled points and restores the persisted\n"
+        "warmup snapshots — zero points recomputed, zero warmups\n"
+        "re-simulated after a mid-run kill.\n"
+        "\n"
+        "options:\n"
+        "  --workers N    worker processes to spawn (default 2)\n"
+        "  --out-dir DIR  directory for BENCH_*.json records\n"
+        "                 (default: $SMTFETCH_JSON_DIR or .)\n"
+        "  --no-json      skip BENCH_*.json emission\n"
+        "  --quiet        suppress result tables\n"
+        "  --checkpoint-dir DIR\n"
+        "                 journal completed points and persist\n"
+        "                 warmup snapshots in DIR (enables resume;\n"
+        "                 implies warmup sharing)\n"
+        "  --fresh        ignore (and overwrite) an existing journal\n"
+        "                 instead of resuming from it\n"
+        "  --cache-mb N   per-worker in-memory snapshot-cache\n"
+        "                 budget in MiB (default 256)\n"
+        "  --warmup N     override the spec's warmup cycles\n"
+        "  --measure N    override the spec's measured cycles\n"
+        "  --seed N       override the spec's seed\n"
+        "  -h, --help     show this help\n");
+}
+
+std::uint64_t
+parseSweepCount(const char *flag, const char *text)
+{
+    bool ok = text[0] != '\0';
+    for (const char *p = text; *p != '\0'; ++p)
+        if (*p < '0' || *p > '9')
+            ok = false;
+    char *end = nullptr;
+    unsigned long long v = ok ? std::strtoull(text, &end, 10) : 0;
+    if (!ok || end == text || *end != '\0') {
+        std::fprintf(stderr,
+                     "smtsim sweep: %s expects a non-negative "
+                     "integer, got \"%s\"\n",
+                     flag, text);
+        std::exit(1);
+    }
+    return v;
+}
+
+std::string
+resolveSweepSpecPath(const std::string &arg)
+{
+    bool bare = arg.find('/') == std::string::npos &&
+                arg.find(".json") == std::string::npos;
+    if (!bare)
+        return arg;
+    if (std::ifstream(arg).good())
+        return arg;
+    return defaultConfigDir() + "/" + arg + ".json";
+}
+
+struct SweepCliOptions
+{
+    unsigned workers = 2;
+    bool quiet = false;
+    bool writeJson = true;
+    bool fresh = false;
+    std::string outDir;
+    std::string checkpointDir;
+    std::size_t cacheMaxBytes = 256u << 20;
+    std::optional<Cycle> warmup;
+    std::optional<Cycle> measure;
+    std::optional<std::uint64_t> seed;
+    std::vector<std::string> specs;
+};
+
+int
+sweepOne(const SweepCliOptions &opt, const std::string &self_exe,
+         const std::string &arg)
+{
+    SweepSpec spec = SweepSpec::fromFile(resolveSweepSpecPath(arg));
+    if (spec.type != SpecType::Grid) {
+        std::fprintf(stderr,
+                     "smtsim sweep: \"%s\" is not a grid spec — a "
+                     "characteristics spec runs no simulation, so "
+                     "there is nothing to distribute\n",
+                     spec.name.c_str());
+        return 1;
+    }
+    if (opt.warmup)
+        spec.warmupCycles = *opt.warmup;
+    if (opt.measure)
+        spec.measureCycles = *opt.measure;
+    if (opt.seed)
+        spec.seed = *opt.seed;
+    if (spec.measureCycles == 0) {
+        std::fprintf(stderr,
+                     "smtsim sweep: --measure must be positive\n");
+        return 1;
+    }
+
+    if (opt.writeJson)
+        ensureWritableDir(benchRecordDir(opt.outDir));
+
+    SweepRequest request = spec.makeRequest();
+    if (!opt.checkpointDir.empty())
+        request.checkpointDir = opt.checkpointDir;
+    if (!request.checkpointDir.empty())
+        ensureWritableDir(request.checkpointDir);
+    else
+        warn("smtsim sweep: no --checkpoint-dir — this run cannot "
+             "be resumed and workers share no warmup snapshots");
+
+    DistributedOptions dopts;
+    dopts.workers = opt.workers;
+    dopts.exePath = selfExePath(self_exe);
+    dopts.fresh = opt.fresh;
+    dopts.workerCacheMaxBytes = opt.cacheMaxBytes;
+
+    std::printf("%s: %zu grid points across %u workers\n",
+                spec.name.c_str(), request.points.size(),
+                opt.workers);
+    std::fflush(stdout);
+
+    // Submit through a visible scheduler (rather than the
+    // runDistributed convenience) so the resume count prints before
+    // the hours-long wait, not after.
+    SweepScheduler scheduler(opt.workers, nullptr, "");
+    DistributedSubmit sub = submitDistributed(
+        scheduler, request, spec.benchName(), dopts);
+    if (sub.journaledPoints > 0) {
+        std::printf("resuming %s: %zu of %zu points already "
+                    "journaled in %s\n",
+                    spec.benchName().c_str(), sub.journaledPoints,
+                    request.points.size(),
+                    request.checkpointDir.c_str());
+        std::fflush(stdout);
+    }
+    SweepReport report = scheduler.wait(sub.id);
+    std::uint64_t respawns = sub.pool ? sub.pool->respawns() : 0;
+    if (respawns > 0)
+        std::printf("recovered from %llu worker failure%s\n",
+                    (unsigned long long)respawns,
+                    respawns == 1 ? "" : "s");
+
+    if (!opt.quiet) {
+        ExperimentRunner::printFigure(
+            std::cout, spec.name + " — fetch throughput, IPFC",
+            report.results, /*fetch=*/true);
+        std::cout << '\n';
+        ExperimentRunner::printFigure(
+            std::cout, spec.name + " — commit throughput, IPC",
+            report.results, /*fetch=*/false);
+    }
+    if (opt.writeJson &&
+        !writeBenchRecord(spec.benchName(), report.results, {},
+                          opt.outDir, &report.timing))
+        return 3;
+    return 0;
+}
+
+} // namespace
+
+int
+sweepMain(int argc, char **argv, const std::string &self_exe)
+{
+    SweepCliOptions opt;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "smtsim sweep: %s expects an "
+                             "argument\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "-h" || arg == "--help") {
+            sweepUsage(stdout);
+            return 0;
+        } else if (arg == "--workers") {
+            std::uint64_t w = parseSweepCount("--workers", next());
+            if (w == 0 || w > 256) {
+                std::fprintf(stderr,
+                             "smtsim sweep: --workers %llu is out "
+                             "of range [1, 256]\n",
+                             (unsigned long long)w);
+                return 1;
+            }
+            opt.workers = static_cast<unsigned>(w);
+        } else if (arg == "--out-dir") {
+            opt.outDir = next();
+        } else if (arg == "--no-json") {
+            opt.writeJson = false;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (arg == "--checkpoint-dir") {
+            opt.checkpointDir = next();
+        } else if (arg == "--fresh") {
+            opt.fresh = true;
+        } else if (arg == "--cache-mb") {
+            opt.cacheMaxBytes =
+                static_cast<std::size_t>(
+                    parseSweepCount("--cache-mb", next()))
+                << 20;
+        } else if (arg == "--warmup") {
+            opt.warmup = parseSweepCount("--warmup", next());
+        } else if (arg == "--measure") {
+            opt.measure = parseSweepCount("--measure", next());
+        } else if (arg == "--seed") {
+            opt.seed = parseSweepCount("--seed", next());
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr,
+                         "smtsim sweep: unknown option %s\n",
+                         arg.c_str());
+            sweepUsage(stderr);
+            return 1;
+        } else {
+            opt.specs.push_back(arg);
+        }
+    }
+
+    if (opt.specs.empty()) {
+        sweepUsage(stderr);
+        return 1;
+    }
+
+#ifdef _WIN32
+    std::fprintf(stderr, "smtsim sweep requires POSIX process "
+                         "spawning\n");
+    return 1;
+#else
+    for (const auto &specArg : opt.specs) {
+        try {
+            int rc = sweepOne(opt, self_exe, specArg);
+            if (rc != 0)
+                return rc;
+        } catch (const SpecError &e) {
+            std::fprintf(stderr, "smtsim sweep: %s\n", e.what());
+            return 2;
+        } catch (const JournalError &e) {
+            std::fprintf(stderr, "smtsim sweep: %s\n", e.what());
+            return 2;
+        } catch (const ServeError &e) {
+            std::fprintf(stderr, "smtsim sweep: %s\n", e.what());
+            return 2;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "smtsim sweep: %s\n", e.what());
+            return 2;
+        }
+    }
+    return 0;
+#endif
+}
+
+} // namespace smt

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Distributed, resumable sweeps: the coordinator glue that routes a
+ * SweepRequest's grid points through a WorkerPool of `smtsim worker`
+ * processes instead of in-process executors, journals every finished
+ * point under the sweep's checkpointDir, and prefills a resumed run
+ * from that journal so killed sweeps restart with zero re-simulated
+ * points and zero re-run warmups (the disk snapshot tier carries the
+ * warmups across runs and processes).
+ *
+ * Both frontends sit on submitDistributed(): `smtsim sweep --workers
+ * N <spec>` (sweepMain) and the serve daemon's POST /v1/sweeps with a
+ * spec carrying {"distributed": {"workers": N}}.
+ */
+
+#ifndef SMTFETCH_SERVE_DISTRIBUTED_HH
+#define SMTFETCH_SERVE_DISTRIBUTED_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/worker_pool.hh"
+#include "sim/scheduler.hh"
+
+namespace smt
+{
+
+/** How to build the worker fleet for one distributed sweep. */
+struct DistributedOptions
+{
+    /** Worker processes to spawn (spawn mode). */
+    unsigned workers = 2;
+
+    /** The smtsim binary to exec (normally selfExePath()). */
+    std::string exePath;
+
+    /** Non-empty switches to attach mode: drive these
+     *  already-listening worker ports instead of spawning (the test
+     *  harness path; no respawn on transport failure). */
+    std::vector<std::uint16_t> attachPorts;
+
+    /** Ignore (and overwrite) any existing resume journal. */
+    bool fresh = false;
+
+    /** Per-worker in-memory snapshot-cache budget. */
+    std::size_t workerCacheMaxBytes = 256u << 20;
+};
+
+/** What submitDistributed set up, for progress/report plumbing. */
+struct DistributedSubmit
+{
+    SweepScheduler::JobId id = 0;
+
+    /** Points prefilled from the resume journal (not re-simulated). */
+    std::size_t journaledPoints = 0;
+
+    /** The fleet; kept alive by the job's runner until the job goes
+     *  terminal. Exposed for respawn accounting. */
+    std::shared_ptr<WorkerPool> pool;
+
+    std::shared_ptr<SweepJournal> journal;
+};
+
+/**
+ * Queue `request` on `scheduler` with every point routed through a
+ * worker fleet. When the request names a checkpointDir, finished
+ * points are journaled there under `bench` and an existing compatible
+ * journal prefills the job (JournalError propagates on an
+ * incompatible one unless options.fresh). Throws ServeError when the
+ * fleet cannot be started.
+ */
+DistributedSubmit submitDistributed(SweepScheduler &scheduler,
+                                    const SweepRequest &request,
+                                    const std::string &bench,
+                                    const DistributedOptions &options);
+
+/** One distributed sweep run end to end (a private scheduler sized
+ *  to the fleet). Exceptions from the failing point propagate. */
+struct DistributedRun
+{
+    SweepReport report;
+    std::size_t journaledPoints = 0;
+    std::uint64_t respawns = 0;
+};
+
+DistributedRun runDistributed(const SweepRequest &request,
+                              const std::string &bench,
+                              const DistributedOptions &options);
+
+/** The `smtsim sweep` subcommand (argv past the subcommand word);
+ *  `self_exe` is the coordinator's argv[0] for worker spawning. */
+int sweepMain(int argc, char **argv, const std::string &self_exe);
+
+} // namespace smt
+
+#endif // SMTFETCH_SERVE_DISTRIBUTED_HH

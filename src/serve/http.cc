@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 
@@ -40,8 +41,31 @@ reasonPhrase(int status)
     }
 }
 
-/** Read until the header terminator; false on EOF/timeout/overflow. */
-bool
+/**
+ * recv() that retries EINTR: a signal landing mid-read (SIGCHLD from
+ * a reaped sweep worker, a profiler tick) must not look like a dead
+ * connection. Every other failure — including an SO_RCVTIMEO
+ * timeout (EAGAIN) — still reports through the return value.
+ */
+ssize_t
+recvRetry(int fd, char *buf, std::size_t len)
+{
+    ssize_t n;
+    do {
+        n = ::recv(fd, buf, len, 0);
+    } while (n < 0 && errno == EINTR);
+    return n;
+}
+
+enum class HeadRead
+{
+    Ok,
+    Closed,  //!< EOF/timeout before the terminator; say nothing
+    TooLarge //!< overflowed maxHead; answer 400
+};
+
+/** Read until the header terminator. */
+HeadRead
 readHead(int fd, std::string &head, std::string &rest)
 {
     static constexpr std::size_t maxHead = 64 * 1024;
@@ -51,13 +75,13 @@ readHead(int fd, std::string &head, std::string &rest)
         if (end != std::string::npos) {
             rest = head.substr(end + 4);
             head.resize(end + 4);
-            return true;
+            return HeadRead::Ok;
         }
         if (head.size() > maxHead)
-            return false;
-        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+            return HeadRead::TooLarge;
+        ssize_t n = recvRetry(fd, buf, sizeof(buf));
         if (n <= 0)
-            return false;
+            return HeadRead::Closed;
         head.append(buf, static_cast<std::size_t>(n));
     }
 }
@@ -74,10 +98,42 @@ writeAll(int fd, const std::string &data)
                            0
 #endif
         );
+        if (n < 0 && errno == EINTR)
+            continue; // interrupted, not dead — retry
         if (n <= 0)
             return false;
         off += static_cast<std::size_t>(n);
     }
+    return true;
+}
+
+/**
+ * Strict Content-Length parse: optional surrounding blanks, then
+ * digits only, overflow-checked. strtoull would accept "-1" (wrapped
+ * to 2^64-1), "12x34" (as 12) and "junk" (as 0) — each one either a
+ * protocol violation or a silently truncated body.
+ */
+bool
+parseContentLength(const std::string &text, std::size_t &out)
+{
+    std::size_t b = 0, e = text.size();
+    while (b < e && (text[b] == ' ' || text[b] == '\t'))
+        ++b;
+    while (e > b && (text[e - 1] == ' ' || text[e - 1] == '\t'))
+        --e;
+    if (b == e)
+        return false;
+    std::uint64_t v = 0;
+    for (; b < e; ++b) {
+        char c = text[b];
+        if (c < '0' || c > '9')
+            return false;
+        std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (v > (UINT64_MAX - digit) / 10)
+            return false; // overflow
+        v = v * 10 + digit;
+    }
+    out = static_cast<std::size_t>(v);
     return true;
 }
 
@@ -93,8 +149,15 @@ HttpServer::HttpServer(const std::string &host, std::uint16_t port,
                          std::string(std::strerror(errno)));
 
     int one = 1;
-    ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
-                 sizeof(one));
+    if (::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one)) != 0) {
+        // Without SO_REUSEADDR a daemon restart can spend minutes in
+        // TIME_WAIT bind failures; fail loudly instead of sometimes.
+        int err = errno;
+        ::close(listenFd);
+        throw ServeError("serve: cannot set SO_REUSEADDR: " +
+                         std::string(std::strerror(err)));
+    }
 
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
@@ -207,8 +270,16 @@ HttpServer::handleConnection(int fd)
     };
 
     std::string head, body;
-    if (!readHead(fd, head, body))
-        return; // client vanished or sent garbage; nothing to say
+    switch (readHead(fd, head, body)) {
+      case HeadRead::Ok:
+        break;
+      case HeadRead::Closed:
+        return; // client vanished mid-request; nothing to say
+      case HeadRead::TooLarge:
+        respond({400, "application/json",
+                 "{\"error\": \"request header too large\"}"});
+        return;
+    }
 
     // Request line: METHOD SP TARGET SP VERSION CRLF
     std::size_t line_end = head.find("\r\n");
@@ -246,8 +317,13 @@ HttpServer::handleConnection(int fd)
             c = static_cast<char>(
                 std::tolower(static_cast<unsigned char>(c)));
         if (name == "content-length") {
-            content_length = std::strtoull(
-                h.c_str() + colon + 1, nullptr, 10);
+            if (!parseContentLength(h.substr(colon + 1),
+                                    content_length)) {
+                respond({400, "application/json",
+                         "{\"error\": \"malformed Content-Length "
+                         "header\"}"});
+                return;
+            }
         }
     }
 
@@ -259,9 +335,9 @@ HttpServer::handleConnection(int fd)
     }
     while (body.size() < content_length) {
         char buf[8192];
-        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        ssize_t n = recvRetry(fd, buf, sizeof(buf));
         if (n <= 0)
-            return;
+            return; // truncated body: the client gave up
         body.append(buf, static_cast<std::size_t>(n));
     }
     req.body = body.substr(0, content_length);
@@ -288,6 +364,124 @@ HttpServer::handleConnection(int fd)
     respond(resp);
 }
 
+HttpResponse
+httpFetch(const std::string &host, std::uint16_t port,
+          const std::string &method, const std::string &target,
+          const std::string &body, int timeout_seconds)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw ServeError("http client: cannot create socket: " +
+                         std::string(std::strerror(errno)));
+    // RAII so every throw below closes the socket.
+    struct FdGuard
+    {
+        int fd;
+        ~FdGuard() { ::close(fd); }
+    } guard{fd};
+
+    timeval tv{};
+    tv.tv_sec = timeout_seconds;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        throw ServeError("http client: bad address \"" + host +
+                         "\"");
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0 && errno == EISCONN)
+        rc = 0; // the interrupted connect finished underneath us
+    if (rc < 0)
+        throw ServeError(csprintf(
+            "http client: cannot connect to %s:%u: %s", host.c_str(),
+            (unsigned)port, std::strerror(errno)));
+
+    std::string req = csprintf(
+        "%s %s HTTP/1.1\r\n"
+        "Host: %s:%u\r\n"
+        "Content-Type: application/json\r\n"
+        "Content-Length: %zu\r\n"
+        "Connection: close\r\n"
+        "\r\n",
+        method.c_str(), target.c_str(), host.c_str(), (unsigned)port,
+        body.size());
+    req += body;
+    if (!writeAll(fd, req))
+        throw ServeError(csprintf(
+            "http client: cannot send request to %s:%u: %s",
+            host.c_str(), (unsigned)port, std::strerror(errno)));
+
+    // Connection: close framing — read until EOF.
+    std::string data;
+    char buf[8192];
+    for (;;) {
+        ssize_t n = recvRetry(fd, buf, sizeof(buf));
+        if (n < 0)
+            throw ServeError(csprintf(
+                "http client: read from %s:%u failed: %s",
+                host.c_str(), (unsigned)port,
+                std::strerror(errno)));
+        if (n == 0)
+            break;
+        data.append(buf, static_cast<std::size_t>(n));
+    }
+
+    std::size_t head_end = data.find("\r\n\r\n");
+    std::size_t line_end = data.find("\r\n");
+    if (head_end == std::string::npos ||
+        data.compare(0, 5, "HTTP/") != 0)
+        throw ServeError(csprintf(
+            "http client: malformed response from %s:%u",
+            host.c_str(), (unsigned)port));
+
+    HttpResponse resp;
+    std::size_t sp = data.find(' ');
+    if (sp == std::string::npos || sp + 4 > line_end)
+        throw ServeError(csprintf(
+            "http client: malformed status line from %s:%u",
+            host.c_str(), (unsigned)port));
+    resp.status = 0;
+    for (std::size_t i = sp + 1; i < sp + 4; ++i) {
+        if (data[i] < '0' || data[i] > '9')
+            throw ServeError(csprintf(
+                "http client: malformed status line from %s:%u",
+                host.c_str(), (unsigned)port));
+        resp.status = resp.status * 10 + (data[i] - '0');
+    }
+    resp.body = data.substr(head_end + 4);
+
+    // Validate the advertised length when present: a worker killed
+    // mid-response must read as a transport error, not a short body.
+    std::string headers = data.substr(0, head_end);
+    for (char &c : headers)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    std::size_t cl = headers.find("\r\ncontent-length:");
+    if (cl != std::string::npos) {
+        std::size_t vstart = cl + 17;
+        std::size_t vend = headers.find("\r\n", vstart);
+        std::size_t expected = 0;
+        if (parseContentLength(
+                headers.substr(vstart, vend - vstart), expected)) {
+            if (resp.body.size() < expected)
+                throw ServeError(csprintf(
+                    "http client: truncated response from %s:%u "
+                    "(%zu of %zu body bytes)",
+                    host.c_str(), (unsigned)port, resp.body.size(),
+                    expected));
+            resp.body.resize(expected);
+        }
+    }
+    return resp;
+}
+
 #else // _WIN32
 
 HttpServer::HttpServer(const std::string &, std::uint16_t, Handler)
@@ -311,6 +505,14 @@ HttpServer::acceptLoop()
 void
 HttpServer::handleConnection(int)
 {
+}
+
+HttpResponse
+httpFetch(const std::string &, std::uint16_t, const std::string &,
+          const std::string &, const std::string &, int)
+{
+    fatal("the smtsim http client requires POSIX sockets (not "
+          "available on this platform)");
 }
 
 #endif // _WIN32

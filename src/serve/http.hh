@@ -86,6 +86,21 @@ class HttpServer
     bool stopped = false;
 };
 
+/**
+ * One blocking HTTP/1.1 request against a loopback server (the
+ * coordinator side of the distributed-sweep worker protocol, also
+ * handy in tests). Sends Connection: close and reads to EOF; the
+ * per-call timeout bounds both directions. Throws ServeError on any
+ * transport failure — connect refusal, timeout, truncated response —
+ * so callers can distinguish "the worker died" (retry/respawn) from
+ * an HTTP error status (a real answer).
+ */
+HttpResponse httpFetch(const std::string &host, std::uint16_t port,
+                       const std::string &method,
+                       const std::string &target,
+                       const std::string &body,
+                       int timeout_seconds = 600);
+
 } // namespace smt
 
 #endif // SMTFETCH_SERVE_HTTP_HH

@@ -4,6 +4,8 @@
 #include <optional>
 #include <sstream>
 
+#include "serve/distributed.hh"
+#include "serve/http.hh"
 #include "sim/experiment.hh"
 #include "sim/sweep_spec.hh"
 #include "util/json.hh"
@@ -82,7 +84,8 @@ parseId(const std::string &digits)
 
 SweepService::SweepService(const ServeOptions &options)
     : cache(options.cacheMaxBytes),
-      scheduler(options.workers, &cache, options.snapshotDir)
+      scheduler(options.workers, &cache, options.snapshotDir),
+      snapshotDir(options.snapshotDir)
 {
 }
 
@@ -173,9 +176,29 @@ SweepService::submit(const std::string &body)
 
     SweepScheduler::JobId id;
     try {
-        id = scheduler.submit(request, spec.name);
+        if (spec.distributedWorkers > 0) {
+            // {"distributed": {"workers": N}}: fan this sweep out
+            // to N spawned worker processes. The daemon's default
+            // snapshot tier doubles as the journal directory when
+            // the spec names no checkpointDir, so these sweeps
+            // resume across daemon restarts too.
+            if (request.checkpointDir.empty())
+                request.checkpointDir = snapshotDir;
+            DistributedOptions dopts;
+            dopts.workers = spec.distributedWorkers;
+            dopts.exePath = selfExePath();
+            id = submitDistributed(scheduler, request,
+                                   spec.benchName(), dopts)
+                     .id;
+        } else {
+            id = scheduler.submit(request, spec.name);
+        }
     } catch (const std::invalid_argument &e) {
         return {400, errorBody(e.what())};
+    } catch (const JournalError &e) {
+        return {409, errorBody(e.what())};
+    } catch (const ServeError &e) {
+        return {500, errorBody(e.what())};
     }
     {
         std::lock_guard<std::mutex> lock(m);
@@ -308,6 +331,7 @@ SweepService::daemonStatus() const
     jw.field("misses", cs.misses);
     jw.field("insertions", cs.insertions);
     jw.field("evictions", cs.evictions);
+    jw.field("persistFailures", cs.persistFailures);
     jw.field("bytes", static_cast<std::uint64_t>(cs.bytes));
     jw.field("entries", static_cast<std::uint64_t>(cs.entries));
     jw.field("maxBytes", static_cast<std::uint64_t>(cs.maxBytes));

@@ -92,6 +92,10 @@ class SweepService
 
     WarmupSnapshotCache cache;
     SweepScheduler scheduler;
+    /** Default disk tier (ServeOptions::snapshotDir) — distributed
+     *  sweeps journal/persist here when their spec names no
+     *  checkpointDir of its own. */
+    std::string snapshotDir;
     std::atomic<bool> shutdown{false};
 
     mutable std::mutex m;

@@ -1,0 +1,256 @@
+#include "serve/worker.hh"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "serve/http.hh"
+#include "sim/executor.hh"
+#include "sim/result_codec.hh"
+#include "sim/sweep_spec.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace smt
+{
+
+namespace
+{
+
+std::string
+errorBody(const std::string &message)
+{
+    return "{\"error\": \"" + jsonEscape(message) + "\"}";
+}
+
+} // namespace
+
+WorkerService::Response
+WorkerService::handle(const std::string &method,
+                      const std::string &target,
+                      const std::string &body)
+{
+    if (target == "/v1/healthz") {
+        if (method != "GET")
+            return {405, errorBody("use GET " + target)};
+        return {200, "{\"ok\": true}"};
+    }
+    if (target == "/v1/shutdown") {
+        if (method != "POST")
+            return {405, errorBody("use POST " + target)};
+        shutdown.store(true);
+        return {200, "{\"shuttingDown\": true}"};
+    }
+    if (target == "/v1/point") {
+        if (method != "POST")
+            return {405, errorBody("use POST " + target)};
+        return runPoint(body);
+    }
+    return {404,
+            errorBody("unknown endpoint " + method + " " + target)};
+}
+
+WorkerService::Response
+WorkerService::runPoint(const std::string &body)
+{
+    ExecutorParams params;
+    GridPoint point;
+    std::string snapshotDir;
+    bool reuse = false;
+    try {
+        JsonValue doc = jsonParse(body);
+        const JsonValue *p = doc.find("params");
+        const JsonValue *pt = doc.find("point");
+        if (p == nullptr || pt == nullptr)
+            throw CodecError(
+                "a point request needs \"params\" and \"point\"");
+        params = executorParamsFromWireJson(*p);
+        point = pointFromWireJson(*pt);
+        if (const JsonValue *d = doc.find("snapshotDir"))
+            snapshotDir = d->asString();
+        if (const JsonValue *r = doc.find("reuse"))
+            reuse = r->asBool();
+    } catch (const std::exception &e) {
+        return {400, errorBody(e.what())};
+    }
+
+    try {
+        PointExecutor executor(params, reuse ? &cache : nullptr,
+                               snapshotDir);
+        PointOutcome outcome = executor.execute(point);
+        std::ostringstream os;
+        JsonWriter jw(os, 0);
+        jw.beginObject();
+        jw.key("outcome");
+        jw.raw(outcomeToWireJson(outcome));
+        jw.endObject();
+        return {200, os.str()};
+    } catch (const std::exception &e) {
+        // Deterministic simulation failures (bad trace path, config
+        // rejection) — a real answer, not a transport problem: the
+        // coordinator fails the job instead of respawning us.
+        return {500, errorBody(e.what())};
+    }
+}
+
+namespace
+{
+
+void
+workerUsage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: smtsim worker [options]\n"
+        "\n"
+        "Runs a distributed-sweep worker: a loopback HTTP server\n"
+        "that simulates one grid point per POST /v1/point request\n"
+        "(see README \"Distributed sweeps\"). Normally spawned by\n"
+        "`smtsim sweep --workers N` or the serve daemon, not by\n"
+        "hand.\n"
+        "\n"
+        "options:\n"
+        "  --port N        listen port (default 0: ephemeral)\n"
+        "  --port-file PATH\n"
+        "                  write the bound port to PATH once\n"
+        "                  listening (the spawn handshake)\n"
+        "  --host ADDR     listen address (default 127.0.0.1)\n"
+        "  --cache-mb N    in-memory snapshot-cache budget in MiB\n"
+        "                  (default 256)\n"
+        "  -h, --help      show this help\n");
+}
+
+std::uint64_t
+parseWorkerCount(const char *flag, const char *text)
+{
+    bool ok = text[0] != '\0';
+    for (const char *p = text; *p != '\0'; ++p)
+        if (*p < '0' || *p > '9')
+            ok = false;
+    char *end = nullptr;
+    unsigned long long v = ok ? std::strtoull(text, &end, 10) : 0;
+    if (!ok || end == text || *end != '\0') {
+        std::fprintf(stderr,
+                     "smtsim worker: %s expects a non-negative "
+                     "integer, got \"%s\"\n",
+                     flag, text);
+        std::exit(1);
+    }
+    return v;
+}
+
+#ifndef _WIN32
+std::atomic<bool> workerSignalled{false};
+
+void
+onWorkerSignal(int)
+{
+    workerSignalled.store(true);
+}
+#endif
+
+} // namespace
+
+int
+workerMain(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::string portFile;
+    std::size_t cacheMaxBytes = WarmupSnapshotCache::defaultMaxBytes;
+
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "smtsim worker: %s expects an "
+                             "argument\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "-h" || arg == "--help") {
+            workerUsage(stdout);
+            return 0;
+        } else if (arg == "--port") {
+            std::uint64_t p = parseWorkerCount("--port", next());
+            if (p > 65535) {
+                std::fprintf(stderr,
+                             "smtsim worker: --port %llu is out of "
+                             "range [0, 65535]\n",
+                             (unsigned long long)p);
+                return 1;
+            }
+            port = static_cast<std::uint16_t>(p);
+        } else if (arg == "--port-file") {
+            portFile = next();
+        } else if (arg == "--host") {
+            host = next();
+        } else if (arg == "--cache-mb") {
+            cacheMaxBytes = static_cast<std::size_t>(
+                                parseWorkerCount("--cache-mb",
+                                                 next()))
+                            << 20;
+        } else {
+            std::fprintf(stderr,
+                         "smtsim worker: unknown option %s\n",
+                         arg.c_str());
+            workerUsage(stderr);
+            return 1;
+        }
+    }
+
+#ifdef _WIN32
+    std::fprintf(stderr, "smtsim worker requires POSIX sockets\n");
+    return 1;
+#else
+    try {
+        WorkerService service(cacheMaxBytes);
+        HttpServer http(host, port, [&](const HttpRequest &req) {
+            auto r = service.handle(req.method, req.target,
+                                    req.body);
+            HttpResponse resp;
+            resp.status = r.status;
+            resp.body = std::move(r.body);
+            return resp;
+        });
+
+        if (!portFile.empty()) {
+            std::ofstream pf(portFile);
+            if (!pf || !(pf << http.port() << '\n')) {
+                std::fprintf(stderr,
+                             "smtsim worker: cannot write port "
+                             "file %s\n",
+                             portFile.c_str());
+                return 1;
+            }
+        }
+        std::printf("smtsim worker: listening on %s:%u\n",
+                    host.c_str(), (unsigned)http.port());
+        std::fflush(stdout);
+
+        workerSignalled.store(false);
+        std::signal(SIGINT, onWorkerSignal);
+        std::signal(SIGTERM, onWorkerSignal);
+
+        while (!workerSignalled.load() &&
+               !service.shutdownRequested())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+
+        http.stop();
+        return 0;
+    } catch (const ServeError &e) {
+        std::fprintf(stderr, "smtsim worker: %s\n", e.what());
+        return 1;
+    }
+#endif
+}
+
+} // namespace smt

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The worker half of the distributed-sweep protocol: `smtsim worker`
+ * runs a loopback HTTP server that simulates exactly one grid point
+ * per request and streams the PointOutcome back as JSON. Workers are
+ * stateless between requests except for their in-memory warmup
+ * snapshot cache; cross-process warmup sharing goes through the
+ * sweep's checkpointDir disk tier, which every request names
+ * explicitly.
+ *
+ * Endpoints:
+ *   POST /v1/point     {"params": {...}, "point": {...},
+ *                       "snapshotDir": "...", "reuse": bool}
+ *                      → 200 {"outcome": {...}}
+ *                      → 400 on malformed payloads
+ *                      → 500 {"error": ...} on simulation errors
+ *   GET  /v1/healthz   liveness probe
+ *   POST /v1/shutdown  exit the run loop
+ */
+
+#ifndef SMTFETCH_SERVE_WORKER_HH
+#define SMTFETCH_SERVE_WORKER_HH
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "sim/snapshot_cache.hh"
+
+namespace smt
+{
+
+/**
+ * Routes one worker API request. Thread-safe; the point handler can
+ * run concurrently from several connection threads (the coordinator
+ * normally sends one point at a time per worker, but nothing breaks
+ * if it doesn't).
+ */
+class WorkerService
+{
+  public:
+    explicit WorkerService(
+        std::size_t cache_max_bytes =
+            WarmupSnapshotCache::defaultMaxBytes)
+        : cache(cache_max_bytes)
+    {
+    }
+
+    struct Response
+    {
+        int status = 200;
+        std::string body; //!< always a JSON document
+    };
+
+    Response handle(const std::string &method,
+                    const std::string &target,
+                    const std::string &body);
+
+    bool shutdownRequested() const { return shutdown.load(); }
+
+  private:
+    Response runPoint(const std::string &body);
+
+    WarmupSnapshotCache cache;
+    std::atomic<bool> shutdown{false};
+};
+
+/** The `smtsim worker` subcommand (argv past the subcommand word). */
+int workerMain(int argc, char **argv);
+
+} // namespace smt
+
+#endif // SMTFETCH_SERVE_WORKER_HH

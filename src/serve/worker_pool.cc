@@ -1,0 +1,314 @@
+#include "serve/worker_pool.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#ifndef _WIN32
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include "serve/http.hh"
+#include "sim/result_codec.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace smt
+{
+
+namespace
+{
+
+/** Transport retries per point before declaring the fleet broken. */
+constexpr unsigned maxAttempts = 3;
+
+} // namespace
+
+WorkerPool::WorkerPool(const Options &options_in)
+    : options(options_in), spawned(true)
+{
+#ifdef _WIN32
+    throw ServeError("distributed sweeps require POSIX process "
+                     "spawning (not available on this platform)");
+#else
+    if (options.workers == 0)
+        options.workers = 2;
+    if (options.exePath.empty())
+        throw ServeError("worker pool: no smtsim executable path");
+
+    const char *t = std::getenv("TMPDIR");
+    std::string tmpl = std::string(t != nullptr && *t != '\0'
+                                       ? t
+                                       : "/tmp") +
+                       "/smtsim_workers_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) == nullptr)
+        throw ServeError(
+            "worker pool: cannot create handshake directory: " +
+            std::string(std::strerror(errno)));
+    tmpDir = buf.data();
+
+    workers.resize(options.workers);
+    try {
+        for (unsigned slot = 0; slot < options.workers; ++slot)
+            spawnOne(slot);
+    } catch (...) {
+        for (Worker &w : workers)
+            killOne(w);
+        ::rmdir(tmpDir.c_str());
+        throw;
+    }
+#endif
+}
+
+WorkerPool::WorkerPool(std::vector<std::uint16_t> attach_ports,
+                       std::string host)
+{
+    options.host = std::move(host);
+    workers.resize(attach_ports.size());
+    for (std::size_t i = 0; i < attach_ports.size(); ++i)
+        workers[i].port = attach_ports[i];
+}
+
+WorkerPool::~WorkerPool()
+{
+#ifndef _WIN32
+    for (Worker &w : workers)
+        killOne(w);
+    if (!tmpDir.empty())
+        ::rmdir(tmpDir.c_str());
+#endif
+}
+
+std::uint64_t
+WorkerPool::respawns() const
+{
+    std::lock_guard<std::mutex> lock(m);
+    return respawnCount;
+}
+
+unsigned
+WorkerPool::checkout()
+{
+    std::unique_lock<std::mutex> lock(m);
+    for (;;) {
+        for (unsigned i = 0; i < workers.size(); ++i) {
+            if (!workers[i].busy) {
+                workers[i].busy = true;
+                return i;
+            }
+        }
+        cvIdle.wait(lock);
+    }
+}
+
+void
+WorkerPool::checkin(unsigned slot)
+{
+    {
+        std::lock_guard<std::mutex> lock(m);
+        workers[slot].busy = false;
+    }
+    cvIdle.notify_one();
+}
+
+void
+WorkerPool::killOne(Worker &w)
+{
+#ifndef _WIN32
+    if (w.pid > 0) {
+        // Workers are stateless (disk-tier writes are atomic), so a
+        // hard kill is always safe and never blocks teardown.
+        ::kill(static_cast<pid_t>(w.pid), SIGKILL);
+        ::waitpid(static_cast<pid_t>(w.pid), nullptr, 0);
+        w.pid = -1;
+    }
+    if (w.generation > 0) {
+        std::string portFile =
+            tmpDir + csprintf("/worker%u.port",
+                              (unsigned)(&w - workers.data()));
+        std::remove(portFile.c_str());
+    }
+#else
+    (void)w;
+#endif
+}
+
+void
+WorkerPool::spawnOne(unsigned slot)
+{
+#ifdef _WIN32
+    (void)slot;
+    throw ServeError("distributed sweeps require POSIX process "
+                     "spawning");
+#else
+    {
+        std::lock_guard<std::mutex> lock(m);
+        ++workers[slot].generation;
+    }
+    std::string portFile = tmpDir + csprintf("/worker%u.port", slot);
+    std::remove(portFile.c_str());
+    std::string cacheMb =
+        std::to_string(options.cacheMaxBytes >> 20);
+
+    pid_t pid = ::fork();
+    if (pid < 0)
+        throw ServeError("worker pool: fork failed: " +
+                         std::string(std::strerror(errno)));
+    if (pid == 0) {
+#ifdef __linux__
+        // Die with the coordinator: a SIGKILLed `smtsim sweep` must
+        // not leave orphan simulators burning CPU.
+        ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+        if (::getppid() == 1)
+            ::_exit(125); // the parent died before prctl took hold
+#endif
+        ::execl(options.exePath.c_str(), options.exePath.c_str(),
+                "worker", "--port", "0", "--port-file",
+                portFile.c_str(), "--cache-mb", cacheMb.c_str(),
+                static_cast<char *>(nullptr));
+        ::_exit(127); // exec failed; the parent sees a dead child
+    }
+
+    // Handshake: the worker writes its bound port once listening.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(15);
+    std::uint16_t port = 0;
+    for (;;) {
+        int status = 0;
+        if (::waitpid(pid, &status, WNOHANG) == pid)
+            throw ServeError(csprintf(
+                "worker pool: %s worker exited during startup "
+                "(status %d) — run `%s worker` by hand to see why",
+                options.exePath.c_str(), status,
+                options.exePath.c_str()));
+        std::ifstream pf(portFile);
+        unsigned p = 0;
+        if (pf && pf >> p && p > 0 && p <= 65535) {
+            port = static_cast<std::uint16_t>(p);
+            break;
+        }
+        if (std::chrono::steady_clock::now() > deadline) {
+            ::kill(pid, SIGKILL);
+            ::waitpid(pid, nullptr, 0);
+            throw ServeError(
+                "worker pool: worker startup handshake timed out");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    std::lock_guard<std::mutex> lock(m);
+    workers[slot].pid = pid;
+    workers[slot].port = port;
+#endif
+}
+
+PointOutcome
+WorkerPool::runPoint(const ExecutorParams &params,
+                     const GridPoint &point,
+                     const std::string &snapshot_dir, bool reuse)
+{
+    std::ostringstream os;
+    JsonWriter jw(os, 0);
+    jw.beginObject();
+    jw.key("params");
+    writeExecutorParamsJson(jw, params);
+    jw.key("point");
+    jw.raw(pointToWireJson(point));
+    if (!snapshot_dir.empty())
+        jw.field("snapshotDir", snapshot_dir);
+    jw.field("reuse", reuse);
+    jw.endObject();
+    std::string body = os.str();
+
+    unsigned slot = checkout();
+    struct Checkin
+    {
+        WorkerPool &pool;
+        unsigned slot;
+        ~Checkin() { pool.checkin(slot); }
+    } guard{*this, slot};
+
+    for (unsigned attempt = 1;; ++attempt) {
+        std::uint16_t port;
+        {
+            std::lock_guard<std::mutex> lock(m);
+            port = workers[slot].port;
+        }
+        try {
+            HttpResponse resp = httpFetch(
+                options.host, port, "POST", "/v1/point", body);
+            if (resp.status != 200) {
+                // A real answer: the simulation rejected the point
+                // deterministically. Respawning cannot help.
+                std::string msg = resp.body;
+                try {
+                    JsonValue doc = jsonParse(resp.body);
+                    if (const JsonValue *e = doc.find("error"))
+                        msg = e->asString();
+                } catch (...) {
+                }
+                throw std::runtime_error(csprintf(
+                    "sweep worker rejected the point (HTTP %d): %s",
+                    resp.status, msg.c_str()));
+            }
+            JsonValue doc = jsonParse(resp.body);
+            const JsonValue *outcome = doc.find("outcome");
+            if (outcome == nullptr)
+                throw std::runtime_error(
+                    "sweep worker answered without an \"outcome\"");
+            return outcomeFromWireJson(*outcome);
+        } catch (const ServeError &e) {
+            // Transport failure: the worker died (or was killed)
+            // mid-point. The point lost no state — warmups persist
+            // in the disk tier — so respawn and retry.
+            if (!spawned || attempt >= maxAttempts)
+                throw ServeError(csprintf(
+                    "sweep worker on port %u failed %u time%s: %s",
+                    (unsigned)port, attempt,
+                    attempt == 1 ? "" : "s", e.what()));
+            warn("sweep worker (port %u) transport failure: %s — "
+                 "respawning",
+                 (unsigned)port, e.what());
+            {
+                std::lock_guard<std::mutex> lock(m);
+                killOne(workers[slot]);
+                ++respawnCount;
+            }
+            spawnOne(slot);
+        }
+    }
+}
+
+std::string
+selfExePath(const std::string &argv0_fallback)
+{
+#ifdef __linux__
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return std::string(buf);
+    }
+#endif
+    if (!argv0_fallback.empty() &&
+        std::ifstream(argv0_fallback).good())
+        return argv0_fallback;
+    throw ServeError(
+        "cannot determine the smtsim executable path for spawning "
+        "workers (no /proc/self/exe and argv[0] is not a readable "
+        "file)");
+}
+
+} // namespace smt

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The coordinator side of the distributed-sweep protocol: WorkerPool
+ * owns N `smtsim worker` processes (or attaches to externally
+ * started ones, the test harness path) and runs one grid point at a
+ * time on each over loopback HTTP. Transport failures — a worker
+ * SIGKILLed mid-point, a refused connect — are retried on a freshly
+ * respawned worker; HTTP error statuses are real simulation answers
+ * and propagate as exceptions.
+ */
+
+#ifndef SMTFETCH_SERVE_WORKER_POOL_HH
+#define SMTFETCH_SERVE_WORKER_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/executor.hh"
+
+namespace smt
+{
+
+class WorkerPool
+{
+  public:
+    struct Options
+    {
+        unsigned workers = 2;
+
+        /** The smtsim binary to exec (normally selfExePath()). */
+        std::string exePath;
+
+        std::string host = "127.0.0.1";
+
+        /** Per-worker in-memory snapshot-cache budget. */
+        std::size_t cacheMaxBytes = 256u << 20;
+    };
+
+    /** Spawn-mode pool: forks options.workers worker processes and
+     *  waits for each port-file handshake. Throws ServeError when a
+     *  worker cannot be started. */
+    explicit WorkerPool(const Options &options);
+
+    /** Attach-mode pool: drives already-listening worker endpoints
+     *  (in-process WorkerService servers in tests). Dead endpoints
+     *  are never respawned — transport failures propagate. */
+    explicit WorkerPool(std::vector<std::uint16_t> attach_ports,
+                        std::string host = "127.0.0.1");
+
+    /** Kills (SIGKILL) and reaps every spawned worker. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /**
+     * Run one grid point on an idle worker (blocking until one is
+     * free). Retries transport failures on a respawned worker a few
+     * times before giving up; throws std::runtime_error on a worker
+     * simulation error and ServeError when workers die repeatedly.
+     */
+    PointOutcome runPoint(const ExecutorParams &params,
+                          const GridPoint &point,
+                          const std::string &snapshot_dir,
+                          bool reuse);
+
+    unsigned size() const { return (unsigned)workers.size(); }
+
+    /** Worker processes respawned after transport failures. */
+    std::uint64_t respawns() const;
+
+  private:
+    struct Worker
+    {
+        long pid = -1; //!< -1 in attach mode
+        std::uint16_t port = 0;
+        bool busy = false;
+        unsigned generation = 0;
+    };
+
+    unsigned checkout();
+    void checkin(unsigned slot);
+    void spawnOne(unsigned slot);
+    void killOne(Worker &w);
+
+    Options options;
+    bool spawned = false; //!< spawn mode (vs attach mode)
+    std::string tmpDir;   //!< port-file handshake directory
+
+    mutable std::mutex m;
+    std::condition_variable cvIdle;
+    std::vector<Worker> workers;
+    std::uint64_t respawnCount = 0;
+};
+
+/** Absolute path of the running executable (worker spawning).
+ *  Throws ServeError when the platform cannot provide one and
+ *  `argv0_fallback` does not name an existing file. */
+std::string selfExePath(const std::string &argv0_fallback = "");
+
+} // namespace smt
+
+#endif // SMTFETCH_SERVE_WORKER_POOL_HH

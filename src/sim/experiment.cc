@@ -5,6 +5,7 @@
 #include <optional>
 #include <thread>
 
+#include "sim/result_codec.hh"
 #include "sim/scheduler.hh"
 #include "sim/snapshot_cache.hh"
 #include "util/json.hh"
@@ -230,6 +231,12 @@ ExperimentRunner::writeJson(
                  static_cast<std::uint64_t>(timing->restoredRuns));
         jw.field("directRuns",
                  static_cast<std::uint64_t>(timing->directRuns));
+        // Only resumed distributed sweeps have journal-served
+        // points; older records stay byte-identical.
+        if (timing->journaledPoints > 0)
+            jw.field("journaledPoints",
+                     static_cast<std::uint64_t>(
+                         timing->journaledPoints));
         jw.field("cacheHits", timing->cacheHits);
         jw.field("cacheDiskHits", timing->cacheDiskHits);
         jw.field("cacheEvictions", timing->cacheEvictions);
@@ -251,34 +258,8 @@ ExperimentRunner::writeJson(
     }
     jw.key("results");
     jw.beginArray();
-    for (const auto &r : results) {
-        jw.beginObject();
-        jw.field("workload", r.workload);
-        jw.field("engine", engineName(r.engine));
-        jw.field("policy", policyName(r.policy));
-        jw.field("fetchThreads", r.fetchThreads);
-        jw.field("fetchWidth", r.fetchWidth);
-        jw.field("policyString",
-                 std::string(policyName(r.policy)) + "." +
-                     r.policyDotString());
-        if (r.overrides.any()) {
-            jw.field("variant", r.overrides.describe());
-            jw.key("overrides");
-            jw.beginObject();
-            r.overrides.writeJson(jw);
-            jw.endObject();
-        }
-        jw.field("warmupCycles", r.warmupCycles);
-        jw.field("measureCycles", r.measureCycles);
-        jw.field("ipfc", r.ipfc);
-        jw.field("ipc", r.ipc);
-        jw.key("stats");
-        if (r.statsJson.empty())
-            jw.raw("{}");
-        else
-            jw.raw(r.statsJson);
-        jw.endObject();
-    }
+    for (const auto &r : results)
+        writeResultJson(jw, r);
     jw.endArray();
     jw.endObject();
     os << '\n';

@@ -162,6 +162,11 @@ struct SweepTiming
     std::size_t directRuns = 0;    //!< points outside the reuse
                                    //!< path (recording, explicit
                                    //!< checkpoint flags)
+
+    /** Points satisfied from a resume journal without simulating
+     *  anything (distributed sweeps only; counted inside
+     *  completedPoints but NOT inside warmup/restored/direct). */
+    std::size_t journaledPoints = 0;
     double warmupSeconds = 0;      //!< wall clock inside warmups
     double sweepSeconds = 0;       //!< wall clock of the sweep
 

@@ -48,7 +48,8 @@ checkRecordPathsUnique(const std::vector<GridPoint> &points)
 
 SweepScheduler::Job::Job(const SweepRequest &request, std::string name,
                          WarmupSnapshotCache *cache,
-                         const std::string &default_snapshot_dir)
+                         const std::string &default_snapshot_dir,
+                         SubmitOptions options)
     : name(std::move(name)), points(request.points),
       executor(ExecutorParams{request.warmupCycles,
                               request.measureCycles, request.seed,
@@ -56,7 +57,11 @@ SweepScheduler::Job::Job(const SweepRequest &request, std::string name,
                request.reuseEnabled() ? cache : nullptr,
                !request.checkpointDir.empty() ? request.checkpointDir
                                               : default_snapshot_dir),
-      reuseEnabled(request.reuseEnabled() && cache != nullptr)
+      reuseEnabled(request.reuseEnabled() &&
+                   (cache != nullptr || options.runner != nullptr)),
+      runner(std::move(options.runner)),
+      journal(std::move(options.journal)),
+      groupGate(options.groupGate && request.reuseEnabled())
 {
     report.results.resize(points.size());
     auto &t = report.timing;
@@ -73,6 +78,35 @@ SweepScheduler::Job::Job(const SweepRequest &request, std::string name,
         }
         t.warmupGroups = keys.size();
     }
+    if (groupGate) {
+        groupKeys.reserve(points.size());
+        for (const GridPoint &p : points)
+            groupKeys.push_back(PointExecutor::reusable(p)
+                                    ? executor.warmupKey(p)
+                                    : std::string());
+    }
+
+    // Prefill journaled completions: the report carries their
+    // original results and timings, they are never claimed, and
+    // their warmup groups count as published (the leading run's
+    // snapshot is in the checkpointDir disk tier).
+    std::vector<bool> done(points.size(), false);
+    for (JournalEntry &e : options.precompleted) {
+        if (e.index >= points.size() || done[e.index])
+            continue;
+        done[e.index] = true;
+        report.results[e.index] = std::move(e.outcome.result);
+        ++completed;
+        ++t.journaledPoints;
+        t.warmupSeconds += e.outcome.warmupSeconds;
+        t.measureSeconds += e.outcome.measureSeconds;
+        if (groupGate && !e.outcome.direct &&
+            !groupKeys[e.index].empty())
+            readyGroups.insert(groupKeys[e.index]);
+    }
+    for (std::size_t i = 0; i < points.size(); ++i)
+        if (!done[i])
+            pending.push_back(i);
 }
 
 SweepScheduler::SweepScheduler(unsigned workers,
@@ -103,10 +137,18 @@ SweepScheduler::~SweepScheduler()
 SweepScheduler::JobId
 SweepScheduler::submit(const SweepRequest &request, std::string name)
 {
+    return submit(request, std::move(name), SubmitOptions{});
+}
+
+SweepScheduler::JobId
+SweepScheduler::submit(const SweepRequest &request, std::string name,
+                       SubmitOptions options)
+{
     checkRecordPathsUnique(request.points);
 
     auto job = std::make_unique<Job>(request, std::move(name), cache,
-                                     defaultSnapshotDir);
+                                     defaultSnapshotDir,
+                                     std::move(options));
     job->submitTime = SteadyClock::now();
     job->evictionsAtSubmit =
         (job->reuseEnabled && cache) ? cache->stats().evictions : 0;
@@ -115,10 +157,13 @@ SweepScheduler::submit(const SweepRequest &request, std::string name)
     JobId id = nextId++;
     Job &ref = *job;
     jobs.emplace(id, std::move(job));
-    if (ref.points.empty()) {
+    if (ref.pending.empty()) {
+        // Empty grid, or every point was already journaled by a
+        // previous run: terminal immediately.
         finalizeLocked(ref, JobState::Done);
     } else {
         runQueue.push_back(id);
+        ref.tokenQueued = true;
         cvWork.notify_all();
     }
     return id;
@@ -136,7 +181,7 @@ SweepScheduler::cancel(JobId id)
         job.state != JobState::Running)
         return false;
     job.cancelRequested = true;
-    job.nextPoint = job.points.size(); // stop further claims
+    job.pending.clear(); // stop further claims
     if (job.inFlight == 0)
         finalizeLocked(job, JobState::Cancelled);
     return true;
@@ -160,6 +205,7 @@ SweepScheduler::status(JobId id) const
         s.cancelledPoints = job.points.size() - job.completed;
     s.warmupRuns = job.report.timing.warmupRuns;
     s.restoredRuns = job.report.timing.restoredRuns;
+    s.journaledPoints = job.report.timing.journaledPoints;
     s.error = job.errorText;
     s.firstDoneSeq = job.firstDoneSeq;
     s.lastDoneSeq = job.lastDoneSeq;
@@ -224,7 +270,33 @@ SweepScheduler::finalizeLocked(Job &job, JobState terminal)
     }
     t.sweepSeconds = secondsSince(job.submitTime);
     job.state = terminal;
+    // Release the remote backend deterministically: dropping the
+    // last runner reference tears the job's worker-process pool
+    // down now, not when the scheduler is destroyed. Safe here —
+    // the job is drained, so no thread is inside the runner.
+    job.runner = nullptr;
+    job.journal.reset();
     cvDone.notify_all();
+}
+
+std::optional<std::size_t>
+SweepScheduler::claimLocked(Job &job)
+{
+    for (auto it = job.pending.begin(); it != job.pending.end();
+         ++it) {
+        if (job.groupGate) {
+            const std::string &key = job.groupKeys[*it];
+            if (!key.empty() && !job.readyGroups.count(key)) {
+                if (job.leadingGroups.count(key))
+                    continue; // a leader is warming this group up
+                job.leadingGroups.insert(key);
+            }
+        }
+        std::size_t i = *it;
+        job.pending.erase(it);
+        return i;
+    }
+    return std::nullopt;
 }
 
 void
@@ -243,16 +315,22 @@ SweepScheduler::workerLoop()
         if (it == jobs.end())
             continue;
         Job &job = *it->second;
-        if (job.nextPoint >= job.points.size())
+        job.tokenQueued = false;
+        if (job.pending.empty())
             continue; // tombstone token (cancelled/failed/drained)
 
-        // Claim exactly one point, then send the job to the back of
-        // the queue: concurrent sweeps interleave point-by-point
-        // instead of draining whole-sweep FIFO.
-        std::size_t i = job.nextPoint++;
+        // Claim exactly one dispatchable point, then send the job to
+        // the back of the queue: concurrent sweeps interleave
+        // point-by-point instead of draining whole-sweep FIFO.
+        auto claim = claimLocked(job);
+        if (!claim)
+            continue; // every pending point waits on a warmup
+                      // leader; its completion re-queues the token
+        std::size_t i = *claim;
         ++job.inFlight;
-        if (job.nextPoint < job.points.size()) {
+        if (!job.pending.empty()) {
             runQueue.push_back(id);
+            job.tokenQueued = true;
             cvWork.notify_one();
         }
 
@@ -260,10 +338,16 @@ SweepScheduler::workerLoop()
         PointOutcome outcome;
         std::exception_ptr error;
         try {
-            outcome = job.executor.execute(job.points[i]);
+            outcome = job.runner
+                          ? job.runner(i, job.points[i])
+                          : job.executor.execute(job.points[i]);
         } catch (...) {
             error = std::current_exception();
         }
+        // The journal has its own lock and flushes per line; keep
+        // the file write outside the scheduler lock.
+        if (!error && job.journal)
+            job.journal->append(i, outcome);
         lock.lock();
 
         --job.inFlight;
@@ -278,7 +362,7 @@ SweepScheduler::workerLoop()
                     job.errorText = "unknown error";
                 }
             }
-            job.nextPoint = job.points.size(); // stop further claims
+            job.pending.clear(); // stop further claims
         } else {
             job.report.results[i] = std::move(outcome.result);
             ++job.completed;
@@ -303,10 +387,21 @@ SweepScheduler::workerLoop()
                 else
                     ++t.cacheHits;
             }
+            if (job.groupGate && !job.groupKeys[i].empty()) {
+                job.leadingGroups.erase(job.groupKeys[i]);
+                job.readyGroups.insert(job.groupKeys[i]);
+            }
         }
 
-        bool drained = job.inFlight == 0 &&
-                       job.nextPoint >= job.points.size();
+        // A completion can unblock gated siblings (their leader just
+        // published its snapshot); make sure the job has a token.
+        if (!job.tokenQueued && !job.pending.empty()) {
+            runQueue.push_back(id);
+            job.tokenQueued = true;
+            cvWork.notify_one();
+        }
+
+        bool drained = job.inFlight == 0 && job.pending.empty();
         if (drained && job.state != JobState::Done &&
             job.state != JobState::Failed &&
             job.state != JobState::Cancelled) {

@@ -18,16 +18,19 @@
 #include <cstdint>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/executor.hh"
 #include "sim/experiment.hh"
+#include "sim/journal.hh"
 
 namespace smt
 {
@@ -69,6 +72,10 @@ class SweepScheduler
         std::size_t warmupRuns = 0;
         std::size_t restoredRuns = 0;
 
+        /** Points satisfied from a resume journal at submit time
+         *  (distributed sweeps; included in completedPoints). */
+        std::size_t journaledPoints = 0;
+
         /** What went wrong (Failed only). */
         std::string error;
 
@@ -102,11 +109,50 @@ class SweepScheduler
     SweepScheduler &operator=(const SweepScheduler &) = delete;
 
     /**
+     * Executes one claimed grid point somewhere other than this
+     * process (the distributed coordinator's worker pool). Called
+     * outside the scheduler lock from worker threads; must be
+     * thread-safe; throwing fails the job like an executor throw.
+     */
+    using PointRunner =
+        std::function<PointOutcome(std::size_t, const GridPoint &)>;
+
+    /** Per-submit extras for distributed/resumable sweeps. */
+    struct SubmitOptions
+    {
+        /** Non-null routes every point through this instead of the
+         *  in-process PointExecutor. */
+        PointRunner runner;
+
+        /** Journal every completed point here (resume support). */
+        std::shared_ptr<SweepJournal> journal;
+
+        /** Points already completed by a previous run: prefilled
+         *  into the report, never claimed, never re-simulated. */
+        std::vector<JournalEntry> precompleted;
+
+        /**
+         * Dispatch at most one point per not-yet-warmed warmup
+         * group at a time, so a group's first point publishes the
+         * disk snapshot before its siblings (possibly in other
+         * worker processes, which share nothing but the disk tier)
+         * are dispatched. Warmups then run once per group across
+         * the whole fleet. Only meaningful with a runner whose
+         * executors persist snapshots to a shared checkpointDir.
+         */
+        bool groupGate = false;
+    };
+
+    /**
      * Queue a sweep. Validates the request up front (duplicate
      * record paths throw std::invalid_argument) and precomputes the
      * warmup grouping. Returns immediately.
      */
     JobId submit(const SweepRequest &request, std::string name = "");
+
+    /** Queue a sweep with distributed/resume extras. */
+    JobId submit(const SweepRequest &request, std::string name,
+                 SubmitOptions options);
 
     /**
      * Stop scheduling a job's remaining points. Points already
@@ -140,9 +186,18 @@ class SweepScheduler
         PointExecutor executor;
         bool reuseEnabled = false;
 
+        /** Distributed/resume extras (see SubmitOptions). */
+        PointRunner runner;
+        std::shared_ptr<SweepJournal> journal;
+        bool groupGate = false;
+        std::vector<std::string> groupKeys; //!< gating only; ""=free
+        std::unordered_set<std::string> readyGroups;
+        std::unordered_set<std::string> leadingGroups;
+
         JobState state = JobState::Queued;
-        std::size_t nextPoint = 0; //!< next unclaimed grid index
-        std::size_t inFlight = 0;  //!< points executing right now
+        std::deque<std::size_t> pending; //!< unclaimed, grid order
+        bool tokenQueued = false; //!< this job has a runQueue token
+        std::size_t inFlight = 0; //!< points executing right now
         std::size_t completed = 0;
         bool cancelRequested = false;
         std::exception_ptr error;
@@ -156,10 +211,20 @@ class SweepScheduler
 
         Job(const SweepRequest &request, std::string name,
             WarmupSnapshotCache *cache,
-            const std::string &default_snapshot_dir);
+            const std::string &default_snapshot_dir,
+            SubmitOptions options);
     };
 
     void workerLoop();
+
+    /**
+     * Under `m`: pick the first dispatchable pending point. Local
+     * jobs always take the front (grid-order FIFO); gated jobs skip
+     * points whose warmup group has an in-flight leader and no
+     * published snapshot yet. nullopt when every pending point is
+     * gated (a completion re-queues the job's token).
+     */
+    std::optional<std::size_t> claimLocked(Job &job);
 
     /** Under `m`: move a drained job to its terminal state. */
     void finalizeLocked(Job &job, JobState terminal);

@@ -1,6 +1,8 @@
 #include "sim/snapshot_cache.hh"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iterator>
 
@@ -108,6 +110,7 @@ WarmupSnapshotCache::fulfil(const std::string &key,
 {
     auto shared =
         std::make_shared<const std::string>(std::move(snapshot));
+    bool persistFailed = false;
 
     if (!disk_dir.empty()) {
         // Write-then-rename keeps concurrent sweeps sharing the
@@ -131,19 +134,31 @@ WarmupSnapshotCache::fulfil(const std::string &key,
                                shared->size()))) {
             os.close();
             if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+                // rename(2) fails across filesystems (EXDEV), on
+                // full disks, on permission changes — name the
+                // reason, the temp file AND the counter, so a disk
+                // tier that silently persists nothing is visible in
+                // /v1/status instead of just slow.
+                int err = errno;
                 std::remove(tmp.c_str());
-                warn("cannot move warmup checkpoint into place: %s",
-                     path.c_str());
+                warn("cannot move warmup checkpoint into place: "
+                     "%s: %s",
+                     path.c_str(), std::strerror(err));
+                persistFailed = true;
             }
         } else {
+            int err = errno;
             os.close();
             std::remove(tmp.c_str());
-            warn("cannot persist warmup checkpoint: %s",
-                 path.c_str());
+            warn("cannot persist warmup checkpoint: %s: %s",
+                 path.c_str(), std::strerror(err));
+            persistFailed = true;
         }
     }
 
     std::lock_guard<std::mutex> lock(m);
+    if (persistFailed)
+        ++counters.persistFailures;
     insertLocked(key, shared);
     auto inf = inflight.find(key);
     if (inf != inflight.end()) {

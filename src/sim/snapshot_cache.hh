@@ -62,6 +62,11 @@ class WarmupSnapshotCache
         std::uint64_t misses = 0;    //!< leases granted (warmups led)
         std::uint64_t insertions = 0;
         std::uint64_t evictions = 0; //!< LRU removals (size pressure)
+
+        /** Disk-tier persists that failed (write or rename error,
+         *  e.g. a full or cross-filesystem checkpoint directory).
+         *  The sweep continues; only persistence is lost. */
+        std::uint64_t persistFailures = 0;
         std::size_t bytes = 0;       //!< resident snapshot bytes
         std::size_t entries = 0;     //!< resident snapshots
         std::size_t maxBytes = 0;

@@ -123,6 +123,16 @@ struct SweepSpec
      *  by configuration hash); implies checkpointAfterWarmup. */
     std::string checkpointDir;
 
+    /**
+     * Run this spec across N spawned `smtsim worker` processes
+     * instead of in-process threads ({"distributed": {"workers":
+     * N}}). Honoured by `smtsim sweep` and the serve daemon; the
+     * plain `smtsim <spec>` runner ignores it. With a checkpointDir
+     * the run journals completed points there and resumes after a
+     * kill. 0 = not distributed.
+     */
+    unsigned distributedWorkers = 0;
+
     std::vector<SweepBlock> sweeps;
 
     std::string

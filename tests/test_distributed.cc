@@ -1,0 +1,632 @@
+/**
+ * @file
+ * Distributed-sweep tests: the wire codec round trips losslessly, an
+ * attach-mode WorkerPool driving in-process WorkerService endpoints
+ * produces results bit-identical to the local PointExecutor and
+ * ExperimentRunner, the resume journal lets a re-run skip every
+ * completed point with zero re-simulated warmups (missing points
+ * restore their warmups from the disk snapshot tier), journal/request
+ * mismatches fail fast with the --fresh escape hatch spelled out, and
+ * spawn-mode worker processes are respawned transparently after a
+ * mid-run SIGKILL.
+ */
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "serve/distributed.hh"
+#include "serve/http.hh"
+#include "serve/worker.hh"
+#include "serve/worker_pool.hh"
+#include "sim/executor.hh"
+#include "sim/experiment.hh"
+#include "sim/journal.hh"
+#include "sim/result_codec.hh"
+#include "sim/sweep_spec.hh"
+#include "util/json.hh"
+
+using namespace smt;
+
+namespace
+{
+
+/** A fresh, empty directory under the test temp root. */
+std::string
+freshDir(const std::string &name)
+{
+    std::string dir = ::testing::TempDir() + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** An in-process worker endpoint: one attach-mode fleet member. */
+struct AttachWorker
+{
+    WorkerService service;
+    HttpServer http;
+
+    explicit AttachWorker(std::size_t cache_bytes = 64u << 20)
+        : service(cache_bytes),
+          http("127.0.0.1", 0,
+               [this](const HttpRequest &req) {
+                   auto r = service.handle(req.method, req.target,
+                                           req.body);
+                   HttpResponse resp;
+                   resp.status = r.status;
+                   resp.body = std::move(r.body);
+                   return resp;
+               })
+    {
+    }
+
+    std::uint16_t port() const { return http.port(); }
+};
+
+GridPoint
+point(const std::string &workload, unsigned width = 8)
+{
+    GridPoint p;
+    p.workload = workload;
+    p.engine = EngineKind::GshareBtb;
+    p.fetchThreads = 1;
+    p.fetchWidth = width;
+    p.policy = PolicyKind::ICount;
+    return p;
+}
+
+ExecutorParams
+smallParams()
+{
+    return {/*warmupCycles=*/1500, /*measureCycles=*/4000,
+            /*seed=*/0, /*cycleSkip=*/true};
+}
+
+/** A 4-point request; every point is its own warmup group. */
+SweepRequest
+smallRequest()
+{
+    SweepRequest req;
+    req.warmupCycles = 1500;
+    req.measureCycles = 4000;
+    for (const char *wl : {"gzip", "mcf"}) {
+        req.points.push_back(point(wl, 8));
+        req.points.push_back(point(wl, 16));
+    }
+    return req;
+}
+
+/** The BENCH-record results array, rendered (the bit-identity lens:
+ *  timing blocks are wall-clock and legitimately differ). */
+std::string
+resultsArray(const std::vector<ExperimentResult> &results)
+{
+    std::ostringstream os;
+    ExperimentRunner::writeJson(os, "t", results);
+    return jsonParse(os.str()).find("results")->dump();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Wire codec round trips
+// ---------------------------------------------------------------------
+
+TEST(ResultCodec, ExecutedResultRoundTripsLosslessly)
+{
+    ExperimentResult r =
+        PointExecutor(smallParams()).execute(point("gzip")).result;
+    ASSERT_FALSE(r.statsJson.empty());
+
+    std::string wire = resultToWireJson(r);
+    ExperimentResult back = resultFromWireJson(jsonParse(wire));
+    EXPECT_EQ(resultToWireJson(back), wire);
+
+    // The BENCH-record rendering must survive the codec byte for
+    // byte — this is what keeps merged records diffable against
+    // single-process ones.
+    std::ostringstream a, b;
+    {
+        JsonWriter jw(a, 2);
+        writeResultJson(jw, r);
+    }
+    {
+        JsonWriter jw(b, 2);
+        writeResultJson(jw, back);
+    }
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ResultCodec, PointRoundTripKeepsOverrides)
+{
+    GridPoint p = point("2_MIX", 16);
+    p.fetchThreads = 2;
+    p.policy = PolicyKind::RoundRobin;
+    p.engine = EngineKind::Stream;
+    p.overrides.ftqEntries = 4;
+    p.overrides.longLoadPolicy = LongLoadPolicy::Flush;
+    p.overrides.longLoadThreshold = 32;
+    p.overrides.predictorShift = 1;
+
+    std::string wire = pointToWireJson(p);
+    GridPoint back = pointFromWireJson(jsonParse(wire));
+    EXPECT_EQ(back.workload, p.workload);
+    EXPECT_EQ(back.engine, p.engine);
+    EXPECT_EQ(back.policy, p.policy);
+    EXPECT_EQ(back.fetchThreads, p.fetchThreads);
+    EXPECT_EQ(back.fetchWidth, p.fetchWidth);
+    EXPECT_TRUE(back.overrides == p.overrides);
+    EXPECT_EQ(pointToWireJson(back), wire);
+}
+
+TEST(ResultCodec, OutcomeRoundTripKeepsTheSideband)
+{
+    PointOutcome o = PointExecutor(smallParams()).execute(point("mcf"));
+    o.warmupSeconds = 0.25;
+    o.measureSeconds = 1.5;
+    o.ranWarmup = false;
+    o.restored = true;
+    o.diskHit = true;
+
+    PointOutcome back =
+        outcomeFromWireJson(jsonParse(outcomeToWireJson(o)));
+    EXPECT_EQ(back.warmupSeconds, o.warmupSeconds);
+    EXPECT_EQ(back.measureSeconds, o.measureSeconds);
+    EXPECT_FALSE(back.ranWarmup);
+    EXPECT_TRUE(back.restored);
+    EXPECT_TRUE(back.diskHit);
+    EXPECT_EQ(outcomeToWireJson(back), outcomeToWireJson(o));
+}
+
+TEST(ResultCodec, ExecutorParamsRoundTrip)
+{
+    ExecutorParams p{12345, 67890, 42, false};
+    std::ostringstream os;
+    JsonWriter jw(os, 0);
+    writeExecutorParamsJson(jw, p);
+    ExecutorParams back = executorParamsFromWireJson(jsonParse(os.str()));
+    EXPECT_EQ(back.warmupCycles, p.warmupCycles);
+    EXPECT_EQ(back.measureCycles, p.measureCycles);
+    EXPECT_EQ(back.seed, p.seed);
+    EXPECT_EQ(back.cycleSkip, p.cycleSkip);
+}
+
+TEST(ResultCodec, SweepRequestKeyTracksRequestIdentity)
+{
+    SweepRequest req = smallRequest();
+    std::string key = sweepRequestKey(req);
+    EXPECT_EQ(key.size(), 16u); // %016llx
+    EXPECT_EQ(sweepRequestKey(req), key);
+
+    SweepRequest other = req;
+    other.seed = 7;
+    EXPECT_NE(sweepRequestKey(other), key);
+
+    other = req;
+    other.points[2].fetchWidth = 4;
+    EXPECT_NE(sweepRequestKey(other), key);
+}
+
+// ---------------------------------------------------------------------
+// Spec plumbing
+// ---------------------------------------------------------------------
+
+TEST(SweepSpecDistributed, WorkersKeyParses)
+{
+    SweepSpec spec = SweepSpec::fromString(R"({
+        "name": "dist",
+        "warmupCycles": 1500,
+        "measureCycles": 4000,
+        "workloads": ["gzip"],
+        "engines": ["gshare+BTB"],
+        "policies": ["1.8"],
+        "distributed": {"workers": 3}
+    })");
+    EXPECT_EQ(spec.distributedWorkers, 3u);
+    // The plain runner path is unaffected by the annotation.
+    EXPECT_EQ(spec.makeRequest().points.size(), 1u);
+}
+
+TEST(SweepSpecDistributed, BadWorkerCountsAreRejected)
+{
+    const char *tmpl = R"({
+        "name": "dist",
+        "warmupCycles": 1500,
+        "measureCycles": 4000,
+        "workloads": ["gzip"],
+        "engines": ["gshare+BTB"],
+        "policies": ["1.8"],
+        "distributed": {"workers": %s}
+    })";
+    for (const char *count : {"0", "257"}) {
+        char text[512];
+        std::snprintf(text, sizeof(text), tmpl, count);
+        EXPECT_THROW(SweepSpec::fromString(text), SpecError) << count;
+    }
+}
+
+// ---------------------------------------------------------------------
+// WorkerService and attach-mode WorkerPool
+// ---------------------------------------------------------------------
+
+TEST(WorkerService, MalformedPointPayloadIsA400)
+{
+    WorkerService service;
+    auto r = service.handle("POST", "/v1/point", "{\"params\": 3");
+    EXPECT_EQ(r.status, 400);
+    r = service.handle("POST", "/v1/point", "{\"params\": {}}");
+    EXPECT_EQ(r.status, 400) << r.body; // no "point"
+    r = service.handle("GET", "/v1/nothing", "");
+    EXPECT_EQ(r.status, 404);
+    r = service.handle("GET", "/v1/healthz", "");
+    EXPECT_EQ(r.status, 200);
+}
+
+TEST(WorkerPool, AttachPointMatchesTheLocalExecutor)
+{
+    AttachWorker worker;
+    WorkerPool pool(std::vector<std::uint16_t>{worker.port()});
+
+    GridPoint p = point("gzip");
+    PointOutcome remote =
+        pool.runPoint(smallParams(), p, "", false);
+    PointOutcome local = PointExecutor(smallParams()).execute(p);
+
+    EXPECT_EQ(resultToWireJson(remote.result),
+              resultToWireJson(local.result));
+    EXPECT_TRUE(remote.direct);
+    EXPECT_EQ(pool.respawns(), 0u);
+}
+
+TEST(WorkerPool, SimulationErrorIsAnAnswerNotARetry)
+{
+    // A worker that deterministically rejects every point: the pool
+    // must propagate the answer instead of respawning its way
+    // through maxAttempts identical failures.
+    HttpServer reject("127.0.0.1", 0, [](const HttpRequest &) {
+        HttpResponse resp;
+        resp.status = 500;
+        resp.body = "{\"error\": \"no such trace: zork\"}";
+        return resp;
+    });
+    WorkerPool pool(std::vector<std::uint16_t>{reject.port()});
+
+    try {
+        pool.runPoint(smallParams(), point("gzip"), "", false);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("HTTP 500"), std::string::npos) << what;
+        EXPECT_NE(what.find("no such trace: zork"),
+                  std::string::npos)
+            << what;
+    }
+    EXPECT_EQ(pool.respawns(), 0u);
+}
+
+TEST(WorkerPool, DeadAttachEndpointPropagatesTransportError)
+{
+    // A port with nothing behind it; attach mode never respawns, so
+    // the transport failure must surface.
+    std::uint16_t port;
+    {
+        AttachWorker ephemeral;
+        port = ephemeral.port();
+    } // server gone, port released
+    WorkerPool pool(std::vector<std::uint16_t>{port});
+    EXPECT_THROW(pool.runPoint(smallParams(), point("gzip"), "",
+                               false),
+                 ServeError);
+    EXPECT_EQ(pool.respawns(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end distributed runs (attach mode)
+// ---------------------------------------------------------------------
+
+TEST(Distributed, AttachRunIsBitIdenticalToSingleProcess)
+{
+    SweepRequest req = smallRequest();
+    AttachWorker w1, w2;
+    DistributedOptions dopts;
+    dopts.attachPorts = {w1.port(), w2.port()};
+
+    DistributedRun run = runDistributed(req, "attach_bit", dopts);
+    ASSERT_EQ(run.report.results.size(), req.points.size());
+    EXPECT_EQ(run.report.timing.directRuns, req.points.size());
+    EXPECT_EQ(run.journaledPoints, 0u);
+
+    SweepReport local = ExperimentRunner().run(req);
+    EXPECT_EQ(resultsArray(run.report.results),
+              resultsArray(local.results));
+}
+
+TEST(Distributed, JournalResumeSkipsEveryCompletedPoint)
+{
+    std::string ckpt = freshDir("dist_resume");
+    SweepRequest req = smallRequest();
+    req.checkpointDir = ckpt;
+
+    std::string firstResults;
+    {
+        AttachWorker w1, w2;
+        DistributedOptions dopts;
+        dopts.attachPorts = {w1.port(), w2.port()};
+        DistributedRun run = runDistributed(req, "resume", dopts);
+        EXPECT_EQ(run.journaledPoints, 0u);
+        EXPECT_EQ(run.report.timing.warmupRuns, req.points.size());
+        EXPECT_EQ(run.report.timing.restoredRuns, 0u);
+        firstResults = resultsArray(run.report.results);
+    }
+
+    // The journal header describes this sweep.
+    std::ifstream in(SweepJournal::pathFor(ckpt, "resume"));
+    ASSERT_TRUE(in.good());
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    JsonValue doc = jsonParse(header);
+    EXPECT_EQ(doc.find("schema")->asString(), "smtfetch-journal-v1");
+    EXPECT_EQ(doc.find("bench")->asString(), "resume");
+    EXPECT_EQ(doc.find("requestKey")->asString(),
+              sweepRequestKey(req));
+    EXPECT_EQ(doc.find("points")->asUInt64(), req.points.size());
+    EXPECT_EQ(doc.find("warmupGroups")->asUInt64(),
+              req.points.size());
+    in.close();
+
+    // A full re-run simulates nothing at all: every point is served
+    // from the journal, with no fleet behind it.
+    AttachWorker w3;
+    DistributedOptions dopts;
+    dopts.attachPorts = {w3.port()};
+    DistributedRun rerun = runDistributed(req, "resume", dopts);
+    EXPECT_EQ(rerun.journaledPoints, req.points.size());
+    EXPECT_EQ(rerun.report.timing.journaledPoints,
+              req.points.size());
+    EXPECT_EQ(rerun.report.timing.warmupRuns, 0u);
+    EXPECT_EQ(rerun.report.timing.restoredRuns, 0u);
+    EXPECT_EQ(resultsArray(rerun.report.results), firstResults);
+}
+
+TEST(Distributed, TruncatedJournalRerunsOnlyTheMissingPoint)
+{
+    std::string ckpt = freshDir("dist_truncate");
+    SweepRequest req = smallRequest();
+    req.checkpointDir = ckpt;
+
+    std::string firstResults;
+    {
+        AttachWorker w1, w2;
+        DistributedOptions dopts;
+        dopts.attachPorts = {w1.port(), w2.port()};
+        firstResults = resultsArray(
+            runDistributed(req, "truncate", dopts).report.results);
+    }
+
+    // Drop the last completed entry — the coordinator was killed
+    // after 3 of 4 points.
+    std::string path = SweepJournal::pathFor(ckpt, "truncate");
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 1 + req.points.size());
+    lines.pop_back();
+    {
+        std::ofstream out(path, std::ios::trunc);
+        for (const std::string &line : lines)
+            out << line << '\n';
+    }
+
+    // Fresh workers (empty in-memory caches): the one missing point
+    // must restore its warmup from the disk snapshot tier, so the
+    // resumed run re-simulates zero warmups.
+    AttachWorker w1, w2;
+    DistributedOptions dopts;
+    dopts.attachPorts = {w1.port(), w2.port()};
+    DistributedRun rerun = runDistributed(req, "truncate", dopts);
+    EXPECT_EQ(rerun.journaledPoints, req.points.size() - 1);
+    EXPECT_EQ(rerun.report.timing.journaledPoints,
+              req.points.size() - 1);
+    EXPECT_EQ(rerun.report.timing.warmupRuns, 0u);
+    EXPECT_EQ(rerun.report.timing.restoredRuns, 1u);
+    EXPECT_EQ(rerun.report.timing.cacheDiskHits, 1u);
+    EXPECT_EQ(resultsArray(rerun.report.results), firstResults);
+}
+
+TEST(Distributed, TornFinalJournalLineIsTolerated)
+{
+    std::string ckpt = freshDir("dist_torn");
+    SweepRequest req = smallRequest();
+    req.checkpointDir = ckpt;
+    {
+        AttachWorker w1, w2;
+        DistributedOptions dopts;
+        dopts.attachPorts = {w1.port(), w2.port()};
+        runDistributed(req, "torn", dopts);
+    }
+
+    // SIGKILL mid-append: the final line stops mid-document.
+    std::string path = SweepJournal::pathFor(ckpt, "torn");
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "{\"point\": 1, \"outc";
+    }
+
+    AttachWorker w;
+    DistributedOptions dopts;
+    dopts.attachPorts = {w.port()};
+    DistributedRun rerun = runDistributed(req, "torn", dopts);
+    EXPECT_EQ(rerun.journaledPoints, req.points.size());
+    EXPECT_EQ(rerun.report.timing.warmupRuns, 0u);
+}
+
+TEST(Distributed, RequestKeyMismatchNamesTheFreshEscapeHatch)
+{
+    std::string ckpt = freshDir("dist_mismatch");
+    SweepRequest req = smallRequest();
+    req.checkpointDir = ckpt;
+    {
+        AttachWorker w1, w2;
+        DistributedOptions dopts;
+        dopts.attachPorts = {w1.port(), w2.port()};
+        runDistributed(req, "mismatch", dopts);
+    }
+
+    // Same bench + checkpoint dir, different sweep identity.
+    SweepRequest other = req;
+    other.seed = 99;
+    AttachWorker w;
+    DistributedOptions dopts;
+    dopts.attachPorts = {w.port()};
+    try {
+        runDistributed(other, "mismatch", dopts);
+        FAIL() << "expected JournalError";
+    } catch (const JournalError &e) {
+        EXPECT_NE(std::string(e.what()).find("--fresh"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // --fresh discards the stale journal and runs the new sweep.
+    dopts.fresh = true;
+    AttachWorker w1, w2;
+    dopts.attachPorts = {w1.port(), w2.port()};
+    DistributedRun run = runDistributed(other, "mismatch", dopts);
+    EXPECT_EQ(run.journaledPoints, 0u);
+    EXPECT_EQ(run.report.results.size(), other.points.size());
+}
+
+TEST(Distributed, WorkerRejectionFailsTheJob)
+{
+    HttpServer reject("127.0.0.1", 0, [](const HttpRequest &) {
+        HttpResponse resp;
+        resp.status = 500;
+        resp.body = "{\"error\": \"config rejected\"}";
+        return resp;
+    });
+    SweepRequest req = smallRequest();
+    DistributedOptions dopts;
+    dopts.attachPorts = {reject.port()};
+    try {
+        runDistributed(req, "broken", dopts);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("config rejected"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spawn mode (real worker processes)
+// ---------------------------------------------------------------------
+
+TEST(WorkerPoolSpawn, MissingExecutableFailsFast)
+{
+    WorkerPool::Options po;
+    po.workers = 1;
+    po.exePath = "/no/such/smtsim_binary";
+    EXPECT_THROW(WorkerPool pool(po), ServeError);
+}
+
+#ifdef SMTSIM_BIN
+
+namespace
+{
+
+/** Direct children of this process whose command line says
+ *  "worker" — the spawned `smtsim worker` fleet. */
+std::vector<pid_t>
+childWorkerPids()
+{
+    std::vector<pid_t> pids;
+    DIR *proc = ::opendir("/proc");
+    if (proc == nullptr)
+        return pids;
+    while (dirent *entry = ::readdir(proc)) {
+        char *end = nullptr;
+        long pid = std::strtol(entry->d_name, &end, 10);
+        if (end == entry->d_name || *end != '\0' || pid <= 0)
+            continue;
+
+        // /proc/N/stat: "pid (comm) state ppid ..." — the ppid is
+        // the second field after the LAST ')' (comm may contain
+        // anything).
+        std::ifstream stat("/proc/" + std::string(entry->d_name) +
+                           "/stat");
+        std::string text((std::istreambuf_iterator<char>(stat)),
+                         std::istreambuf_iterator<char>());
+        std::size_t paren = text.rfind(')');
+        if (paren == std::string::npos)
+            continue;
+        std::istringstream rest(text.substr(paren + 1));
+        char state = 0;
+        long ppid = 0;
+        if (!(rest >> state >> ppid) || ppid != ::getpid())
+            continue;
+
+        std::ifstream cmd("/proc/" + std::string(entry->d_name) +
+                          "/cmdline");
+        std::string cmdline((std::istreambuf_iterator<char>(cmd)),
+                            std::istreambuf_iterator<char>());
+        if (cmdline.find("worker") != std::string::npos)
+            pids.push_back(static_cast<pid_t>(pid));
+    }
+    ::closedir(proc);
+    return pids;
+}
+
+} // namespace
+
+TEST(WorkerPoolSpawn, KilledWorkerIsRespawnedTransparently)
+{
+    WorkerPool::Options po;
+    po.workers = 1;
+    po.exePath = SMTSIM_BIN;
+    po.cacheMaxBytes = 32u << 20;
+    WorkerPool pool(po);
+
+    GridPoint p = point("gzip");
+    PointOutcome first = pool.runPoint(smallParams(), p, "", false);
+    EXPECT_EQ(pool.respawns(), 0u);
+
+    // Cross-process determinism: the spawned worker's answer is
+    // bit-identical to the local executor's.
+    PointOutcome local = PointExecutor(smallParams()).execute(p);
+    EXPECT_EQ(resultToWireJson(first.result),
+              resultToWireJson(local.result));
+
+    // SIGKILL the worker between points; the next point must be
+    // served by a respawned replacement, not fail.
+    std::vector<pid_t> pids = childWorkerPids();
+    ASSERT_EQ(pids.size(), 1u);
+    ASSERT_EQ(::kill(pids[0], SIGKILL), 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    PointOutcome second =
+        pool.runPoint(smallParams(), point("mcf"), "", false);
+    EXPECT_GT(second.result.measureCycles, 0u);
+    EXPECT_EQ(pool.respawns(), 1u);
+}
+
+#endif // SMTSIM_BIN

@@ -1,0 +1,456 @@
+/**
+ * @file
+ * Transport-level tests for the serve HTTP stack: strict
+ * Content-Length parsing (digits only, overflow-checked), oversized
+ * and malformed request heads, truncated bodies, clients vanishing
+ * mid-response (no SIGPIPE, server keeps serving), EINTR resilience
+ * under a signal storm, and the httpFetch client's handling of
+ * truncated or garbage responses. These drive HttpServer through raw
+ * sockets, below the JSON service layer.
+ */
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "serve/http.hh"
+#include "util/json.hh"
+
+using namespace smt;
+
+namespace
+{
+
+/** A server that echoes the request shape back as JSON. */
+struct EchoServer
+{
+    HttpServer http;
+
+    EchoServer()
+        : http("127.0.0.1", 0,
+               [](const HttpRequest &req) {
+                   std::ostringstream os;
+                   JsonWriter jw(os, 0);
+                   jw.beginObject();
+                   jw.field("method", req.method);
+                   jw.field("target", req.target);
+                   jw.field("bodyBytes", static_cast<std::uint64_t>(
+                                             req.body.size()));
+                   jw.endObject();
+                   HttpResponse resp;
+                   resp.body = os.str();
+                   return resp;
+               })
+    {
+    }
+
+    std::uint16_t port() const { return http.port(); }
+};
+
+int
+connectTo(std::uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0) << std::strerror(errno);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    int rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    EXPECT_EQ(rc, 0) << std::strerror(errno);
+    return fd;
+}
+
+/** Send as much as the peer accepts; MSG_NOSIGNAL so a server that
+ *  answered early and closed cannot SIGPIPE the test process. */
+void
+sendBytes(int fd, const std::string &wire)
+{
+    std::size_t off = 0;
+    while (off < wire.size()) {
+        ssize_t n = ::send(fd, wire.data() + off, wire.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            return;
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+struct RawResponse
+{
+    int status = 0;
+    std::string body;
+    std::string raw;
+};
+
+RawResponse
+readResponse(int fd)
+{
+    RawResponse resp;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        resp.raw.append(buf, static_cast<std::size_t>(n));
+    }
+    if (resp.raw.size() > 12)
+        resp.status = std::atoi(resp.raw.c_str() + 9);
+    std::size_t blank = resp.raw.find("\r\n\r\n");
+    if (blank != std::string::npos)
+        resp.body = resp.raw.substr(blank + 4);
+    return resp;
+}
+
+/** One raw request/response round trip over a fresh connection. */
+RawResponse
+roundTrip(std::uint16_t port, const std::string &wire)
+{
+    int fd = connectTo(port);
+    sendBytes(fd, wire);
+    RawResponse resp = readResponse(fd);
+    ::close(fd);
+    return resp;
+}
+
+std::string
+postWithContentLength(const std::string &length_text,
+                      const std::string &body = "")
+{
+    return "POST /v1/echo HTTP/1.1\r\n"
+           "Host: 127.0.0.1\r\n"
+           "Content-Length: " +
+           length_text +
+           "\r\n"
+           "Connection: close\r\n\r\n" +
+           body;
+}
+
+void
+ignoreSignal(int)
+{
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Strict Content-Length parsing
+// ---------------------------------------------------------------------
+
+TEST(HttpContentLength, NonNumericValuesAreRejected)
+{
+    EchoServer server;
+    // strtoull would have accepted every one of these: "12abc" as
+    // 12 (truncated body), "-1" as 2^64-1, "junk" as 0.
+    const char *bad[] = {"12abc",  "+5",   "-1",  "0x10", "junk",
+                         "1 2",    "",     "  ",  "1.5"};
+    for (const char *value : bad) {
+        RawResponse resp =
+            roundTrip(server.port(), postWithContentLength(value));
+        EXPECT_EQ(resp.status, 400) << "Content-Length: " << value;
+        EXPECT_NE(resp.body.find("malformed Content-Length header"),
+                  std::string::npos)
+            << resp.body;
+    }
+}
+
+TEST(HttpContentLength, OverflowingValueIsRejected)
+{
+    EchoServer server;
+    // > 2^64: the digit loop must detect overflow, not wrap.
+    RawResponse resp = roundTrip(
+        server.port(),
+        postWithContentLength("99999999999999999999999999"));
+    EXPECT_EQ(resp.status, 400);
+    EXPECT_NE(resp.body.find("malformed Content-Length header"),
+              std::string::npos)
+        << resp.body;
+}
+
+TEST(HttpContentLength, SurroundingBlanksAreAccepted)
+{
+    EchoServer server;
+    RawResponse resp = roundTrip(
+        server.port(), postWithContentLength("  5 \t", "hello"));
+    EXPECT_EQ(resp.status, 200) << resp.body;
+    JsonValue doc = jsonParse(resp.body);
+    EXPECT_EQ(doc.find("bodyBytes")->asUInt64(), 5u);
+}
+
+TEST(HttpContentLength, ExtraBytesBeyondTheLengthAreIgnored)
+{
+    EchoServer server;
+    RawResponse resp = roundTrip(server.port(),
+                                 postWithContentLength("3", "abcdefgh"));
+    EXPECT_EQ(resp.status, 200) << resp.body;
+    JsonValue doc = jsonParse(resp.body);
+    EXPECT_EQ(doc.find("bodyBytes")->asUInt64(), 3u);
+}
+
+TEST(HttpContentLength, HugeAdvertisedBodyIsRejectedUpFront)
+{
+    EchoServer server;
+    // Over the 16 MiB cap: answered before any body is read.
+    RawResponse resp =
+        roundTrip(server.port(), postWithContentLength("17000000"));
+    EXPECT_EQ(resp.status, 400);
+    EXPECT_NE(resp.body.find("request body too large"),
+              std::string::npos)
+        << resp.body;
+}
+
+// ---------------------------------------------------------------------
+// Malformed request heads
+// ---------------------------------------------------------------------
+
+TEST(HttpMalformed, GarbageRequestLineIsRejected)
+{
+    EchoServer server;
+    RawResponse resp = roundTrip(server.port(), "NONSENSE\r\n\r\n");
+    EXPECT_EQ(resp.status, 400);
+    EXPECT_NE(resp.body.find("malformed request line"),
+              std::string::npos)
+        << resp.body;
+}
+
+TEST(HttpMalformed, OversizedHeaderBlockIsRejected)
+{
+    EchoServer server;
+    // ~72 KB of headers with no terminator: past the 64 KB head cap
+    // the server must answer 400 instead of buffering forever.
+    std::string wire = "POST /v1/echo HTTP/1.1\r\n";
+    std::string filler(1000, 'a');
+    while (wire.size() < 72 * 1024)
+        wire += "X-Pad: " + filler + "\r\n";
+    RawResponse resp = roundTrip(server.port(), wire);
+    EXPECT_EQ(resp.status, 400);
+    EXPECT_NE(resp.body.find("request header too large"),
+              std::string::npos)
+        << resp.body;
+}
+
+TEST(HttpMalformed, TruncatedBodyGetsNoResponse)
+{
+    EchoServer server;
+    int fd = connectTo(server.port());
+    sendBytes(fd, postWithContentLength("64", "short"));
+    ::shutdown(fd, SHUT_WR); // give up mid-body
+    RawResponse resp = readResponse(fd);
+    ::close(fd);
+    // The client vanished before delivering the promised body; the
+    // server has nothing useful to say and must just hang up.
+    EXPECT_TRUE(resp.raw.empty()) << resp.raw;
+}
+
+TEST(HttpMalformed, ServerSurvivesClientVanishingMidResponse)
+{
+    // A handler with a response big enough that the client can close
+    // while the server is still writing: the failed send must not
+    // raise SIGPIPE (which would kill this whole process) and must
+    // not wedge the server.
+    HttpServer big("127.0.0.1", 0, [](const HttpRequest &) {
+        HttpResponse resp;
+        resp.body.assign(2u << 20, 'x');
+        return resp;
+    });
+
+    for (int i = 0; i < 3; ++i) {
+        int fd = connectTo(big.port());
+        sendBytes(fd, "GET /big HTTP/1.1\r\nHost: t\r\n"
+                      "Content-Length: 0\r\nConnection: close\r\n\r\n");
+        ::close(fd); // don't read the 2 MB answer
+    }
+
+    // Still serving.
+    int fd = connectTo(big.port());
+    sendBytes(fd, "GET /big HTTP/1.1\r\nHost: t\r\n"
+                  "Content-Length: 0\r\nConnection: close\r\n\r\n");
+    RawResponse resp = readResponse(fd);
+    ::close(fd);
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body.size(), 2u << 20);
+}
+
+// ---------------------------------------------------------------------
+// EINTR resilience
+// ---------------------------------------------------------------------
+
+TEST(HttpSignals, RequestSurvivesSignalStorm)
+{
+    // Install a no-op SIGUSR1 handler WITHOUT SA_RESTART, so every
+    // delivery interrupts a blocking syscall with EINTR. Then block
+    // the signal in this thread and the ticker, leaving the server's
+    // accept/connection threads as the only delivery targets.
+    struct sigaction sa{};
+    sa.sa_handler = ignoreSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    struct sigaction old{};
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+    EchoServer server; // threads inherit an unblocked SIGUSR1 mask
+
+    sigset_t usr1, prev;
+    sigemptyset(&usr1);
+    sigaddset(&usr1, SIGUSR1);
+    ASSERT_EQ(::pthread_sigmask(SIG_BLOCK, &usr1, &prev), 0);
+
+    std::atomic<bool> done{false};
+    std::thread ticker([&] {
+        while (!done.load()) {
+            ::kill(::getpid(), SIGUSR1);
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(500));
+        }
+    });
+
+    // Slow-drip an 8 KB POST so the connection thread is parked in
+    // recv() when the signals land (the pre-fix server treated the
+    // resulting EINTR as a dead connection and dropped the request).
+    std::string body(8192, 'b');
+    std::string wire = postWithContentLength("8192", body);
+    int fd = connectTo(server.port());
+    for (std::size_t off = 0; off < wire.size(); off += 64) {
+        sendBytes(fd, wire.substr(off, 64));
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    RawResponse resp = readResponse(fd);
+    ::close(fd);
+
+    done.store(true);
+    ticker.join();
+    ASSERT_EQ(::pthread_sigmask(SIG_SETMASK, &prev, nullptr), 0);
+    ASSERT_EQ(::sigaction(SIGUSR1, &old, nullptr), 0);
+
+    EXPECT_EQ(resp.status, 200) << resp.raw;
+    JsonValue doc = jsonParse(resp.body);
+    EXPECT_EQ(doc.find("bodyBytes")->asUInt64(), 8192u);
+}
+
+// ---------------------------------------------------------------------
+// httpFetch (the coordinator-side client)
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Accepts one connection, sends a canned byte string, hangs up. */
+struct OneShotServer
+{
+    int listenFd = -1;
+    std::uint16_t port = 0;
+    std::thread thread;
+
+    explicit OneShotServer(std::string response)
+    {
+        listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(listenFd, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = 0;
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        EXPECT_EQ(::bind(listenFd,
+                         reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        EXPECT_EQ(::listen(listenFd, 1), 0);
+        socklen_t len = sizeof(addr);
+        ::getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                      &len);
+        port = ntohs(addr.sin_port);
+
+        thread = std::thread([this, response = std::move(response)] {
+            int fd = ::accept(listenFd, nullptr, nullptr);
+            if (fd < 0)
+                return;
+            char buf[4096];
+            ::recv(fd, buf, sizeof(buf), 0); // drain the request
+            ::send(fd, response.data(), response.size(),
+                   MSG_NOSIGNAL);
+            ::shutdown(fd, SHUT_RDWR);
+            ::close(fd);
+        });
+    }
+
+    ~OneShotServer()
+    {
+        ::close(listenFd);
+        thread.join();
+    }
+};
+
+} // namespace
+
+TEST(HttpFetch, RoundTripAgainstRealServer)
+{
+    EchoServer server;
+    HttpResponse resp = httpFetch("127.0.0.1", server.port(), "POST",
+                                  "/v1/echo", "abc");
+    EXPECT_EQ(resp.status, 200);
+    JsonValue doc = jsonParse(resp.body);
+    EXPECT_EQ(doc.find("method")->asString(), "POST");
+    EXPECT_EQ(doc.find("bodyBytes")->asUInt64(), 3u);
+}
+
+TEST(HttpFetch, TruncatedResponseIsATransportError)
+{
+    // A worker killed mid-response: the advertised length never
+    // arrives. That must surface as ServeError (retry/respawn), not
+    // as a silently short body handed to the result codec.
+    OneShotServer oneshot(
+        "HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nshort");
+    try {
+        httpFetch("127.0.0.1", oneshot.port, "POST", "/v1/point",
+                  "{}");
+        FAIL() << "expected ServeError";
+    } catch (const ServeError &e) {
+        EXPECT_NE(std::string(e.what()).find("truncated response"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(HttpFetch, GarbageResponseIsATransportError)
+{
+    OneShotServer oneshot("complete nonsense, not HTTP at all");
+    EXPECT_THROW(httpFetch("127.0.0.1", oneshot.port, "GET",
+                           "/v1/healthz", ""),
+                 ServeError);
+}
+
+TEST(HttpFetch, ConnectionRefusedIsATransportError)
+{
+    // Grab a port that is certainly closed: bind, look, release.
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len);
+    std::uint16_t port = ntohs(addr.sin_port);
+    ::close(fd);
+
+    EXPECT_THROW(httpFetch("127.0.0.1", port, "GET", "/v1/healthz",
+                           ""),
+                 ServeError);
+}

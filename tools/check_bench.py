@@ -260,11 +260,26 @@ def check_warmup_reuse(reuse, result_count):
         raise CheckFailure("warmupReuse.warmupGroups exceeds gridPoints")
     if reuse["warmupRuns"] > reuse["warmupGroups"]:
         raise CheckFailure("warmupReuse.warmupRuns exceeds warmupGroups")
-    covered = reuse["warmupRuns"] + reuse["restoredRuns"] + reuse["directRuns"]
+    # journaledPoints: points a resumed distributed sweep satisfied
+    # from its journal without simulating anything. Only emitted when
+    # nonzero, so plain records stay byte-identical.
+    journaled = reuse.get("journaledPoints", 0)
+    if not isinstance(journaled, int) or isinstance(journaled, bool) or journaled < 0:
+        raise CheckFailure(
+            f"warmupReuse.journaledPoints must be a non-negative integer, "
+            f"got {journaled!r}"
+        )
+    covered = (
+        reuse["warmupRuns"]
+        + reuse["restoredRuns"]
+        + reuse["directRuns"]
+        + journaled
+    )
     if covered != reuse["gridPoints"]:
         raise CheckFailure(
             f"warmupReuse accounting covers {covered} points, expected "
-            f"{reuse['gridPoints']} (warmupRuns + restoredRuns + directRuns)"
+            f"{reuse['gridPoints']} (warmupRuns + restoredRuns + directRuns "
+            "+ journaledPoints)"
         )
     if reuse["estimatedSpeedup"] < 1.0 - 1e-9:
         raise CheckFailure(
