@@ -27,7 +27,7 @@ main()
     std::printf("Shape checks:\n");
     int two_beats_one = 0, stream_leads = 0, n = 0;
     for (const auto &w : wls) {
-        for (auto e : allEngines()) {
+        for (auto e : paperEngines()) {
             const auto *a = find(rs, w, e, 1, 8);
             const auto *b = find(rs, w, e, 2, 8);
             if (a && b && b->ipc > a->ipc)

@@ -28,7 +28,7 @@ main()
     std::printf("Shape checks:\n");
     int ipfc_up = 0, ipc_down = 0, n = 0;
     for (const auto &w : wls) {
-        for (auto e : allEngines()) {
+        for (auto e : paperEngines()) {
             const auto *a = find(rs, w, e, 1, 8);
             const auto *b = find(rs, w, e, 2, 8);
             if (a && b) {

@@ -29,7 +29,7 @@ main()
     std::printf("Shape checks:\n");
     int wide_single_ok = 0, dual_wide_worse = 0, n = 0;
     for (const auto &w : wls) {
-        for (auto e : allEngines()) {
+        for (auto e : paperEngines()) {
             const auto *a = find(rs, w, e, 1, 8);
             const auto *b = find(rs, w, e, 1, 16);
             const auto *c = find(rs, w, e, 2, 16);

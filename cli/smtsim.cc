@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bpred/engine_registry.hh"
 #include "serve/distributed.hh"
 #include "serve/server.hh"
 #include "serve/worker.hh"
@@ -39,6 +40,7 @@ namespace
 struct Options
 {
     bool list = false;
+    bool listEngines = false;
     bool validate = false;
     bool quiet = false;
     bool writeJson = true;
@@ -78,6 +80,10 @@ usage(std::FILE *out)
         "\n"
         "options:\n"
         "  --list         print the expanded grid, do not run\n"
+        "  --list-engines print every registered fetch engine with\n"
+        "                 its description and parameter defaults,\n"
+        "                 then exit (with --quiet: bare names only,\n"
+        "                 one per line, for scripting)\n"
         "  --validate     parse and expand specs, then exit\n"
         "  --out-dir DIR  directory for BENCH_*.json records\n"
         "                 (default: $SMTFETCH_JSON_DIR or .)\n"
@@ -116,6 +122,44 @@ usage(std::FILE *out)
         "                 escape hatch; results are bit-identical\n"
         "                 either way, only slower)\n"
         "  -h, --help     show this help\n");
+}
+
+/**
+ * Print every registered fetch engine. The quiet form emits bare
+ * canonical names, one per line, for shell loops (the CI checkpoint
+ * smoke iterates `smtsim --list-engines --quiet`).
+ */
+void
+listEngines(bool quiet)
+{
+    const EngineRegistry &reg = EngineRegistry::instance();
+    if (quiet) {
+        for (const EngineDescriptor &d : reg.all())
+            std::printf("%s\n", d.name);
+        return;
+    }
+    const EngineParams defaults{};
+    for (const EngineDescriptor &d : reg.all()) {
+        std::printf("%s\n    %s\n", d.name, d.description);
+        if (!d.aliases.empty()) {
+            std::string aliases;
+            for (const std::string &a : d.aliases)
+                aliases += (aliases.empty() ? "" : ", ") + a;
+            std::printf("    aliases: %s\n", aliases.c_str());
+        }
+        for (const EngineParamSpec &p : d.params) {
+            // Preset engines report defaults with their preset
+            // applied (what a spec naming the engine actually gets).
+            EngineParams ep = defaults;
+            if (d.preset != nullptr)
+                d.preset(ep);
+            std::printf("    %s=%llu  [%llu..%llu]  %s\n", p.key,
+                        (unsigned long long)p.get(ep),
+                        (unsigned long long)p.minValue,
+                        (unsigned long long)p.maxValue, p.help);
+        }
+        std::printf("\n");
+    }
 }
 
 /** Resolve a CLI spec argument to a readable file path. */
@@ -354,6 +398,8 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--list") {
             opt.list = true;
+        } else if (arg == "--list-engines") {
+            opt.listEngines = true;
         } else if (arg == "--validate") {
             opt.validate = true;
         } else if (arg == "--quiet") {
@@ -390,6 +436,11 @@ main(int argc, char **argv)
         } else {
             opt.specs.push_back(arg);
         }
+    }
+
+    if (opt.listEngines) {
+        listEngines(opt.quiet);
+        return 0;
     }
 
     if (opt.specs.empty()) {

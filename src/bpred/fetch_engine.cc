@@ -1,5 +1,6 @@
 #include "bpred/fetch_engine.hh"
 
+#include "bpred/engine_registry.hh"
 #include "sim/checkpoint.hh"
 #include "util/logging.hh"
 #include "util/stats_registry.hh"
@@ -10,16 +11,17 @@ namespace smt
 const char *
 engineName(EngineKind kind)
 {
-    switch (kind) {
-      case EngineKind::GshareBtb: return "gshare+BTB";
-      case EngineKind::GskewFtb: return "gskew+FTB";
-      case EngineKind::Stream: return "stream";
-    }
-    return "?";
+    return EngineRegistry::instance().descriptor(kind).name;
 }
 
-FetchEngine::FetchEngine(const EngineParams &p)
-    : params(p)
+const std::string &
+FetchEngine::checkpointTag() const
+{
+    return EngineRegistry::instance().descriptor(kindId).checkpointTag;
+}
+
+FetchEngine::FetchEngine(const EngineParams &p, EngineKind kind)
+    : params(p), kindId(kind)
 {
     for (unsigned t = 0; t < maxThreads; ++t) {
         path[t] = PathHistory(p.dolcDepth, p.dolcOlderBits,
@@ -59,6 +61,8 @@ FetchEngine::sequentialBlock(ThreadID tid, Addr start, unsigned length)
     b.lengthInsts = length;
     b.endsWithCti = false;
     b.predTaken = false;
+    // A table miss is the least-confident prediction of all.
+    b.lowConfidence = true;
     b.nextFetchPc = start + static_cast<Addr>(length) * instBytes;
     b.ckpt = makeCheckpoint(tid, start);
     ++engineStats.seqMissBlocks;
@@ -201,6 +205,7 @@ BlockPrediction::save(CheckpointWriter &w) const
     w.b(predTaken);
     w.u64(predTarget);
     w.u64(nextFetchPc);
+    w.b(lowConfidence);
     ckpt.save(w);
 }
 
@@ -215,6 +220,7 @@ BlockPrediction::restore(CheckpointReader &r,
     predTaken = r.b();
     predTarget = r.u64();
     nextFetchPc = r.u64();
+    lowConfidence = r.b();
     ckpt.restore(r, expected_ras_entries);
 }
 
@@ -314,7 +320,8 @@ FetchEngine::capFormationStart(Addr &start, Addr cti_pc, unsigned cap)
 // ---------------------------------------------------------------------
 
 BtbFetchEngine::BtbFetchEngine(const EngineParams &p)
-    : FetchEngine(p), gshare(p.gshareEntries, p.gshareHistoryBits),
+    : FetchEngine(p, EngineKind::GshareBtb),
+      gshare(p.gshareEntries, p.gshareHistoryBits),
       btb(p.btbEntries, p.btbWays)
 {
 }
@@ -364,6 +371,7 @@ BtbFetchEngine::predictBlock(ThreadID tid, Addr pc)
       case OpClass::CondBranch: {
         ++engineStats.condPredictions;
         bool dir = gshare.predict(cti->pc, history[tid].value());
+        b.lowConfidence = gshare.weak(cti->pc, history[tid].value());
         history[tid].shift(dir);
         if (dir && entry != nullptr) {
             b.predTaken = true;
@@ -453,7 +461,7 @@ BtbFetchEngine::restore(CheckpointReader &r)
 // ---------------------------------------------------------------------
 
 FtbFetchEngine::FtbFetchEngine(const EngineParams &p)
-    : FetchEngine(p),
+    : FetchEngine(p, EngineKind::GskewFtb),
       gskew(p.gskewEntriesPerBank, p.gskewHistoryBits),
       ftb(p.ftbEntries, p.ftbWays, p.ftbMaxBlock)
 {
@@ -480,6 +488,8 @@ FtbFetchEngine::predictBlock(ThreadID tid, Addr pc)
       case OpClass::CondBranch: {
         ++engineStats.condPredictions;
         bool dir = gskew.predict(entry->endPc(pc), history[tid].value());
+        b.lowConfidence =
+            gskew.weak(entry->endPc(pc), history[tid].value());
         history[tid].shift(dir);
         b.predTaken = dir;
         b.predTarget = dir ? entry->target : invalidAddr;
@@ -575,7 +585,7 @@ FtbFetchEngine::restore(CheckpointReader &r)
 // ---------------------------------------------------------------------
 
 StreamFetchEngine::StreamFetchEngine(const EngineParams &p)
-    : FetchEngine(p),
+    : FetchEngine(p, EngineKind::Stream),
       streams(p.streamL1Entries, p.streamL1Ways, p.streamL2Entries,
               p.streamL2Ways, p.streamMaxLength)
 {
@@ -717,19 +727,230 @@ StreamFetchEngine::reset()
 }
 
 // ---------------------------------------------------------------------
+// Registry bindings
+// ---------------------------------------------------------------------
 
 std::unique_ptr<FetchEngine>
 makeEngine(EngineKind kind, const EngineParams &params)
 {
-    switch (kind) {
-      case EngineKind::GshareBtb:
-        return std::make_unique<BtbFetchEngine>(params);
-      case EngineKind::GskewFtb:
-        return std::make_unique<FtbFetchEngine>(params);
-      case EngineKind::Stream:
-        return std::make_unique<StreamFetchEngine>(params);
+    const EngineDescriptor &d =
+        EngineRegistry::instance().descriptor(kind);
+    EngineParams p = params;
+    if (d.preset != nullptr)
+        d.preset(p);
+    std::unique_ptr<FetchEngine> engine = d.factory(p);
+    // Preset engines construct a base class; the registry id keeps
+    // their own name and checkpoint tag.
+    engine->kindId = kind;
+    return engine;
+}
+
+namespace
+{
+
+using PSpec = EngineParamSpec;
+
+std::vector<EngineParamSpec>
+lineEngineParams()
+{
+    return {
+        PSpec::uintSpec("gshareEntries", "gshare counter entries",
+                        &EngineParams::gshareEntries, 1, 1u << 26),
+        PSpec::uintSpec("gshareHistoryBits", "gshare history bits",
+                        &EngineParams::gshareHistoryBits, 1, 64),
+        PSpec::uintSpec("btbEntries", "BTB entries",
+                        &EngineParams::btbEntries, 1, 1u << 24),
+        PSpec::uintSpec("btbWays", "BTB associativity",
+                        &EngineParams::btbWays, 1, 64),
+        PSpec::uintSpec("btbScanCap",
+                        "predecode CTI scan cap (insts)",
+                        &EngineParams::btbScanCap, 1, 256),
+        PSpec::uintSpec("rasEntries", "return-address-stack entries",
+                        &EngineParams::rasEntries, 1, 4096),
+        PSpec::uintSpec("missBlockInsts",
+                        "sequential fallback block length",
+                        &EngineParams::missBlockInsts, 1, 256),
+    };
+}
+
+} // namespace
+
+void
+registerPaperEngines(EngineRegistry &reg)
+{
+    {
+        EngineDescriptor d;
+        d.kind = EngineKind::GshareBtb;
+        d.name = "gshare+BTB";
+        d.description = "conventional line-oriented fetch unit: "
+                        "gshare direction predictor + BTB";
+        d.checkpointTag = "engine.gshare";
+        d.aliases = {"gshare"};
+        d.factory = [](const EngineParams &p) {
+            return std::unique_ptr<FetchEngine>(
+                std::make_unique<BtbFetchEngine>(p));
+        };
+        d.params = lineEngineParams();
+        reg.add(std::move(d));
     }
-    panic("unknown engine kind");
+    {
+        EngineDescriptor d;
+        d.kind = EngineKind::GskewFtb;
+        d.name = "gskew+FTB";
+        d.description = "block-oriented fetch unit: gskew direction "
+                        "predictor + fetch target buffer";
+        d.checkpointTag = "engine.gskew";
+        d.aliases = {"gskew"};
+        d.factory = [](const EngineParams &p) {
+            return std::unique_ptr<FetchEngine>(
+                std::make_unique<FtbFetchEngine>(p));
+        };
+        d.params = {
+            PSpec::uintSpec("gskewEntriesPerBank",
+                            "gskew entries per bank",
+                            &EngineParams::gskewEntriesPerBank, 1,
+                            1u << 26),
+            PSpec::uintSpec("gskewHistoryBits", "gskew history bits",
+                            &EngineParams::gskewHistoryBits, 1, 64),
+            PSpec::uintSpec("ftbEntries", "FTB entries",
+                            &EngineParams::ftbEntries, 1, 1u << 24),
+            PSpec::uintSpec("ftbWays", "FTB associativity",
+                            &EngineParams::ftbWays, 1, 64),
+            PSpec::uintSpec("ftbMaxBlock",
+                            "max FTB block length (insts)",
+                            &EngineParams::ftbMaxBlock, 1, 256),
+            PSpec::uintSpec("rasEntries",
+                            "return-address-stack entries",
+                            &EngineParams::rasEntries, 1, 4096),
+            PSpec::uintSpec("missBlockInsts",
+                            "sequential fallback block length",
+                            &EngineParams::missBlockInsts, 1, 256),
+        };
+        reg.add(std::move(d));
+    }
+    {
+        EngineDescriptor d;
+        d.kind = EngineKind::Stream;
+        d.name = "stream";
+        d.description = "stream fetch unit: cascaded stream "
+                        "predictor naming whole instruction streams";
+        d.checkpointTag = "engine.stream";
+        d.factory = [](const EngineParams &p) {
+            return std::unique_ptr<FetchEngine>(
+                std::make_unique<StreamFetchEngine>(p));
+        };
+        d.params = {
+            PSpec::uintSpec("streamL1Entries", "stream L1 entries",
+                            &EngineParams::streamL1Entries, 1,
+                            1u << 24),
+            PSpec::uintSpec("streamL1Ways", "stream L1 associativity",
+                            &EngineParams::streamL1Ways, 1, 64),
+            PSpec::uintSpec("streamL2Entries", "stream L2 entries",
+                            &EngineParams::streamL2Entries, 1,
+                            1u << 24),
+            PSpec::uintSpec("streamL2Ways", "stream L2 associativity",
+                            &EngineParams::streamL2Ways, 1, 64),
+            PSpec::uintSpec("streamMaxLength",
+                            "max stream length (insts)",
+                            &EngineParams::streamMaxLength, 1, 256),
+            PSpec::uintSpec("dolcDepth", "DOLC path depth",
+                            &EngineParams::dolcDepth, 1, 16),
+            PSpec::uintSpec("dolcOlderBits", "DOLC older bits",
+                            &EngineParams::dolcOlderBits, 1, 16),
+            PSpec::uintSpec("dolcLastBits", "DOLC last bits",
+                            &EngineParams::dolcLastBits, 1, 16),
+            PSpec::uintSpec("dolcCurrentBits", "DOLC current bits",
+                            &EngineParams::dolcCurrentBits, 1, 16),
+            PSpec::uintSpec("rasEntries",
+                            "return-address-stack entries",
+                            &EngineParams::rasEntries, 1, 4096),
+            PSpec::uintSpec("missBlockInsts",
+                            "sequential fallback block length",
+                            &EngineParams::missBlockInsts, 1, 256),
+        };
+        reg.add(std::move(d));
+    }
+}
+
+void
+registerPresetEngines(EngineRegistry &reg)
+{
+    {
+        EngineDescriptor d;
+        d.kind = EngineKind::PerfectBp;
+        d.name = "perfect-bp";
+        d.description = "oracle upper bound: correct-path blocks "
+                        "come straight from the trace (gshare+BTB "
+                        "base, its predictions unused)";
+        d.checkpointTag = "engine.perfect-bp";
+        d.aliases = {"perfectbp", "oracle-bp"};
+        d.factory = [](const EngineParams &p) {
+            return std::unique_ptr<FetchEngine>(
+                std::make_unique<BtbFetchEngine>(p));
+        };
+        d.preset = [](EngineParams &p) { p.perfectBp = true; };
+        d.params = [] {
+            std::vector<EngineParamSpec> v = lineEngineParams();
+            v.push_back(PSpec::boolSpec(
+                "perfectBp",
+                "serve correct-path blocks from the trace oracle",
+                &EngineParams::perfectBp));
+            return v;
+        }();
+        reg.add(std::move(d));
+    }
+    {
+        EngineDescriptor d;
+        d.kind = EngineKind::PerfectL1i;
+        d.name = "perfect-l1i";
+        d.description = "oracle upper bound: every I-cache access "
+                        "hits with no bank conflicts (gshare+BTB "
+                        "base)";
+        d.checkpointTag = "engine.perfect-l1i";
+        d.aliases = {"perfecticache", "perfect-icache", "oracle-l1i"};
+        d.factory = [](const EngineParams &p) {
+            return std::unique_ptr<FetchEngine>(
+                std::make_unique<BtbFetchEngine>(p));
+        };
+        d.preset = [](EngineParams &p) { p.perfectIcache = true; };
+        d.params = [] {
+            std::vector<EngineParamSpec> v = lineEngineParams();
+            v.push_back(PSpec::boolSpec(
+                "perfectIcache",
+                "every I-cache access hits, no bank conflicts",
+                &EngineParams::perfectIcache));
+            return v;
+        }();
+        reg.add(std::move(d));
+    }
+    {
+        EngineDescriptor d;
+        d.kind = EngineKind::Adaptive;
+        d.name = "adaptive";
+        d.description = "gshare+BTB base with an adaptive fetch "
+                        "rate: low-confidence blocks fetch at most "
+                        "adaptiveLowWidth instructions per cycle";
+        d.checkpointTag = "engine.adaptive";
+        d.aliases = {"adaptive-rate", "adaptivefetch"};
+        d.factory = [](const EngineParams &p) {
+            return std::unique_ptr<FetchEngine>(
+                std::make_unique<BtbFetchEngine>(p));
+        };
+        d.preset = [](EngineParams &p) { p.adaptiveFetch = true; };
+        d.params = [] {
+            std::vector<EngineParamSpec> v = lineEngineParams();
+            v.push_back(PSpec::boolSpec(
+                "adaptiveFetch",
+                "cap low-confidence blocks' fetch rate",
+                &EngineParams::adaptiveFetch));
+            v.push_back(PSpec::uintSpec(
+                "adaptiveLowWidth",
+                "fetch chunk cap for low-confidence blocks",
+                &EngineParams::adaptiveLowWidth, 1, 64));
+            return v;
+        }();
+        reg.add(std::move(d));
+    }
 }
 
 } // namespace smt

@@ -1,6 +1,10 @@
 /**
  * @file
- * Fetch engines: the three SMT front-ends the paper compares.
+ * Fetch engines: the SMT front-ends the simulator can instantiate.
+ * The three paper engines are built in; further engines (TAGE, the
+ * oracle upper-bound modes, the adaptive fetch-rate policy) register
+ * themselves through bpred/engine_registry.hh, which owns the
+ * name/factory/parameter-schema bindings for all of them.
  *
  *  - BtbFetchEngine    ("gshare+BTB"): the conventional SMT fetch unit.
  *    One direction prediction per cycle, so a fetch block ends at the
@@ -11,6 +15,11 @@
  *  - StreamFetchEngine ("stream"): the cascaded stream predictor names
  *    whole instruction streams (taken-branch target to next taken
  *    branch) in one prediction.
+ *  - TageFetchEngine   ("tage", bpred/tage.hh): the gshare+BTB fetch
+ *    unit with the gshare table replaced by a TAGE predictor.
+ *  - "perfect-bp", "perfect-l1i", "adaptive": registry presets over
+ *    the gshare+BTB unit that flip the EngineParams oracle/adaptive
+ *    flags the front end honours (core/front_end.cc).
  *
  * All engines share their tables among threads while keeping
  * speculative per-thread state (global history, RAS, path history)
@@ -24,6 +33,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "bpred/btb.hh"
 #include "bpred/ftb.hh"
@@ -41,14 +51,24 @@ class CheckpointReader;
 class CheckpointWriter;
 class StatsRegistry;
 
-/** Which front-end to instantiate. */
+/**
+ * Which front-end to instantiate. The values are dense ids in
+ * registry order (EngineRegistry enforces this at registration);
+ * everything outside src/bpred resolves kinds through the registry
+ * rather than switching on them.
+ */
 enum class EngineKind : unsigned char
 {
     GshareBtb,
     GskewFtb,
     Stream,
+    Tage,
+    PerfectBp,
+    PerfectL1i,
+    Adaptive,
 };
 
+/** Canonical display name from the registry ("gshare+BTB", ...). */
 const char *engineName(EngineKind kind);
 
 /** Hardware sizing (Table 3 defaults: ~45KB predictor budget each). */
@@ -88,6 +108,31 @@ struct EngineParams
 
     /** CTI scan cap for the BTB engine (one I-cache line). */
     unsigned btbScanCap = 16;
+
+    // TAGE: bimodal base table plus tagged tables over a geometric
+    // history series (capped at 64 bits: the shared u64 global
+    // history supplies every table).
+    unsigned tageBimodalEntries = 16 * 1024;
+    unsigned tageTables = 4;
+    unsigned tageEntriesPerTable = 2048;
+    unsigned tageTagBits = 9;
+    unsigned tageCounterBits = 3;
+    unsigned tageMinHistory = 8;
+    unsigned tageMaxHistory = 64;
+    unsigned tageUsefulResetPeriod = 256 * 1024;
+
+    /** Oracle mode: the prediction stage fetches the correct path
+     *  directly from the trace (core/front_end.cc); the base engine
+     *  still trains at commit but its predictions are unused. */
+    bool perfectBp = false;
+
+    /** Oracle mode: every I-cache access hits, no bank conflicts. */
+    bool perfectIcache = false;
+
+    /** Throttle a thread's fetch chunk to adaptiveLowWidth when the
+     *  head FTQ block was predicted with low confidence. */
+    bool adaptiveFetch = false;
+    unsigned adaptiveLowWidth = 4;
 };
 
 /** Per-thread speculative state snapshot, taken per fetch block. */
@@ -100,10 +145,15 @@ struct EngineCheckpoint
 
     /**
      * @name Checkpoint serialization (sim/checkpoint.hh).
-     * @param expected_ras_entries When non-zero, a non-empty RAS
+     * @param expected_ras_entries The restoring configuration's
+     *        EngineParams::rasEntries. When non-zero, a non-empty RAS
      *        snapshot must hold exactly this many entries — a
      *        mismatch would otherwise surface as a mid-simulation
-     *        panic when the snapshot is used for squash repair.
+     *        panic when the snapshot is used for squash repair. Every
+     *        engine populates the RAS/ghist/path fields (they live in
+     *        the shared base class), so the contract is
+     *        engine-independent; pass 0 only when the caller cannot
+     *        know the target configuration (standalone decode tools).
      */
     /// @{
     void save(CheckpointWriter &w) const;
@@ -135,6 +185,15 @@ struct BlockPrediction
     /** Where the prediction stage continues next cycle. */
     Addr nextFetchPc = invalidAddr;
 
+    /**
+     * The engine had little confidence in this block: a weak
+     * direction counter, disagreeing gskew banks, or a sequential
+     * fallback block. The adaptive fetch-rate policy
+     * (EngineParams::adaptiveFetch) throttles fetch on this flag;
+     * engines always populate it (it is advisory otherwise).
+     */
+    bool lowConfidence = false;
+
     /** Thread state before this block's speculative effects. */
     EngineCheckpoint ckpt;
 
@@ -158,7 +217,18 @@ struct BlockPrediction
     /// @}
 };
 
-/** Aggregate engine statistics (read by benches and tests). */
+/**
+ * Aggregate engine statistics (read by benches and tests). The struct
+ * is shared by every engine but not every field is populated by every
+ * engine:
+ *
+ *  - tableHits counts BTB hits (gshare+BTB, tage, the gshare-based
+ *    presets), FTB hits (gskew+FTB), or stream L1+L2 hits (stream).
+ *  - secondLevelHits is populated by the stream engine only (its
+ *    cascaded second-level table); every other engine leaves it 0.
+ *  - All remaining counters are engine-independent and maintained by
+ *    the FetchEngine base class or by every engine alike.
+ */
 struct EngineStats
 {
     std::uint64_t blockPredictions = 0;
@@ -179,7 +249,14 @@ struct EngineStats
 class FetchEngine
 {
   public:
-    explicit FetchEngine(const EngineParams &params);
+    /**
+     * @param params Hardware sizing (presets already applied).
+     * @param kind The engine's natural registry id; makeEngine()
+     *        re-stamps it for preset engines (e.g. "perfect-l1i"
+     *        constructs a BtbFetchEngine but keeps its own id so
+     *        names and checkpoint tags stay distinct).
+     */
+    FetchEngine(const EngineParams &params, EngineKind kind);
     virtual ~FetchEngine() = default;
 
     /** Register the static program thread `tid` executes. */
@@ -219,8 +296,20 @@ class FetchEngine
     /** Reset all tables and thread state (between simulations). */
     virtual void reset();
 
-    virtual EngineKind kind() const = 0;
+    /** Registry id (stamped at construction; see makeEngine). */
+    EngineKind kind() const { return kindId; }
+
+    /**
+     * Block-oriented front ends (FTB, stream) name a whole fetch span
+     * per FTQ entry, so wide single-thread fetch may cross into the
+     * next I-cache line; line-oriented units read one line per cycle.
+     */
+    virtual bool blockOriented() const { return false; }
+
     const char *name() const { return engineName(kind()); }
+
+    /** This engine's checkpoint section tag ("engine.<name>"). */
+    const std::string &checkpointTag() const;
 
     const EngineStats &stats() const { return engineStats; }
 
@@ -229,6 +318,13 @@ class FetchEngine
 
     /** Register engine counters under "engine.*". */
     virtual void registerStats(StatsRegistry &reg) const;
+
+    /**
+     * Fill the common checkpoint fields for a block at `start`.
+     * Public so the front end's perfect-BP oracle path can attach a
+     * valid squash-repair checkpoint to the blocks it builds.
+     */
+    EngineCheckpoint makeCheckpoint(ThreadID tid, Addr start) const;
 
     /**
      * @name Checkpoint serialization (sim/checkpoint.hh). The base
@@ -242,9 +338,6 @@ class FetchEngine
     /// @}
 
   protected:
-    /** Fill the common checkpoint fields for a block at `start`. */
-    EngineCheckpoint makeCheckpoint(ThreadID tid, Addr start) const;
-
     /** Sequential fallback block used on any table miss. */
     BlockPrediction sequentialBlock(ThreadID tid, Addr start,
                                     unsigned length);
@@ -278,6 +371,12 @@ class FetchEngine
     /** Advance formation past length-cap overflow segments. */
     static void capFormationStart(Addr &start, Addr cti_pc,
                                   unsigned cap);
+
+  private:
+    friend std::unique_ptr<FetchEngine>
+    makeEngine(EngineKind kind, const EngineParams &params);
+
+    EngineKind kindId;
 };
 
 /** Conventional gshare + BTB front-end. */
@@ -291,7 +390,6 @@ class BtbFetchEngine : public FetchEngine
                    Addr actual_target, bool was_block_end,
                    bool was_mispredicted,
                    std::uint64_t pred_ghist) override;
-    EngineKind kind() const override { return EngineKind::GshareBtb; }
     void reset() override;
     void save(CheckpointWriter &w) const override;
     void restore(CheckpointReader &r) override;
@@ -315,7 +413,7 @@ class FtbFetchEngine : public FetchEngine
                    Addr actual_target, bool was_block_end,
                    bool was_mispredicted,
                    std::uint64_t pred_ghist) override;
-    EngineKind kind() const override { return EngineKind::GskewFtb; }
+    bool blockOriented() const override { return true; }
     void reset() override;
     void save(CheckpointWriter &w) const override;
     void restore(CheckpointReader &r) override;
@@ -342,7 +440,7 @@ class StreamFetchEngine : public FetchEngine
     void recover(ThreadID tid, const EngineCheckpoint &ckpt,
                  const StaticInst *offender, bool actual_taken,
                  Addr actual_target) override;
-    EngineKind kind() const override { return EngineKind::Stream; }
+    bool blockOriented() const override { return true; }
     void reset() override;
     void save(CheckpointWriter &w) const override;
     void restore(CheckpointReader &r) override;
@@ -353,7 +451,11 @@ class StreamFetchEngine : public FetchEngine
     StreamPredictor streams;
 };
 
-/** Factory. */
+/**
+ * Factory: resolves `kind` through the engine registry, applies the
+ * descriptor's preset (oracle/adaptive flag flips) to a copy of
+ * `params`, constructs the engine and stamps its registry id.
+ */
 std::unique_ptr<FetchEngine> makeEngine(EngineKind kind,
                                         const EngineParams &params);
 

@@ -31,6 +31,12 @@ GsharePredictor::predict(Addr pc, std::uint64_t history) const
     return table[indexFor(pc, history)].predictTaken();
 }
 
+bool
+GsharePredictor::weak(Addr pc, std::uint64_t history) const
+{
+    return !table[indexFor(pc, history)].isSaturated();
+}
+
 void
 GsharePredictor::update(Addr pc, std::uint64_t history, bool taken)
 {

@@ -28,6 +28,12 @@ class GsharePredictor
     /** Predict the branch at pc under the given global history. */
     bool predict(Addr pc, std::uint64_t history) const;
 
+    /**
+     * Confidence probe (read-only): is the counter backing this
+     * prediction in one of its two weak states?
+     */
+    bool weak(Addr pc, std::uint64_t history) const;
+
     /** Train with the actual outcome (commit time). */
     void update(Addr pc, std::uint64_t history, bool taken);
 

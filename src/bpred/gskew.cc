@@ -46,6 +46,16 @@ GskewPredictor::predict(Addr pc, std::uint64_t history) const
     return votes >= 2;
 }
 
+bool
+GskewPredictor::weak(Addr pc, std::uint64_t history) const
+{
+    int votes = 0;
+    for (unsigned b = 0; b < 3; ++b)
+        if (banks[b][bankIndex(b, pc, history)].predictTaken())
+            ++votes;
+    return votes == 1 || votes == 2;
+}
+
 void
 GskewPredictor::update(Addr pc, std::uint64_t history, bool taken)
 {

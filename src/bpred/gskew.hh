@@ -31,6 +31,12 @@ class GskewPredictor
     bool predict(Addr pc, std::uint64_t history) const;
 
     /**
+     * Confidence probe (read-only): did the banks disagree on the
+     * direction of this prediction?
+     */
+    bool weak(Addr pc, std::uint64_t history) const;
+
+    /**
      * Train (commit time). Partial update: on a correct prediction
      * only the agreeing banks are strengthened; on a misprediction all
      * banks are retrained.

@@ -48,7 +48,18 @@ FrontEnd::predictionStage(Cycle now, const std::uint32_t *icounts)
         if (!ts.active || ts.predictStallUntil > now ||
             ts.memStallUntil > now || ts.ftq.full())
             continue;
-        BlockPrediction block = engine.predictBlock(tid, ts.predPc);
+        // Perfect-BP oracle: the correct path comes straight from the
+        // trace. Falls back to the engine off the correct path (a
+        // FLUSH squash mid-repair) or on any trace misalignment.
+        BlockPrediction block;
+        if (params.engineParams.perfectBp && ts.correctPath &&
+            ts.trace != nullptr &&
+            ts.trace->peekAhead(ts.ftq.totalRemaining()).pc() ==
+                ts.predPc) {
+            block = oracleBlock(ts, tid);
+        } else {
+            block = engine.predictBlock(tid, ts.predPc);
+        }
         ts.ftq.push(block);
         ts.predPc = block.nextFetchPc;
         ++stats.blockPredictions;
@@ -74,6 +85,10 @@ FrontEnd::fetchStage(Cycle now, std::uint32_t *icounts,
     const unsigned line_bytes = memory.params().l1i.lineBytes;
     const Cycle l1i_hit = memory.params().l1i.hitLatency;
 
+    // Perfect-I$ oracle: every access hits at the L1 hit latency with
+    // no bank conflicts; the cache itself is never touched.
+    const bool perfect_icache = params.engineParams.perfectIcache;
+
     unsigned threads_used = 0;
     unsigned delivered = 0;
     bool attempted = false;
@@ -93,7 +108,8 @@ FrontEnd::fetchStage(Cycle now, std::uint32_t *icounts,
 
         // Bank-conflict check against already-accessed lines.
         bool conflict = false;
-        for (unsigned k = 0; k < num_used_lines; ++k) {
+        for (unsigned k = 0; !perfect_icache && k < num_used_lines;
+             ++k) {
             if (memory.l1i().bankOf(used_lines[k]) ==
                 memory.l1i().bankOf(line)) {
                 conflict = true;
@@ -109,7 +125,8 @@ FrontEnd::fetchStage(Cycle now, std::uint32_t *icounts,
         }
 
         attempted = true;
-        Cycle lat = memory.icacheAccess(tid, line, now);
+        Cycle lat = perfect_icache ? l1i_hit
+                                   : memory.icacheAccess(tid, line, now);
         if (lat > l1i_hit) {
             // Miss: the fill has started; the thread blocks.
             ts.icacheBlockedUntil = now + lat;
@@ -136,10 +153,12 @@ FrontEnd::fetchStage(Cycle now, std::uint32_t *icounts,
             static_cast<unsigned>(line_bytes / instBytes);
         if (params.fetchThreads == 1 &&
             params.fetchWidth >= line_insts &&
-            engine.kind() != EngineKind::GshareBtb &&
-            span < remaining && ts.ftq.headRemaining() > span) {
+            engine.blockOriented() && span < remaining &&
+            ts.ftq.headRemaining() > span) {
             Addr line2 = line + line_bytes;
-            Cycle lat2 = memory.icacheAccess(tid, line2, now);
+            Cycle lat2 = perfect_icache
+                             ? l1i_hit
+                             : memory.icacheAccess(tid, line2, now);
             if (lat2 <= l1i_hit) {
                 span += line_insts;
             } else {
@@ -152,6 +171,14 @@ FrontEnd::fetchStage(Cycle now, std::uint32_t *icounts,
 
         unsigned chunk =
             std::min({remaining, ts.ftq.headRemaining(), span});
+
+        // Adaptive fetch rate: throttle low-confidence blocks so a
+        // likely-wrong path does not flood the shared buffer.
+        if (params.engineParams.adaptiveFetch &&
+            ts.ftq.head().lowConfidence) {
+            chunk =
+                std::min(chunk, params.engineParams.adaptiveLowWidth);
+        }
 
         // Copy the head descriptor: consume() may pop it.
         BlockPrediction block = ts.ftq.head();
@@ -175,6 +202,34 @@ FrontEnd::fetchStage(Cycle now, std::uint32_t *icounts,
         stats.instsFetched += delivered;
         stats.fetchWidthHist.sample(delivered);
     }
+}
+
+BlockPrediction
+FrontEnd::oracleBlock(ThreadState &ts, ThreadID tid)
+{
+    // The first unqueued correct-path instruction is totalRemaining()
+    // records past the fetch stage's trace position.
+    std::uint64_t offset = ts.ftq.totalRemaining();
+    BlockPrediction b;
+    b.start = ts.predPc;
+    b.ckpt = engine.makeCheckpoint(tid, b.start);
+    // An oracle block runs through not-taken CTIs (their fall-through
+    // is sequential) and ends at the first taken CTI or the cap —
+    // maximal blocks, every prediction in them the actual outcome.
+    const unsigned cap = params.engineParams.missBlockInsts;
+    for (unsigned i = 0; i < cap; ++i) {
+        const TraceRecord &rec = ts.trace->peekAhead(offset + i);
+        ++b.lengthInsts;
+        b.nextFetchPc = rec.nextPc;
+        if (rec.si->isControl() && rec.taken) {
+            b.endsWithCti = true;
+            b.endType = rec.si->op;
+            b.predTaken = true;
+            b.predTarget = rec.nextPc;
+            break;
+        }
+    }
+    return b;
 }
 
 DynInst &

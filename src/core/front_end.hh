@@ -255,6 +255,13 @@ class FrontEnd
                        const BlockPrediction &block, bool is_end,
                        Cycle now);
 
+    /**
+     * Perfect-BP oracle path: build the next fetch block straight
+     * from the correct-path trace (EngineParams::perfectBp). The
+     * engine still provides the squash-repair checkpoint.
+     */
+    BlockPrediction oracleBlock(ThreadState &ts, ThreadID tid);
+
     /** Pseudo data address for wrong-path memory instructions. */
     static Addr wrongPathAddr(const BenchmarkImage &image, Addr pc,
                               InstSeqNum seq);

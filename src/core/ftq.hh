@@ -68,6 +68,21 @@ class FetchTargetQueue
     /** Offset (in instructions) already consumed from the head. */
     unsigned headOffset() const { return headConsumed; }
 
+    /**
+     * Instructions queued but not yet fetched, across every block.
+     * The perfect-BP oracle path uses this as its trace lookahead
+     * offset: the next unqueued instruction is this many correct-path
+     * instructions past the fetch stage's read position.
+     */
+    std::uint64_t
+    totalRemaining() const
+    {
+        std::uint64_t n = 0;
+        for (std::size_t i = 0; i < blocks.size(); ++i)
+            n += blocks[i].lengthInsts;
+        return n - headConsumed;
+    }
+
     /** Consume n instructions from the head; pops when exhausted. */
     void
     consume(unsigned n)

@@ -475,7 +475,7 @@ SmtCore::saveState(CheckpointWriter &w) const
     simStats.save(w);
     w.end();
 
-    w.begin("engine");
+    w.begin(fetchEngine->checkpointTag());
     fetchEngine->save(w);
     w.end();
 
@@ -596,7 +596,7 @@ SmtCore::restoreState(CheckpointReader &r)
     simStats.restore(r);
     r.end();
 
-    r.begin("engine");
+    r.begin(fetchEngine->checkpointTag());
     fetchEngine->restore(r);
     r.end();
 

@@ -53,9 +53,12 @@ class CheckpointError : public std::runtime_error
  * The checkpoint format revision this build reads and writes.
  * History: v2 added the explicit overflow count to the Histogram
  * payload; v3 appended the cycle-skip counters to the SimStats
- * payload (older checkpoints fail restore with a re-save-it error).
+ * payload; v4 added the low-confidence bit to serialized fetch
+ * blocks, the trace-source oracle lookahead, and per-engine
+ * checkpoint section tags ("engine.gshare", ...) from the engine
+ * registry (older checkpoints fail restore with a re-save-it error).
  */
-constexpr std::uint16_t checkpointFormatVersion = 3;
+constexpr std::uint16_t checkpointFormatVersion = 4;
 
 /** Binary file magic ("SMTCKPT" + NUL). */
 constexpr char checkpointMagic[8] = {'S', 'M', 'T', 'C',

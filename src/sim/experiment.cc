@@ -5,6 +5,7 @@
 #include <optional>
 #include <thread>
 
+#include "bpred/engine_registry.hh"
 #include "sim/result_codec.hh"
 #include "sim/scheduler.hh"
 #include "sim/snapshot_cache.hh"
@@ -25,7 +26,8 @@ bool
 RunOverrides::any() const
 {
     return ftqEntries || fetchBufferSize || robEntries ||
-           longLoadPolicy || longLoadThreshold || predictorShift > 0;
+           longLoadPolicy || longLoadThreshold || predictorShift > 0 ||
+           !engineParams.empty();
 }
 
 void
@@ -41,6 +43,15 @@ RunOverrides::apply(CoreParams &core) const
         core.longLoadPolicy = *longLoadPolicy;
     if (longLoadThreshold)
         core.longLoadThreshold = *longLoadThreshold;
+    for (const auto &[key, value] : engineParams) {
+        const EngineParamSpec *spec =
+            EngineRegistry::instance().findParam(key);
+        if (spec == nullptr)
+            fatal("unknown engine parameter '%s' (the spec layer "
+                  "validates these)",
+                  key.c_str());
+        spec->set(core.engineParams, value);
+    }
     if (predictorShift > 0) {
         auto &ep = core.engineParams;
         ep.gshareEntries >>= predictorShift;
@@ -72,6 +83,9 @@ RunOverrides::describe() const
                      (unsigned long long)*longLoadThreshold));
     if (predictorShift > 0)
         add(csprintf("predshift=%u", predictorShift));
+    for (const auto &[key, value] : engineParams)
+        add(csprintf("%s=%llu", key.c_str(),
+                     (unsigned long long)value));
     return s;
 }
 
@@ -91,6 +105,8 @@ RunOverrides::writeJson(JsonWriter &jw) const
         jw.field("longLoadThreshold", *longLoadThreshold);
     if (predictorShift > 0)
         jw.field("predictorShift", predictorShift);
+    for (const auto &[key, value] : engineParams)
+        jw.field(key, value);
 }
 
 SweepReport
@@ -133,6 +149,19 @@ ExperimentRunner::printFigure(std::ostream &os, const std::string &title,
     };
     std::map<Key, std::map<EngineKind, double>> cells;
     std::vector<Key> row_order;
+    // Columns: registry order, filtered to the engines present so a
+    // paper-trio figure and a full-zoo ablation both render tight.
+    std::vector<EngineKind> columns;
+    for (const auto &r : results) {
+        if (std::find(columns.begin(), columns.end(), r.engine) ==
+            columns.end())
+            columns.push_back(r.engine);
+    }
+    std::sort(columns.begin(), columns.end(),
+              [](EngineKind a, EngineKind b) {
+                  return static_cast<unsigned>(a) <
+                         static_cast<unsigned>(b);
+              });
     for (const auto &r : results) {
         // Non-default selection policies are spelled out so a grid
         // mixing ICOUNT and RR keeps distinct rows (ICOUNT stays
@@ -150,19 +179,20 @@ ExperimentRunner::printFigure(std::ostream &os, const std::string &title,
             fetch_throughput ? r.ipfc : r.ipc;
     }
 
-    TextTable table({"workload", "policy", "gshare+BTB", "gskew+FTB",
-                     "stream"});
+    std::vector<std::string> header{"workload", "policy"};
+    for (EngineKind e : columns)
+        header.push_back(engineName(e));
+    TextTable table(header);
     for (const auto &k : row_order) {
         auto &row = cells[k];
-        auto cell = [&row](EngineKind e) {
+        std::vector<std::string> cols{k.workload, k.policy};
+        for (EngineKind e : columns) {
             auto it = row.find(e);
-            return it == row.end() ? std::string("-")
-                                   : TextTable::num(it->second);
-        };
-        table.addRow({k.workload, k.policy,
-                      cell(EngineKind::GshareBtb),
-                      cell(EngineKind::GskewFtb),
-                      cell(EngineKind::Stream)});
+            cols.push_back(it == row.end()
+                               ? std::string("-")
+                               : TextTable::num(it->second));
+        }
+        table.addRow(cols);
     }
     table.print(os, title);
 }
@@ -265,12 +295,7 @@ ExperimentRunner::writeJson(
     os << '\n';
 }
 
-const std::vector<EngineKind> &
-allEngines()
-{
-    static const std::vector<EngineKind> engines = {
-        EngineKind::GshareBtb, EngineKind::GskewFtb, EngineKind::Stream};
-    return engines;
-}
+// allEngines()/paperEngines() are defined in bpred/engine_registry.cc
+// next to the registry they enumerate.
 
 } // namespace smt

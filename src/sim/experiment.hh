@@ -46,6 +46,15 @@ struct RunOverrides
      */
     unsigned predictorShift = 0;
 
+    /**
+     * Engine-parameter overrides resolved through the engine
+     * registry's schemas (EngineRegistry::findParam): ordered
+     * (spec key, value) pairs applied to EngineParams after the
+     * structural overrides, before predictorShift. Booleans are
+     * carried as 0/1.
+     */
+    std::vector<std::pair<std::string, std::uint64_t>> engineParams;
+
     bool operator==(const RunOverrides &o) const = default;
 
     /** True when any field deviates from the baseline. */
@@ -252,8 +261,16 @@ class ExperimentRunner
     WarmupSnapshotCache *sharedCache = nullptr;
 };
 
-/** All three engines in paper order. */
+/**
+ * Every registered engine in registry order (the three paper engines
+ * first, then the zoo). Defined in bpred/engine_registry.cc alongside
+ * paperEngines(), the paper trio; re-declared here because nearly
+ * every sweep caller already includes this header.
+ */
 const std::vector<EngineKind> &allEngines();
+
+/** The three engines the paper compares, in figure order. */
+const std::vector<EngineKind> &paperEngines();
 
 } // namespace smt
 

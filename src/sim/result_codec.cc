@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "bpred/engine_registry.hh"
 #include "sim/sweep_spec.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -82,6 +83,16 @@ overridesFromWire(const JsonValue &doc)
         } else if (key == "predictorShift") {
             o.predictorShift =
                 static_cast<unsigned>(value.asUInt64());
+        } else if (const EngineParamSpec *ps =
+                       EngineRegistry::instance().findParam(key);
+                   ps != nullptr) {
+            std::uint64_t n = value.asUInt64();
+            if (!ps->inRange(n))
+                codecFail(csprintf("engine parameter \"%s\" value "
+                                   "%llu out of range",
+                                   key.c_str(),
+                                   (unsigned long long)n));
+            o.engineParams.emplace_back(key, n);
         } else {
             codecFail(csprintf("unknown override \"%s\"",
                                key.c_str()));

@@ -1,5 +1,6 @@
 #include "sim/sim_config.hh"
 
+#include "bpred/engine_registry.hh"
 #include "util/logging.hh"
 
 namespace smt
@@ -23,6 +24,10 @@ table3Config(const WorkloadSpec &workload, EngineKind engine,
     cfg.core.numThreads =
         static_cast<unsigned>(workload.benchmarks.size());
     cfg.core.engine = engine;
+    // Apply the registry preset here (not only in makeEngine) so the
+    // oracle/adaptive flags are visible to the front end and the
+    // warmup configuration key.
+    applyEnginePreset(engine, cfg.core.engineParams);
     cfg.core.policy = policy;
     cfg.core.fetchThreads = fetch_threads;
     cfg.core.fetchWidth = fetch_width;
@@ -103,7 +108,7 @@ warmupConfigKey(const SimConfig &config)
     const EngineParams &e = c.engineParams;
     const MemoryParams &m = c.memory;
 
-    std::string key = "smtfetch-warmup-v1";
+    std::string key = "smtfetch-warmup-v2";
     key += csprintf("|seed=%llu|warmup=%llu",
                     (unsigned long long)config.seed,
                     (unsigned long long)config.warmupCycles);
@@ -148,6 +153,14 @@ warmupConfigKey(const SimConfig &config)
                     e.streamMaxLength, e.dolcDepth, e.dolcOlderBits,
                     e.dolcLastBits, e.dolcCurrentBits, e.rasEntries);
     key += csprintf("|miss=%u,%u", e.missBlockInsts, e.btbScanCap);
+    key += csprintf("|tage=%u,%u,%u,%u,%u,%u,%u,%u",
+                    e.tageBimodalEntries, e.tageTables,
+                    e.tageEntriesPerTable, e.tageTagBits,
+                    e.tageCounterBits, e.tageMinHistory,
+                    e.tageMaxHistory, e.tageUsefulResetPeriod);
+    key += csprintf("|oracle=%u,%u,%u,%u",
+                    e.perfectBp ? 1u : 0u, e.perfectIcache ? 1u : 0u,
+                    e.adaptiveFetch ? 1u : 0u, e.adaptiveLowWidth);
 
     key += "|mem=";
     appendCacheKey(key, m.l1i);

@@ -11,6 +11,7 @@
 #include <unistd.h>
 #endif
 
+#include "bpred/engine_registry.hh"
 #include "util/logging.hh"
 #include "workload/profiles.hh"
 #include "workload/trace.hh"
@@ -219,14 +220,34 @@ parseOverrides(const JsonValue &obj, const std::string &context)
                                           "below usable sizes)");
                     ov.predictorShift =
                         static_cast<unsigned>(shift);
+                } else if (const EngineParamSpec *ps =
+                               EngineRegistry::instance().findParam(
+                                   key);
+                           ps != nullptr) {
+                    // Engine parameters resolve through the registry
+                    // schemas; values apply via RunOverrides.
+                    std::uint64_t n =
+                        uintValue(*v, context, key.c_str());
+                    if (!ps->inRange(n))
+                        specFail(
+                            context,
+                            csprintf("engine parameter \"%s\" value "
+                                     "%llu out of range [%llu, %llu]",
+                                     key.c_str(),
+                                     (unsigned long long)n,
+                                     (unsigned long long)ps->minValue,
+                                     (unsigned long long)
+                                         ps->maxValue));
+                    ov.engineParams.emplace_back(key, n);
                 } else {
                     specFail(
                         context,
                         csprintf("unknown override \"%s\" (known: "
                                  "ftqEntries, fetchBufferSize, "
                                  "robEntries, longLoadPolicy, "
-                                 "longLoadThreshold, "
-                                 "predictorShift)",
+                                 "longLoadThreshold, predictorShift, "
+                                 "or any engine parameter listed by "
+                                 "smtsim --list-engines)",
                                  key.c_str()));
                 }
                 next.push_back(ov);
@@ -292,7 +313,11 @@ parseSweepBlock(const JsonValue &v, const std::string &context)
                 const std::string &name =
                     stringValue(*e, context, "an engine");
                 if (lower(name) == "all") {
+                    // Every registered engine, zoo included.
                     for (EngineKind k : allEngines())
+                        block.engines.push_back(k);
+                } else if (lower(name) == "paper") {
+                    for (EngineKind k : paperEngines())
                         block.engines.push_back(k);
                 } else {
                     block.engines.push_back(
@@ -329,8 +354,10 @@ parseSweepBlock(const JsonValue &v, const std::string &context)
         if (v.find("engines") != nullptr)
             specFail(context,
                      "\"engines\" must not be an empty array");
-        block.engines.assign(allEngines().begin(),
-                             allEngines().end());
+        // Default stays the paper trio (pre-zoo specs keep their
+        // meaning); "all" opts into every registered engine.
+        block.engines.assign(paperEngines().begin(),
+                             paperEngines().end());
     }
 
     // The fetch buffer must cover the block's widest fetch policy
@@ -353,19 +380,14 @@ parseSweepBlock(const JsonValue &v, const std::string &context)
 EngineKind
 engineKindFromString(const std::string &name)
 {
-    std::string n = lower(name);
-    std::erase_if(n, [](char c) {
-        return c == '+' || c == '_' || c == '-' || c == ' ';
-    });
-    if (n == "gshare" || n == "gsharebtb")
-        return EngineKind::GshareBtb;
-    if (n == "gskew" || n == "gskewftb")
-        return EngineKind::GskewFtb;
-    if (n == "stream")
-        return EngineKind::Stream;
-    throw SpecError(csprintf("unknown fetch engine \"%s\" (known: "
-                             "gshare+BTB, gskew+FTB, stream, all)",
-                             name.c_str()));
+    const EngineDescriptor *d = EngineRegistry::instance().find(name);
+    if (d == nullptr)
+        throw SpecError(
+            csprintf("unknown fetch engine \"%s\" (known: %s, "
+                     "paper, all)",
+                     name.c_str(),
+                     EngineRegistry::instance().knownNames().c_str()));
+    return d->kind;
 }
 
 PolicyKind

@@ -17,6 +17,24 @@ TraceSource::peek()
     return upcoming;
 }
 
+const TraceRecord &
+TraceSource::peekAhead(std::uint64_t offset)
+{
+    std::uint64_t pos = nextIndex + offset;
+    if (pos < generatedCount) {
+        // Replaying after a rewind: the record is still in the ring
+        // (anything reachable from nextIndex is inside the window).
+        return ring[pos % replayWindow];
+    }
+    ensureUpcoming();
+    if (pos == generatedCount)
+        return upcoming;
+    std::uint64_t k = pos - generatedCount - 1;
+    while (lookahead.size() <= k)
+        lookahead.push_back(generate());
+    return lookahead[k];
+}
+
 TraceRecord
 TraceSource::next()
 {
@@ -72,7 +90,12 @@ TraceSource::ensureUpcoming()
 {
     if (haveUpcoming)
         return;
-    upcoming = generate();
+    if (!lookahead.empty()) {
+        upcoming = lookahead.front();
+        lookahead.pop_front();
+    } else {
+        upcoming = generate();
+    }
     haveUpcoming = true;
 }
 
@@ -123,6 +146,9 @@ TraceSource::saveBase(CheckpointWriter &w) const
     w.b(haveUpcoming);
     if (haveUpcoming)
         saveRecord(w, upcoming);
+    w.u32(static_cast<std::uint32_t>(lookahead.size()));
+    for (const TraceRecord &rec : lookahead)
+        saveRecord(w, rec);
     // Only the live replay window is needed: squashes can rewind at
     // most replayWindow records behind the generation frontier.
     std::uint64_t window_start =
@@ -151,6 +177,16 @@ TraceSource::restoreBase(CheckpointReader &r)
     haveUpcoming = r.b();
     if (haveUpcoming)
         upcoming = restoreRecord(r, img);
+    std::uint32_t nla = r.u32();
+    // The oracle lookahead is bounded by what one FTQ can hold; a
+    // huge count means a corrupt payload, not a deep lookahead.
+    if (nla > 1u << 20)
+        r.fail(csprintf("trace lookahead holds %u records (corrupt "
+                        "payload)",
+                        nla));
+    lookahead.clear();
+    for (std::uint32_t i = 0; i < nla; ++i)
+        lookahead.push_back(restoreRecord(r, img));
     std::uint64_t window_start = r.u64();
     std::uint64_t expected_start =
         generatedCount > replayWindow ? generatedCount - replayWindow

@@ -21,6 +21,7 @@
 #define SMTFETCH_WORKLOAD_TRACE_HH
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "isa/static_inst.hh"
@@ -106,6 +107,17 @@ class TraceSource
     /** The next correct-path record, without consuming it. */
     const TraceRecord &peek();
 
+    /**
+     * The record `offset` positions past the next one, without
+     * consuming anything (peekAhead(0) == peek()). Records past the
+     * generation frontier are produced into a lookahead buffer that
+     * next() later drains, so statistics and recording still happen
+     * exactly once, at consumption order. The perfect-BP oracle in
+     * core/front_end.cc uses this to read the correct path ahead of
+     * the fetch stage.
+     */
+    const TraceRecord &peekAhead(std::uint64_t offset);
+
     /** PC of the next correct-path instruction. */
     Addr peekPc() { return peek().si->pc; }
 
@@ -160,7 +172,8 @@ class TraceSource
     std::uint64_t
     generatedRecords() const
     {
-        return generatedCount + (haveUpcoming ? 1 : 0);
+        return generatedCount + (haveUpcoming ? 1 : 0) +
+               lookahead.size();
     }
     /// @}
 
@@ -173,6 +186,11 @@ class TraceSource
 
     TraceRecord upcoming;
     bool haveUpcoming = false;
+
+    /** Records generated past `upcoming` by peekAhead; ensureUpcoming
+     *  drains this before calling generate() again. */
+    std::deque<TraceRecord> lookahead;
+
     TraceStats tstats;
 
     /** Replay ring: records [generated - window, generated). */

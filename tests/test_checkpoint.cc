@@ -106,9 +106,9 @@ corruptedCopy(const std::vector<char> &valid, const std::string &name,
 
 TEST(CheckpointRoundTrip, FileSaveRestoreBitIdenticalAllEngines)
 {
-    for (EngineKind e :
-         {EngineKind::GshareBtb, EngineKind::GskewFtb,
-          EngineKind::Stream}) {
+    // Every registered engine, zoo included: each engine's checkpoint
+    // section (tag + payload) must round-trip bit-identically.
+    for (EngineKind e : allEngines()) {
         SimConfig cfg = smallConfig("2_MIX", e, 2, 8, 42);
         std::string path = tempPath("roundtrip.ckpt");
 

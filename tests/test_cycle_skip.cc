@@ -146,10 +146,11 @@ TEST(CycleSkipEquivalence, SkipOnMatchesSkipOffAcrossAllConfigs)
     std::size_t specs_checked = 0;
 
     for (const std::string &name :
-         {"ablation_flush", "ablation_ftq", "ablation_policy",
-          "ablation_predictor_size", "fig2_single_thread",
-          "fig4_two_threads", "fig5_ilp", "fig6_ilp_wide", "fig7_mem",
-          "fig8_mem_wide", "sec33_superscalar", "trace_mix"}) {
+         {"ablation_engines", "ablation_flush", "ablation_ftq",
+          "ablation_policy", "ablation_predictor_size",
+          "fig2_single_thread", "fig4_two_threads", "fig5_ilp",
+          "fig6_ilp_wide", "fig7_mem", "fig8_mem_wide",
+          "sec33_superscalar", "trace_mix"}) {
         SweepSpec spec = SweepSpec::fromFile(configPath(name));
         ASSERT_EQ(spec.type, SpecType::Grid) << name;
 
@@ -182,7 +183,7 @@ TEST(CycleSkipEquivalence, SkipOnMatchesSkipOffAcrossAllConfigs)
         ++specs_checked;
     }
 
-    EXPECT_EQ(specs_checked, 12u);
+    EXPECT_EQ(specs_checked, 13u);
     // The optimization must actually fire somewhere in the corpus,
     // or this whole suite is vacuously comparing identical paths.
     EXPECT_GT(total_skipped, 0u);

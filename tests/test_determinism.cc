@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bpred/engine_registry.hh"
 #include "sim/sim_config.hh"
 #include "sim/simulator.hh"
 #include "util/logging.hh"
@@ -34,9 +35,9 @@ smallConfig(const std::string &wl, EngineKind e, unsigned n, unsigned x,
 
 TEST(Determinism, IdenticalSeedsBitIdenticalRegistryDumps)
 {
-    for (EngineKind e :
-         {EngineKind::GshareBtb, EngineKind::GskewFtb,
-          EngineKind::Stream}) {
+    // Every registered engine, zoo included — a new registration is
+    // covered with no test edit.
+    for (EngineKind e : allEngines()) {
         SimConfig cfg = smallConfig("2_MIX", e, 2, 8, 42);
 
         Simulator a(cfg);

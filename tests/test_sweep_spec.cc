@@ -76,7 +76,8 @@ TEST(SweepSpec, AllCommittedConfigsParseAndExpand)
         "fig6_ilp_wide", "fig7_mem", "fig8_mem_wide",
         "sec33_superscalar", "table1_characteristics",
         "ablation_ftq", "ablation_policy",
-        "ablation_predictor_size", "ablation_flush"};
+        "ablation_predictor_size", "ablation_flush",
+        "ablation_engines"};
     for (const char *name : names) {
         SweepSpec spec = SweepSpec::fromFile(configPath(name));
         EXPECT_EQ(spec.name, name);
@@ -214,7 +215,18 @@ TEST(SweepSpec, NameResolvers)
     EXPECT_EQ(engineKindFromString("gskew+ftb"),
               EngineKind::GskewFtb);
     EXPECT_EQ(engineKindFromString("Stream"), EngineKind::Stream);
-    EXPECT_THROW(engineKindFromString("tage"), SpecError);
+    EXPECT_EQ(engineKindFromString("tage"), EngineKind::Tage);
+    EXPECT_EQ(engineKindFromString("oracle-bp"), EngineKind::PerfectBp);
+    EXPECT_EQ(engineKindFromString("perfect_icache"),
+              EngineKind::PerfectL1i);
+    EXPECT_EQ(engineKindFromString("adaptive"), EngineKind::Adaptive);
+    // Unknown-engine errors enumerate the registry.
+    expectSpecError([] { engineKindFromString("tage2"); },
+                    "unknown fetch engine \"tage2\"");
+    expectSpecError([] { engineKindFromString("tage2"); },
+                    "gshare+BTB");
+    expectSpecError([] { engineKindFromString("tage2"); }, "stream");
+    expectSpecError([] { engineKindFromString("tage2"); }, "adaptive");
 
     EXPECT_EQ(policyKindFromString("icount"), PolicyKind::ICount);
     EXPECT_EQ(policyKindFromString("rr"), PolicyKind::RoundRobin);
@@ -248,10 +260,10 @@ TEST(SweepSpec, SchemaErrorsAreActionable)
     expectSpecError(
         [] {
             SweepSpec::fromString(R"({"name": "x",
-                "workloads": ["2_MIX"], "engines": ["tage"],
+                "workloads": ["2_MIX"], "engines": ["tage2"],
                 "policies": ["1.8"]})");
         },
-        "unknown fetch engine \"tage\"");
+        "unknown fetch engine \"tage2\"");
     expectSpecError(
         [] {
             SweepSpec::fromString(R"({"name": "x",

@@ -37,16 +37,30 @@ RESULT_REQUIRED_KEYS = (
 )
 
 # Keyed by the normalized spelling engineKindFromString accepts
-# (lowercased, '+', '_', '-' and spaces stripped).
+# (lowercased, '+', '_', '-' and spaces stripped). Mirrors the C++
+# EngineRegistry (src/bpred/engine_registry.cc); `smtsim
+# --list-engines --quiet` prints the authoritative canonical list.
 ENGINE_NAMES = {
     "gshare": "gshare+BTB",
     "gsharebtb": "gshare+BTB",
     "gskew": "gskew+FTB",
     "gskewftb": "gskew+FTB",
     "stream": "stream",
+    "tage": "tage",
+    "perfectbp": "perfect-bp",
+    "oraclebp": "perfect-bp",
+    "perfectl1i": "perfect-l1i",
+    "perfecticache": "perfect-l1i",
+    "oraclel1i": "perfect-l1i",
+    "adaptive": "adaptive",
+    "adaptiverate": "adaptive",
+    "adaptivefetch": "adaptive",
 }
 
-ALL_ENGINES = ["gshare+BTB", "gskew+FTB", "stream"]
+# The paper's engine trio ("paper") and the full zoo ("all"), in
+# registry order.
+PAPER_ENGINES = ["gshare+BTB", "gskew+FTB", "stream"]
+ALL_ENGINES = PAPER_ENGINES + ["tage", "perfect-bp", "perfect-l1i", "adaptive"]
 
 
 def normalize_engine(name):
@@ -86,6 +100,11 @@ def check_result(i, result):
         raise CheckFailure(f"results[{i}].stats must be a non-empty object")
     if result["measureCycles"] <= 0:
         raise CheckFailure(f"results[{i}].measureCycles must be positive")
+    if result["engine"] not in ALL_ENGINES:
+        raise CheckFailure(
+            f"results[{i}].engine {result['engine']!r} is not a "
+            f"registered engine (known: {', '.join(ALL_ENGINES)})"
+        )
 
 
 def check_metrics(metrics):
@@ -316,9 +335,11 @@ def expand_spec(spec):
     for sweep in sweeps:
         workloads = listify(sweep["workloads"])
         engines = []
-        for engine in listify(sweep.get("engines", ["all"])):
+        for engine in listify(sweep.get("engines", ["paper"])):
             if engine.lower() == "all":
                 engines.extend(ALL_ENGINES)
+            elif engine.lower() == "paper":
+                engines.extend(PAPER_ENGINES)
             else:
                 engines.append(normalize_engine(engine))
         policies = []

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Engine-dispatch lint: no EngineKind switchyards outside src/bpred.
+
+The fetch-engine registry (src/bpred/engine_registry.hh) owns all
+per-engine dispatch: names, parameter schemas, factories, presets and
+checkpoint tags. Code outside src/bpred must resolve engines through
+the registry, never by switching or comparing on EngineKind — so
+adding an engine means adding one registration function, not touching
+N call sites.
+
+This lint greps src/ (excluding src/bpred/) and cli/ for dispatch
+patterns:
+
+    case EngineKind::
+    == EngineKind::
+    != EngineKind::
+
+Plain uses of the enum (declarations, defaults like
+`EngineKind engine = EngineKind::GshareBtb;`, passing kinds around)
+stay legal; only branching on a specific kind is flagged.
+
+Usage:  check_engine_dispatch.py [repo-root]
+"""
+
+import os
+import re
+import sys
+
+DISPATCH = re.compile(
+    r"(case\s+EngineKind::|[=!]=\s*EngineKind::|EngineKind::\w+\s*[=!]=)"
+)
+
+SCAN_DIRS = ("src", "cli")
+EXCLUDE_PREFIX = os.path.join("src", "bpred") + os.sep
+EXTENSIONS = (".cc", ".hh")
+
+
+def scan(root):
+    violations = []
+    for scan_dir in SCAN_DIRS:
+        for dirpath, _, filenames in os.walk(os.path.join(root, scan_dir)):
+            for name in sorted(filenames):
+                if not name.endswith(EXTENSIONS):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root)
+                if rel.startswith(EXCLUDE_PREFIX):
+                    continue
+                with open(path, encoding="utf-8") as f:
+                    for lineno, line in enumerate(f, 1):
+                        if DISPATCH.search(line):
+                            violations.append(
+                                f"{rel}:{lineno}: {line.strip()}"
+                            )
+    return violations
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    violations = scan(root)
+    if violations:
+        for v in violations:
+            print(f"ENGINE DISPATCH: {v}")
+        print(
+            f"\n{len(violations)} EngineKind dispatch site(s) outside "
+            "src/bpred. Route the decision through the engine "
+            "registry (EngineRegistry / EngineDescriptor) instead."
+        )
+        return 1
+    print("engine-dispatch lint OK: no EngineKind branches outside src/bpred")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,11 +30,13 @@ def result_key(r):
     )
 
 
-def load_results(path):
+def load_results(path, engines=None):
     with open(path) as f:
         doc = json.load(f)
     results = {}
     for r in doc.get("results", []):
+        if engines is not None and r["engine"] not in engines:
+            continue
         key = result_key(r)
         if key in results:
             raise SystemExit(f"{path}: duplicate result key {key}")
@@ -52,7 +54,14 @@ def main():
         action="store_true",
         help="regenerate the golden file instead of diffing",
     )
+    ap.add_argument(
+        "--engines",
+        help="comma-separated engine names: only these engines' "
+        "results are diffed (and, with --update, committed), so a "
+        "spec sweeping the full zoo can pin just the paper trio",
+    )
     args = ap.parse_args()
+    engines = args.engines.split(",") if args.engines else None
 
     with tempfile.TemporaryDirectory(prefix="golden.") as tmp:
         proc = subprocess.run(
@@ -77,12 +86,28 @@ def main():
 
         if args.update:
             os.makedirs(os.path.dirname(args.golden), exist_ok=True)
-            shutil.copy(produced_path, args.golden)
+            if engines is None:
+                shutil.copy(produced_path, args.golden)
+            else:
+                with open(produced_path) as f:
+                    doc = json.load(f)
+                doc["results"] = [
+                    r
+                    for r in doc.get("results", [])
+                    if r["engine"] in engines
+                ]
+                # The sweep-wide accounting blocks describe the full
+                # grid, not the committed subset.
+                doc.pop("throughput", None)
+                doc.pop("warmupReuse", None)
+                with open(args.golden, "w") as f:
+                    json.dump(doc, f, indent=2)
+                    f.write("\n")
             print(f"updated {args.golden}")
             return
 
-        _, got = load_results(produced_path)
-        _, want = load_results(args.golden)
+        _, got = load_results(produced_path, engines)
+        _, want = load_results(args.golden, engines)
 
         failures = []
         for key in want:
@@ -107,7 +132,9 @@ def main():
                 f"{args.golden}.\nIf the change is intentional, "
                 f"regenerate with:\n  python3 tools/check_golden.py "
                 f"--smtsim {args.smtsim} --spec {args.spec} "
-                f"--golden {args.golden} --update"
+                f"--golden {args.golden}"
+                + (f" --engines {args.engines}" if args.engines else "")
+                + " --update"
             )
             raise SystemExit(1)
 
