@@ -102,7 +102,7 @@ SmtCore::registerStats()
 
     graph.registerStats(statsRegistry);
     fetchEngine->registerStats(statsRegistry);
-    memHierarchy.registerStats(statsRegistry);
+    memHierarchy.registerStats(statsRegistry, coreParams.numThreads);
 }
 
 void

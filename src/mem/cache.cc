@@ -1,5 +1,6 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "sim/checkpoint.hh"
@@ -96,9 +97,14 @@ Cache::outstandingFills(Cycle now, Cycle &earliest) const
 }
 
 Cycle
-Cache::access(Addr addr, bool is_write, Cycle now)
+Cache::access(Addr addr, bool is_write, Cycle now, ThreadID tid)
 {
+    const unsigned t =
+        tid >= 0 && static_cast<unsigned>(tid) < maxThreads
+            ? static_cast<unsigned>(tid)
+            : 0;
     ++cacheStats.accesses;
+    ++cacheStats.threadAccesses[t];
     if (is_write)
         ++cacheStats.writeAccesses;
 
@@ -114,6 +120,7 @@ Cache::access(Addr addr, bool is_write, Cycle now)
 
     // Miss.
     ++cacheStats.misses;
+    ++cacheStats.threadMisses[t];
 
     Cycle queue_delay = 0;
     Cycle earliest = 0;
@@ -127,7 +134,8 @@ Cache::access(Addr addr, bool is_write, Cycle now)
     Cycle below = nextLevel != nullptr
                       ? nextLevel->access(addr, is_write,
                                           now + queue_delay +
-                                              params_.hitLatency)
+                                              params_.hitLatency,
+                                          tid)
                       : memoryLatency;
 
     Cycle total = queue_delay + params_.hitLatency + below;
@@ -153,7 +161,8 @@ Cache::wouldHit(Addr addr) const
 }
 
 void
-Cache::registerStats(StatsRegistry &reg, const std::string &prefix) const
+Cache::registerStats(StatsRegistry &reg, const std::string &prefix,
+                     unsigned num_threads) const
 {
     reg.addCounter(prefix + ".accesses", "total accesses",
                    &cacheStats.accesses);
@@ -170,6 +179,16 @@ Cache::registerStats(StatsRegistry &reg, const std::string &prefix) const
                    &cacheStats.evictions);
     reg.addFormula(prefix + ".missRate", "misses per access",
                    [this]() { return cacheStats.missRate(); });
+    for (unsigned t = 0; t < std::min(num_threads, maxThreads); ++t) {
+        reg.addCounter(csprintf("%s.thread%u.accesses",
+                                prefix.c_str(), t),
+                       "accesses issued by this thread",
+                       &cacheStats.threadAccesses[t]);
+        reg.addCounter(csprintf("%s.thread%u.misses",
+                                prefix.c_str(), t),
+                       "misses attributed to this thread",
+                       &cacheStats.threadMisses[t]);
+    }
 }
 
 void
@@ -207,6 +226,10 @@ Cache::save(CheckpointWriter &w) const
     w.u64(cacheStats.mshrMerges);
     w.u64(cacheStats.mshrFullStalls);
     w.u64(cacheStats.evictions);
+    for (unsigned t = 0; t < maxThreads; ++t) {
+        w.u64(cacheStats.threadAccesses[t]);
+        w.u64(cacheStats.threadMisses[t]);
+    }
 }
 
 void
@@ -247,6 +270,10 @@ Cache::restore(CheckpointReader &r)
     cacheStats.mshrMerges = r.u64();
     cacheStats.mshrFullStalls = r.u64();
     cacheStats.evictions = r.u64();
+    for (unsigned t = 0; t < maxThreads; ++t) {
+        cacheStats.threadAccesses[t] = r.u64();
+        cacheStats.threadMisses[t] = r.u64();
+    }
 }
 
 } // namespace smt

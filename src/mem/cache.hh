@@ -12,6 +12,7 @@
 #ifndef SMTFETCH_MEM_CACHE_HH
 #define SMTFETCH_MEM_CACHE_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -47,6 +48,14 @@ struct CacheStats
     std::uint64_t mshrFullStalls = 0;
     std::uint64_t evictions = 0;
 
+    /**
+     * Per-thread attribution of the shared counters above, for
+     * measuring inter-thread cache interference in SMT mixes. Sums
+     * over the active threads equal `accesses`/`misses` exactly.
+     */
+    std::array<std::uint64_t, maxThreads> threadAccesses{};
+    std::array<std::uint64_t, maxThreads> threadMisses{};
+
     double
     missRate() const
     {
@@ -68,11 +77,14 @@ class Cache
     Cache(const CacheParams &params, Cache *next, Cycle memory_latency);
 
     /**
-     * Access the line containing addr.
+     * Access the line containing addr on behalf of `tid` (counted
+     * into that thread's interference attribution; forwarded to the
+     * next level on a miss).
      * @return total cycles until the data is available (>= hit
      *         latency).
      */
-    Cycle access(Addr addr, bool is_write, Cycle now);
+    Cycle access(Addr addr, bool is_write, Cycle now,
+                 ThreadID tid = 0);
 
     /** Tag-only test: would this access hit right now? */
     bool wouldHit(Addr addr) const;
@@ -88,9 +100,13 @@ class Cache
     const CacheStats &stats() const { return cacheStats; }
     const CacheParams &params() const { return params_; }
 
-    /** Register this level's counters under "<prefix>.*". */
-    void registerStats(StatsRegistry &reg,
-                       const std::string &prefix) const;
+    /**
+     * Register this level's counters under "<prefix>.*", including
+     * "<prefix>.thread<t>.{accesses,misses}" for each of the
+     * `num_threads` active threads.
+     */
+    void registerStats(StatsRegistry &reg, const std::string &prefix,
+                       unsigned num_threads = 1) const;
 
     void reset();
     void resetStats() { cacheStats = CacheStats{}; }

@@ -26,7 +26,7 @@ Cycle
 MemoryHierarchy::icacheAccess(ThreadID tid, Addr line_addr, Cycle now)
 {
     Cycle tlb = iTlb->access(tid, line_addr);
-    return tlb + l1iCache->access(line_addr, false, now + tlb);
+    return tlb + l1iCache->access(line_addr, false, now + tlb, tid);
 }
 
 bool
@@ -40,7 +40,7 @@ MemoryHierarchy::dcacheAccess(ThreadID tid, Addr addr, bool is_write,
                               Cycle now)
 {
     Cycle tlb = dTlb->access(tid, addr);
-    Cycle lat = l1dCache->access(addr, is_write, now + tlb);
+    Cycle lat = l1dCache->access(addr, is_write, now + tlb, tid);
     if (!is_write && lat <= memParams.l1d.hitLatency)
         lat += memParams.l1dLoadToUse;
     return tlb + lat;
@@ -57,11 +57,12 @@ MemoryHierarchy::reset()
 }
 
 void
-MemoryHierarchy::registerStats(StatsRegistry &reg) const
+MemoryHierarchy::registerStats(StatsRegistry &reg,
+                               unsigned num_threads) const
 {
-    l1iCache->registerStats(reg, "mem.l1i");
-    l1dCache->registerStats(reg, "mem.l1d");
-    l2Cache->registerStats(reg, "mem.l2");
+    l1iCache->registerStats(reg, "mem.l1i", num_threads);
+    l1dCache->registerStats(reg, "mem.l1d", num_threads);
+    l2Cache->registerStats(reg, "mem.l2", num_threads);
     iTlb->registerStats(reg, "mem.itlb");
     dTlb->registerStats(reg, "mem.dtlb");
 }

@@ -69,8 +69,13 @@ class MemoryHierarchy
     void resetStats();
     void dumpStats(std::ostream &os) const;
 
-    /** Register all cache/TLB counters under "mem.*". */
-    void registerStats(StatsRegistry &reg) const;
+    /**
+     * Register all cache/TLB counters under "mem.*", including the
+     * caches' per-thread interference attribution for each of the
+     * `num_threads` active threads.
+     */
+    void registerStats(StatsRegistry &reg,
+                       unsigned num_threads = 1) const;
 
     /** @name Checkpoint serialization (sim/checkpoint.hh). */
     /// @{

@@ -56,9 +56,11 @@ class CheckpointError : public std::runtime_error
  * payload; v4 added the low-confidence bit to serialized fetch
  * blocks, the trace-source oracle lookahead, and per-engine
  * checkpoint section tags ("engine.gshare", ...) from the engine
- * registry (older checkpoints fail restore with a re-save-it error).
+ * registry (older checkpoints fail restore with a re-save-it error);
+ * v5 appended the per-thread access/miss attribution arrays to every
+ * cache payload.
  */
-constexpr std::uint16_t checkpointFormatVersion = 4;
+constexpr std::uint16_t checkpointFormatVersion = 5;
 
 /** Binary file magic ("SMTCKPT" + NUL). */
 constexpr char checkpointMagic[8] = {'S', 'M', 'T', 'C',

@@ -4,8 +4,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "sim/simulator.hh"
 #include "sim/snapshot_cache.hh"
 #include "util/logging.hh"
+#include "workload/workloads.hh"
 
 namespace smt
 {
@@ -25,6 +27,10 @@ secondsSince(SteadyClock::time_point start)
 /**
  * Fail fast when two grid points would capture to the same trace
  * file: the second run would silently overwrite the first recording.
+ * Multi-thread workloads record one file per thread (the ".t<tid>"
+ * derived paths), so the collision check runs over the expanded
+ * per-thread file set — two points whose base paths differ can still
+ * collide on a derived path.
  */
 void
 checkRecordPathsUnique(const std::vector<GridPoint> &points)
@@ -34,13 +40,20 @@ checkRecordPathsUnique(const std::vector<GridPoint> &points)
         const std::string &path = points[i].recordPath;
         if (path.empty())
             continue;
-        auto [it, inserted] = seen.emplace(path, i);
-        if (!inserted)
-            throw std::invalid_argument(csprintf(
-                "grid points %zu and %zu both record to \"%s\" — "
-                "the second run would silently overwrite the first "
-                "capture; record each point to a distinct file",
-                it->second, i, path.c_str()));
+        const unsigned threads =
+            workloadThreadCount(points[i].workload);
+        for (unsigned t = 0; t < threads; ++t) {
+            const std::string derived =
+                Simulator::recordPathFor(path, t, threads);
+            auto [it, inserted] = seen.emplace(derived, i);
+            if (!inserted)
+                throw std::invalid_argument(csprintf(
+                    "grid points %zu and %zu both record to \"%s\" "
+                    "— the second run would silently overwrite the "
+                    "first capture; record each point to a distinct "
+                    "file",
+                    it->second, i, derived.c_str()));
+        }
     }
 }
 

@@ -1,0 +1,170 @@
+#include "util/sha256.hh"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace smt
+{
+
+namespace
+{
+
+constexpr std::uint32_t roundK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b,
+    0x59f111f1, 0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01,
+    0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7,
+    0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152,
+    0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819,
+    0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116, 0x1e376c08,
+    0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f,
+    0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+std::uint32_t
+rotr(std::uint32_t v, unsigned n)
+{
+    return (v >> n) | (v << (32 - n));
+}
+
+} // namespace
+
+Sha256::Sha256()
+    : state{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+            0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19}
+{
+}
+
+void
+Sha256::processBlock(const unsigned char *block)
+{
+    std::uint32_t w[64];
+    for (unsigned i = 0; i < 16; ++i)
+        w[i] = (std::uint32_t(block[4 * i]) << 24) |
+               (std::uint32_t(block[4 * i + 1]) << 16) |
+               (std::uint32_t(block[4 * i + 2]) << 8) |
+               std::uint32_t(block[4 * i + 3]);
+    for (unsigned i = 16; i < 64; ++i) {
+        std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^
+                           (w[i - 15] >> 3);
+        std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^
+                           (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    std::uint32_t a = state[0], b = state[1], c = state[2],
+                  d = state[3], e = state[4], f = state[5],
+                  g = state[6], h = state[7];
+    for (unsigned i = 0; i < 64; ++i) {
+        std::uint32_t s1 =
+            rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+        std::uint32_t ch = (e & f) ^ (~e & g);
+        std::uint32_t t1 = h + s1 + ch + roundK[i] + w[i];
+        std::uint32_t s0 =
+            rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+        std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        std::uint32_t t2 = s0 + maj;
+        h = g;
+        g = f;
+        f = e;
+        e = d + t1;
+        d = c;
+        c = b;
+        b = a;
+        a = t1 + t2;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+}
+
+void
+Sha256::update(const void *data, std::size_t len)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    totalBytes += len;
+    while (len > 0) {
+        std::size_t take = std::min(len, sizeof(buffer) - bufferLen);
+        std::memcpy(buffer + bufferLen, p, take);
+        bufferLen += take;
+        p += take;
+        len -= take;
+        if (bufferLen == sizeof(buffer)) {
+            processBlock(buffer);
+            bufferLen = 0;
+        }
+    }
+}
+
+std::string
+Sha256::hexDigest()
+{
+    if (!finalized) {
+        std::uint64_t bits = totalBytes * 8;
+        unsigned char pad = 0x80;
+        update(&pad, 1);
+        totalBytes -= 1; // padding is not message content
+        unsigned char zero = 0;
+        while (bufferLen != 56) {
+            update(&zero, 1);
+            totalBytes -= 1;
+        }
+        unsigned char len_be[8];
+        for (int i = 0; i < 8; ++i)
+            len_be[i] =
+                static_cast<unsigned char>(bits >> (56 - 8 * i));
+        update(len_be, 8);
+        for (unsigned i = 0; i < 8; ++i) {
+            digest[4 * i] = static_cast<unsigned char>(state[i] >> 24);
+            digest[4 * i + 1] =
+                static_cast<unsigned char>(state[i] >> 16);
+            digest[4 * i + 2] =
+                static_cast<unsigned char>(state[i] >> 8);
+            digest[4 * i + 3] = static_cast<unsigned char>(state[i]);
+        }
+        finalized = true;
+    }
+    static const char hex[] = "0123456789abcdef";
+    std::string out(64, '0');
+    for (unsigned i = 0; i < 32; ++i) {
+        out[2 * i] = hex[digest[i] >> 4];
+        out[2 * i + 1] = hex[digest[i] & 0xf];
+    }
+    return out;
+}
+
+std::string
+sha256Hex(const void *data, std::size_t len)
+{
+    Sha256 ctx;
+    ctx.update(data, len);
+    return ctx.hexDigest();
+}
+
+std::string
+sha256File(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error(path +
+                                 ": cannot open for checksumming");
+    Sha256 ctx;
+    char chunk[64 * 1024];
+    while (is.read(chunk, sizeof(chunk)) || is.gcount() > 0)
+        ctx.update(chunk, static_cast<std::size_t>(is.gcount()));
+    if (is.bad())
+        throw std::runtime_error(path + ": read error while "
+                                        "checksumming");
+    return ctx.hexDigest();
+}
+
+} // namespace smt

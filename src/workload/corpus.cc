@@ -1,0 +1,284 @@
+#include "workload/corpus.hh"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/sha256.hh"
+#include "workload/trace_file.hh"
+
+namespace smt
+{
+
+namespace
+{
+
+[[noreturn]] void
+manifestFail(const std::string &path, const std::string &what)
+{
+    throw CorpusError(path + ": " + what);
+}
+
+/** Directory prefix of a path, empty for a bare file name. */
+std::string
+dirName(const std::string &path)
+{
+    const std::size_t slash = path.rfind('/');
+    return slash == std::string::npos ? std::string()
+                                      : path.substr(0, slash + 1);
+}
+
+/** Resolve a manifest-listed path against the manifest's directory. */
+std::string
+resolveListed(const std::string &manifest_path,
+              const std::string &listed)
+{
+    if (!listed.empty() && listed.front() == '/')
+        return listed;
+    return dirName(manifest_path) + listed;
+}
+
+const JsonValue &
+requireMember(const std::string &path, const JsonValue &obj,
+              const std::string &context, const std::string &key)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr)
+        manifestFail(path, csprintf("%s is missing the required "
+                                    "\"%s\" field",
+                                    context.c_str(), key.c_str()));
+    return *v;
+}
+
+std::uint64_t
+uintMember(const std::string &path, const JsonValue &obj,
+           const std::string &context, const std::string &key)
+{
+    const JsonValue &v = requireMember(path, obj, context, key);
+    if (!v.isNumber())
+        manifestFail(path, csprintf("%s \"%s\" must be a number",
+                                    context.c_str(), key.c_str()));
+    return v.asUInt64();
+}
+
+std::string
+stringMember(const std::string &path, const JsonValue &obj,
+             const std::string &context, const std::string &key)
+{
+    const JsonValue &v = requireMember(path, obj, context, key);
+    if (!v.isString())
+        manifestFail(path, csprintf("%s \"%s\" must be a string",
+                                    context.c_str(), key.c_str()));
+    return v.asString();
+}
+
+bool
+isHexDigest(const std::string &s)
+{
+    if (s.size() != 64)
+        return false;
+    for (char c : s)
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+            return false;
+    return true;
+}
+
+} // namespace
+
+const CorpusEntry &
+CorpusManifest::find(const std::string &benchmark) const
+{
+    for (const CorpusEntry &e : entries)
+        if (e.benchmark == benchmark)
+            return e;
+    std::string known;
+    for (const CorpusEntry &e : entries)
+        known += (known.empty() ? "" : ", ") + e.benchmark;
+    throw CorpusError(csprintf(
+        "%s: no trace for benchmark \"%s\" in the corpus (available: "
+        "%s)",
+        path.c_str(), benchmark.c_str(),
+        known.empty() ? "none" : known.c_str()));
+}
+
+CorpusManifest
+loadCorpusManifest(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        manifestFail(path, "cannot open corpus manifest");
+    std::ostringstream text;
+    text << is.rdbuf();
+
+    JsonValue doc;
+    try {
+        doc = jsonParse(text.str());
+    } catch (const JsonParseError &e) {
+        manifestFail(path, csprintf("manifest is not valid JSON: %s",
+                                    e.what()));
+    }
+    if (!doc.isObject())
+        manifestFail(path, "manifest root must be a JSON object");
+
+    const std::uint64_t version =
+        uintMember(path, doc, "the manifest", "formatVersion");
+    if (version != corpusManifestVersion)
+        manifestFail(path,
+                     csprintf("manifest formatVersion %llu, but this "
+                              "build reads version %u — re-generate "
+                              "the manifest (tracegen --manifest)",
+                              (unsigned long long)version,
+                              corpusManifestVersion));
+
+    const JsonValue &traces =
+        requireMember(path, doc, "the manifest", "traces");
+    if (!traces.isArray())
+        manifestFail(path, "\"traces\" must be an array of entries");
+
+    CorpusManifest manifest;
+    manifest.path = path;
+    std::set<std::string> seen;
+    std::size_t i = 0;
+    for (const JsonValue &t : traces.asArray()) {
+        const std::string ctx = csprintf("traces[%zu]", i++);
+        if (!t.isObject())
+            manifestFail(path,
+                         csprintf("%s must be an object",
+                                  ctx.c_str()));
+        CorpusEntry e;
+        e.path = stringMember(path, t, ctx, "path");
+        if (e.path.empty() || e.path.find(',') != std::string::npos)
+            manifestFail(path,
+                         csprintf("%s path \"%s\" must be non-empty, "
+                                  "without commas",
+                                  ctx.c_str(), e.path.c_str()));
+        e.resolvedPath = resolveListed(path, e.path);
+        e.sha256 = stringMember(path, t, ctx, "sha256");
+        if (!isHexDigest(e.sha256))
+            manifestFail(path,
+                         csprintf("%s sha256 must be 64 lowercase "
+                                  "hex characters",
+                                  ctx.c_str()));
+        e.benchmark = stringMember(path, t, ctx, "benchmark");
+        if (e.benchmark.empty())
+            manifestFail(path, csprintf("%s benchmark label must be "
+                                        "non-empty",
+                                        ctx.c_str()));
+        e.records = uintMember(path, t, ctx, "records");
+        const std::uint64_t tv =
+            uintMember(path, t, ctx, "traceVersion");
+        if (tv == 0 || tv > 0xffff)
+            manifestFail(path,
+                         csprintf("%s traceVersion %llu out of "
+                                  "range",
+                                  ctx.c_str(), (unsigned long long)tv));
+        e.traceVersion = static_cast<std::uint16_t>(tv);
+        if (!seen.insert(e.benchmark).second)
+            manifestFail(path,
+                         csprintf("benchmark label \"%s\" appears "
+                                  "more than once — mix labels must "
+                                  "be unique",
+                                  e.benchmark.c_str()));
+        manifest.entries.push_back(std::move(e));
+    }
+    return manifest;
+}
+
+void
+validateCorpusEntry(const CorpusManifest &manifest,
+                    const CorpusEntry &entry)
+{
+    auto entryFail = [&](const std::string &what) {
+        manifestFail(manifest.path,
+                     csprintf("trace \"%s\" (%s): %s",
+                              entry.benchmark.c_str(),
+                              entry.resolvedPath.c_str(),
+                              what.c_str()));
+    };
+
+    std::ifstream probe(entry.resolvedPath, std::ios::binary);
+    if (!probe)
+        entryFail("missing file — restore the trace or re-record "
+                  "the corpus");
+    probe.close();
+
+    const std::string digest = sha256File(entry.resolvedPath);
+    if (digest != entry.sha256)
+        entryFail(csprintf("checksum mismatch: manifest says %s but "
+                           "the file hashes to %s — the trace was "
+                           "modified after the manifest was "
+                           "generated; re-generate the manifest or "
+                           "restore the file",
+                           entry.sha256.c_str(), digest.c_str()));
+
+    TraceFileHeader hdr;
+    try {
+        hdr = readTraceHeader(entry.resolvedPath);
+    } catch (const TraceFileError &e) {
+        entryFail(e.what());
+    }
+    if (hdr.version != entry.traceVersion)
+        entryFail(csprintf("format version skew: manifest says v%u "
+                           "but the file is v%u — re-generate the "
+                           "manifest",
+                           entry.traceVersion, hdr.version));
+    if (hdr.benchmark != entry.benchmark)
+        entryFail(csprintf("benchmark skew: manifest labels it "
+                           "\"%s\" but the trace header says \"%s\"",
+                           entry.benchmark.c_str(),
+                           hdr.benchmark.c_str()));
+    if (hdr.recordCount != entry.records)
+        entryFail(csprintf("record-count skew: manifest says %llu "
+                           "but the file holds %llu",
+                           (unsigned long long)entry.records,
+                           (unsigned long long)hdr.recordCount));
+}
+
+CorpusEntry
+describeTrace(const std::string &trace_path,
+              const std::string &listed_path)
+{
+    CorpusEntry e;
+    e.path = listed_path;
+    e.resolvedPath = trace_path;
+    TraceFileHeader hdr = readTraceHeader(trace_path);
+    e.sha256 = sha256File(trace_path);
+    e.benchmark = hdr.benchmark;
+    e.records = hdr.recordCount;
+    e.traceVersion = hdr.version;
+    return e;
+}
+
+void
+writeCorpusManifest(const CorpusManifest &manifest)
+{
+    std::ofstream os(manifest.path,
+                     std::ios::binary | std::ios::trunc);
+    if (!os)
+        manifestFail(manifest.path, "cannot open for writing");
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.field("formatVersion", corpusManifestVersion);
+    jw.key("traces");
+    jw.beginArray();
+    for (const CorpusEntry &e : manifest.entries) {
+        jw.beginObject();
+        jw.field("path", e.path);
+        jw.field("sha256", e.sha256);
+        jw.field("benchmark", e.benchmark);
+        jw.field("records", e.records);
+        jw.field("traceVersion",
+                 static_cast<unsigned>(e.traceVersion));
+        jw.endObject();
+    }
+    jw.endArray();
+    jw.endObject();
+    os << "\n";
+    os.flush();
+    if (!os)
+        manifestFail(manifest.path, "I/O error while writing");
+}
+
+} // namespace smt

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Trace-corpus manifests: a JSON index over a directory of recorded
+ * trace files, so sweep specs can name workloads by benchmark label
+ * (`{"corpus": "manifest.json", "mix": ["mcf", "gcc"]}`) instead of
+ * hard-coding per-machine paths. Each entry carries the trace's
+ * sha256, benchmark label, record count and format version; loading
+ * a mix cross-checks all of them against the file on disk, so a
+ * stale or corrupted corpus fails fast with an actionable message
+ * instead of silently replaying the wrong instructions.
+ */
+
+#ifndef SMTFETCH_WORKLOAD_CORPUS_HH
+#define SMTFETCH_WORKLOAD_CORPUS_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace smt
+{
+
+/** User-facing error in a corpus manifest or one of its traces. */
+class CorpusError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** The manifest schema revision this build reads and writes. */
+constexpr std::uint32_t corpusManifestVersion = 1;
+
+/** One trace listed by a corpus manifest. */
+struct CorpusEntry
+{
+    std::string path;         //!< as listed (manifest-relative)
+    std::string resolvedPath; //!< usable from the current directory
+    std::string sha256;       //!< lowercase hex digest of the file
+    std::string benchmark;    //!< mix label == trace header benchmark
+    std::uint64_t records = 0;
+    std::uint16_t traceVersion = 0;
+};
+
+/** A loaded (schema-validated, not yet file-checked) manifest. */
+struct CorpusManifest
+{
+    std::string path; //!< the manifest file itself
+    std::vector<CorpusEntry> entries;
+
+    /** Entry for a benchmark label; CorpusError listing the
+     *  available labels when absent. */
+    const CorpusEntry &find(const std::string &benchmark) const;
+};
+
+/**
+ * Parse and schema-check a manifest file. Every violation — missing
+ * file, malformed JSON, version skew, absent or ill-typed fields,
+ * duplicate labels — raises CorpusError naming the manifest and the
+ * offending entry. Trace files are not touched; see
+ * validateCorpusEntry.
+ */
+CorpusManifest loadCorpusManifest(const std::string &path);
+
+/**
+ * Cross-check one entry against the trace file on disk: existence,
+ * sha256, and the header's benchmark/record-count/format-version.
+ * CorpusError on any mismatch, naming manifest, entry and remedy.
+ */
+void validateCorpusEntry(const CorpusManifest &manifest,
+                         const CorpusEntry &entry);
+
+/**
+ * Describe an existing trace file for inclusion in a manifest:
+ * hashes the file and reads its header. `listed_path` is what the
+ * manifest will record (typically manifest-relative); `trace_path`
+ * is where the file lives now.
+ */
+CorpusEntry describeTrace(const std::string &trace_path,
+                          const std::string &listed_path);
+
+/** Write `manifest.entries` to `manifest.path` as manifest JSON. */
+void writeCorpusManifest(const CorpusManifest &manifest);
+
+} // namespace smt
+
+#endif // SMTFETCH_WORKLOAD_CORPUS_HH

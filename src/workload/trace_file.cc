@@ -1,7 +1,12 @@
 #include "workload/trace_file.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
+
+#ifdef SMTFETCH_HAVE_ZLIB
+#include <zlib.h>
+#endif
 
 #include "sim/checkpoint.hh"
 #include "util/logging.hh"
@@ -75,8 +80,73 @@ constexpr std::size_t headPreludeBytes = sizeof(traceMagic) + 2 + 2;
 /** Header bytes after the name: seed, codeBase, dataBase, count. */
 constexpr std::size_t headTailBytes = 4 * 8;
 
+/** v2 extension header following the v1-compatible chunk:
+ *  codec u8, reserved u8, blockRecords u32, indexOffset u64,
+ *  blockCount u64 (the last two backpatched on close). */
+constexpr std::size_t headV2ExtBytes = 1 + 1 + 4 + 8 + 8;
+
+/** Bytes per v2 seek-index entry: fileOffset u64, firstRecord u64. */
+constexpr std::size_t indexEntryBytes = 16;
+
+/** Per-block frame prelude: rawBytes u32, storedBytes u32. */
+constexpr std::size_t blockFrameBytes = 8;
+
 /** Sanity cap on the benchmark-name length field. */
 constexpr std::size_t maxNameLen = 255;
+
+/** Sanity cap on v2 records-per-block (1 GB of raw payload). */
+constexpr std::uint32_t maxBlockRecords = 1u << 22;
+
+/** Compress one raw record block; TraceFileError without zlib. */
+std::string
+deflateBlock(const std::string &raw, const std::string &path)
+{
+#ifdef SMTFETCH_HAVE_ZLIB
+    uLongf bound = compressBound(static_cast<uLong>(raw.size()));
+    std::string out(bound, '\0');
+    if (compress2(reinterpret_cast<Bytef *>(out.data()), &bound,
+                  reinterpret_cast<const Bytef *>(raw.data()),
+                  static_cast<uLong>(raw.size()),
+                  Z_BEST_SPEED) != Z_OK)
+        throw TraceFileError(path +
+                             ": deflate failed on a record block");
+    out.resize(bound);
+    return out;
+#else
+    (void)raw;
+    throw TraceFileError(path +
+                         ": deflate codec requested but this build "
+                         "has no zlib — use the raw codec");
+#endif
+}
+
+} // namespace
+
+bool
+traceCodecAvailable(std::uint8_t codec)
+{
+    if (codec == traceCodecRaw)
+        return true;
+#ifdef SMTFETCH_HAVE_ZLIB
+    if (codec == traceCodecDeflate)
+        return true;
+#endif
+    return false;
+}
+
+const char *
+traceCodecName(std::uint8_t codec)
+{
+    switch (codec) {
+      case traceCodecRaw: return "raw";
+      case traceCodecDeflate: return "deflate";
+      case traceCodecAuto: return "auto";
+    }
+    return "unknown";
+}
+
+namespace
+{
 
 /** Reverse of opName() for the text encoding. */
 bool
@@ -140,15 +210,39 @@ traceFileIsText(const std::string &path)
 // ------------------------------------------------------------- writer
 
 TraceWriter::TraceWriter(const std::string &path,
-                         const TraceFileHeader &header)
+                         const TraceFileHeader &header,
+                         const TraceWriteOptions &options)
     : filePath(path), hdr(header)
 {
     hdr.text = traceFileIsText(path);
-    hdr.version = traceFormatVersion;
+    hdr.version = hdr.text ? traceFormatV1 : options.version;
     hdr.recordCount = 0;
+    hdr.blockCount = 0;
+    hdr.indexOffset = 0;
     if (hdr.benchmark.empty() || hdr.benchmark.size() > maxNameLen)
         fail(csprintf("benchmark name \"%s\" must be 1..%zu bytes",
                       hdr.benchmark.c_str(), maxNameLen));
+    if (!hdr.text && hdr.version != traceFormatV1 &&
+        hdr.version != traceFormatV2)
+        fail(csprintf("unsupported trace format version %u (this "
+                      "build writes v%u and v%u)",
+                      hdr.version, traceFormatV1, traceFormatV2));
+
+    hdr.codec = options.codec;
+    if (hdr.codec == traceCodecAuto)
+        hdr.codec = traceCodecAvailable(traceCodecDeflate)
+                        ? traceCodecDeflate
+                        : traceCodecRaw;
+    if (hdr.version != traceFormatV2)
+        hdr.codec = traceCodecRaw;
+    if (!traceCodecAvailable(hdr.codec))
+        fail(csprintf("codec \"%s\" is not available in this build",
+                      traceCodecName(hdr.codec)));
+    hdr.blockRecords = options.blockRecords;
+    if (hdr.version == traceFormatV2 &&
+        (hdr.blockRecords == 0 || hdr.blockRecords > maxBlockRecords))
+        fail(csprintf("block size %u records out of range [1, %u]",
+                      hdr.blockRecords, maxBlockRecords));
 
     os.open(path, std::ios::binary | std::ios::trunc);
     if (!os)
@@ -163,6 +257,16 @@ TraceWriter::TraceWriter(const std::string &path,
         put64(head, hdr.codeBase);
         put64(head, hdr.dataBase);
         put64(head, 0); // recordCount, patched by close()
+        if (hdr.version == traceFormatV2) {
+            head.push_back(static_cast<char>(hdr.codec));
+            head.push_back(0); // reserved
+            put32(head, hdr.blockRecords);
+            put64(head, 0); // indexOffset, patched by close()
+            put64(head, 0); // blockCount, patched by close()
+            blockBuf.reserve(static_cast<std::size_t>(
+                                 hdr.blockRecords) *
+                             traceRecordBytes);
+        }
         os.write(head.data(),
                  static_cast<std::streamsize>(head.size()));
     }
@@ -219,8 +323,40 @@ TraceWriter::append(const PackedTraceRecord &rec)
     buf.push_back(static_cast<char>(rec.depDepth));
     put16(buf, 0); // reserved
     put64(buf, has_mem ? rec.memAddr : 0);
-    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
     ++count;
+
+    if (hdr.version == traceFormatV2) {
+        blockBuf += buf;
+        if (++blockBuffered == hdr.blockRecords)
+            flushBlock();
+        return;
+    }
+    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+void
+TraceWriter::flushBlock()
+{
+    if (blockBuffered == 0)
+        return;
+    index.push_back({static_cast<std::uint64_t>(os.tellp()),
+                     count - blockBuffered});
+    const std::string *payload = &blockBuf;
+    std::string packed;
+    if (hdr.codec == traceCodecDeflate) {
+        packed = deflateBlock(blockBuf, filePath);
+        payload = &packed;
+    }
+    std::string frame;
+    put32(frame, static_cast<std::uint32_t>(blockBuf.size()));
+    put32(frame, static_cast<std::uint32_t>(payload->size()));
+    os.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    os.write(payload->data(),
+             static_cast<std::streamsize>(payload->size()));
+    if (!os)
+        fail("I/O error while writing a record block");
+    blockBuf.clear();
+    blockBuffered = 0;
 }
 
 void
@@ -254,6 +390,29 @@ TraceWriter::close()
         std::string s = text.str();
         os.write(s.data(), static_cast<std::streamsize>(s.size()));
     } else {
+        if (hdr.version == traceFormatV2) {
+            flushBlock();
+            // The seek index trails the payload: magic, then one
+            // (fileOffset, firstRecord) pair per block.
+            hdr.indexOffset = static_cast<std::uint64_t>(os.tellp());
+            hdr.blockCount = index.size();
+            std::string idx(traceIndexMagic,
+                            sizeof(traceIndexMagic));
+            for (const IndexEntry &e : index) {
+                put64(idx, e.fileOffset);
+                put64(idx, e.firstRecord);
+            }
+            os.write(idx.data(),
+                     static_cast<std::streamsize>(idx.size()));
+            std::string ext;
+            put64(ext, hdr.indexOffset);
+            put64(ext, hdr.blockCount);
+            os.seekp(static_cast<std::streamoff>(
+                headPreludeBytes + hdr.benchmark.size() +
+                headTailBytes + 6));
+            os.write(ext.data(),
+                     static_cast<std::streamsize>(ext.size()));
+        }
         // Patch the record count now that it is known.
         std::string buf;
         put64(buf, count);
@@ -281,7 +440,7 @@ TraceReader::TraceReader(const std::string &path, bool header_only)
 {
     is.open(path, std::ios::binary);
     if (!is)
-        fail("cannot open trace file");
+        throw TraceFileError(filePath + ": cannot open trace file");
 
     if (traceFileIsText(path)) {
         hdr.text = true;
@@ -299,6 +458,7 @@ TraceReader::readBinaryHeader()
         static_cast<std::uint64_t>(is.tellg());
     is.seekg(0);
 
+    errOffset = 0;
     unsigned char prelude[headPreludeBytes];
     if (!is.read(reinterpret_cast<char *>(prelude), sizeof(prelude)))
         fail(csprintf("truncated header: file is %llu bytes, the "
@@ -313,13 +473,15 @@ TraceReader::readBinaryHeader()
              "\"SMTTRC\"; text fixtures must use the .strc "
              "extension)");
 
+    errOffset = sizeof(traceMagic);
     hdr.version = get16(prelude + sizeof(traceMagic));
-    if (hdr.version != traceFormatVersion)
+    if (hdr.version != traceFormatV1 && hdr.version != traceFormatV2)
         fail(csprintf("format version %u, but this build reads "
-                      "version %u — re-record the trace with this "
-                      "build's --record",
-                      hdr.version, traceFormatVersion));
+                      "versions %u and %u — re-record the trace "
+                      "with this build's --record",
+                      hdr.version, traceFormatV1, traceFormatV2));
 
+    errOffset = sizeof(traceMagic) + 2;
     const std::size_t name_len =
         get16(prelude + sizeof(traceMagic) + 2);
     if (name_len == 0 || name_len > maxNameLen)
@@ -327,6 +489,7 @@ TraceReader::readBinaryHeader()
                       "header (corrupt file?)",
                       name_len));
 
+    errOffset = headPreludeBytes;
     std::string name(name_len, '\0');
     unsigned char tail[headTailBytes];
     if (!is.read(name.data(),
@@ -343,9 +506,16 @@ TraceReader::readBinaryHeader()
     hdr.dataBase = get64(tail + 16);
     hdr.recordCount = get64(tail + 24);
 
-    const std::uint64_t header_bytes =
-        headPreludeBytes + name_len + headTailBytes;
-    const std::uint64_t payload = file_size - header_bytes;
+    headerBytes = headPreludeBytes + name_len + headTailBytes;
+    if (hdr.version == traceFormatV2) {
+        readV2Extension(file_size);
+        if (!headerOnly)
+            readV2Index(file_size);
+        return;
+    }
+
+    errOffset = headerBytes;
+    const std::uint64_t payload = file_size - headerBytes;
     if (hdr.recordCount > payload / traceRecordBytes)
         fail(csprintf("header promises %llu records (%llu bytes) but "
                       "only %llu payload bytes follow the header — "
@@ -363,6 +533,108 @@ TraceReader::readBinaryHeader()
 }
 
 void
+TraceReader::readV2Extension(std::uint64_t file_size)
+{
+    errOffset = headerBytes;
+    unsigned char ext[headV2ExtBytes];
+    if (!is.read(reinterpret_cast<char *>(ext), sizeof(ext)))
+        fail(csprintf("truncated v2 extension header: expected %zu "
+                      "bytes at offset %llu, file is %llu",
+                      headV2ExtBytes, (unsigned long long)headerBytes,
+                      (unsigned long long)file_size));
+    hdr.codec = ext[0];
+    hdr.blockRecords = get32(ext + 2);
+    hdr.indexOffset = get64(ext + 6);
+    hdr.blockCount = get64(ext + 14);
+    headerBytes += headV2ExtBytes;
+
+    if (hdr.codec != traceCodecRaw && hdr.codec != traceCodecDeflate)
+        fail(csprintf("unknown record-block codec %u (known: %u raw, "
+                      "%u deflate) — file written by a newer format "
+                      "revision?",
+                      hdr.codec, traceCodecRaw, traceCodecDeflate));
+    if (!traceCodecAvailable(hdr.codec))
+        fail(csprintf("record blocks are %s-compressed but this "
+                      "build has no zlib — rebuild with zlib or "
+                      "re-record with the raw codec",
+                      traceCodecName(hdr.codec)));
+    if (hdr.blockRecords == 0 || hdr.blockRecords > maxBlockRecords)
+        fail(csprintf("block size %u records out of range [1, %u] "
+                      "(corrupt extension header?)",
+                      hdr.blockRecords, maxBlockRecords));
+
+    const std::uint64_t expect_blocks =
+        (hdr.recordCount + hdr.blockRecords - 1) / hdr.blockRecords;
+    if (hdr.blockCount != expect_blocks)
+        fail(csprintf("header promises %llu blocks for %llu records "
+                      "of %u, expected %llu — corrupt extension "
+                      "header",
+                      (unsigned long long)hdr.blockCount,
+                      (unsigned long long)hdr.recordCount,
+                      hdr.blockRecords,
+                      (unsigned long long)expect_blocks));
+
+    const std::uint64_t index_bytes =
+        sizeof(traceIndexMagic) + hdr.blockCount * indexEntryBytes;
+    if (hdr.indexOffset < headerBytes ||
+        hdr.indexOffset > file_size ||
+        file_size - hdr.indexOffset != index_bytes)
+        fail(csprintf("seek index at offset %llu does not fill the "
+                      "%llu bytes between the payload and the end of "
+                      "the %llu-byte file — truncated or corrupt "
+                      "index",
+                      (unsigned long long)hdr.indexOffset,
+                      (unsigned long long)index_bytes,
+                      (unsigned long long)file_size));
+}
+
+void
+TraceReader::readV2Index(std::uint64_t file_size)
+{
+    (void)file_size;
+    errOffset = hdr.indexOffset;
+    is.seekg(static_cast<std::streamoff>(hdr.indexOffset));
+    unsigned char magic[sizeof(traceIndexMagic)];
+    if (!is.read(reinterpret_cast<char *>(magic), sizeof(magic)) ||
+        std::char_traits<char>::compare(
+            reinterpret_cast<const char *>(magic), traceIndexMagic,
+            sizeof(traceIndexMagic)) != 0)
+        fail("bad seek-index magic (expected \"SMTIDX\") — "
+             "truncated or corrupt index");
+
+    index.resize(hdr.blockCount);
+    std::vector<unsigned char> raw(hdr.blockCount * indexEntryBytes);
+    errOffset = hdr.indexOffset + sizeof(traceIndexMagic);
+    if (!raw.empty() &&
+        !is.read(reinterpret_cast<char *>(raw.data()),
+                 static_cast<std::streamsize>(raw.size())))
+        fail("truncated seek index");
+    for (std::uint64_t b = 0; b < hdr.blockCount; ++b) {
+        errOffset = hdr.indexOffset + sizeof(traceIndexMagic) +
+                    b * indexEntryBytes;
+        index[b].fileOffset = get64(raw.data() + b * indexEntryBytes);
+        index[b].firstRecord =
+            get64(raw.data() + b * indexEntryBytes + 8);
+        if (index[b].firstRecord != b * hdr.blockRecords)
+            fail(csprintf("index entry %llu starts at record %llu, "
+                          "expected %llu (corrupt index)",
+                          (unsigned long long)b,
+                          (unsigned long long)index[b].firstRecord,
+                          (unsigned long long)(b * hdr.blockRecords)));
+        const std::uint64_t low =
+            b == 0 ? headerBytes
+                   : index[b - 1].fileOffset + blockFrameBytes;
+        if (index[b].fileOffset < low ||
+            index[b].fileOffset + blockFrameBytes > hdr.indexOffset)
+            fail(csprintf("index entry %llu points at offset %llu, "
+                          "outside the payload region (corrupt "
+                          "index)",
+                          (unsigned long long)b,
+                          (unsigned long long)index[b].fileOffset));
+    }
+}
+
+void
 TraceReader::parseText(bool header_only)
 {
     std::string line;
@@ -376,7 +648,12 @@ TraceReader::parseText(bool header_only)
         fail(csprintf("line %zu: %s", lineno, what.c_str()));
     };
 
-    while (std::getline(is, line)) {
+    while (true) {
+        const std::streamoff here = is.tellg();
+        if (here >= 0)
+            errOffset = static_cast<std::uint64_t>(here);
+        if (!std::getline(is, line))
+            break;
         ++lineno;
         if (!line.empty() && line.back() == '\r')
             line.pop_back();
@@ -398,11 +675,11 @@ TraceReader::parseText(bool header_only)
                 lineFail("a text trace must start with \"strc v1\"");
             std::string ver;
             if (!(ls >> ver) ||
-                ver != csprintf("v%u", traceFormatVersion))
+                ver != csprintf("v%u", traceFormatV1))
                 lineFail(csprintf(
                     "unsupported text-trace version \"%s\" — this "
                     "build reads \"v%u\"",
-                    ver.c_str(), traceFormatVersion));
+                    ver.c_str(), traceFormatV1));
             saw_version = true;
             continue;
         }
@@ -485,24 +762,81 @@ TraceReader::parseText(bool header_only)
     hdr.recordCount = record_lines;
 }
 
-bool
-TraceReader::next(PackedTraceRecord &out)
+void
+TraceReader::loadBlock(std::uint64_t block)
 {
-    if (headerOnly || count >= hdr.recordCount)
-        return false;
+    const IndexEntry &e = index[block];
+    errOffset = e.fileOffset;
+    is.clear();
+    is.seekg(static_cast<std::streamoff>(e.fileOffset));
+    unsigned char frame[blockFrameBytes];
+    if (!is.read(reinterpret_cast<char *>(frame), sizeof(frame)))
+        fail(csprintf("truncated frame for block %llu",
+                      (unsigned long long)block));
+    const std::uint32_t raw_bytes = get32(frame);
+    const std::uint32_t stored_bytes = get32(frame + 4);
 
-    if (hdr.text) {
-        out = textRecords[count++];
-        return true;
+    const std::uint64_t expect_records =
+        std::min<std::uint64_t>(hdr.blockRecords,
+                                hdr.recordCount - e.firstRecord);
+    if (raw_bytes != expect_records * traceRecordBytes)
+        fail(csprintf("block %llu frame declares %u raw bytes, "
+                      "expected %llu for its %llu records (corrupt "
+                      "frame)",
+                      (unsigned long long)block, raw_bytes,
+                      (unsigned long long)(expect_records *
+                                           traceRecordBytes),
+                      (unsigned long long)expect_records));
+    if (stored_bytes >
+        hdr.indexOffset - e.fileOffset - blockFrameBytes)
+        fail(csprintf("block %llu payload (%u bytes) overruns the "
+                      "seek index at offset %llu (corrupt frame)",
+                      (unsigned long long)block, stored_bytes,
+                      (unsigned long long)hdr.indexOffset));
+
+    errOffset = e.fileOffset + blockFrameBytes;
+    if (hdr.codec == traceCodecRaw) {
+        if (stored_bytes != raw_bytes)
+            fail(csprintf("raw-codec block %llu stores %u bytes but "
+                          "declares %u raw (corrupt frame)",
+                          (unsigned long long)block, stored_bytes,
+                          raw_bytes));
+        blockData.resize(raw_bytes);
+        if (!is.read(blockData.data(), raw_bytes))
+            fail(csprintf("truncated payload for block %llu",
+                          (unsigned long long)block));
+    } else {
+#ifdef SMTFETCH_HAVE_ZLIB
+        blockScratch.resize(stored_bytes);
+        if (!is.read(blockScratch.data(), stored_bytes))
+            fail(csprintf("truncated payload for block %llu",
+                          (unsigned long long)block));
+        blockData.resize(raw_bytes);
+        uLongf dest_len = raw_bytes;
+        if (uncompress(reinterpret_cast<Bytef *>(blockData.data()),
+                       &dest_len,
+                       reinterpret_cast<const Bytef *>(
+                           blockScratch.data()),
+                       stored_bytes) != Z_OK ||
+            dest_len != raw_bytes)
+            fail(csprintf("block %llu does not inflate to the "
+                          "declared %u bytes (corrupt payload)",
+                          (unsigned long long)block, raw_bytes));
+#else
+        // The codec was validated against this build at open time.
+        fail("deflate block in a build without zlib");
+#endif
     }
+    curBlock = block + 1;
+    blockFirst = e.firstRecord;
+    blockLen = static_cast<std::uint32_t>(expect_records);
+    blockPos = 0;
+}
 
-    unsigned char buf[traceRecordBytes];
-    if (!is.read(reinterpret_cast<char *>(buf), sizeof(buf)))
-        fail(csprintf("truncated record %llu (header promises %llu "
-                      "records)",
-                      (unsigned long long)count,
-                      (unsigned long long)hdr.recordCount));
-
+void
+TraceReader::decodeRecord(const unsigned char *buf,
+                          PackedTraceRecord &out)
+{
     const unsigned info = buf[8];
     if ((info & ~infoKnownBits) != 0)
         fail(csprintf("record %llu has unknown flag bits 0x%x set "
@@ -523,14 +857,84 @@ TraceReader::next(PackedTraceRecord &out)
     out.depDepth = buf[9];
     out.memAddr =
         (info & infoMemBit) != 0 ? get64(buf + 12) : invalidAddr;
+}
+
+bool
+TraceReader::next(PackedTraceRecord &out)
+{
+    if (headerOnly || count >= hdr.recordCount)
+        return false;
+
+    if (hdr.text) {
+        out = textRecords[count++];
+        return true;
+    }
+
+    if (hdr.version == traceFormatV2) {
+        if (curBlock == 0 || blockPos == blockLen)
+            loadBlock(count / hdr.blockRecords);
+        decodeRecord(reinterpret_cast<const unsigned char *>(
+                         blockData.data()) +
+                         static_cast<std::size_t>(blockPos) *
+                             traceRecordBytes,
+                     out);
+        ++blockPos;
+        ++count;
+        return true;
+    }
+
+    errOffset = headerBytes + count * traceRecordBytes;
+    unsigned char buf[traceRecordBytes];
+    if (!is.read(reinterpret_cast<char *>(buf), sizeof(buf)))
+        fail(csprintf("truncated record %llu (header promises %llu "
+                      "records)",
+                      (unsigned long long)count,
+                      (unsigned long long)hdr.recordCount));
+    decodeRecord(buf, out);
     ++count;
     return true;
 }
 
 void
+TraceReader::skipTo(std::uint64_t record_index)
+{
+    if (record_index > hdr.recordCount)
+        fail(csprintf("cannot skip to record %llu: the trace holds "
+                      "only %llu records",
+                      (unsigned long long)record_index,
+                      (unsigned long long)hdr.recordCount));
+    count = record_index;
+    if (hdr.text || headerOnly)
+        return;
+
+    if (hdr.version == traceFormatV2) {
+        if (record_index == hdr.recordCount) {
+            // End-of-trace: no block need be resident.
+            curBlock = 0;
+            blockLen = 0;
+            blockPos = 0;
+            return;
+        }
+        const std::uint64_t block = record_index / hdr.blockRecords;
+        if (curBlock != block + 1)
+            loadBlock(block);
+        blockPos =
+            static_cast<std::uint32_t>(record_index - blockFirst);
+        return;
+    }
+
+    is.clear();
+    is.seekg(static_cast<std::streamoff>(
+        headerBytes + record_index * traceRecordBytes));
+}
+
+void
 TraceReader::fail(const std::string &what) const
 {
-    throw TraceFileError(filePath + ": " + what);
+    throw TraceFileError(csprintf("%s (byte %llu): %s",
+                                  filePath.c_str(),
+                                  (unsigned long long)errOffset,
+                                  what.c_str()));
 }
 
 TraceFileHeader
@@ -627,19 +1031,18 @@ FileTraceStream::restore(CheckpointReader &r)
                         "(corrupt payload)",
                         (unsigned long long)skip,
                         (unsigned long long)generatedRecords()));
-    // The file content is immutable and validated record-by-record,
-    // so resuming is just re-reading the already-consumed prefix.
-    PackedTraceRecord p;
-    for (std::uint64_t i = 0; i < skip; ++i) {
-        if (!reader.next(p))
-            r.fail(csprintf("%s holds only %llu records but the "
-                            "checkpoint consumed %llu — the "
-                            "checkpoint was saved against a "
-                            "different trace file",
-                            reader.path().c_str(),
-                            (unsigned long long)i,
-                            (unsigned long long)skip));
-    }
+    // The file content is immutable, so resuming is repositioning
+    // past the already-consumed prefix — O(1) via the fixed record
+    // stride (v1) or the block seek index (v2).
+    if (skip > reader.header().recordCount)
+        r.fail(csprintf("%s holds only %llu records but the "
+                        "checkpoint consumed %llu — the checkpoint "
+                        "was saved against a different trace file",
+                        reader.path().c_str(),
+                        (unsigned long long)
+                            reader.header().recordCount,
+                        (unsigned long long)skip));
+    reader.skipTo(skip);
 }
 
 } // namespace smt

@@ -8,8 +8,13 @@
  * Two encodings share the same logical content:
  *
  *  - binary (`.trc`): a fixed-size little-endian header followed by
- *    packed 20-byte records — the production format `smtsim --record`
- *    writes and FileTraceStream replays;
+ *    the record payload — the production format `smtsim --record`
+ *    writes and FileTraceStream replays. Two binary revisions exist:
+ *    v1 is a flat array of packed 20-byte records; v2 (the default
+ *    written) groups records into framed blocks — optionally
+ *    deflate-compressed — and appends a per-block seek index, so
+ *    replay streams one block at a time in bounded memory and
+ *    checkpoint restore seeks instead of re-reading the prefix;
  *  - text (`.strc`): a line-oriented rendering for hand-written test
  *    fixtures and human inspection.
  *
@@ -43,14 +48,45 @@ class TraceFileError : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
-/** The trace format revision this build reads and writes. */
-constexpr std::uint16_t traceFormatVersion = 1;
+/** The legacy flat-record binary revision (still read). */
+constexpr std::uint16_t traceFormatV1 = 1;
+
+/**
+ * The streamed revision this build writes by default: records are
+ * grouped into fixed-size framed blocks (optionally compressed) and
+ * a per-block seek index trails the file, so readers decode one
+ * block at a time in bounded memory and seek in O(1).
+ */
+constexpr std::uint16_t traceFormatV2 = 2;
+
+/** The trace format revision this build writes by default. */
+constexpr std::uint16_t traceFormatVersion = traceFormatV2;
 
 /** Binary file magic ("SMTTRC", no terminator). */
 constexpr char traceMagic[6] = {'S', 'M', 'T', 'T', 'R', 'C'};
 
+/** v2 seek-index magic ("SMTIDX", no terminator). */
+constexpr char traceIndexMagic[6] = {'S', 'M', 'T', 'I', 'D', 'X'};
+
 /** Size in bytes of one packed binary record. */
 constexpr std::size_t traceRecordBytes = 20;
+
+/** @name v2 record-block codecs (one byte in the v2 header). */
+/// @{
+constexpr std::uint8_t traceCodecRaw = 0;     //!< stored verbatim
+constexpr std::uint8_t traceCodecDeflate = 1; //!< zlib deflate
+/** Writer-option sentinel: deflate when built with zlib, else raw. */
+constexpr std::uint8_t traceCodecAuto = 0xff;
+/// @}
+
+/** Can this build decode blocks stored with `codec`? */
+bool traceCodecAvailable(std::uint8_t codec);
+
+/** Human-readable codec name ("raw", "deflate", ...). */
+const char *traceCodecName(std::uint8_t codec);
+
+/** Records per full v2 block (80 KB of raw payload). */
+constexpr std::uint32_t traceBlockRecordsDefault = 4096;
 
 /**
  * Trace file header: everything needed to rebuild the benchmark image
@@ -67,6 +103,14 @@ struct TraceFileHeader
     Addr dataBase = 0;           //!< data region base address
     std::uint64_t recordCount = 0;
     bool text = false;           //!< encoding of the backing file
+
+    /** @name v2-only fields (defaults describe a v1 file). */
+    /// @{
+    std::uint8_t codec = traceCodecRaw;
+    std::uint32_t blockRecords = 0; //!< records per full block
+    std::uint64_t blockCount = 0;
+    std::uint64_t indexOffset = 0;  //!< file offset of the seek index
+    /// @}
 };
 
 /**
@@ -88,15 +132,31 @@ struct PackedTraceRecord
 /** Does the path name the text encoding (`.strc`)? */
 bool traceFileIsText(const std::string &path);
 
+/** Knobs for TraceWriter: format revision, codec, block size. */
+struct TraceWriteOptions
+{
+    /** traceFormatV1 or traceFormatV2 (binary encodings only). */
+    std::uint16_t version = traceFormatVersion;
+
+    /** v2 block codec; traceCodecAuto resolves per build. */
+    std::uint8_t codec = traceCodecAuto;
+
+    /** v2 records per full block (the steady-state buffer size). */
+    std::uint32_t blockRecords = traceBlockRecordsDefault;
+};
+
 /**
  * Streaming trace capture. The encoding follows the path's extension.
- * The header's recordCount is patched on close() (binary) or the
- * buffered records are flushed then (text); destruction closes.
+ * The header's recordCount (and, for v2, the block index) is patched
+ * on close(); for text the buffered records are flushed then;
+ * destruction closes. Binary v2 buffers at most one record block,
+ * so capture memory stays O(block) regardless of trace length.
  */
 class TraceWriter
 {
   public:
-    TraceWriter(const std::string &path, const TraceFileHeader &header);
+    TraceWriter(const std::string &path, const TraceFileHeader &header,
+                const TraceWriteOptions &options = TraceWriteOptions{});
     ~TraceWriter();
 
     TraceWriter(const TraceWriter &) = delete;
@@ -117,20 +177,39 @@ class TraceWriter
   private:
     [[noreturn]] void fail(const std::string &what) const;
 
+    /** Frame (and compress) the buffered v2 block to disk. */
+    void flushBlock();
+
     std::string filePath;
     TraceFileHeader hdr;
     std::ofstream os;
     std::uint64_t count = 0;
     bool closed = false;
 
+    /** One buffered v2 record block (encoded, uncompressed). */
+    std::string blockBuf;
+    std::uint32_t blockBuffered = 0; //!< records in blockBuf
+
+    /** v2 seek index accumulated as blocks flush. */
+    struct IndexEntry
+    {
+        std::uint64_t fileOffset;
+        std::uint64_t firstRecord;
+    };
+    std::vector<IndexEntry> index;
+
     /** Text records buffered until close (fixtures are small). */
     std::vector<PackedTraceRecord> textRecords;
 };
 
 /**
- * Sequential trace decoder. The constructor validates the whole
- * header, including that the record count agrees with the file size,
- * so corruption surfaces before any simulation starts.
+ * Sequential trace decoder for every on-disk revision. The
+ * constructor validates the whole header — including that the record
+ * count agrees with the file size (v1) or that the block index is
+ * self-consistent (v2) — so corruption surfaces before any
+ * simulation starts. v2 payloads decode one block at a time: memory
+ * stays O(block) however long the trace is. Every malformed-input
+ * error names the file and the byte offset of the offending data.
  */
 class TraceReader
 {
@@ -152,6 +231,14 @@ class TraceReader
      */
     bool next(PackedTraceRecord &out);
 
+    /**
+     * Reposition so the next next() call delivers record
+     * `record_index` (== recordCount positions at end-of-trace).
+     * O(1) for v1 (fixed-stride records) and v2 (seek index); a
+     * TraceFileError past the end of the trace.
+     */
+    void skipTo(std::uint64_t record_index);
+
     std::uint64_t recordsRead() const { return count; }
     const std::string &path() const { return filePath; }
 
@@ -159,6 +246,11 @@ class TraceReader
     [[noreturn]] void fail(const std::string &what) const;
 
     void readBinaryHeader();
+    void readV2Extension(std::uint64_t file_size);
+    void readV2Index(std::uint64_t file_size);
+    void loadBlock(std::uint64_t block);
+    void decodeRecord(const unsigned char *buf,
+                      PackedTraceRecord &out);
     void parseText(bool header_only);
 
     std::string filePath;
@@ -166,6 +258,28 @@ class TraceReader
     std::ifstream is;
     std::uint64_t count = 0;
     bool headerOnly = false;
+
+    /** File offset for error messages (next unread structure). */
+    std::uint64_t errOffset = 0;
+
+    /** End of the (v1-compatible + v2 extension) header. */
+    std::uint64_t headerBytes = 0;
+
+    /** @name v2 streaming state. */
+    /// @{
+    struct IndexEntry
+    {
+        std::uint64_t fileOffset;
+        std::uint64_t firstRecord;
+    };
+    std::vector<IndexEntry> index;
+    std::string blockData;           //!< current decoded block
+    std::string blockScratch;        //!< compressed frame scratch
+    std::uint64_t curBlock = 0;      //!< index of loaded block + 1
+    std::uint64_t blockFirst = 0;    //!< first record of the block
+    std::uint32_t blockLen = 0;      //!< records in the block
+    std::uint32_t blockPos = 0;      //!< next record within it
+    /// @}
 
     /** Text encoding is fully parsed up front (fixture-sized). */
     std::vector<PackedTraceRecord> textRecords;

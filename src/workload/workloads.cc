@@ -1,5 +1,7 @@
 #include "workload/workloads.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "workload/profiles.hh"
@@ -52,6 +54,18 @@ bool
 isTraceWorkloadName(const std::string &name)
 {
     return name.rfind("trace:", 0) == 0;
+}
+
+unsigned
+workloadThreadCount(const std::string &name)
+{
+    if (isTraceWorkloadName(name))
+        return static_cast<unsigned>(
+            std::count(name.begin(), name.end(), ',') + 1);
+    for (const auto &w : table2Workloads())
+        if (w.name == name)
+            return static_cast<unsigned>(w.benchmarks.size());
+    return 1; // single-benchmark (superscalar) workload
 }
 
 WorkloadSpec

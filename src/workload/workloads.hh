@@ -47,6 +47,13 @@ WorkloadSpec traceWorkload(const std::string &name);
 /** Lookup by name ("2_ILP", "8_MIX", ...); fatal if unknown. */
 const WorkloadSpec &workloadFor(const std::string &name);
 
+/**
+ * Thread count a workload name will run with, without touching any
+ * trace file: comma-counted paths for "trace:..." names, the Table 2
+ * roster size for mix names, 1 for bare benchmark names.
+ */
+unsigned workloadThreadCount(const std::string &name);
+
 /** A fully-instantiated workload: one image per hardware thread. */
 struct WorkloadImages
 {

@@ -147,6 +147,33 @@ TEST(TlbTest, LruReplacement)
     EXPECT_FALSE(tlb.wouldHit(0, 0x02000));
 }
 
+TEST(CacheTest, PerThreadAttributionSumsToTotals)
+{
+    // Shared-cache interference accounting: every access and miss is
+    // attributed to exactly one thread, at every level it reaches.
+    MemoryHierarchy mem{MemoryParams{}};
+    for (int i = 0; i < 32; ++i) {
+        ThreadID tid = static_cast<ThreadID>(i % 4);
+        mem.dcacheAccess(tid, 0x1000 + 0x40 * i, (i % 5) == 0,
+                         static_cast<Cycle>(i) * 200);
+    }
+    for (const Cache *c : {&mem.l1d(), &mem.l2()}) {
+        const CacheStats &s = c->stats();
+        std::uint64_t acc = 0, miss = 0;
+        for (unsigned t = 0; t < maxThreads; ++t) {
+            acc += s.threadAccesses[t];
+            miss += s.threadMisses[t];
+        }
+        EXPECT_EQ(acc, s.accesses) << c->params().name;
+        EXPECT_EQ(miss, s.misses) << c->params().name;
+    }
+    // Four threads issued accesses; the rest attributed nothing.
+    for (unsigned t = 4; t < maxThreads; ++t)
+        EXPECT_EQ(mem.l1d().stats().threadAccesses[t], 0u);
+    EXPECT_GT(mem.l1d().stats().threadAccesses[0], 0u);
+    EXPECT_GT(mem.l2().stats().threadMisses[1], 0u);
+}
+
 TEST(TlbTest, StatsTrackMissRate)
 {
     Tlb tlb("T", 16, 8192, 30);

@@ -168,6 +168,39 @@ TEST(Scheduler, DuplicateRecordPathsRejectedAtSubmit)
     EXPECT_THROW(scheduler.submit(request), std::invalid_argument);
 }
 
+TEST(Scheduler, DerivedRecordPathCollisionsRejectedAtSubmit)
+{
+    // A multithreaded point records one file per thread ("X.t0.trc",
+    // "X.t1.trc", ...). Collisions with those derived names must be
+    // caught up front, before any worker opens a file.
+    SweepScheduler scheduler(1);
+    SweepRequest request = shortRequest("gzip", 2);
+    request.points[0].workload = "2_MIX";
+    request.points[0].recordPath =
+        ::testing::TempDir() + "sched_mix.trc";
+    request.points[1].recordPath =
+        ::testing::TempDir() + "sched_mix.t1.trc";
+    try {
+        scheduler.submit(request);
+        FAIL() << "derived record-path collision was not rejected";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("sched_mix.t1.trc"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Distinct bases derive distinct per-thread files and are fine.
+    SweepRequest ok = shortRequest("gzip", 2);
+    ok.points[0].workload = "2_MIX";
+    ok.points[0].recordPath = ::testing::TempDir() + "sched_ok_a.trc";
+    ok.points[1].workload = "4_MIX";
+    ok.points[1].recordPath = ::testing::TempDir() + "sched_ok_b.trc";
+    auto id = scheduler.submit(ok, "distinct");
+    scheduler.wait(id);
+    EXPECT_EQ(scheduler.status(id)->state,
+              SweepScheduler::JobState::Done);
+}
+
 // ---------------------------------------------------------------------
 // Cross-job warmup sharing
 // ---------------------------------------------------------------------

@@ -10,13 +10,16 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "sim/checkpoint.hh"
 #include "sim/experiment.hh"
 #include "sim/simulator.hh"
+#include "util/logging.hh"
 #include "workload/profiles.hh"
 #include "workload/program_builder.hh"
 #include "workload/trace.hh"
@@ -54,10 +57,11 @@ headerFor(const BenchmarkImage &img, std::uint64_t seed = 0)
 /** Record `n` synthetic records of `img` to `path`. */
 std::vector<TraceRecord>
 recordSynthetic(const BenchmarkImage &img, const std::string &path,
-                std::size_t n)
+                std::size_t n,
+                const TraceWriteOptions &options = TraceWriteOptions{})
 {
     SyntheticTraceStream stream(img);
-    TraceWriter writer(path, headerFor(img));
+    TraceWriter writer(path, headerFor(img), options);
     stream.setRecorder(&writer);
     std::vector<TraceRecord> consumed;
     for (std::size_t i = 0; i < n; ++i)
@@ -107,18 +111,40 @@ struct SmallTrace
     std::string bytes;
     std::size_t nameLen = 0;
 
+    /** Offset of the u64 recordCount field. */
     std::size_t countOffset() const { return 10 + nameLen + 24; }
+
+    /** v2 only: offset of the extension header (codec byte). */
+    std::size_t extOffset() const { return countOffset() + 8; }
+
+    /** v2 only: offset of the first block frame. */
+    std::size_t firstFrameOffset() const { return extOffset() + 22; }
 };
 
 SmallTrace
-makeSmallTrace(const BenchmarkImage &img, std::size_t records = 4)
+makeSmallTrace(const BenchmarkImage &img, std::size_t records = 4,
+               const TraceWriteOptions &options =
+                   TraceWriteOptions{.version = traceFormatV1})
 {
     SmallTrace t;
     t.path = tempPath("small.trc");
-    recordSynthetic(img, t.path, records);
+    recordSynthetic(img, t.path, records, options);
     t.bytes = readFile(t.path);
     t.nameLen = img.profile.name.size();
     return t;
+}
+
+/** Run one grid point through the request API. */
+ExperimentResult
+runPoint(Cycle warmup, Cycle measure, std::uint64_t seed,
+         GridPoint point)
+{
+    SweepRequest request;
+    request.points = {std::move(point)};
+    request.warmupCycles = warmup;
+    request.measureCycles = measure;
+    request.seed = seed;
+    return ExperimentRunner().run(request).results.at(0);
 }
 
 } // namespace
@@ -292,13 +318,13 @@ TEST(TraceFile, MalformedBinaryInputsAreActionable)
         writeFile(t.path, bad);
         expectTraceError([&] { TraceReader r(t.path); }, "bad magic");
     }
-    // Version skew.
+    // Version skew (v1 and v2 are both readable; v9 is not).
     {
         std::string bad = t.bytes;
-        bad[6] = 2;
+        bad[6] = 9;
         writeFile(t.path, bad);
         expectTraceError([&] { TraceReader r(t.path); },
-                         "format version 2");
+                         "format version 9");
     }
     // Truncated fixed prelude.
     {
@@ -374,6 +400,252 @@ TEST(TraceFile, MalformedBinaryInputsAreActionable)
                      "cannot open");
 }
 
+TEST(TraceFile, MalformedV2InputsAreActionable)
+{
+    BenchmarkImage img = gzipImage();
+    // Tiny blocks (2 records) with the raw codec keep the byte
+    // surgery below position-independent.
+    TraceWriteOptions v2raw{.version = traceFormatV2,
+                            .codec = traceCodecRaw,
+                            .blockRecords = 2};
+    SmallTrace t = makeSmallTrace(img, 5, v2raw);
+
+    // Unknown codec byte.
+    {
+        std::string bad = t.bytes;
+        bad[t.extOffset()] = 7;
+        writeFile(t.path, bad);
+        expectTraceError([&] { TraceReader r(t.path); },
+                         "unknown record-block codec 7");
+    }
+    // Zero block size.
+    {
+        std::string bad = t.bytes;
+        for (int i = 0; i < 4; ++i)
+            bad[t.extOffset() + 2 + i] = 0;
+        writeFile(t.path, bad);
+        expectTraceError([&] { TraceReader r(t.path); },
+                         "out of range");
+    }
+    // Truncated seek index.
+    {
+        writeFile(t.path, t.bytes.substr(0, t.bytes.size() - 3));
+        expectTraceError([&] { TraceReader r(t.path); },
+                         "truncated or corrupt index");
+    }
+    // Corrupt index magic.
+    {
+        std::string bad = t.bytes;
+        // 3 blocks of 2/2/1 records: the index trails the file.
+        const std::size_t idx_magic = bad.size() - (6 + 3 * 16);
+        bad[idx_magic] = 'X';
+        writeFile(t.path, bad);
+        expectTraceError([&] { TraceReader r(t.path); },
+                         "bad seek-index magic");
+    }
+    // Corrupt frame: rawBytes disagreeing with the block's records.
+    {
+        std::string bad = t.bytes;
+        bad[t.firstFrameOffset()] = 1;
+        writeFile(t.path, bad);
+        expectTraceError(
+            [&] {
+                TraceReader r(t.path);
+                PackedTraceRecord rec;
+                while (r.next(rec)) {
+                }
+            },
+            "frame declares");
+    }
+    // Corrupt deflate payload (when this build has zlib).
+    if (traceCodecAvailable(traceCodecDeflate)) {
+        TraceWriteOptions v2z{.version = traceFormatV2,
+                              .codec = traceCodecDeflate,
+                              .blockRecords = 2};
+        SmallTrace z = makeSmallTrace(img, 5, v2z);
+        std::string bad = z.bytes;
+        bad[z.firstFrameOffset() + 8 + 4] ^= 0x5a;
+        writeFile(z.path, bad);
+        expectTraceError(
+            [&] {
+                TraceReader r(z.path);
+                PackedTraceRecord rec;
+                while (r.next(rec)) {
+                }
+            },
+            "does not inflate");
+    }
+}
+
+TEST(TraceFile, TraceErrorsNameFileAndByteOffset)
+{
+    // Every malformed-input error must name the file and the byte
+    // offset of the offending structure.
+    BenchmarkImage img = gzipImage();
+    SmallTrace t = makeSmallTrace(img);
+
+    std::string bad = t.bytes;
+    bad[t.countOffset()] = 99;
+    writeFile(t.path, bad);
+    try {
+        TraceReader r(t.path);
+        FAIL() << "corrupt record count went undetected";
+    } catch (const TraceFileError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find(t.path), std::string::npos) << msg;
+        EXPECT_NE(msg.find("(byte "), std::string::npos) << msg;
+    }
+
+    // A mid-payload record error reports the record's own offset.
+    bad = t.bytes;
+    bad[t.countOffset() + 8 + 2 * 20 + 8] |= 0x40;
+    writeFile(t.path, bad);
+    try {
+        TraceReader r(t.path);
+        PackedTraceRecord rec;
+        while (r.next(rec)) {
+        }
+        FAIL() << "corrupt record went undetected";
+    } catch (const TraceFileError &e) {
+        const std::string msg = e.what();
+        const std::size_t rec_off = t.countOffset() + 8 + 2 * 20;
+        EXPECT_NE(msg.find(t.path), std::string::npos) << msg;
+        EXPECT_NE(msg.find(csprintf("(byte %zu)", rec_off)),
+                  std::string::npos)
+            << msg;
+    }
+}
+
+TEST(TraceFile, SkipToEdges)
+{
+    BenchmarkImage img = gzipImage();
+
+    // 10 records in 2-record blocks (v2) and flat (v1).
+    for (int version = 1; version <= 2; ++version) {
+        TraceWriteOptions opt;
+        opt.version = static_cast<std::uint16_t>(version);
+        opt.blockRecords = 2;
+        std::string path =
+            tempPath(csprintf("skip_v%d.trc", version));
+        auto originals = recordSynthetic(img, path, 10, opt);
+
+        TraceReader seq(path);
+        std::vector<PackedTraceRecord> expected(10);
+        for (auto &r : expected)
+            ASSERT_TRUE(seq.next(r));
+
+        TraceReader reader(path);
+        PackedTraceRecord rec;
+
+        // Forward into the middle of a block...
+        reader.skipTo(5);
+        ASSERT_TRUE(reader.next(rec));
+        EXPECT_EQ(rec.pc, expected[5].pc);
+        EXPECT_EQ(reader.recordsRead(), 6u);
+
+        // ...backwards to the start...
+        reader.skipTo(0);
+        ASSERT_TRUE(reader.next(rec));
+        EXPECT_EQ(rec.pc, expected[0].pc);
+
+        // ...landing exactly on a block boundary...
+        reader.skipTo(4);
+        ASSERT_TRUE(reader.next(rec));
+        EXPECT_EQ(rec.pc, expected[4].pc);
+
+        // ...to the exact end of the trace (clean EOT, no error)...
+        reader.skipTo(10);
+        EXPECT_FALSE(reader.next(rec));
+
+        // ...and past the end, which is an error naming both counts.
+        expectTraceError([&] { reader.skipTo(11); },
+                         "cannot skip to record 11");
+    }
+}
+
+TEST(TraceFile, V1AndV2ReplaysAreBitIdentical)
+{
+    // The same logical trace stored in either revision (and either
+    // codec) must replay to identical simulation results.
+    std::string base = tempPath("ident.trc");
+
+    GridPoint record_point{"gzip", EngineKind::GshareBtb, 1, 8};
+    record_point.recordPath = base; // written as v2
+    runPoint(1000, 4000, 0, record_point);
+
+    // Transcode the v2 capture to v1 (and to v2/raw).
+    auto transcode = [&](const std::string &dst,
+                         const TraceWriteOptions &opt) {
+        TraceReader src(base);
+        TraceWriter dst_w(dst, src.header(), opt);
+        PackedTraceRecord rec;
+        while (src.next(rec))
+            dst_w.append(rec);
+        dst_w.close();
+    };
+    std::string v1 = tempPath("ident_v1.trc");
+    std::string v2raw = tempPath("ident_v2raw.trc");
+    transcode(v1, TraceWriteOptions{.version = traceFormatV1});
+    transcode(v2raw, TraceWriteOptions{.version = traceFormatV2,
+                                       .codec = traceCodecRaw,
+                                       .blockRecords = 7});
+
+    auto replay = [&](const std::string &path) {
+        GridPoint p{"trace:" + path, EngineKind::GshareBtb, 1, 8};
+        return runPoint(1000, 4000, 0, p);
+    };
+    ExperimentResult from_v2 = replay(base);
+    ExperimentResult from_v1 = replay(v1);
+    ExperimentResult from_raw = replay(v2raw);
+
+    EXPECT_GT(from_v2.ipc, 0.0);
+    EXPECT_EQ(from_v2.statsJson, from_v1.statsJson);
+    EXPECT_EQ(from_v2.statsJson, from_raw.statsJson);
+}
+
+TEST(TraceFile, CheckpointRestoreMidBlockInV2Stream)
+{
+    // Saving a streamed v2 replay mid-block and restoring must
+    // reposition via the seek index and continue identically.
+    BenchmarkImage img = gzipImage();
+    TraceWriteOptions opt;
+    opt.blockRecords = 8;
+    std::string path = tempPath("midblock.trc");
+    recordSynthetic(img, path, 100, opt);
+
+    FileTraceStream reference(img, path);
+    FileTraceStream live(img, path);
+    for (int i = 0; i < 21; ++i) { // mid way into block 2
+        reference.next();
+        live.next();
+    }
+
+    std::ostringstream os(std::ios::binary);
+    {
+        CheckpointWriter w(os, "<trace-test>", "k");
+        w.begin("stream");
+        live.save(w);
+        w.end();
+        w.finish();
+    }
+
+    FileTraceStream restored(img, path);
+    std::istringstream is(std::move(os).str(), std::ios::binary);
+    CheckpointReader r(is, "<trace-test>");
+    r.begin("stream");
+    restored.restore(r);
+    r.end();
+    r.finish();
+
+    for (int i = 21; i < 100; ++i) {
+        TraceRecord want = reference.next();
+        TraceRecord got = restored.next();
+        EXPECT_EQ(got.si, want.si);
+        EXPECT_EQ(got.nextPc, want.nextPc);
+        EXPECT_EQ(got.memAddr, want.memAddr);
+    }
+}
+
 TEST(TraceFile, MalformedTextInputsAreActionable)
 {
     std::string path = tempPath("bad.strc");
@@ -416,24 +688,6 @@ TEST(TraceFile, MalformedTextInputsAreActionable)
         },
         "declares 5 records");
 }
-
-namespace
-{
-
-/** Run one grid point through the request API. */
-ExperimentResult
-runPoint(Cycle warmup, Cycle measure, std::uint64_t seed,
-         GridPoint point)
-{
-    SweepRequest request;
-    request.points = {std::move(point)};
-    request.warmupCycles = warmup;
-    request.measureCycles = measure;
-    request.seed = seed;
-    return ExperimentRunner().run(request).results.at(0);
-}
-
-} // namespace
 
 TEST(TraceFile, RecordReplayRoundTripIsBitIdentical)
 {

@@ -4,9 +4,12 @@
 Checks the smtfetch-bench-v1 schema, rejects NaN/zero metrics and
 empty stats, validates the optional `warmupReuse` and `throughput`
 blocks (require them with --require-warmup-reuse /
---require-throughput), and (with --spec) cross-checks that every grid
-point the experiment spec expands to is present in the record, so a
-silently dropped series fails CI.
+--require-throughput), checks each result's per-thread IPC and
+shared-cache interference counters against its totals (every access
+and miss must be attributed to exactly one thread), and (with
+--spec) cross-checks that every grid point the experiment spec
+expands to is present in the record, so a silently dropped series
+fails CI.
 
 Usage:
   check_bench.py BENCH_fig4_two_threads.json
@@ -105,6 +108,102 @@ def check_result(i, result):
             f"results[{i}].engine {result['engine']!r} is not a "
             f"registered engine (known: {', '.join(ALL_ENGINES)})"
         )
+
+
+MAX_THREADS = 8
+
+# Shared caches whose per-thread attribution counters the stats dump
+# carries (mirrors MemoryHierarchy::registerStats).
+CACHE_PREFIXES = ("mem.l1i", "mem.l1d", "mem.l2")
+
+
+def workload_thread_count(workload):
+    """Thread count a workload name runs with.
+
+    Mirrors workloadThreadCount in src/workload/workloads.cc:
+    "trace:a,b,c" runs one thread per comma-separated path, Table 2
+    mixes ("4_MIX") encode their roster size in the numeric prefix,
+    and bare benchmark names are single-threaded.
+    """
+    if workload.startswith("trace:"):
+        return workload.count(",") + 1
+    head = workload.split("_", 1)[0]
+    if head != workload and head.isdigit():
+        return int(head)
+    return 1
+
+
+def check_per_thread(i, result):
+    """Check per-thread IPC and cache-interference attribution.
+
+    The per-thread keys are registered per configured thread, so a
+    record is also rejected when a result carries counters for
+    threads beyond its workload's roster.
+    """
+    stats = result["stats"]
+    threads = workload_thread_count(result["workload"])
+
+    ipc_keys = [f"sim.thread{t}.ipc" for t in range(threads)]
+    if any(k in stats for k in ipc_keys):
+        missing = [k for k in ipc_keys if k not in stats]
+        if missing:
+            raise CheckFailure(
+                f"results[{i}] ({result['workload']}) has only some "
+                f"per-thread IPC stats (missing {missing})"
+            )
+        for t in range(threads, MAX_THREADS):
+            if f"sim.thread{t}.ipc" in stats:
+                raise CheckFailure(
+                    f"results[{i}] ({result['workload']}) runs "
+                    f"{threads} thread(s) but reports "
+                    f"sim.thread{t}.ipc"
+                )
+        parts = [stats[k] for k in ipc_keys]
+        if any(bad_number(v) or v < 0 for v in parts):
+            raise CheckFailure(
+                f"results[{i}] has a non-finite or negative "
+                "per-thread IPC"
+            )
+        total = stats.get("sim.ipc", result["ipc"])
+        if abs(sum(parts) - total) > 1e-6 * max(1.0, abs(total)):
+            raise CheckFailure(
+                f"results[{i}] ({result['workload']}): per-thread "
+                f"IPCs sum to {sum(parts)!r} but sim.ipc is "
+                f"{total!r}"
+            )
+
+    for prefix in CACHE_PREFIXES:
+        if f"{prefix}.thread0.accesses" not in stats:
+            continue
+        for kind in ("accesses", "misses"):
+            total_key = f"{prefix}.{kind}"
+            if total_key not in stats:
+                raise CheckFailure(
+                    f"results[{i}] has {prefix}.thread0.{kind} but "
+                    f"no {total_key}"
+                )
+            parts = []
+            for t in range(MAX_THREADS):
+                key = f"{prefix}.thread{t}.{kind}"
+                if t < threads and key not in stats:
+                    raise CheckFailure(
+                        f"results[{i}] ({result['workload']}) runs "
+                        f"{threads} thread(s) but lacks {key}"
+                    )
+                if t >= threads and key in stats:
+                    raise CheckFailure(
+                        f"results[{i}] ({result['workload']}) runs "
+                        f"{threads} thread(s) but reports {key}"
+                    )
+                parts.append(stats.get(key, 0))
+            if sum(parts) != stats[total_key]:
+                raise CheckFailure(
+                    f"results[{i}] ({result['workload']}): "
+                    f"{prefix}.thread*.{kind} sum to {sum(parts)} "
+                    f"but {total_key} is {stats[total_key]} (every "
+                    f"{kind[:-2]} must be attributed to exactly one "
+                    "thread)"
+                )
 
 
 def check_metrics(metrics):
@@ -442,6 +541,7 @@ def check_file(path, args):
 
     for i, result in enumerate(results):
         check_result(i, result)
+        check_per_thread(i, result)
     if len(results) < args.min_results:
         raise CheckFailure(
             f"expected at least {args.min_results} results, found {len(results)}"

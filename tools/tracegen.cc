@@ -16,6 +16,7 @@
 #include <cstring>
 #include <string>
 
+#include "workload/corpus.hh"
 #include "workload/profiles.hh"
 #include "workload/program_builder.hh"
 #include "workload/trace.hh"
@@ -42,8 +43,17 @@ usage(std::FILE *out)
         "  --seed N       image-construction seed (default 0)\n"
         "  --code-base A  code base address (default 0x400000)\n"
         "  --data-base A  data base address (default 0x40000000)\n"
+        "  --format V     binary format: 1 or 2 (default 2)\n"
+        "  --codec C      v2 block codec: raw, deflate or auto\n"
+        "                 (default auto: deflate when built with\n"
+        "                 zlib, raw otherwise)\n"
+        "  --block-records N\n"
+        "                 v2 records per block (default %u)\n"
+        "  --manifest P   append the trace to corpus manifest P,\n"
+        "                 creating it if needed\n"
         "  --list         list the benchmark profiles and exit\n"
-        "  -h, --help     show this help\n");
+        "  -h, --help     show this help\n",
+        traceBlockRecordsDefault);
 }
 
 std::uint64_t
@@ -60,6 +70,49 @@ parseNum(const char *flag, const char *text)
     return v;
 }
 
+/**
+ * Add (or refresh) the freshly-written trace in a corpus manifest,
+ * creating the manifest when it does not exist yet. The listed path
+ * is manifest-relative when the trace sits under the manifest's
+ * directory, so the corpus stays relocatable.
+ */
+void
+appendToManifest(const std::string &manifest_path,
+                 const std::string &trace_path)
+{
+    CorpusManifest manifest;
+    manifest.path = manifest_path;
+    if (std::FILE *f = std::fopen(manifest_path.c_str(), "rb")) {
+        std::fclose(f);
+        manifest = loadCorpusManifest(manifest_path);
+    }
+
+    std::string listed = trace_path;
+    std::size_t slash = manifest_path.find_last_of('/');
+    if (slash != std::string::npos) {
+        std::string dir = manifest_path.substr(0, slash + 1);
+        if (listed.rfind(dir, 0) == 0)
+            listed = listed.substr(dir.size());
+    }
+
+    CorpusEntry entry = describeTrace(trace_path, listed);
+    bool replaced = false;
+    for (auto &e : manifest.entries) {
+        if (e.path == entry.path ||
+            e.benchmark == entry.benchmark) {
+            e = entry;
+            replaced = true;
+            break;
+        }
+    }
+    if (!replaced)
+        manifest.entries.push_back(entry);
+    writeCorpusManifest(manifest);
+    std::printf("%s %s in %s (%s)\n",
+                replaced ? "updated" : "added", listed.c_str(),
+                manifest_path.c_str(), entry.sha256.c_str());
+}
+
 } // namespace
 
 int
@@ -69,7 +122,8 @@ main(int argc, char **argv)
     std::uint64_t seed = 0;
     Addr code_base = 0x400000;
     Addr data_base = 0x40000000;
-    std::string benchmark, out_path;
+    TraceWriteOptions options;
+    std::string benchmark, out_path, manifest_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -97,6 +151,43 @@ main(int argc, char **argv)
             code_base = parseNum("--code-base", next());
         } else if (arg == "--data-base") {
             data_base = parseNum("--data-base", next());
+        } else if (arg == "--format") {
+            std::uint64_t v = parseNum("--format", next());
+            if (v != traceFormatV1 && v != traceFormatV2) {
+                std::fprintf(stderr,
+                             "tracegen: --format expects 1 or 2, "
+                             "got %llu\n",
+                             (unsigned long long)v);
+                return 1;
+            }
+            options.version = static_cast<std::uint16_t>(v);
+        } else if (arg == "--codec") {
+            std::string c = next();
+            if (c == "raw") {
+                options.codec = traceCodecRaw;
+            } else if (c == "deflate") {
+                options.codec = traceCodecDeflate;
+            } else if (c == "auto") {
+                options.codec = traceCodecAuto;
+            } else {
+                std::fprintf(stderr,
+                             "tracegen: --codec expects raw, "
+                             "deflate or auto, got \"%s\"\n",
+                             c.c_str());
+                return 1;
+            }
+        } else if (arg == "--block-records") {
+            std::uint64_t n = parseNum("--block-records", next());
+            if (n == 0 || n > (1u << 22)) {
+                std::fprintf(stderr,
+                             "tracegen: --block-records must be in "
+                             "[1, %u], got %llu\n",
+                             1u << 22, (unsigned long long)n);
+                return 1;
+            }
+            options.blockRecords = static_cast<std::uint32_t>(n);
+        } else if (arg == "--manifest") {
+            manifest_path = next();
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "tracegen: unknown option %s\n",
                          arg.c_str());
@@ -138,7 +229,7 @@ main(int argc, char **argv)
         hdr.dataBase = img.dataBase;
 
         SyntheticTraceStream stream(img);
-        TraceWriter writer(out_path, hdr);
+        TraceWriter writer(out_path, hdr, options);
         stream.setRecorder(&writer);
         for (std::uint64_t i = 0; i < insts; ++i)
             stream.next();
@@ -151,7 +242,13 @@ main(int argc, char **argv)
                     (unsigned long long)writer.recordsWritten(),
                     traceFileIsText(out_path) ? "text" : "binary",
                     s.avgBlockSize(), s.avgStreamLength());
+
+        if (!manifest_path.empty())
+            appendToManifest(manifest_path, out_path);
     } catch (const TraceFileError &e) {
+        std::fprintf(stderr, "tracegen: %s\n", e.what());
+        return 2;
+    } catch (const CorpusError &e) {
         std::fprintf(stderr, "tracegen: %s\n", e.what());
         return 2;
     }
